@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding harness, emits the same rows/series the paper reports, and
+times a representative kernel via pytest-benchmark. Shapes — who wins, by
+what factor, where crossovers fall — are what should match the paper;
+absolute times depend on the machine and on SQLite standing in for
+PostgreSQL / SQL Server.
+
+Figure output goes to stdout (visible with ``pytest -s``) *and* is
+appended to ``bench_figures.txt`` at the repository root, so a plain
+``pytest benchmarks/ --benchmark-only`` still leaves the full reproduction
+record behind (``EXPERIMENTS.md`` embeds from it).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "bench_figures.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report_file():
+    REPORT_PATH.write_text("")
+    yield
+
+
+def emit(title: str, body: str) -> None:
+    """Record one figure's reproduction block."""
+    bar = "=" * 72
+    block = f"\n{bar}\n{title}\n{bar}\n{body}\n"
+    print(block)
+    with REPORT_PATH.open("a") as f:
+        f.write(block)
+
+
+@pytest.fixture
+def report():
+    return emit

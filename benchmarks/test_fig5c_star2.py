@@ -1,0 +1,52 @@
+"""Figure 5c: 2-star query runtime vs. database size.
+
+Only two minimal plans here; the paper's observation is that Opt1 and
+Opt1-2 coincide (no shared subplans to reuse in the 2-star) and everything
+stays close to deterministic SQL.
+"""
+
+from repro.engine import DissociationEngine, Optimizations
+from repro.experiments import dissociation_timings, format_table
+from repro.workloads import star_database, star_query
+
+SIZES = (100, 300, 1000, 3000)
+
+
+def test_fig5c(report, benchmark):
+    q = star_query(2)
+    rows = []
+    for n in SIZES:
+        db = star_database(2, n, seed=43, p_max=0.5)
+        rows.append(dissociation_timings(q, db, label=f"n={n}"))
+
+    table = format_table(
+        ["n", "standard_sql", "all_plans", "opt1", "opt12", "opt123"],
+        [
+            [
+                row.label,
+                row.seconds["standard_sql"],
+                row.seconds["all_plans"],
+                row.seconds["opt1"],
+                row.seconds["opt12"],
+                row.seconds["opt123"],
+            ]
+            for row in rows
+        ],
+        title="FIG 5c — 2-star, seconds per strategy",
+    )
+    report("FIG 5c — 2-star runtime vs database size", table)
+
+    assert rows[0].plan_count == 2
+    # Opt1 ≈ Opt1-2 for the 2-star (nothing to share)
+    last = rows[-1]
+    assert last.seconds["opt12"] < last.seconds["opt1"] * 3 + 0.05
+
+    db = star_database(2, 1000, seed=43, p_max=0.5)
+    engine = DissociationEngine(db, backend="sqlite")
+    engine.sqlite
+    benchmark.pedantic(
+        lambda: engine.propagation_score(q, Optimizations()),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )

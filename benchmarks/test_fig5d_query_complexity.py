@@ -1,0 +1,67 @@
+"""Figure 5d: k-chain runtime vs. query size k (query complexity).
+
+Fixed database size, chains k = 2..8; the number of minimal plans grows
+as Catalan(k−1) (right axis in the paper: 1, 2, 5, 14, 42, 132, 429)
+while the optimized single-plan evaluation grows far slower than the
+all-plans strategy.
+"""
+
+from repro.engine import DissociationEngine, Optimizations
+from repro.experiments import OPTIMIZATION_MODES, catalan, dissociation_timings, format_table
+from repro.workloads import chain_database, chain_query
+
+N_ROWS = 300
+KS = (2, 3, 4, 5, 6, 7, 8)
+ALL_PLANS_UP_TO = 5  # evaluating 132/429 separate plans is the point being made
+
+
+def test_fig5d(report, benchmark):
+    rows = []
+    for k in KS:
+        q = chain_query(k)
+        db = chain_database(k, N_ROWS, seed=44, p_max=0.5)
+        modes = (
+            OPTIMIZATION_MODES
+            if k <= ALL_PLANS_UP_TO
+            else {m: o for m, o in OPTIMIZATION_MODES.items() if m != "all_plans"}
+        )
+        row = dissociation_timings(q, db, label=f"k={k}", modes=modes)
+        assert row.plan_count == catalan(k - 1)
+        rows.append(row)
+
+    table = format_table(
+        ["k", "#plans", "standard_sql", "all_plans", "opt1", "opt12", "opt123"],
+        [
+            [
+                row.label,
+                row.plan_count,
+                row.seconds["standard_sql"],
+                row.seconds.get("all_plans", float("nan")),
+                row.seconds["opt1"],
+                row.seconds["opt12"],
+                row.seconds["opt123"],
+            ]
+            for row in rows
+        ],
+        title="FIG 5d — k-chain, seconds per strategy (n=300)",
+    )
+    report("FIG 5d — runtime vs query size", table)
+
+    by_k = {row.label: row for row in rows}
+    # shape: at k=5 (14 plans) merging already beats separate evaluation
+    assert (
+        by_k["k=5"].seconds["opt12"] < by_k["k=5"].seconds["all_plans"]
+    )
+
+    q = chain_query(6)
+    db = chain_database(6, N_ROWS, seed=44, p_max=0.5)
+    engine = DissociationEngine(db, backend="sqlite")
+    engine.sqlite
+    benchmark.pedantic(
+        lambda: engine.propagation_score(
+            q, Optimizations(single_plan=True, reuse_views=True)
+        ),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )

@@ -1,0 +1,70 @@
+"""Figure 5i / Result 3: MAP@10 of dissociation vs MC(x) vs lineage size.
+
+Several random probability assignments on the TPC-H query; rankings are
+judged against exact ground truth. Expected shape (paper: Diss 0.998,
+lineage 0.515, MC rising 0.472 → 0.964 from 10 to 10k samples):
+dissociation ≈ 1 ≥ MC(large) > MC(small) > lineage-size > random 0.22.
+"""
+
+from statistics import fmean
+
+from repro.experiments import format_series, run_quality_trial
+from repro.ranking import random_ranking_ap
+from repro.workloads import TPCHParameters, filtered_instance, tpch_database, tpch_query
+
+MC_SAMPLES = (10, 100, 1000, 10_000)
+TRIALS = 6
+
+
+def run_sweep():
+    q = tpch_query()
+    trials = []
+    for seed in range(TRIALS):
+        db = filtered_instance(
+            tpch_database(scale=0.01, seed=seed, p_max=0.5),
+            TPCHParameters(60, "%red%"),
+        )
+        trials.append(
+            run_quality_trial(q, db, mc_samples=MC_SAMPLES, mc_seed=seed)
+        )
+    return trials
+
+
+def test_fig5i(report, benchmark):
+    trials = run_sweep()
+    map_diss = fmean(t.ap_dissociation() for t in trials)
+    map_lineage = fmean(t.ap_lineage() for t in trials)
+    map_mc = {
+        s: fmean(t.ap_monte_carlo(s) for t in trials) for s in MC_SAMPLES
+    }
+    n_answers = round(fmean(len(t.ground_truth) for t in trials))
+
+    body = "\n".join(
+        [
+            f"MAP@10 dissociation: {map_diss:.3f}",
+            f"MAP@10 lineage size: {map_lineage:.3f}",
+            format_series("MAP@10 MC(x)", map_mc),
+            f"random baseline ({n_answers} answers): "
+            f"{random_ranking_ap(n_answers):.3f}",
+        ]
+    )
+    report("FIG 5i — ranking quality vs #MC samples", body)
+
+    # shape assertions (Result 3)
+    assert map_diss > 0.9
+    assert map_diss >= map_mc[10_000] - 0.05
+    assert map_mc[10_000] > map_mc[10]
+    assert map_diss > map_lineage
+
+    benchmark.pedantic(
+        lambda: run_quality_trial(
+            tpch_query(),
+            filtered_instance(
+                tpch_database(scale=0.01, seed=0, p_max=0.5),
+                TPCHParameters(60, "%red%"),
+            ),
+            mc_samples=(1000,),
+        ),
+        rounds=1,
+        iterations=1,
+    )

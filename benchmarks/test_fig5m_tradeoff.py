@@ -1,0 +1,63 @@
+"""Figure 5m / Result 6: the dissociation-vs-MC trade-off frontier.
+
+A grid over (avg[p_i], MC samples): in the small-probability regime
+dissociation dominates MC decisively; only at high input probabilities
+with many samples does MC become competitive — the frontier of Fig. 5m.
+"""
+
+from statistics import fmean
+
+from repro.experiments import format_table, run_quality_trial
+from repro.workloads import TPCHParameters, filtered_instance, tpch_database, tpch_query
+
+P_LEVELS = (0.1, 0.3, 0.5)  # avg[p_i]
+MC_SAMPLES = (100, 1000)
+TRIALS = 3
+
+
+def test_fig5m(report, benchmark):
+    q = tpch_query()
+    rows = []
+    wins = {}
+    for p_avg in P_LEVELS:
+        diss_aps = []
+        mc_aps = {s: [] for s in MC_SAMPLES}
+        for seed in range(TRIALS):
+            db = filtered_instance(
+                tpch_database(scale=0.01, seed=400 + seed, p_max=2 * p_avg),
+                TPCHParameters(60, "%red%"),
+            )
+            trial = run_quality_trial(q, db, mc_samples=MC_SAMPLES, mc_seed=seed)
+            diss_aps.append(trial.ap_dissociation())
+            for s in MC_SAMPLES:
+                mc_aps[s].append(trial.ap_monte_carlo(s))
+        row = [p_avg, fmean(diss_aps)] + [fmean(mc_aps[s]) for s in MC_SAMPLES]
+        rows.append(row)
+        for s in MC_SAMPLES:
+            wins[(p_avg, s)] = fmean(diss_aps) >= fmean(mc_aps[s]) - 0.02
+
+    table = format_table(
+        ["avg[pi]", "diss"] + [f"MC({s})" for s in MC_SAMPLES],
+        rows,
+        title="FIG 5m — MAP grid: dissociation vs MC",
+    )
+    body = table + "\n\nwinner (diss better?): " + str(
+        {f"p={p},MC({s})": w for (p, s), w in wins.items()}
+    )
+    report("FIG 5m — trade-off frontier", body)
+
+    # shape: at the smallest probabilities dissociation beats MC(100)
+    assert wins[(P_LEVELS[0], 100)]
+
+    benchmark.pedantic(
+        lambda: run_quality_trial(
+            q,
+            filtered_instance(
+                tpch_database(scale=0.01, seed=400, p_max=0.2),
+                TPCHParameters(60, "%red%"),
+            ),
+            mc_samples=(100,),
+        ),
+        rounds=1,
+        iterations=1,
+    )

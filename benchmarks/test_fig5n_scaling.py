@@ -1,0 +1,65 @@
+"""Figure 5n / Result 7: how scaling all inputs by f changes GT rankings.
+
+Exact rankings on a database scaled by ``f`` are compared against the
+unscaled exact ranking. Expected shape: with small input probabilities
+the ranking barely moves (AP stays near 1 for all f); with avg[p_i] = 0.5
+scaling hurts, but far less than falling back to lineage-size ranking.
+"""
+
+from statistics import fmean
+
+from repro.experiments import format_table, run_scaling_trial
+from repro.workloads import TPCHParameters, filtered_instance, tpch_database, tpch_query
+
+FACTORS = (0.8, 0.4, 0.1, 0.01)
+TRIALS = 3
+
+
+def sweep(p_max: float):
+    q = tpch_query()
+    out = {}
+    for f in FACTORS:
+        aps = []
+        for seed in range(TRIALS):
+            db = filtered_instance(
+                tpch_database(scale=0.01, seed=500 + seed, p_max=p_max),
+                TPCHParameters(60, "%red%"),
+            )
+            aps.append(run_scaling_trial(q, db, f).ap_scaled_gt_vs_gt)
+        out[f] = fmean(aps)
+    return out
+
+
+def test_fig5n(report, benchmark):
+    low = sweep(p_max=0.2)   # avg[p_i] = 0.1
+    high = sweep(p_max=1.0)  # avg[p_i] = 0.5
+
+    table = format_table(
+        ["f"] + [str(f) for f in FACTORS],
+        [
+            ["avg[pi]=0.1"] + [low[f] for f in FACTORS],
+            ["avg[pi]=0.5"] + [high[f] for f in FACTORS],
+        ],
+        title="FIG 5n — AP of scaled GT vs GT",
+    )
+    report("FIG 5n — scaling the database", table)
+
+    # shape: small probabilities → scaling barely moves the ranking
+    assert min(low.values()) > 0.85
+    # shape: scaling hurts more at avg[pi]=0.5 than at 0.1
+    assert fmean(high.values()) <= fmean(low.values()) + 0.02
+    # shape: even f → 0 stays far above random (0.22)
+    assert high[0.01] > 0.4
+
+    benchmark.pedantic(
+        lambda: run_scaling_trial(
+            tpch_query(),
+            filtered_instance(
+                tpch_database(scale=0.01, seed=500, p_max=1.0),
+                TPCHParameters(60, "%red%"),
+            ),
+            0.1,
+        ),
+        rounds=1,
+        iterations=1,
+    )

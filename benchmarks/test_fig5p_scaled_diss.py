@@ -1,0 +1,79 @@
+"""Figure 5p / Result 8: dissociation under downscaling.
+
+Four curves over the scaling factor f: scaled-GT vs GT, scaled-Diss vs
+scaled-GT, scaled-Diss vs GT, lineage-size vs scaled-GT. Expected shapes:
+scaled-Diss tracks scaled-GT ever better as f → 0 (Prop. 21), and
+scaled-Diss vs GT converges down to the scaled-GT-vs-GT curve — i.e.
+dissociation's floor is "ranking by relative input weights", not random.
+"""
+
+from statistics import fmean
+
+from repro.experiments import format_table, run_scaling_trial
+from repro.workloads import TPCHParameters, filtered_instance, tpch_database, tpch_query
+
+FACTORS = (0.8, 0.3, 0.05, 0.01)
+TRIALS = 3
+
+
+def test_fig5p(report, benchmark):
+    q = tpch_query()
+    curves = {
+        "scaled GT vs GT": {},
+        "scaled Diss vs scaled GT": {},
+        "scaled Diss vs GT": {},
+        "lineage vs scaled GT": {},
+    }
+    for f in FACTORS:
+        trials = []
+        for seed in range(TRIALS):
+            db = filtered_instance(
+                tpch_database(scale=0.01, seed=700 + seed, p_max=1.0),
+                TPCHParameters(60, "%red%"),
+            )
+            trials.append(run_scaling_trial(q, db, f))
+        curves["scaled GT vs GT"][f] = fmean(
+            t.ap_scaled_gt_vs_gt for t in trials
+        )
+        curves["scaled Diss vs scaled GT"][f] = fmean(
+            t.ap_scaled_diss_vs_scaled_gt for t in trials
+        )
+        curves["scaled Diss vs GT"][f] = fmean(
+            t.ap_scaled_diss_vs_gt for t in trials
+        )
+        curves["lineage vs scaled GT"][f] = fmean(
+            t.ap_lineage_vs_scaled_gt for t in trials
+        )
+
+    table = format_table(
+        ["series"] + [f"f={f}" for f in FACTORS],
+        [[name] + [values[f] for f in FACTORS] for name, values in curves.items()],
+        title="FIG 5p — dissociation under scaling",
+    )
+    report("FIG 5p — scaled dissociation", table)
+
+    # shape: scaled Diss vs scaled GT → 1 as f → 0 (Prop. 21)
+    assert (
+        curves["scaled Diss vs scaled GT"][FACTORS[-1]]
+        >= curves["scaled Diss vs scaled GT"][FACTORS[0]] - 0.02
+    )
+    assert curves["scaled Diss vs scaled GT"][FACTORS[-1]] > 0.9
+    # shape: Diss's floor is the relative-weights ranking, well above the
+    # lineage-size baseline at small f
+    assert (
+        curves["scaled Diss vs GT"][FACTORS[-1]]
+        >= curves["lineage vs scaled GT"][FACTORS[-1]] - 0.1
+    )
+
+    benchmark.pedantic(
+        lambda: run_scaling_trial(
+            q,
+            filtered_instance(
+                tpch_database(scale=0.01, seed=700, p_max=1.0),
+                TPCHParameters(60, "%red%"),
+            ),
+            0.05,
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""Certified top-k answers without exact inference on everything.
+
+Combines the two bound directions — the propagation score ρ (upper) and
+the oblivious lower bounds — into per-answer intervals, then certifies
+top-k membership by interval separation (the multisimulation idea of Ré,
+Dalvi & Suciu, ICDE 2007, with deterministic bounds instead of sampler
+intervals). Exact inference is paid only for the answers the intervals
+cannot separate.
+
+Run:  python examples/certified_topk.py
+"""
+
+from repro.engine import DissociationEngine
+from repro.ranking import certified_top_k, top_k
+from repro.workloads import chain_database, chain_query
+
+K = 5
+
+
+def main() -> None:
+    q = chain_query(3)
+    db = chain_database(3, 150, seed=42, p_max=0.6)
+    engine = DissociationEngine(db)
+
+    certificate = certified_top_k(q, db, k=K)
+    n = len(certificate.bounds)
+    print(f"query: {q}")
+    print(f"{n} answers; certifying the top {K} from intervals alone:")
+    print(f"  certainly in top {K}:  {len(certificate.certain)}")
+    print(f"  undecided:            {len(certificate.undecided)}")
+    print(f"  certainly out:        {len(certificate.excluded)}")
+
+    resolved = certified_top_k(q, db, k=K, resolve_undecided=True)
+    print(
+        f"\nafter exact inference on the {len(certificate.undecided)} "
+        f"undecided answers only:"
+    )
+    exact = engine.exact(q)
+    true_top = top_k(exact, K)
+    print(f"{'answer':>12}  {'lower':>8}  {'upper':>8}  in exact top-{K}?")
+    for answer in resolved.certain[:K]:
+        low, high = resolved.bounds[answer]
+        print(
+            f"{str(answer):>12}  {low:8.4f}  {high:8.4f}  "
+            f"{answer in true_top}"
+        )
+    saved = n - len(certificate.undecided)
+    print(
+        f"\nexact inference avoided on {saved}/{n} answers "
+        f"({100 * saved / n:.0f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Certified probability intervals: oblivious upper AND lower bounds.
+
+The paper evaluates the upper-bound side of dissociation (the propagation
+score ρ). Its foundation — "Oblivious bounds on the probability of Boolean
+functions" (TODS 2014) — also yields *lower* bounds: dissociate the same
+way, but hand each of the k copies of a tuple the adjusted marginal
+``1 − (1−p)^{1/k}``. This example computes certified intervals
+``low ≤ P(answer) ≤ ρ(answer)`` for every answer of a #P-hard query and
+reports how the interval behaves as input probabilities scale down
+(the ρ side tightens per Proposition 21; the symmetric lower bound keeps a
+residual gap proportional to the dissociation multiplicity).
+
+Run:  python examples/probability_intervals.py
+"""
+
+from repro import DissociationEngine, parse_query
+from repro.workloads import chain_database, chain_query
+
+
+def main() -> None:
+    q = chain_query(4)
+    # a small domain makes lineages overlap heavily — the regime where the
+    # bounds genuinely differ from the exact probability
+    db = chain_database(4, 100, domain_size=45, seed=3, p_max=0.6)
+    engine = DissociationEngine(db)
+
+    bounds = engine.probability_bounds(q)
+    exact = engine.exact(q)
+    print(f"query: {q}")
+    print(f"{len(bounds)} answers; showing the top 8 by upper bound\n")
+    print(f"{'answer':>14}  {'lower':>8}  {'exact':>8}  {'rho':>8}  width")
+    top = sorted(bounds, key=lambda a: -bounds[a][1])[:8]
+    for answer in top:
+        low, high = bounds[answer]
+        assert low - 1e-9 <= exact[answer] <= high + 1e-9
+        print(
+            f"{str(answer):>14}  {low:8.4f}  {exact[answer]:8.4f}  "
+            f"{high:8.4f}  {high - low:.4f}"
+        )
+
+    print(
+        "\ninterval width vs probability scale "
+        "(the upper bound tightens per Prop. 21; the symmetric lower bound "
+        "keeps a residual ~(1-1/k) gap per dissociated tuple):"
+    )
+    for factor in (1.0, 0.2):
+        scaled = DissociationEngine(db.scaled(factor))
+        scaled_bounds = scaled.probability_bounds(q)
+        scaled_exact = scaled.exact(q)
+        relative_widths = [
+            (high - low) / scaled_exact[a]
+            for a, (low, high) in scaled_bounds.items()
+            if scaled_exact[a] > 1e-12
+        ]
+        mean_rel = sum(relative_widths) / len(relative_widths)
+        print(f"  f = {factor:4}:  mean relative width = {mean_rel:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Ranking query answers on a probabilistic TPC-H database (Setup 1).
+
+Reproduces the paper's motivating scenario: rank the 25 nations by the
+probability that they supply a part matching a LIKE pattern, where every
+supplier/partsupp/part tuple is uncertain. Compares four rankers against
+exact ground truth:
+
+* dissociation (propagation score) — the paper's method,
+* Monte Carlo with a sample budget,
+* ranking by lineage size (non-probabilistic baseline),
+* random (analytic baseline).
+
+Run:  python examples/tpch_ranking.py
+"""
+
+from repro.engine import DissociationEngine
+from repro.experiments import run_quality_trial
+from repro.ranking import random_ranking_ap
+from repro.workloads import (
+    TPCHParameters,
+    filtered_instance,
+    tpch_database,
+    tpch_query,
+)
+
+
+def main() -> None:
+    base = tpch_database(scale=0.01, seed=7, p_max=0.5)
+    params = TPCHParameters(suppkey_max=60, name_pattern="%red%")
+    db = filtered_instance(base, params)
+    q = tpch_query()
+    print(f"query:  {q}  with  {params}")
+    print(
+        "tables after pushing selections: "
+        + ", ".join(f"{t.name}={len(t)}" for t in db)
+    )
+
+    trial = run_quality_trial(q, db, mc_samples=(100, 1000), mc_seed=0)
+
+    print(f"\nanswers (nations): {len(trial.ground_truth)}")
+    print(f"max lineage size:  {trial.max_lineage}")
+    print(f"avg input prob:    {trial.avg_pi:.3f}")
+    print(f"avg top-10 prob:   {trial.avg_pa:.3f}")
+    print(f"avg dissociations per tuple (avg[d]): {trial.avg_d:.3f}")
+
+    print("\nranking quality (AP@10 vs exact ground truth):")
+    print(f"  dissociation:  {trial.ap_dissociation():.3f}")
+    print(f"  MC(1000):      {trial.ap_monte_carlo(1000):.3f}")
+    print(f"  MC(100):       {trial.ap_monte_carlo(100):.3f}")
+    print(f"  lineage size:  {trial.ap_lineage():.3f}")
+    print(f"  random:        {random_ranking_ap(len(trial.ground_truth)):.3f}")
+
+    print("\ntop 5 nations (exact vs dissociation):")
+    engine = DissociationEngine(db)
+    exact = trial.ground_truth
+    rho = trial.dissociation
+    top = sorted(exact, key=lambda a: -exact[a])[:5]
+    for nation in top:
+        print(
+            f"  nation {nation[0]:>2}:  P = {exact[nation]:.4f}   "
+            f"ρ = {rho[nation]:.4f}"
+        )
+    assert all(rho[a] >= exact[a] - 1e-9 for a in exact)
+
+    # Timing flavour: both minimal plans in one SQLite round trip.
+    sqlite_engine = DissociationEngine(db, backend="sqlite")
+    result = sqlite_engine.evaluate(q)
+    print(
+        f"\nSQLite evaluation: {result.plan_count} plans, "
+        f"{result.seconds * 1e3:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

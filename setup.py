@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP 517 wheel support.
+
+``pip install -e .`` normally reads ``pyproject.toml``; this shim lets
+``python setup.py develop`` work on minimal toolchains (no ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,110 @@
+"""repro — Approximate Lifted Inference with Probabilistic Databases.
+
+A faithful, self-contained reproduction of Gatterbauer & Suciu,
+"Approximate Lifted Inference with Probabilistic Databases" (VLDB 2015).
+
+The package evaluates self-join-free conjunctive queries over
+tuple-independent probabilistic databases by *dissociation*: every query is
+rewritten into a fixed number of safe plans — the minimal safe dissociations
+of Algorithm 1 — each of which upper-bounds the true probability; their
+minimum is the propagation score ``ρ(q)``. Safe queries get their single
+exact plan back (conservativity).
+
+Quickstart
+----------
+>>> from repro import parse_query, ProbabilisticDatabase, DissociationEngine
+>>> db = ProbabilisticDatabase()
+>>> db.add_table("R", [((1,), 0.5), ((2,), 0.5)])
+>>> db.add_table("S", [((1, 4), 0.5), ((1, 5), 0.5)])
+>>> q = parse_query("q() :- R(x), S(x,y)")
+>>> engine = DissociationEngine(db)
+>>> scores = engine.propagation_score(q)
+>>> scores[()] >= 0  # an upper bound on P(q)
+True
+"""
+
+from .core import (
+    Atom,
+    ColumnFD,
+    ConjunctiveQuery,
+    Constant,
+    Dissociation,
+    FD,
+    Join,
+    MinPlan,
+    Plan,
+    Project,
+    Scan,
+    UnsafeQueryError,
+    Variable,
+    count_all_plans,
+    count_dissociations,
+    enumerate_all_plans,
+    enumerate_safe_dissociations,
+    is_hierarchical,
+    is_safe,
+    is_safe_with_schema,
+    minimal_plans,
+    minimal_safe_dissociations,
+    parse_atom,
+    parse_query,
+    safe_plan,
+    safe_plan_with_schema,
+    var,
+    vars_,
+)
+from .db import ProbabilisticDatabase, Schema, TableSchema
+from .engine import DissociationEngine, EvaluationResult, Optimizations
+from .lineage import (
+    DNF,
+    exact_probability,
+    lineage_of,
+    monte_carlo_probability,
+)
+from .ranking import average_precision_at_k, mean_average_precision
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ColumnFD",
+    "ConjunctiveQuery",
+    "Constant",
+    "DNF",
+    "Dissociation",
+    "DissociationEngine",
+    "EvaluationResult",
+    "FD",
+    "Join",
+    "MinPlan",
+    "Optimizations",
+    "Plan",
+    "ProbabilisticDatabase",
+    "Project",
+    "Scan",
+    "Schema",
+    "TableSchema",
+    "UnsafeQueryError",
+    "Variable",
+    "average_precision_at_k",
+    "count_all_plans",
+    "count_dissociations",
+    "enumerate_all_plans",
+    "enumerate_safe_dissociations",
+    "exact_probability",
+    "is_hierarchical",
+    "is_safe",
+    "is_safe_with_schema",
+    "lineage_of",
+    "mean_average_precision",
+    "minimal_plans",
+    "minimal_safe_dissociations",
+    "monte_carlo_probability",
+    "parse_atom",
+    "parse_query",
+    "safe_plan",
+    "safe_plan_with_schema",
+    "var",
+    "vars_",
+    "__version__",
+]

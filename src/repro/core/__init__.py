@@ -1,0 +1,84 @@
+"""Core query-level machinery: queries, plans, dissociations, Algorithm 1."""
+
+from .atoms import Atom
+from .cuts import all_cutsets, is_cutset, min_cutsets, min_p_cutsets
+from .dissociation import (
+    Dissociation,
+    count_dissociations,
+    dissociation_of_plan,
+    enumerate_dissociations,
+    enumerate_safe_dissociations,
+    minimal_safe_dissociations,
+    plan_for,
+)
+from .fds import FD, ColumnFD, apply_dissociation_closure, closure, dissociation_closure
+from .hierarchy import hierarchy_violations, is_hierarchical, is_hierarchical_recursive
+from .lattice import DissociationLattice, LatticeNode, incidence_matrix
+from .minplans import (
+    collapsed_plan,
+    count_all_plans,
+    enumerate_all_plans,
+    minimal_plans,
+)
+from .parser import QueryParseError, parse_atom, parse_query
+from .plans import Join, MinPlan, Plan, Project, Scan, plan_signature
+from .query import ConjunctiveQuery
+from .safety import (
+    UnsafeQueryError,
+    is_safe,
+    is_safe_with_schema,
+    safe_plan,
+    safe_plan_with_schema,
+)
+from .symbols import Constant, Term, Variable, const, var, vars_
+
+__all__ = [
+    "Atom",
+    "ColumnFD",
+    "ConjunctiveQuery",
+    "Constant",
+    "Dissociation",
+    "FD",
+    "Join",
+    "MinPlan",
+    "Plan",
+    "Project",
+    "QueryParseError",
+    "Scan",
+    "Term",
+    "UnsafeQueryError",
+    "Variable",
+    "all_cutsets",
+    "apply_dissociation_closure",
+    "closure",
+    "collapsed_plan",
+    "const",
+    "count_all_plans",
+    "count_dissociations",
+    "dissociation_closure",
+    "dissociation_of_plan",
+    "enumerate_all_plans",
+    "enumerate_dissociations",
+    "enumerate_safe_dissociations",
+    "DissociationLattice",
+    "LatticeNode",
+    "hierarchy_violations",
+    "incidence_matrix",
+    "is_cutset",
+    "is_hierarchical",
+    "is_hierarchical_recursive",
+    "is_safe",
+    "is_safe_with_schema",
+    "min_cutsets",
+    "min_p_cutsets",
+    "minimal_plans",
+    "minimal_safe_dissociations",
+    "parse_atom",
+    "parse_query",
+    "plan_for",
+    "plan_signature",
+    "safe_plan",
+    "safe_plan_with_schema",
+    "var",
+    "vars_",
+]

@@ -1,0 +1,112 @@
+"""Cut-sets of conjunctive queries (Sec. 3.2 and 3.3.1).
+
+A *cut-set* of a query ``q`` (head variables treated as constants) is a set
+of existential variables ``y`` such that ``q − y`` is disconnected. A
+*min-cut-set* is a cut-set no strict subset of which is a cut-set;
+``MinCuts(q)`` collects them and is in 1-to-1 correspondence with the
+top-most projections of minimal plans.
+
+With schema knowledge about deterministic relations, ``MinPCuts(q)``
+restricts attention to cut-sets that split the query into at least two
+components *containing probabilistic relations* (modification 1 of
+Theorem 24); dissociating a deterministic relation is free (Lemma 22), so
+cuts separating only deterministic relations buy nothing.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Collection, Iterable
+
+from .query import ConjunctiveQuery
+from .symbols import Variable
+
+__all__ = ["all_cutsets", "min_cutsets", "min_p_cutsets", "is_cutset"]
+
+
+def _components_after(
+    query: ConjunctiveQuery, removed: frozenset[Variable]
+) -> list[ConjunctiveQuery]:
+    """Connected components of ``q − (head ∪ removed)``."""
+    return query.minus(query.head | removed).connected_components()
+
+
+def is_cutset(query: ConjunctiveQuery, y: Iterable[Variable]) -> bool:
+    """True iff removing ``y`` (and the head) disconnects the query body."""
+    return len(_components_after(query, frozenset(y))) >= 2
+
+
+def all_cutsets(query: ConjunctiveQuery) -> list[frozenset[Variable]]:
+    """Every subset of ``EVar(q)`` whose removal disconnects the body.
+
+    Includes non-minimal cut-sets; the empty set is included iff the query
+    is already disconnected. Exponential in ``|EVar|`` by nature — queries
+    are small (the data-independent part of the problem).
+    """
+    evars = sorted(query.existential_variables)
+    out: list[frozenset[Variable]] = []
+    for size in range(0, len(evars) + 1):
+        for combo in combinations(evars, size):
+            y = frozenset(combo)
+            if len(_components_after(query, y)) >= 2:
+                out.append(y)
+    return out
+
+
+def min_cutsets(query: ConjunctiveQuery) -> list[frozenset[Variable]]:
+    """``MinCuts(q)``: the inclusion-minimal cut-sets.
+
+    Returns ``[∅]`` when the query body is already disconnected, matching
+    the paper's convention ``q disconnected ⟺ MinCuts(q) = {∅}``.
+    """
+    evars = sorted(query.existential_variables)
+    found: list[frozenset[Variable]] = []
+    for size in range(0, len(evars) + 1):
+        for combo in combinations(evars, size):
+            y = frozenset(combo)
+            if any(prev <= y for prev in found):
+                continue
+            if len(_components_after(query, y)) >= 2:
+                found.append(y)
+        if size == 0 and found:
+            # the query is disconnected; ∅ is the unique minimal cut-set
+            break
+    return found
+
+
+def min_p_cutsets(
+    query: ConjunctiveQuery, deterministic: Collection[str] = ()
+) -> list[frozenset[Variable]]:
+    """``MinPCuts(q)``: minimal cut-sets splitting probabilistic relations.
+
+    A cut-set qualifies iff ``q − y`` has at least two connected components
+    that each contain a *probabilistic* atom (one not listed in
+    ``deterministic``). Minimality is with respect to the qualifying
+    cut-sets. With no deterministic relations this coincides with
+    :func:`min_cutsets`.
+    """
+    deterministic = frozenset(deterministic)
+    if not deterministic:
+        return min_cutsets(query)
+
+    def qualifies(y: frozenset[Variable]) -> bool:
+        components = _components_after(query, y)
+        probabilistic_components = sum(
+            1
+            for c in components
+            if any(a.relation not in deterministic for a in c.atoms)
+        )
+        return probabilistic_components >= 2
+
+    evars = sorted(query.existential_variables)
+    found: list[frozenset[Variable]] = []
+    for size in range(0, len(evars) + 1):
+        for combo in combinations(evars, size):
+            y = frozenset(combo)
+            if any(prev <= y for prev in found):
+                continue
+            if qualifies(y):
+                found.append(y)
+        if size == 0 and found:
+            break
+    return found

@@ -1,0 +1,246 @@
+"""Dissociations of queries and their lattice (Sec. 3.1 and 3.2).
+
+A dissociation ``∆ = (y_1, ..., y_m)`` assigns to each atom extra variables
+``y_i ⊆ EVar(q) − Var(g_i)`` (Definition 10; head variables act as
+constants, so dissociating on them is a structural no-op and is excluded,
+matching the counts of Figure 2). Dissociations form a power-set lattice
+under componentwise inclusion (Definition 15) along which the dissociated
+probability increases monotonically (Corollary 16).
+
+This module provides the lattice (enumeration, partial order, minimal safe
+elements) and the two Theorem 18 mappings:
+
+* ``plan_for(∆)`` — the unique safe plan of ``q^∆``, expressed over actual
+  variables so it evaluates on the *original* database;
+* ``dissociation_of_plan(P)`` — reading the dissociation off the plan's
+  join operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Mapping
+
+from .hierarchy import is_hierarchical
+from .minplans import make_join, make_project
+from .plans import Join, MinPlan, Plan, Project, Scan, strip_dissociation
+from .query import ConjunctiveQuery
+from .safety import UnsafeQueryError, safe_plan
+from .symbols import Variable
+
+__all__ = [
+    "Dissociation",
+    "enumerate_dissociations",
+    "enumerate_safe_dissociations",
+    "minimal_safe_dissociations",
+    "count_dissociations",
+    "plan_for",
+    "dissociation_of_plan",
+]
+
+
+@dataclass(frozen=True)
+class Dissociation:
+    """A dissociation of a fixed query: relation name → extra variables.
+
+    Relations with ``y_i = ∅`` may be omitted from ``extras``. Instances
+    compare by their non-empty components only.
+    """
+
+    extras: Mapping[str, frozenset[Variable]]
+
+    def __post_init__(self) -> None:
+        cleaned = {
+            rel: frozenset(vs) for rel, vs in self.extras.items() if vs
+        }
+        object.__setattr__(self, "extras", cleaned)
+
+    # -- lattice order ---------------------------------------------------
+    def __le__(self, other: "Dissociation") -> bool:
+        """Componentwise inclusion ``∆ ⪯ ∆'`` (Definition 15)."""
+        return all(
+            vs <= other.extras.get(rel, frozenset())
+            for rel, vs in self.extras.items()
+        )
+
+    def __lt__(self, other: "Dissociation") -> bool:
+        return self <= other and self != other
+
+    def le_probabilistic(
+        self, other: "Dissociation", deterministic: frozenset[str]
+    ) -> bool:
+        """The preorder ``⪯_p``: inclusion on probabilistic relations only
+        (Sec. 3.3.1). Dissociating deterministic relations is free
+        (Lemma 22), so they are ignored.
+        """
+        return all(
+            vs <= other.extras.get(rel, frozenset())
+            for rel, vs in self.extras.items()
+            if rel not in deterministic
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dissociation):
+            return NotImplemented
+        return dict(self.extras) == dict(other.extras)
+
+    def __hash__(self) -> int:
+        return hash(frozenset((r, vs) for r, vs in self.extras.items()))
+
+    def size(self) -> int:
+        """Total number of added variables (lattice rank)."""
+        return sum(len(vs) for vs in self.extras.values())
+
+    def is_empty(self) -> bool:
+        return not self.extras
+
+    def apply(self, query: ConjunctiveQuery) -> ConjunctiveQuery:
+        """``q^∆``: the dissociated query (structural; Def. 10 (1))."""
+        return query.dissociate(dict(self.extras))
+
+    def __str__(self) -> str:
+        if not self.extras:
+            return "∆⊥"
+        parts = [
+            f"{rel}+{{{','.join(sorted(v.name for v in vs))}}}"
+            for rel, vs in sorted(self.extras.items())
+        ]
+        return " ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# enumeration
+# ----------------------------------------------------------------------
+def _choices(query: ConjunctiveQuery) -> list[tuple[str, list[Variable]]]:
+    evars = query.existential_variables
+    out = []
+    for atom in query.atoms:
+        missing = sorted(evars - atom.variables)
+        out.append((atom.relation, missing))
+    return out
+
+
+def count_dissociations(query: ConjunctiveQuery) -> int:
+    """``#∆ = 2^K`` with ``K = Σ_i |EVar − EVar(g_i)|`` (Sec. 3.1)."""
+    exponent = sum(len(missing) for _, missing in _choices(query))
+    return 2**exponent
+
+
+def enumerate_dissociations(query: ConjunctiveQuery) -> Iterator[Dissociation]:
+    """All dissociations of ``query``, bottom-up by lattice rank.
+
+    Exponential by nature — intended for small queries (tests, examples,
+    lattice visualizations). Use :func:`count_dissociations` for counting.
+    """
+    choices = _choices(query)
+    per_atom_subsets: list[list[frozenset[Variable]]] = []
+    for _, missing in choices:
+        subsets = [frozenset()]
+        for size in range(1, len(missing) + 1):
+            subsets.extend(
+                frozenset(c) for c in _combinations(missing, size)
+            )
+        per_atom_subsets.append(subsets)
+    deltas = [
+        Dissociation(
+            {
+                choices[i][0]: combo[i]
+                for i in range(len(choices))
+                if combo[i]
+            }
+        )
+        for combo in product(*per_atom_subsets)
+    ]
+    deltas.sort(key=Dissociation.size)
+    yield from deltas
+
+
+def _combinations(items: list, size: int):
+    from itertools import combinations
+
+    return combinations(items, size)
+
+
+def enumerate_safe_dissociations(
+    query: ConjunctiveQuery,
+) -> list[Dissociation]:
+    """The dissociations ``∆`` with ``q^∆`` hierarchical (Def. 13)."""
+    return [
+        d for d in enumerate_dissociations(query) if is_hierarchical(d.apply(query))
+    ]
+
+
+def minimal_safe_dissociations(
+    query: ConjunctiveQuery,
+) -> list[Dissociation]:
+    """The ⪯-minimal elements among the safe dissociations.
+
+    These determine the propagation score:
+    ``ρ(q) = min over minimal safe ∆ of P(q^∆)`` (Def. 14 + Cor. 16).
+    Cross-validates Algorithm 1: ``minimal_plans`` must return exactly the
+    plans of these dissociations.
+    """
+    safe = enumerate_safe_dissociations(query)
+    minimal: list[Dissociation] = []
+    for d in safe:  # already sorted by rank
+        if not any(m <= d for m in minimal):
+            minimal.append(d)
+    return minimal
+
+
+# ----------------------------------------------------------------------
+# Theorem 18 mappings
+# ----------------------------------------------------------------------
+def plan_for(query: ConjunctiveQuery, delta: Dissociation) -> Plan:
+    """``∆ ↦ P_∆``: the unique safe plan of the safe dissociation ``q^∆``.
+
+    The plan is expressed over actual variables (dissociation variables are
+    dropped from scans and operators), so ``score(P_∆)`` computed on the
+    original database equals ``P(q^∆)`` on the dissociated one
+    (Theorem 18 (2)).
+    """
+    dissociated = delta.apply(query)
+    if not is_hierarchical(dissociated):
+        raise UnsafeQueryError(
+            f"dissociation {delta} of {query} is not safe"
+        )
+    return strip_dissociation(safe_plan(dissociated))
+
+
+def dissociation_of_plan(plan: Plan) -> Dissociation:
+    """``P ↦ ∆_P``: read the dissociation off a plan (Theorem 18).
+
+    For every join ``⋈[P_1..P_k]`` with join variables
+    ``JVar = ∪_j HVar(P_j)``, every relation appearing inside ``P_j`` picks
+    up the missing variables ``JVar − HVar(P_j)``. The plan's own head
+    variables act as constants (one evaluation per answer) and are never
+    recorded as dissociation variables, matching the Def. 10 convention of
+    this package (``y_i ⊆ EVar(q)``).
+    """
+    extras: dict[str, set[Variable]] = {}
+    _collect_dissociation(plan, extras, plan.head_variables)
+    return Dissociation({rel: frozenset(vs) for rel, vs in extras.items()})
+
+
+def _collect_dissociation(
+    plan: Plan,
+    extras: dict[str, set[Variable]],
+    head: frozenset[Variable],
+) -> None:
+    if isinstance(plan, Scan):
+        return
+    if isinstance(plan, (Project, MinPlan)):
+        for child in plan.children():
+            _collect_dissociation(child, extras, head)
+        return
+    assert isinstance(plan, Join)
+    jvar = plan.join_variables
+    for child in plan.parts:
+        missing = jvar - child.head_variables - head
+        if missing:
+            for atom in child.atoms():
+                extras.setdefault(atom.relation, set()).update(
+                    missing - atom.own_variables
+                )
+        _collect_dissociation(child, extras, head)

@@ -1,0 +1,145 @@
+"""Functional dependencies and the dissociation closure ``∆Γ`` (Sec. 3.3.2).
+
+Functional dependencies are declared at the schema level on column positions
+(:class:`ColumnFD`) and instantiated per query atom into variable-level
+dependencies (:class:`FD`). The *dissociation closure* ``∆Γ`` dissociates
+every atom ``R_i(x_i)`` on ``x_i⁺ \\ x_i`` — the variables functionally
+determined by the atom's own variables (the "full chase" of Olteanu et al.).
+By Lemma 25 this dissociation does not change the query probability, so
+Algorithm 1 may freely run on ``q^{∆Γ}`` instead of ``q``, which prunes
+plans and recovers safety of queries such as ``R(x), S(x,y), T(y)`` with
+``S: x → y``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from .atoms import Atom
+from .query import ConjunctiveQuery
+from .symbols import Constant, Variable
+
+__all__ = [
+    "FD",
+    "ColumnFD",
+    "closure",
+    "instantiate_column_fds",
+    "dissociation_closure",
+    "apply_dissociation_closure",
+]
+
+
+@dataclass(frozen=True)
+class FD:
+    """A variable-level functional dependency ``lhs → rhs``."""
+
+    lhs: frozenset[Variable]
+    rhs: frozenset[Variable]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", frozenset(self.lhs))
+        object.__setattr__(self, "rhs", frozenset(self.rhs))
+
+    def __str__(self) -> str:
+        left = ",".join(sorted(v.name for v in self.lhs)) or "∅"
+        right = ",".join(sorted(v.name for v in self.rhs))
+        return f"{left} → {right}"
+
+
+@dataclass(frozen=True)
+class ColumnFD:
+    """A schema-level FD on column positions of one relation.
+
+    ``lhs`` and ``rhs`` are 0-based column indices. A key constraint on the
+    first column of a binary relation is ``ColumnFD((0,), (1,))``.
+    """
+
+    lhs: tuple[int, ...]
+    rhs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lhs", tuple(self.lhs))
+        object.__setattr__(self, "rhs", tuple(self.rhs))
+
+
+def instantiate_column_fds(
+    atom: Atom, column_fds: Iterable[ColumnFD]
+) -> list[FD]:
+    """Turn schema-level FDs of ``atom``'s relation into variable-level FDs.
+
+    Constant positions on the left-hand side are dropped (they are fixed by
+    the query, hence trivially "known"); constant positions on the
+    right-hand side are dropped as well (nothing to determine). FDs whose
+    right-hand side becomes empty are skipped.
+    """
+    fds: list[FD] = []
+    for cfd in column_fds:
+        for idx in cfd.lhs + cfd.rhs:
+            if idx < 0 or idx >= atom.arity:
+                raise ValueError(
+                    f"FD column index {idx} out of range for "
+                    f"{atom.relation}/{atom.arity}"
+                )
+        lhs = frozenset(
+            atom.terms[i] for i in cfd.lhs if isinstance(atom.terms[i], Variable)
+        )
+        rhs = frozenset(
+            atom.terms[i] for i in cfd.rhs if isinstance(atom.terms[i], Variable)
+        )
+        rhs -= lhs
+        if rhs:
+            fds.append(FD(lhs, rhs))
+    return fds
+
+
+def closure(seed: Iterable[Variable], fds: Sequence[FD]) -> frozenset[Variable]:
+    """Attribute closure ``seed⁺`` under the given FDs (textbook fixpoint)."""
+    result = set(seed)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if fd.lhs <= result and not fd.rhs <= result:
+                result |= fd.rhs
+                changed = True
+    return frozenset(result)
+
+
+def dissociation_closure(
+    query: ConjunctiveQuery,
+    fds_by_relation: Mapping[str, Sequence[ColumnFD]],
+) -> dict[str, frozenset[Variable]]:
+    """Compute ``∆Γ``: per atom the dissociation ``y_i = x_i⁺ \\ x_i``.
+
+    The closure is taken under the union of all atoms' instantiated FDs
+    (dependencies propagate across atoms through shared variables).
+    Dissociation variables are restricted to *existential* variables of the
+    query — dissociating on a head variable is structurally a no-op since
+    head variables act as constants throughout plan enumeration.
+    """
+    all_fds: list[FD] = []
+    for atom in query.atoms:
+        column_fds = fds_by_relation.get(atom.relation, ())
+        all_fds.extend(instantiate_column_fds(atom, column_fds))
+
+    evars = query.existential_variables
+    delta: dict[str, frozenset[Variable]] = {}
+    for atom in query.atoms:
+        own = atom.variables
+        plus = closure(own, all_fds)
+        extra = (plus - own) & evars
+        if extra:
+            delta[atom.relation] = extra
+    return delta
+
+
+def apply_dissociation_closure(
+    query: ConjunctiveQuery,
+    fds_by_relation: Mapping[str, Sequence[ColumnFD]],
+) -> ConjunctiveQuery:
+    """Return ``q^{∆Γ}`` — the query dissociated by the FD closure."""
+    delta = dissociation_closure(query, fds_by_relation)
+    if not delta:
+        return query
+    return query.dissociate(delta)

@@ -1,0 +1,85 @@
+"""Hierarchical queries and the safety dichotomy (Sec. 2 of the paper).
+
+A self-join-free conjunctive query is *hierarchical* (Definition 1) iff for
+any two existential variables ``x, y`` one of ``at(x) ⊆ at(y)``,
+``at(x) ∩ at(y) = ∅``, or ``at(x) ⊇ at(y)`` holds. By the Dalvi–Suciu
+dichotomy (Theorem 2) hierarchical queries are exactly the PTIME ("safe")
+queries; all others are #P-hard.
+
+This module provides both the pairwise test and the equivalent recursive
+characterization of Lemma 3, which additionally certifies hierarchy by
+producing the recursive decomposition used to build the unique safe plan.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from .query import ConjunctiveQuery
+from .symbols import Variable
+
+__all__ = [
+    "is_hierarchical",
+    "hierarchy_violations",
+    "is_hierarchical_recursive",
+]
+
+
+def is_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Definition 1: pairwise containment test on ``at(x)`` sets.
+
+    Only existential variables participate; head variables are treated as
+    constants (the standard convention for non-Boolean queries).
+    """
+    return not hierarchy_violations(query, first_only=True)
+
+
+def hierarchy_violations(
+    query: ConjunctiveQuery, first_only: bool = False
+) -> list[tuple[Variable, Variable]]:
+    """All pairs of existential variables violating the hierarchy condition.
+
+    Returns an empty list iff the query is hierarchical. With
+    ``first_only=True`` at most one witness pair is returned (faster when
+    only a boolean answer is needed).
+    """
+    evars = sorted(query.existential_variables)
+    at: dict[Variable, frozenset[str]] = {
+        x: frozenset(a.relation for a in query.atoms_containing(x)) for x in evars
+    }
+    violations: list[tuple[Variable, Variable]] = []
+    for x, y in combinations(evars, 2):
+        ax, ay = at[x], at[y]
+        if ax <= ay or ay <= ax or not (ax & ay):
+            continue
+        violations.append((x, y))
+        if first_only:
+            break
+    return violations
+
+
+def is_hierarchical_recursive(query: ConjunctiveQuery) -> bool:
+    """Lemma 3: recursive characterization of hierarchical queries.
+
+    ``q`` is hierarchical iff (1) it has a single atom; or (2) it has k ≥ 2
+    connected components, all hierarchical; or (3) it has a separator
+    variable ``x`` and ``q − x`` is hierarchical.
+
+    Provided as an independent implementation for cross-validation against
+    :func:`is_hierarchical` in the test suite, and used by the safe-plan
+    constructor.
+    """
+    body = query.minus(query.head)
+    return _rec(body)
+
+
+def _rec(query: ConjunctiveQuery) -> bool:
+    if len(query.atoms) == 1:
+        return True
+    components = query.connected_components()
+    if len(components) >= 2:
+        return all(_rec(c.minus(c.head)) for c in components)
+    separators = query.separator_variables()
+    if not separators:
+        return False
+    return _rec(query.minus(separators))

@@ -1,0 +1,181 @@
+"""The dissociation lattice as an explicit object (Figures 1a and 3).
+
+Materializes the partial dissociation order of a (small) query: nodes are
+dissociations, edges the covering relation, each node annotated with
+safety and minimality. With schema knowledge the coarser *probabilistic
+preorder* ``⪯_p`` (deterministic relations dissociate for free, Lemma 22)
+induces equivalence classes — the shaded regions of Figure 3.
+
+Also renders the paper's "augmented incidence matrix" notation: one row
+per relation, one column per existential variable, ``o`` where the
+relation contains the variable and ``*`` where it is dissociated on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .dissociation import (
+    Dissociation,
+    enumerate_dissociations,
+    minimal_safe_dissociations,
+)
+from .hierarchy import is_hierarchical
+from .query import ConjunctiveQuery
+from .symbols import Variable
+
+__all__ = ["LatticeNode", "DissociationLattice", "incidence_matrix"]
+
+
+@dataclass
+class LatticeNode:
+    """One dissociation with its annotations."""
+
+    delta: Dissociation
+    safe: bool
+    minimal_safe: bool
+    #: indices (into the lattice's node list) of immediate successors
+    covers: list[int] = field(default_factory=list)
+
+
+class DissociationLattice:
+    """The full dissociation lattice of a query.
+
+    Exponential in ``K = Σ|EVar − EVar(g_i)|`` — intended for the small
+    queries of examples and tests (the paper's Figure 1 has ``K = 3``).
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        deterministic: Iterable[str] = (),
+    ) -> None:
+        self.query = query
+        self.deterministic = frozenset(deterministic)
+        deltas = list(enumerate_dissociations(query))
+        minimal = set(minimal_safe_dissociations(query))
+        self.nodes: list[LatticeNode] = [
+            LatticeNode(
+                delta=d,
+                safe=is_hierarchical(d.apply(query)),
+                minimal_safe=d in minimal,
+            )
+            for d in deltas
+        ]
+        self._index = {node.delta: i for i, node in enumerate(self.nodes)}
+        self._compute_cover_edges()
+
+    # ------------------------------------------------------------------
+    def _compute_cover_edges(self) -> None:
+        """Covering relation: ∆ ⋖ ∆' iff ∆ < ∆' with rank difference 1."""
+        by_rank: dict[int, list[int]] = {}
+        for i, node in enumerate(self.nodes):
+            by_rank.setdefault(node.delta.size(), []).append(i)
+        for rank, indices in by_rank.items():
+            for i in indices:
+                for j in by_rank.get(rank + 1, ()):
+                    if self.nodes[i].delta <= self.nodes[j].delta:
+                        self.nodes[i].covers.append(j)
+
+    # ------------------------------------------------------------------
+    # queries on the lattice
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def bottom(self) -> LatticeNode:
+        return self.nodes[0]
+
+    def top(self) -> LatticeNode:
+        return max(self.nodes, key=lambda n: n.delta.size())
+
+    def safe_nodes(self) -> list[LatticeNode]:
+        return [n for n in self.nodes if n.safe]
+
+    def minimal_safe_nodes(self) -> list[LatticeNode]:
+        return [n for n in self.nodes if n.minimal_safe]
+
+    def node(self, delta: Dissociation) -> LatticeNode:
+        return self.nodes[self._index[delta]]
+
+    def upset_is_safe_closed(self) -> bool:
+        """Check Cor. 16's practical reading on this query: above a safe
+        node probabilities only grow — but safety itself may toggle. This
+        inspects whether safety is upward-closed here (true for some
+        queries, false in general; Sec. 3.1 gives a counterexample)."""
+        for node in self.nodes:
+            if not node.safe:
+                continue
+            for j in node.covers:
+                if not self.nodes[j].safe:
+                    return False
+        return True
+
+    def equivalence_classes_p(self) -> list[list[LatticeNode]]:
+        """Equivalence classes of ``≡_p`` (Sec. 3.3.1): two dissociations
+        are equivalent when they differ only on deterministic relations.
+
+        With no deterministic relations every class is a singleton.
+        """
+        classes: dict[Dissociation, list[LatticeNode]] = {}
+        for node in self.nodes:
+            probabilistic_part = Dissociation(
+                {
+                    rel: vs
+                    for rel, vs in node.delta.extras.items()
+                    if rel not in self.deterministic
+                }
+            )
+            classes.setdefault(probabilistic_part, []).append(node)
+        return list(classes.values())
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Text rendering: one line per node, bottom-up by rank."""
+        lines = []
+        for node in self.nodes:
+            flags = []
+            if node.safe:
+                flags.append("safe")
+            if node.minimal_safe:
+                flags.append("minimal")
+            flag_text = f"  [{', '.join(flags)}]" if flags else ""
+            lines.append(f"rank {node.delta.size()}  {node.delta}{flag_text}")
+        return "\n".join(lines)
+
+
+def incidence_matrix(
+    query: ConjunctiveQuery,
+    delta: Dissociation | None = None,
+    deterministic: Iterable[str] = (),
+) -> str:
+    """The paper's augmented incidence matrix (Figs. 1a / 3).
+
+    One row per relation, one column per existential variable:
+    ``o`` — the relation contains the variable;
+    ``*`` — the relation is dissociated on it (``(o)`` when the relation
+    is deterministic, mirroring the paper's hollow circles for free
+    dissociations);
+    ``.`` — neither.
+    """
+    delta = delta or Dissociation({})
+    deterministic = frozenset(deterministic)
+    evars: list[Variable] = sorted(query.existential_variables)
+    header = "      " + " ".join(f"{v.name:>3}" for v in evars)
+    lines = [header]
+    for atom in query.atoms:
+        extra = delta.extras.get(atom.relation, frozenset())
+        cells = []
+        for v in evars:
+            if v in atom.own_variables:
+                cells.append("  o")
+            elif v in extra:
+                cells.append("(o)" if atom.relation in deterministic else "  *")
+            else:
+                cells.append("  .")
+        suffix = "d" if atom.relation in deterministic else " "
+        lines.append(f"{atom.relation:>4}{suffix} " + " ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Algorithm 1: enumerating all minimal query plans (Sec. 3.2 and 3.3).
+
+``minimal_plans(q)`` returns the plans of the *minimal safe dissociations*
+of ``q`` — the only plans needed to compute the propagation score
+``ρ(q) = min_P score(P)`` (Theorem 20). Two schema-aware refinements are
+implemented exactly as in the paper:
+
+* **Deterministic relations** (Theorem 24): cut-set enumeration uses
+  ``MinPCuts`` and the recursion stops as soon as a subquery contains at
+  most one probabilistic relation, emitting the single collapsed plan
+  ``π_head ⋈[all atoms]``.
+* **Functional dependencies** (Theorem 27): the query is first dissociated
+  by the FD closure ``∆Γ`` (Lemma 25 makes this free), then the
+  DR-modified algorithm runs on ``q^{∆Γ}``.
+
+When the query is safe the returned list has exactly one element: the safe
+plan (conservativity). The module also provides ``enumerate_all_plans`` —
+the complete plan space of Definition 4, in 1-to-1 correspondence with all
+safe dissociations (Theorem 18) — used for the Figure 2 counts and for
+cross-validation in the test suite.
+
+Plans are built over *actual* (non-dissociated) variables: structural
+analysis sees dissociation variables, but emitted ``Scan``/``Project``/
+``Join`` nodes speak only about columns that physically exist, which is what
+lets every plan be evaluated directly on the original database
+(Theorem 18 (2)).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Collection, Iterable, Mapping, Sequence
+
+from .atoms import Atom
+from .cuts import all_cutsets, min_p_cutsets
+from .fds import ColumnFD, apply_dissociation_closure
+from .plans import Join, Plan, Project, Scan, strip_dissociation
+from .query import ConjunctiveQuery
+from .symbols import Variable
+
+__all__ = [
+    "minimal_plans",
+    "enumerate_all_plans",
+    "count_all_plans",
+    "make_project",
+    "make_join",
+    "collapsed_plan",
+]
+
+
+# ----------------------------------------------------------------------
+# plan-construction helpers (shared with safety.py and optimizations)
+# ----------------------------------------------------------------------
+def make_project(head: Iterable[Variable], child: Plan) -> Plan:
+    """Project ``child`` onto ``head ∩ HVar(child)``; skip no-op projections.
+
+    The intersection is what maps a *structural* head (which may mention
+    dissociation variables that are never physically produced) to an actual
+    plan head.
+    """
+    actual = frozenset(head) & child.head_variables
+    if actual == child.head_variables:
+        return child
+    return Project(actual, child)
+
+
+def make_join(parts: Sequence[Plan]) -> Plan:
+    """Join of one or more subplans; a single part is returned unchanged."""
+    parts = tuple(parts)
+    if len(parts) == 1:
+        return parts[0]
+    return Join(parts)
+
+
+def collapsed_plan(query: ConjunctiveQuery) -> Plan:
+    """The plan ``π_head ⋈[R1, ..., Rm]``: join everything, project once.
+
+    This is the plan of the *top* dissociation ``∆⊤`` of the (sub)query —
+    the stopping-condition plan of the DR modification, and the least
+    join-order-constrained member of its equivalence class.
+    """
+    scans: list[Plan] = [Scan(a) for a in query.atoms]
+    return make_project(query.head, make_join(scans))
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 (MP) with DR + FD modifications
+# ----------------------------------------------------------------------
+def minimal_plans(
+    query: ConjunctiveQuery,
+    deterministic: Collection[str] = (),
+    fds: Mapping[str, Sequence[ColumnFD]] | None = None,
+) -> list[Plan]:
+    """All minimal query plans of ``query`` (Algorithm 1, Theorems 20/24/27).
+
+    Parameters
+    ----------
+    query:
+        A self-join-free conjunctive query.
+    deterministic:
+        Names of relations known to be deterministic (every tuple has
+        probability 1).
+    fds:
+        Schema-level functional dependencies, keyed by relation name.
+
+    Returns
+    -------
+    A non-empty list of plans. Exactly one plan iff the query is safe given
+    the schema knowledge; its score then equals the exact probability.
+    """
+    if fds:
+        query = apply_dissociation_closure(query, fds)
+    deterministic = frozenset(deterministic)
+    plans = [strip_dissociation(p) for p in _mp(query, deterministic, _memo={})]
+    # Distinct recursion branches can collapse onto the same actual plan
+    # once dissociation variables are dropped; deduplicate.
+    unique: list[Plan] = []
+    seen: set[Plan] = set()
+    for p in plans:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    return unique
+
+
+def _probabilistic_count(
+    query: ConjunctiveQuery, deterministic: frozenset[str]
+) -> int:
+    return sum(1 for a in query.atoms if a.relation not in deterministic)
+
+
+_MemoKey = tuple[frozenset[Atom], frozenset[Variable]]
+
+
+def _mp(
+    query: ConjunctiveQuery,
+    deterministic: frozenset[str],
+    _memo: dict[_MemoKey, list[Plan]],
+) -> list[Plan]:
+    key: _MemoKey = (frozenset(query.atoms), query.head)
+    cached = _memo.get(key)
+    if cached is not None:
+        return cached
+
+    # Stopping condition (DR modification 2 of Theorem 24; with no
+    # deterministic relations this degenerates to the single-atom base case).
+    if len(query.atoms) == 1 or _probabilistic_count(query, deterministic) <= 1:
+        result = [collapsed_plan(query)]
+        _memo[key] = result
+        return result
+
+    components = query.connected_components()
+    if len(components) >= 2:
+        # Every minimal plan of a disconnected query is the join of minimal
+        # plans of its connected components.
+        per_component = [_mp(c, deterministic, _memo) for c in components]
+        result = [make_join(combo) for combo in product(*per_component)]
+        _memo[key] = result
+        return result
+
+    # Connected: one minimal plan per min-(P-)cut-set.
+    result = []
+    for y in min_p_cutsets(query, deterministic):
+        widened = query.with_head(query.head | y)
+        for sub in _mp(widened, deterministic, _memo):
+            result.append(make_project(query.head, sub))
+    _memo[key] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# full plan space (Definition 4) — for Fig. 2 counts and cross-validation
+# ----------------------------------------------------------------------
+def enumerate_all_plans(query: ConjunctiveQuery) -> list[Plan]:
+    """Every query plan of ``query`` per the Definition 4 grammar.
+
+    Plans alternate joins and projections; join children are scans or
+    projection-topped plans; nested joins are flattened (``⋈[⋈[..],..]``
+    does not occur). By Theorem 18 the result is in 1-to-1 correspondence
+    with the *safe dissociations* of the query, which the test suite
+    verifies directly on small queries and via the Figure 2 integer
+    sequences on chains and stars.
+    """
+    return _all_any_top(query, _memo={})
+
+
+def count_all_plans(query: ConjunctiveQuery) -> int:
+    """``#P``: the number of plans, without materializing them twice."""
+    return len(enumerate_all_plans(query))
+
+
+def _all_any_top(
+    query: ConjunctiveQuery, _memo: dict[_MemoKey, list[Plan]]
+) -> list[Plan]:
+    key: _MemoKey = (frozenset(query.atoms), query.head)
+    cached = _memo.get(key)
+    if cached is not None:
+        return cached
+
+    if len(query.atoms) == 1:
+        result = [make_project(query.head, Scan(query.atoms[0]))]
+        _memo[key] = result
+        return result
+
+    plans: list[Plan] = []
+    components = query.connected_components()
+    if len(components) >= 2:
+        plans.extend(_all_join_top(query, components, _memo))
+    plans.extend(_all_proj_top(query, _memo))
+
+    unique: list[Plan] = []
+    seen: set[Plan] = set()
+    for p in plans:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    _memo[key] = unique
+    return unique
+
+
+def _all_join_top(
+    query: ConjunctiveQuery,
+    components: list[ConjunctiveQuery],
+    _memo: dict[_MemoKey, list[Plan]],
+) -> list[Plan]:
+    """Plans whose top operator is a join (query body disconnected).
+
+    The join's children are exactly the connected components of the body —
+    the plan space the paper counts in Figure 2 (chains: A001003, stars:
+    A000670). Plans whose joins group several components into one child
+    (cross products) correspond to strictly larger dissociations and are
+    never minimal, so they are excluded from the plan space (see the
+    Sec. 3.2 observation that the ``k`` join children correspond to the
+    ``k`` connected components of ``q − JVar``).
+    """
+    per_component = [_all_any_top(c, _memo) for c in components]
+    return [make_join(combo) for combo in product(*per_component)]
+
+
+def _all_proj_top(
+    query: ConjunctiveQuery, _memo: dict[_MemoKey, list[Plan]]
+) -> list[Plan]:
+    """Plans whose top operator is a (non-trivial) projection.
+
+    The projected-away variables ``y`` are the join variables of the child
+    join, hence ``q − y`` must be disconnected (the child is a join of ≥ 2
+    parts).
+    """
+    key = (frozenset(query.atoms), query.head | frozenset([_PROJ_TAG]))
+    cached = _memo.get(key)  # type: ignore[arg-type]
+    if cached is not None:
+        return cached
+    plans: list[Plan] = []
+    for y in all_cutsets(query):
+        if not y:
+            continue
+        widened = query.with_head(query.head | y)
+        components = widened.connected_components()
+        if len(components) < 2:
+            continue
+        for sub in _all_join_top(widened, components, _memo):
+            plans.append(make_project(query.head, sub))
+    _memo[key] = plans  # type: ignore[index]
+    return plans
+
+
+#: Sentinel mixed into memo keys to separate proj-top entries from any-top
+#: entries; it is a Variable so the key type stays uniform.
+_PROJ_TAG = Variable("__proj_top__")

@@ -1,0 +1,101 @@
+"""Safe queries, safe plans, and the dichotomy (Prop. 6, Cor. 28).
+
+A query is *safe* iff it is hierarchical (Theorem 2); its unique safe plan
+follows the recursive structure of Lemma 3: independent components are
+joined, separator variables are projected away. With schema knowledge the
+dichotomy refines (Corollary 28): ``q`` is safe iff some dissociation of
+its deterministic relations, applied after the FD closure ``∆Γ``, is
+hierarchical — equivalently, iff :func:`repro.core.minplans.minimal_plans`
+returns a single plan.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Mapping, Sequence
+
+from .fds import ColumnFD
+from .hierarchy import is_hierarchical
+from .minplans import make_join, make_project, minimal_plans
+from .plans import Plan, Scan
+from .query import ConjunctiveQuery
+
+__all__ = [
+    "UnsafeQueryError",
+    "safe_plan",
+    "safe_plan_with_schema",
+    "is_safe",
+    "is_safe_with_schema",
+]
+
+
+class UnsafeQueryError(ValueError):
+    """Raised when a safe plan is requested for a #P-hard query."""
+
+
+def is_safe(query: ConjunctiveQuery) -> bool:
+    """Data-complexity dichotomy without schema knowledge (Theorem 2)."""
+    return is_hierarchical(query)
+
+
+def is_safe_with_schema(
+    query: ConjunctiveQuery,
+    deterministic: Collection[str] = (),
+    fds: Mapping[str, Sequence[ColumnFD]] | None = None,
+) -> bool:
+    """Corollary 28: PTIME given deterministic relations and FDs.
+
+    ``q`` is safe iff there is a dissociation of the *deterministic*
+    relations of ``q^{∆Γ}`` that is hierarchical. Implemented via the
+    equivalent operational criterion: the schema-aware Algorithm 1 returns
+    exactly one plan.
+    """
+    return len(minimal_plans(query, deterministic=deterministic, fds=fds)) == 1
+
+
+def safe_plan(query: ConjunctiveQuery) -> Plan:
+    """The unique safe plan of a hierarchical query (Lemma 3 / Prop. 6).
+
+    Raises :class:`UnsafeQueryError` on non-hierarchical queries. The plan
+    is built over actual variables, so it can be handed straight to either
+    evaluation backend; its score equals ``P(q)`` on every database
+    (Proposition 6 (1)).
+    """
+    if not is_hierarchical(query):
+        raise UnsafeQueryError(f"query is not hierarchical: {query}")
+    return _safe_rec(query)
+
+
+def _safe_rec(query: ConjunctiveQuery) -> Plan:
+    if len(query.atoms) == 1:
+        return make_project(query.head, Scan(query.atoms[0]))
+    components = query.connected_components()
+    if len(components) >= 2:
+        return make_join([_safe_rec(c) for c in components])
+    separators = query.minus(query.head).separator_variables()
+    if not separators:
+        # cannot happen for hierarchical queries (Lemma 3)
+        raise UnsafeQueryError(
+            f"connected subquery without separator: {query}"
+        )
+    widened = query.with_head(query.head | separators)
+    return make_project(query.head, _safe_rec(widened))
+
+
+def safe_plan_with_schema(
+    query: ConjunctiveQuery,
+    deterministic: Collection[str] = (),
+    fds: Mapping[str, Sequence[ColumnFD]] | None = None,
+) -> Plan:
+    """The single exact plan of a schema-safe query (Theorems 24/27).
+
+    Generalizes :func:`safe_plan`: a query that is unsafe in isolation may
+    still admit one exact plan once deterministic relations and functional
+    dependencies are taken into account (e.g. ``R(x), S(x,y), Td(y)``).
+    """
+    plans = minimal_plans(query, deterministic=deterministic, fds=fds)
+    if len(plans) != 1:
+        raise UnsafeQueryError(
+            f"query is not safe under the given schema knowledge "
+            f"({len(plans)} minimal plans): {query}"
+        )
+    return plans[0]

@@ -1,0 +1,97 @@
+"""Optimization 1 & 2: one single plan with shared subplans (Sec. 4.1–4.2).
+
+Algorithm 2 (``SinglePlan``) pushes the ``min`` over minimal plans from the
+root into the leaves: wherever Algorithm 1 would fork one plan per
+min-cut-set, the single plan takes the per-tuple minimum over the
+alternatives.
+
+Semantics note: because the minimum is taken *per intermediate tuple*,
+different intermediate tuples may pick different branches, so the single
+plan's score is ``≤ min_P score(P)`` — at least as tight as the
+propagation score ``ρ(q)``, occasionally strictly tighter, and still a
+sound upper bound on ``P(q)``: every per-tuple branch assignment
+corresponds to one valid dissociation of the lineage (the copies indexed
+by the cut values are dissociated independently), so Theorem 8 applies
+clause-wise. The paper uses this plan to report ρ; the test suite checks
+``exact ≤ single-plan score ≤ min over minimal plans``.
+
+Optimization 2 falls out of memoization: recursive calls are cached by the
+*logical subquery* (atom set + head variables), so the returned structure
+is a DAG in which common subplans are physically shared. Backends exploit
+the sharing — the in-memory evaluator caches per node, the SQL compiler
+emits one ``WITH`` view per shared node (Algorithm 3).
+
+The DR and FD modifications of Sec. 3.3 apply unchanged (``MinPCuts``,
+the ``m_p ≤ 1`` stopping rule, and the ``∆Γ`` pre-dissociation).
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Mapping, Sequence
+
+from .cuts import min_p_cutsets
+from .fds import ColumnFD, apply_dissociation_closure
+from .minplans import collapsed_plan, make_join, make_project
+from .plans import MinPlan, Plan, strip_dissociation
+from .query import ConjunctiveQuery
+from .symbols import Variable
+
+__all__ = ["single_plan"]
+
+_MemoKey = tuple[frozenset, frozenset[Variable]]
+
+
+def single_plan(
+    query: ConjunctiveQuery,
+    deterministic: Collection[str] = (),
+    fds: Mapping[str, Sequence[ColumnFD]] | None = None,
+) -> Plan:
+    """The Algorithm 2 plan computing ``ρ(q)`` in one pass.
+
+    Shared subplans are represented once (the plan is a DAG); evaluate it
+    with either backend to obtain the propagation score of every answer.
+    """
+    if fds:
+        query = apply_dissociation_closure(query, fds)
+    return strip_dissociation(_sp(query, frozenset(deterministic), {}))
+
+
+def _sp(
+    query: ConjunctiveQuery,
+    deterministic: frozenset[str],
+    memo: dict[_MemoKey, Plan],
+) -> Plan:
+    key: _MemoKey = (frozenset(query.atoms), query.head)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+
+    probabilistic = sum(
+        1 for a in query.atoms if a.relation not in deterministic
+    )
+    if len(query.atoms) == 1 or probabilistic <= 1:
+        plan = collapsed_plan(query)
+        memo[key] = plan
+        return plan
+
+    components = query.connected_components()
+    if len(components) >= 2:
+        plan = make_join([_sp(c, deterministic, memo) for c in components])
+        memo[key] = plan
+        return plan
+
+    branches: list[Plan] = []
+    for y in min_p_cutsets(query, deterministic):
+        widened = query.with_head(query.head | y)
+        branches.append(make_project(query.head, _sp(widened, deterministic, memo)))
+    # Distinct cut-sets can collapse to the same actual plan once
+    # dissociation variables are dropped; deduplicate before min.
+    unique: list[Plan] = []
+    seen: set[Plan] = set()
+    for b in branches:
+        if b not in seen:
+            seen.add(b)
+            unique.append(b)
+    plan = unique[0] if len(unique) == 1 else MinPlan(unique)
+    memo[key] = plan
+    return plan

@@ -1,0 +1,102 @@
+"""Terms of conjunctive queries: variables and constants.
+
+A *term* is either a :class:`Variable` (a named logical variable that ranges
+over the active domain) or a :class:`Constant` (a fixed value appearing in a
+query atom, e.g. the ``'a'`` in the k-star query ``q('a') :- R1('a', x1), ...``).
+
+Both are small immutable value objects so they can be used freely as
+dictionary keys and inside frozensets, which the plan-enumeration algorithms
+rely on heavily.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+__all__ = ["Variable", "Constant", "Term", "var", "vars_", "const"]
+
+
+class Variable:
+    """A logical variable, identified by its name.
+
+    Two variables with the same name are equal and interchangeable; queries
+    in this package are always *self-join-free*, so there is no need for
+    scoped or numbered variables.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise ValueError(f"variable name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __lt__(self, other: "Variable") -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name < other.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Constant:
+    """A constant value appearing in a query atom.
+
+    The wrapped ``value`` may be any hashable Python object (strings and
+    integers in practice). Constants never unify with anything but an equal
+    database value.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        hash(value)  # raise early on unhashable values
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Constant", self.value))
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+def var(name: str) -> Variable:
+    """Shorthand constructor for a :class:`Variable`."""
+    return Variable(name)
+
+
+def vars_(names: str) -> tuple[Variable, ...]:
+    """Create several variables from a whitespace- or comma-separated string.
+
+    >>> x, y = vars_("x y")
+    >>> x.name, y.name
+    ('x', 'y')
+    """
+    parts = names.replace(",", " ").split()
+    return tuple(Variable(p) for p in parts)
+
+
+def const(value: object) -> Constant:
+    """Shorthand constructor for a :class:`Constant`."""
+    return Constant(value)

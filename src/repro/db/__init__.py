@@ -1,0 +1,32 @@
+"""Tuple-independent probabilistic databases: schemas, storage, SQLite."""
+
+from .database import ProbabilisticDatabase, Table, TupleRef
+from .io import load_database, load_table_csv, save_database, save_table_csv
+from .generators import (
+    constant_probabilities,
+    populate_random_table,
+    random_table_rows,
+    uniform_probabilities,
+)
+from .schema import Schema, TableSchema
+from .sqlite_backend import PROB_COLUMN, IorAggregate, SQLiteBackend, sql_literal
+
+__all__ = [
+    "PROB_COLUMN",
+    "IorAggregate",
+    "ProbabilisticDatabase",
+    "SQLiteBackend",
+    "Schema",
+    "Table",
+    "TableSchema",
+    "TupleRef",
+    "constant_probabilities",
+    "load_database",
+    "load_table_csv",
+    "save_database",
+    "save_table_csv",
+    "populate_random_table",
+    "random_table_rows",
+    "sql_literal",
+    "uniform_probabilities",
+]

@@ -1,0 +1,217 @@
+"""In-memory tuple-independent probabilistic databases (Sec. 2).
+
+A :class:`ProbabilisticDatabase` maps relation names to :class:`Table`
+objects; each table stores distinct tuples with a marginal probability.
+A *possible world* is a subset of the tuples, drawn by independent coin
+flips — the semantics every evaluation backend in this package implements
+or approximates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..core.fds import ColumnFD
+from .schema import Schema, TableSchema
+
+__all__ = ["Table", "ProbabilisticDatabase", "TupleRef"]
+
+#: A reference to one database tuple: ``(relation name, tuple value)``.
+#: Used as the Boolean-variable identity in lineage formulas.
+TupleRef = tuple[str, tuple]
+
+
+class Table:
+    """One relation: distinct tuples with probabilities."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        rows: Mapping[tuple, float] | None = None,
+    ) -> None:
+        self.schema = schema
+        self.rows: dict[tuple, float] = {}
+        if rows:
+            for row, p in rows.items():
+                self.insert(row, p)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def arity(self) -> int:
+        return self.schema.arity
+
+    def insert(self, row: Sequence, probability: float = 1.0) -> None:
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise ValueError(
+                f"{self.name}: row {row} has arity {len(row)}, "
+                f"expected {self.arity}"
+            )
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"{self.name}: probability {probability} outside [0, 1]"
+            )
+        if self.schema.deterministic and probability != 1.0:
+            raise ValueError(
+                f"{self.name} is deterministic; tuple probability must be 1"
+            )
+        self.rows[row] = probability
+
+    def probability(self, row: Sequence) -> float:
+        return self.rows.get(tuple(row), 0.0)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[tuple, float]]:
+        return iter(self.rows.items())
+
+    def __contains__(self, row: Sequence) -> bool:
+        return tuple(row) in self.rows
+
+    def column_values(self, index: int) -> set:
+        """Active domain of one column."""
+        return {row[index] for row in self.rows}
+
+    def __repr__(self) -> str:
+        return f"Table({self.name}, {len(self.rows)} rows)"
+
+
+class ProbabilisticDatabase:
+    """A tuple-independent probabilistic database."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_table(
+        self,
+        name: str,
+        rows: Iterable = (),
+        deterministic: bool = False,
+        columns: Sequence[str] = (),
+        fds: Sequence[ColumnFD] = (),
+        arity: int | None = None,
+    ) -> Table:
+        """Create and populate a table.
+
+        ``rows`` accepts either ``(tuple, probability)`` pairs or bare
+        tuples (probability 1, the deterministic convention). ``arity``
+        is inferred from the first row when omitted.
+        """
+        if name in self._tables:
+            raise ValueError(f"table {name} already exists")
+        rows = list(rows)
+        normalized: list[tuple[tuple, float]] = []
+        for entry in rows:
+            if (
+                isinstance(entry, tuple)
+                and len(entry) == 2
+                and isinstance(entry[0], tuple)
+                and isinstance(entry[1], (int, float))
+            ):
+                normalized.append((entry[0], float(entry[1])))
+            else:
+                normalized.append((tuple(entry), 1.0))
+        if arity is None:
+            if not normalized:
+                raise ValueError(
+                    f"table {name}: pass arity= when creating an empty table"
+                )
+            arity = len(normalized[0][0])
+        schema = TableSchema(
+            name, arity, tuple(columns), deterministic, tuple(fds)
+        )
+        table = Table(schema)
+        for row, p in normalized:
+            table.insert(row, p)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        del self._tables[name]
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"no table named {name}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(t.schema for t in self._tables.values())
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self._tables.values())
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def scaled(
+        self, factor: float, include_deterministic: bool = False
+    ) -> "ProbabilisticDatabase":
+        """A copy with all tuple probabilities multiplied by ``factor``.
+
+        The scaling experiments of Sec. 5.2 (Results 7 and 8) study how
+        ranking by exact inference behaves as ``factor → 0``. Deterministic
+        tables keep probability 1 unless ``include_deterministic`` is set
+        (in which case they become probabilistic tables).
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("scaling factor must lie in [0, 1]")
+        out = ProbabilisticDatabase()
+        for table in self._tables.values():
+            schema = table.schema
+            if schema.deterministic and not include_deterministic:
+                out._tables[schema.name] = Table(schema, dict(table.rows))
+                continue
+            new_schema = TableSchema(
+                schema.name,
+                schema.arity,
+                schema.columns,
+                deterministic=False,
+                fds=schema.fds,
+            )
+            new_table = Table(new_schema)
+            for row, p in table:
+                new_table.insert(row, p * factor)
+            out._tables[schema.name] = new_table
+        return out
+
+    def average_probability(self) -> float:
+        """``avg[p_i]`` over all tuples of all probabilistic tables."""
+        values = [
+            p
+            for t in self._tables.values()
+            if not t.schema.deterministic
+            for _, p in t
+        ]
+        if not values:
+            return 1.0
+        return sum(values) / len(values)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{t.name}({len(t)})" for t in self._tables.values()
+        )
+        return f"ProbabilisticDatabase({parts})"

@@ -1,0 +1,89 @@
+"""Random database instances for tests and experiments.
+
+The paper's Setup 2 draws tuples with integer values uniform in
+``{1..N}`` and probabilities uniform in ``[0, p_max]`` so that
+``avg[p_i] ≈ p_max/2``. These helpers reproduce that recipe and a few
+variants the ranking experiments need (constant probabilities,
+deterministic tables).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .database import ProbabilisticDatabase
+
+__all__ = [
+    "random_table_rows",
+    "uniform_probabilities",
+    "constant_probabilities",
+    "populate_random_table",
+]
+
+
+def random_table_rows(
+    rng: random.Random,
+    n_rows: int,
+    arity: int,
+    domain_size: int,
+) -> list[tuple]:
+    """``n_rows`` *distinct* tuples with values uniform in ``{1..N}``.
+
+    Sampling is with rejection on duplicates; if the domain is too small to
+    hold ``n_rows`` distinct tuples, all ``domain_size ** arity`` tuples are
+    returned (shuffled).
+    """
+    capacity = domain_size**arity
+    if n_rows >= capacity:
+        rows = [
+            tuple(divmod_expand(i, domain_size, arity)) for i in range(capacity)
+        ]
+        rng.shuffle(rows)
+        return rows
+    seen: set[tuple] = set()
+    while len(seen) < n_rows:
+        seen.add(tuple(rng.randint(1, domain_size) for _ in range(arity)))
+    return list(seen)
+
+
+def divmod_expand(index: int, base: int, width: int) -> list[int]:
+    """The ``width``-digit base-``base`` expansion of ``index`` (1-based digits)."""
+    digits = []
+    for _ in range(width):
+        index, digit = divmod(index, base)
+        digits.append(digit + 1)
+    return digits
+
+
+def uniform_probabilities(
+    rng: random.Random, rows: Sequence[tuple], p_max: float
+) -> list[tuple[tuple, float]]:
+    """Probabilities uniform in ``[0, p_max]`` — the Setup 1/2 recipe."""
+    return [(row, rng.uniform(0.0, p_max)) for row in rows]
+
+
+def constant_probabilities(
+    rows: Sequence[tuple], p: float
+) -> list[tuple[tuple, float]]:
+    """All tuples share probability ``p`` (the ``p_i = const`` regime of
+    Result 5, where ranking by lineage size is competitive)."""
+    return [(row, p) for row in rows]
+
+
+def populate_random_table(
+    db: ProbabilisticDatabase,
+    name: str,
+    rng: random.Random,
+    n_rows: int,
+    arity: int,
+    domain_size: int,
+    p_max: float = 1.0,
+    deterministic: bool = False,
+) -> None:
+    """Add one random table to ``db`` following the Setup 2 recipe."""
+    rows = random_table_rows(rng, n_rows, arity, domain_size)
+    if deterministic:
+        db.add_table(name, rows, deterministic=True)
+    else:
+        db.add_table(name, uniform_probabilities(rng, rows, p_max))

@@ -1,0 +1,141 @@
+"""CSV import/export for probabilistic databases.
+
+File format: standard CSV, one file per relation. The probability lives in
+a designated column (default: the last one, named ``p`` by convention);
+deterministic tables may omit it. Values are read as integers, then floats,
+then strings — matching how the synthetic generators produce data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .database import ProbabilisticDatabase
+
+__all__ = ["load_table_csv", "save_table_csv", "load_database", "save_database"]
+
+
+def _coerce(text: str) -> object:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def load_table_csv(
+    db: ProbabilisticDatabase,
+    name: str,
+    path: str | Path,
+    probability_column: str | None = "p",
+    deterministic: bool = False,
+) -> None:
+    """Read one relation from a CSV file with a header row.
+
+    ``probability_column`` names the marginal column; pass ``None`` (or
+    set ``deterministic=True`` with no such column present) to load every
+    tuple with probability 1.
+    """
+    path = Path(path)
+    with path.open(newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"{path}: empty CSV file")
+        header = [h.strip() for h in header]
+        if probability_column is not None and probability_column in header:
+            p_index = header.index(probability_column)
+        else:
+            p_index = None
+        data_columns = [
+            h for i, h in enumerate(header) if i != p_index
+        ]
+        rows = []
+        for line_number, record in enumerate(reader, start=2):
+            if not record:
+                continue
+            if len(record) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(header)} fields, "
+                    f"got {len(record)}"
+                )
+            values = tuple(
+                _coerce(v) for i, v in enumerate(record) if i != p_index
+            )
+            if p_index is None:
+                rows.append((values, 1.0))
+            else:
+                rows.append((values, float(record[p_index])))
+    if deterministic:
+        db.add_table(
+            name,
+            [r for r, _ in rows],
+            deterministic=True,
+            columns=data_columns,
+            arity=len(data_columns),
+        )
+    else:
+        db.add_table(
+            name, rows, columns=data_columns, arity=len(data_columns)
+        )
+
+
+def save_table_csv(
+    db: ProbabilisticDatabase,
+    name: str,
+    path: str | Path,
+    probability_column: str = "p",
+) -> None:
+    """Write one relation to CSV (header row, probability column last)."""
+    table = db.table(name)
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(list(table.schema.columns) + [probability_column])
+        for row, p in sorted(table, key=lambda item: repr(item[0])):
+            writer.writerow(list(row) + [repr(p)])
+
+
+def load_database(
+    directory: str | Path,
+    deterministic: Iterable[str] = (),
+    probability_column: str | None = "p",
+) -> ProbabilisticDatabase:
+    """Load every ``*.csv`` in a directory as one relation each.
+
+    The relation name is the file stem; files listed in ``deterministic``
+    load with probability 1 throughout.
+    """
+    directory = Path(directory)
+    deterministic = frozenset(deterministic)
+    db = ProbabilisticDatabase()
+    files = sorted(directory.glob("*.csv"))
+    if not files:
+        raise FileNotFoundError(f"no .csv files in {directory}")
+    for path in files:
+        name = path.stem
+        load_table_csv(
+            db,
+            name,
+            path,
+            probability_column=probability_column,
+            deterministic=name in deterministic,
+        )
+    return db
+
+
+def save_database(
+    db: ProbabilisticDatabase,
+    directory: str | Path,
+    tables: Sequence[str] | None = None,
+) -> None:
+    """Write every table (or the listed ones) as ``<name>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for name in tables if tables is not None else db.table_names:
+        save_table_csv(db, name, directory / f"{name}.csv")

@@ -1,0 +1,103 @@
+"""Schemas for tuple-independent probabilistic databases.
+
+A :class:`TableSchema` describes one relation: its name, column names, an
+optional *deterministic* flag (every tuple has probability 1 — the ``Rd``
+annotation of Sec. 3.3.1), and optional column-level functional
+dependencies (Sec. 3.3.2). A :class:`Schema` bundles the table schemas of a
+database and exposes the two pieces of knowledge Algorithm 1 consumes:
+the set of deterministic relation names and the FDs keyed by relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..core.fds import ColumnFD
+
+__all__ = ["TableSchema", "Schema"]
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of a single relation."""
+
+    name: str
+    arity: int
+    columns: tuple[str, ...] = ()
+    deterministic: bool = False
+    fds: tuple[ColumnFD, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise ValueError(f"negative arity for {self.name}")
+        columns = tuple(self.columns) or tuple(
+            f"c{i}" for i in range(self.arity)
+        )
+        if len(columns) != self.arity:
+            raise ValueError(
+                f"{self.name}: {len(columns)} column names for arity {self.arity}"
+            )
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"{self.name}: duplicate column names {columns}")
+        object.__setattr__(self, "columns", columns)
+        object.__setattr__(self, "fds", tuple(self.fds))
+        for fd in self.fds:
+            for idx in fd.lhs + fd.rhs:
+                if idx >= self.arity:
+                    raise ValueError(
+                        f"{self.name}: FD column {idx} out of range"
+                    )
+
+    def key(self, *lhs: int) -> "TableSchema":
+        """Return a copy with a key FD ``lhs → all other columns`` added."""
+        rhs = tuple(i for i in range(self.arity) if i not in lhs)
+        return TableSchema(
+            self.name,
+            self.arity,
+            self.columns,
+            self.deterministic,
+            self.fds + (ColumnFD(tuple(lhs), rhs),),
+        )
+
+
+class Schema:
+    """The table schemas of a probabilistic database."""
+
+    def __init__(self, tables: Iterable[TableSchema] = ()) -> None:
+        self._tables: dict[str, TableSchema] = {}
+        for t in tables:
+            self.add(t)
+
+    def add(self, table: TableSchema) -> None:
+        if table.name in self._tables:
+            raise ValueError(f"duplicate table schema {table.name}")
+        self._tables[table.name] = table
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __getitem__(self, name: str) -> TableSchema:
+        return self._tables[name]
+
+    def __iter__(self):
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def deterministic_relations(self) -> frozenset[str]:
+        """Names of relations flagged deterministic (for ``MinPCuts``)."""
+        return frozenset(
+            t.name for t in self._tables.values() if t.deterministic
+        )
+
+    @property
+    def fds_by_relation(self) -> Mapping[str, tuple[ColumnFD, ...]]:
+        """Schema FDs keyed by relation (for the ``∆Γ`` chase)."""
+        return {t.name: t.fds for t in self._tables.values() if t.fds}
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self._tables))
+        return f"Schema({names})"

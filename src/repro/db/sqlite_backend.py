@@ -1,0 +1,140 @@
+"""SQLite materialization of probabilistic databases.
+
+The paper pushes all probability computation into a standard relational
+engine (PostgreSQL / SQL Server); here the engine is SQLite via the stdlib
+``sqlite3`` module. Every relation becomes a table whose data columns carry
+the schema's column names plus a probability column ``_p``. The
+independent-project combine ``1 − ∏(1 − p)`` is registered as the custom
+aggregate ``ior`` so generated plans are plain ``GROUP BY`` queries.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Sequence
+
+from .database import ProbabilisticDatabase
+
+__all__ = ["SQLiteBackend", "IorAggregate", "sql_literal", "PROB_COLUMN"]
+
+#: Name of the probability column in materialized tables.
+PROB_COLUMN = "_p"
+
+
+class IorAggregate:
+    """SQLite aggregate: independent-or of probabilities, ``1 − ∏(1 − p)``."""
+
+    def __init__(self) -> None:
+        self._complement = 1.0
+
+    def step(self, value: float | None) -> None:
+        if value is None:
+            return
+        self._complement *= 1.0 - value
+
+    def finalize(self) -> float:
+        return 1.0 - self._complement
+
+
+def sql_literal(value: object) -> str:
+    """Render a Python value as a SQL literal (strings get quote-doubling)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def _quote_ident(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+class SQLiteBackend:
+    """Materializes a :class:`ProbabilisticDatabase` into SQLite.
+
+    Parameters
+    ----------
+    db:
+        The source database.
+    path:
+        SQLite database path; defaults to a private in-memory database.
+    index_columns:
+        Create one single-column index per data column of every table
+        (cheap at our scales and lets the engine pick hash-free join
+        strategies). Disable for insert-heavy micro-benchmarks.
+    """
+
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        path: str = ":memory:",
+        index_columns: bool = True,
+    ) -> None:
+        self.source = db
+        self.connection = sqlite3.connect(path)
+        self.connection.create_aggregate("ior", 1, IorAggregate)
+        self._materialize(index_columns)
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def _materialize(self, index_columns: bool) -> None:
+        cur = self.connection.cursor()
+        for table in self.source:
+            cols = list(table.schema.columns)
+            if PROB_COLUMN in cols:
+                raise ValueError(
+                    f"column name {PROB_COLUMN!r} is reserved "
+                    f"(table {table.name})"
+                )
+            decls = ", ".join(
+                [f"{_quote_ident(c)}" for c in cols] + [f"{PROB_COLUMN} REAL"]
+            )
+            cur.execute(f"CREATE TABLE {_quote_ident(table.name)} ({decls})")
+            placeholders = ", ".join("?" for _ in range(table.arity + 1))
+            cur.executemany(
+                f"INSERT INTO {_quote_ident(table.name)} VALUES ({placeholders})",
+                (row + (p,) for row, p in table),
+            )
+            if index_columns:
+                for c in cols:
+                    cur.execute(
+                        f"CREATE INDEX {_quote_ident(f'ix_{table.name}_{c}')} "
+                        f"ON {_quote_ident(table.name)} ({_quote_ident(c)})"
+                    )
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, parameters: Sequence = ()) -> list[tuple]:
+        """Run a query and fetch all rows."""
+        cur = self.connection.execute(sql, parameters)
+        return cur.fetchall()
+
+    def executescript(self, sql: str) -> None:
+        self.connection.executescript(sql)
+
+    def run_statements(self, statements: Iterable[str]) -> None:
+        cur = self.connection.cursor()
+        for stmt in statements:
+            cur.execute(stmt)
+        self.connection.commit()
+
+    def table_count(self, name: str) -> int:
+        (count,) = self.execute(
+            f"SELECT COUNT(*) FROM {_quote_ident(name)}"
+        )[0]
+        return count
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,21 @@
+"""Evaluation backends: in-memory extensional, SQL compilation, engine."""
+
+from .evaluator import DissociationEngine, EvaluationResult, Optimizations
+from .extensional import deterministic_answers, evaluate_plan, plan_scores
+from .semijoin import reduce_database, reduced_name, semijoin_statements
+from .sql import SQLCompiler, deterministic_sql, lineage_sql
+
+__all__ = [
+    "DissociationEngine",
+    "EvaluationResult",
+    "Optimizations",
+    "SQLCompiler",
+    "deterministic_answers",
+    "deterministic_sql",
+    "evaluate_plan",
+    "lineage_sql",
+    "plan_scores",
+    "reduce_database",
+    "reduced_name",
+    "semijoin_statements",
+]

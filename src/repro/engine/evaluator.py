@@ -1,0 +1,328 @@
+"""The end-to-end dissociation engine (the system of the paper).
+
+:class:`DissociationEngine` wires together Algorithm 1/2 plan enumeration,
+the schema knowledge (deterministic relations, FDs), the three multi-query
+optimizations, and the two evaluation backends:
+
+* ``"memory"`` — the pure-Python extensional evaluator;
+* ``"sqlite"`` — plans compiled to SQL and executed inside SQLite, the
+  paper's "everything runs in the database engine" mode.
+
+Its central entry point is :meth:`propagation_score`, computing
+``ρ(q)`` per answer tuple; :meth:`exact`, :meth:`monte_carlo` and
+:meth:`lineage` provide the baselines of the experimental section.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Literal, Mapping, Sequence
+
+from ..core.minplans import minimal_plans
+from ..core.plans import Plan
+from ..core.query import ConjunctiveQuery
+from ..core.singleplan import single_plan
+from ..db.database import ProbabilisticDatabase
+from ..db.sqlite_backend import SQLiteBackend
+from ..lineage.build import Lineage, lineage_of
+from ..lineage.exact import ExactEvaluator
+from ..lineage.mc import monte_carlo_many
+from .extensional import deterministic_answers, plan_scores
+from .semijoin import reduce_database, semijoin_statements
+from .sql import SQLCompiler, deterministic_sql, lineage_sql
+
+__all__ = ["Optimizations", "EvaluationResult", "DissociationEngine"]
+
+Backend = Literal["memory", "sqlite"]
+
+
+@dataclass(frozen=True)
+class Optimizations:
+    """Which of the Sec. 4 optimizations to apply.
+
+    * ``single_plan`` — Opt. 1: merge all minimal plans into one plan with
+      ``min`` pushed into the leaves (Algorithm 2);
+    * ``reuse_views`` — Opt. 2: share common subplans (views / cached
+      subresults; only meaningful together with ``single_plan``);
+    * ``semijoin`` — Opt. 3: deterministic semi-join reduction of the
+      input relations before probabilistic evaluation.
+    """
+
+    single_plan: bool = True
+    reuse_views: bool = True
+    semijoin: bool = False
+
+    @classmethod
+    def none(cls) -> "Optimizations":
+        """Evaluate every minimal plan separately (the "all plans" mode)."""
+        return cls(single_plan=False, reuse_views=False, semijoin=False)
+
+    @classmethod
+    def all(cls) -> "Optimizations":
+        return cls(single_plan=True, reuse_views=True, semijoin=True)
+
+
+@dataclass
+class EvaluationResult:
+    """Scores plus provenance of one evaluation run."""
+
+    scores: dict[tuple, float]
+    plan_count: int
+    optimizations: Optimizations
+    backend: str
+    seconds: float
+    sql: str | None = None
+
+    def ranking(self) -> list[tuple]:
+        """Answers ordered by decreasing score (ties by value order)."""
+        return sorted(self.scores, key=lambda a: (-self.scores[a], repr(a)))
+
+
+class DissociationEngine:
+    """Approximate probabilistic query evaluation by dissociation.
+
+    Parameters
+    ----------
+    db:
+        The tuple-independent probabilistic database.
+    backend:
+        ``"memory"`` (default) or ``"sqlite"``.
+    use_schema_knowledge:
+        Feed the database's deterministic flags and FDs into plan
+        enumeration (Sec. 3.3). Disable to reproduce the schema-oblivious
+        behaviour.
+    """
+
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        backend: Backend = "memory",
+        use_schema_knowledge: bool = True,
+    ) -> None:
+        if backend not in ("memory", "sqlite"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.db = db
+        self.backend: Backend = backend
+        self.use_schema_knowledge = use_schema_knowledge
+        self._sqlite: SQLiteBackend | None = None
+
+    # ------------------------------------------------------------------
+    # schema plumbing
+    # ------------------------------------------------------------------
+    def _schema_args(self) -> tuple[frozenset[str], Mapping]:
+        if not self.use_schema_knowledge:
+            return frozenset(), {}
+        schema = self.db.schema
+        return schema.deterministic_relations, schema.fds_by_relation
+
+    @property
+    def sqlite(self) -> SQLiteBackend:
+        """The lazily-materialized SQLite backend."""
+        if self._sqlite is None:
+            self._sqlite = SQLiteBackend(self.db)
+        return self._sqlite
+
+    def invalidate_sqlite(self) -> None:
+        """Drop the materialized SQLite copy (call after mutating ``db``)."""
+        if self._sqlite is not None:
+            self._sqlite.close()
+            self._sqlite = None
+
+    # ------------------------------------------------------------------
+    # plan-level API
+    # ------------------------------------------------------------------
+    def minimal_plans(self, query: ConjunctiveQuery) -> list[Plan]:
+        """All minimal plans of ``query`` under the schema knowledge."""
+        deterministic, fds = self._schema_args()
+        return minimal_plans(query, deterministic=deterministic, fds=fds)
+
+    def single_plan(self, query: ConjunctiveQuery) -> Plan:
+        """The Opt. 1 merged plan (a DAG with shared subplans)."""
+        deterministic, fds = self._schema_args()
+        return single_plan(query, deterministic=deterministic, fds=fds)
+
+    def is_safe(self, query: ConjunctiveQuery) -> bool:
+        """True iff the query has a single (exact) plan under the schema."""
+        return len(self.minimal_plans(query)) == 1
+
+    # ------------------------------------------------------------------
+    # dissociation evaluation
+    # ------------------------------------------------------------------
+    def propagation_score(
+        self,
+        query: ConjunctiveQuery,
+        optimizations: Optimizations | None = None,
+    ) -> dict[tuple, float]:
+        """``ρ(q)`` per answer tuple (Def. 14)."""
+        return self.evaluate(query, optimizations).scores
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        optimizations: Optimizations | None = None,
+    ) -> EvaluationResult:
+        """Compute the propagation score with full provenance."""
+        opts = optimizations or Optimizations()
+        started = time.perf_counter()
+        plans = self.minimal_plans(query)
+        if self.backend == "memory":
+            scores = self._evaluate_memory(query, plans, opts)
+            sql = None
+        else:
+            scores, sql = self._evaluate_sqlite(query, plans, opts)
+        elapsed = time.perf_counter() - started
+        return EvaluationResult(
+            scores=scores,
+            plan_count=len(plans),
+            optimizations=opts,
+            backend=self.backend,
+            seconds=elapsed,
+            sql=sql,
+        )
+
+    def score_per_plan(
+        self, query: ConjunctiveQuery, semijoin: bool = False
+    ) -> dict[Plan, dict[tuple, float]]:
+        """Each minimal plan's scores separately (needed by the ``avg[d]``
+        ranking experiments, Result 6)."""
+        db = reduce_database(query, self.db) if semijoin else self.db
+        return {
+            plan: plan_scores(plan, query, db)
+            for plan in self.minimal_plans(query)
+        }
+
+    def _evaluate_memory(
+        self,
+        query: ConjunctiveQuery,
+        plans: Sequence[Plan],
+        opts: Optimizations,
+    ) -> dict[tuple, float]:
+        db = reduce_database(query, self.db) if opts.semijoin else self.db
+        if opts.single_plan:
+            # The DAG evaluator caches shared nodes, so Opt. 2 is automatic;
+            # with reuse_views disabled we still evaluate the single plan
+            # (per-node caching is how this backend realizes views).
+            merged = self.single_plan(query)
+            return plan_scores(merged, query, db)
+        combined: dict[tuple, float] = {}
+        for plan in plans:
+            for answer, score in plan_scores(plan, query, db).items():
+                previous = combined.get(answer)
+                if previous is None or score < previous:
+                    combined[answer] = score
+        return combined
+
+    def _evaluate_sqlite(
+        self,
+        query: ConjunctiveQuery,
+        plans: Sequence[Plan],
+        opts: Optimizations,
+    ) -> tuple[dict[tuple, float], str]:
+        backend = self.sqlite
+        table_names: dict[str, str] = {}
+        if opts.semijoin:
+            statements, table_names = semijoin_statements(
+                query, self.db.schema
+            )
+            backend.run_statements(statements)
+        compiler = SQLCompiler(
+            self.db.schema,
+            table_names=table_names,
+            reuse_views=opts.reuse_views,
+        )
+        executed: list[str] = []
+        if opts.single_plan:
+            sql = compiler.compile(self.single_plan(query), query)
+            executed.append(sql)
+            scores = self._collect(backend.execute(sql), query)
+        else:
+            scores = {}
+            for plan in plans:
+                sql = compiler.compile(plan, query)
+                executed.append(sql)
+                for answer, score in self._collect(
+                    backend.execute(sql), query
+                ).items():
+                    previous = scores.get(answer)
+                    if previous is None or score < previous:
+                        scores[answer] = score
+        return scores, ";\n\n".join(executed)
+
+    @staticmethod
+    def _collect(
+        rows: list[tuple], query: ConjunctiveQuery
+    ) -> dict[tuple, float]:
+        width = len(query.head_order)
+        out: dict[tuple, float] = {}
+        for row in rows:
+            probability = row[width]
+            if probability is None:
+                continue  # empty Boolean aggregate
+            out[tuple(row[:width])] = probability
+        return out
+
+    # ------------------------------------------------------------------
+    # baselines (Sec. 5)
+    # ------------------------------------------------------------------
+    def lineage(self, query: ConjunctiveQuery) -> Lineage:
+        return lineage_of(query, self.db)
+
+    def exact(self, query: ConjunctiveQuery) -> dict[tuple, float]:
+        """Ground-truth probabilities by exact model counting."""
+        lineage = self.lineage(query)
+        evaluator = ExactEvaluator(lineage.probabilities)
+        return {
+            answer: evaluator.probability(formula)
+            for answer, formula in lineage.by_answer.items()
+        }
+
+    def monte_carlo(
+        self,
+        query: ConjunctiveQuery,
+        samples: int,
+        seed: int | None = None,
+    ) -> dict[tuple, float]:
+        """MC(x): sampled probabilities over shared possible worlds."""
+        lineage = self.lineage(query)
+        answers = list(lineage.by_answer)
+        estimates = monte_carlo_many(
+            [lineage.by_answer[a] for a in answers],
+            lineage.probabilities,
+            samples,
+            seed,
+        )
+        return dict(zip(answers, estimates))
+
+    def probability_bounds(
+        self, query: ConjunctiveQuery
+    ) -> dict[tuple, tuple[float, float]]:
+        """Certified intervals ``(low, high)`` per answer (extension).
+
+        ``high`` is the propagation score ρ (upper bound, Cor. 19);
+        ``low`` comes from the oblivious *lower* bounds of the TODS 2014
+        companion paper: each minimal plan's dissociation is replayed on
+        the lineage with copy-adjusted marginals ``1 − (1−p)^{1/k}``, and
+        the best plan wins. Unlike :meth:`propagation_score` this needs
+        the lineage, so it does not run purely inside the SQL engine.
+        """
+        from ..lineage.lower import oblivious_lower_bounds
+
+        lineage = lineage_of(query, self.db, record_assignments=True)
+        plans = self.minimal_plans(query)
+        lows = oblivious_lower_bounds(query, lineage, plans)
+        highs = self.propagation_score(query)
+        return {
+            answer: (min(lows[answer], highs[answer]), highs[answer])
+            for answer in highs
+        }
+
+    def answers(self, query: ConjunctiveQuery) -> set[tuple]:
+        """Deterministic answer set (standard SQL semantics)."""
+        return deterministic_answers(query, self.db)
+
+    def deterministic_sql(self, query: ConjunctiveQuery) -> str:
+        return deterministic_sql(query, self.db.schema)
+
+    def lineage_sql(self, query: ConjunctiveQuery) -> str:
+        return lineage_sql(query, self.db.schema)

@@ -1,0 +1,273 @@
+"""Plan → SQL compilation (Sec. 4: evaluating plans inside the engine).
+
+Every plan node becomes a ``SELECT``:
+
+* scan — project the atom's columns to variable aliases, filter constants
+  and repeated variables, pass the probability column through;
+* join — equi-join on shared variables with the probability product;
+* projection — ``GROUP BY`` retained variables with the custom ``ior``
+  aggregate (``1 − ∏(1 − p)``);
+* ``min`` — ``MIN(p)`` over a ``UNION ALL`` of the branches (Opt. 1).
+
+With ``reuse_views=True`` (Optimization 2 / Algorithm 3), plan nodes that
+are referenced more than once in the plan DAG are emitted exactly once as
+``WITH`` common table expressions and referenced by name everywhere else.
+
+The compiler also produces the deterministic baselines of Sec. 5:
+``deterministic_sql`` (``SELECT DISTINCT`` of the answers) and
+``lineage_sql`` (retrieve all join witnesses — the minimum work any
+probabilistic method outside the engine must pay for).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.plans import Join, MinPlan, Plan, Project, Scan
+from ..core.query import ConjunctiveQuery
+from ..core.symbols import Constant, Variable
+from ..db.schema import Schema
+from ..db.sqlite_backend import PROB_COLUMN, sql_literal
+
+__all__ = ["SQLCompiler", "deterministic_sql", "lineage_sql"]
+
+
+def _q(name: str) -> str:
+    """Quote an identifier."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+class SQLCompiler:
+    """Compiles plans over a given schema into SQLite SQL.
+
+    Parameters
+    ----------
+    schema:
+        Table schemas (column names per relation).
+    table_names:
+        Optional physical-name override per relation — how Optimization 3
+        redirects scans to the semi-join-reduced temporary tables.
+    reuse_views:
+        Emit shared plan nodes as ``WITH`` views (Optimization 2).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        table_names: Mapping[str, str] | None = None,
+        reuse_views: bool = True,
+    ) -> None:
+        self._schema = schema
+        self._table_names = dict(table_names or {})
+        self._reuse_views = reuse_views
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def compile(self, plan: Plan, query: ConjunctiveQuery) -> str:
+        """A complete ``SELECT`` returning head columns plus ``_p``.
+
+        Column order follows ``query.head_order``; the probability column
+        is last. Every operator node is emitted as a ``WITH`` common table
+        expression — one per *node* with ``reuse_views`` (Optimization 2:
+        shared subplans computed once), or one per *occurrence* without it
+        (repeated subplans recomputed, as when evaluating plans naively).
+        CTE form also keeps expression nesting flat, which deep single
+        plans need (fully inlined SQL overflows SQLite's parser stack).
+        """
+        views: list[tuple[str, str]] = []
+        emitted: dict[int, str] = {}
+
+        def reference(node: Plan) -> str:
+            if isinstance(node, Scan):
+                return "(\n" + self._scan_sql(node) + "\n)"
+            if self._reuse_views:
+                cached = emitted.get(id(node))
+                if cached is not None:
+                    return cached
+            sql = self._node_sql(node, reference)
+            name = f"v{len(views)}"
+            views.append((name, sql))
+            if self._reuse_views:
+                emitted[id(node)] = name
+            return name
+
+        top = reference(plan)
+        body = self._final_select(top, query)
+        if views:
+            with_clause = ",\n".join(
+                f"{name} AS (\n{sql}\n)" for name, sql in views
+            )
+            return f"WITH {with_clause}\n{body}"
+        return body
+
+    # ------------------------------------------------------------------
+    # node compilation
+    # ------------------------------------------------------------------
+    def _node_sql(self, node: Plan, reference) -> str:
+        if isinstance(node, Project):
+            return self._project_sql(node, reference)
+        if isinstance(node, Join):
+            return self._join_sql(node, reference)
+        if isinstance(node, MinPlan):
+            return self._min_sql(node, reference)
+        raise TypeError(f"unknown plan node {node!r}")  # pragma: no cover
+
+    def _scan_sql(self, node: Scan) -> str:
+        atom = node.atom
+        table_schema = self._schema[atom.relation]
+        if table_schema.arity != atom.arity:
+            raise ValueError(
+                f"atom {atom} has arity {atom.arity} but table "
+                f"{atom.relation} has arity {table_schema.arity}"
+            )
+        physical = self._table_names.get(atom.relation, atom.relation)
+        selects: list[str] = []
+        conditions: list[str] = []
+        seen: dict[Variable, str] = {}
+        for column, term in zip(table_schema.columns, atom.terms):
+            if isinstance(term, Constant):
+                conditions.append(f"{_q(column)} = {sql_literal(term.value)}")
+            elif term in seen:
+                conditions.append(f"{_q(column)} = {_q(seen[term])}")
+            else:
+                seen[term] = column
+                selects.append(f"{_q(column)} AS {_q(term.name)}")
+        selects.append(f"{PROB_COLUMN}")
+        where = f"\nWHERE {' AND '.join(conditions)}" if conditions else ""
+        return f"SELECT {', '.join(selects)} FROM {_q(physical)}{where}"
+
+    def _project_sql(self, node: Project, reference) -> str:
+        child_ref = reference(node.child)
+        retained = sorted(v.name for v in node.head)
+        columns = [f"{_q(v)}" for v in retained]
+        select_list = ", ".join(columns + [f"ior({PROB_COLUMN}) AS {PROB_COLUMN}"])
+        group = f"\nGROUP BY {', '.join(columns)}" if columns else ""
+        return f"SELECT {select_list} FROM {child_ref} s{group}"
+
+    def _join_sql(self, node: Join, reference) -> str:
+        aliases = [f"t{i}" for i in range(len(node.parts))]
+        provider: dict[Variable, str] = {}
+        froms: list[str] = []
+        conditions: list[str] = []
+        for alias, part in zip(aliases, node.parts):
+            froms.append(f"{reference(part)} {alias}")
+            for v in sorted(part.head_variables):
+                if v in provider:
+                    conditions.append(
+                        f"{provider[v]}.{_q(v.name)} = {alias}.{_q(v.name)}"
+                    )
+                else:
+                    provider[v] = alias
+        selects = [
+            f"{alias}.{_q(v.name)} AS {_q(v.name)}"
+            for v, alias in sorted(provider.items())
+        ]
+        prob = " * ".join(f"{alias}.{PROB_COLUMN}" for alias in aliases)
+        selects.append(f"{prob} AS {PROB_COLUMN}")
+        where = f"\nWHERE {' AND '.join(conditions)}" if conditions else ""
+        return (
+            f"SELECT {', '.join(selects)}\nFROM "
+            + ",\n     ".join(froms)
+            + where
+        )
+
+    def _min_sql(self, node: MinPlan, reference) -> str:
+        columns = sorted(v.name for v in node.head_variables)
+        branches = []
+        for part in node.parts:
+            cols = ", ".join(
+                [_q(c) for c in columns] + [PROB_COLUMN]
+            )
+            branches.append(f"SELECT {cols} FROM {reference(part)} b")
+        union = "\nUNION ALL\n".join(branches)
+        outer_cols = [f"{_q(c)}" for c in columns]
+        select_list = ", ".join(
+            outer_cols + [f"MIN({PROB_COLUMN}) AS {PROB_COLUMN}"]
+        )
+        group = f"\nGROUP BY {', '.join(outer_cols)}" if outer_cols else ""
+        return f"SELECT {select_list} FROM (\n{union}\n) u{group}"
+
+    # ------------------------------------------------------------------
+    # final shaping
+    # ------------------------------------------------------------------
+    def _final_select(self, top_reference: str, query: ConjunctiveQuery) -> str:
+        head_cols = [
+            f"{_q(v.name)}" for v in query.head_order
+        ]
+        select_list = ", ".join(head_cols + [PROB_COLUMN])
+        return f"SELECT {select_list} FROM {top_reference} result"
+
+
+# ----------------------------------------------------------------------
+# deterministic baselines
+# ----------------------------------------------------------------------
+def _query_join_parts(
+    query: ConjunctiveQuery,
+    schema: Schema,
+    table_names: Mapping[str, str] | None = None,
+) -> tuple[list[str], list[str], dict[Variable, str]]:
+    """FROM items, WHERE conditions, and variable → ``alias.column`` map."""
+    table_names = dict(table_names or {})
+    froms: list[str] = []
+    conditions: list[str] = []
+    provider: dict[Variable, str] = {}
+    for i, atom in enumerate(query.atoms):
+        alias = f"a{i}"
+        physical = table_names.get(atom.relation, atom.relation)
+        froms.append(f"{_q(physical)} {alias}")
+        table_schema = schema[atom.relation]
+        local_seen: dict[Variable, str] = {}
+        for column, term in zip(table_schema.columns, atom.terms):
+            qualified = f"{alias}.{_q(column)}"
+            if isinstance(term, Constant):
+                conditions.append(f"{qualified} = {sql_literal(term.value)}")
+            elif term in local_seen:
+                conditions.append(f"{qualified} = {local_seen[term]}")
+            elif term in provider:
+                conditions.append(f"{qualified} = {provider[term]}")
+                local_seen[term] = qualified
+            else:
+                provider[term] = qualified
+                local_seen[term] = qualified
+    return froms, conditions, provider
+
+
+def deterministic_sql(
+    query: ConjunctiveQuery,
+    schema: Schema,
+    table_names: Mapping[str, str] | None = None,
+) -> str:
+    """``SELECT DISTINCT`` of the answers — the standard-SQL baseline."""
+    froms, conditions, provider = _query_join_parts(query, schema, table_names)
+    if query.head_order:
+        select_list = ", ".join(
+            f"{provider[v]} AS {_q(v.name)}" for v in query.head_order
+        )
+    else:
+        select_list = "1"
+    where = f"\nWHERE {' AND '.join(conditions)}" if conditions else ""
+    return f"SELECT DISTINCT {select_list}\nFROM {', '.join(froms)}{where}"
+
+
+def lineage_sql(
+    query: ConjunctiveQuery,
+    schema: Schema,
+    table_names: Mapping[str, str] | None = None,
+) -> str:
+    """Retrieve every join witness (head values + all atom columns).
+
+    The cost of this query lower-bounds any probabilistic method that
+    computes probabilities outside the database engine (Sec. 5.1).
+    """
+    froms, conditions, provider = _query_join_parts(query, schema, table_names)
+    selects: list[str] = [
+        f"{provider[v]} AS {_q(v.name)}" for v in query.head_order
+    ]
+    for i, atom in enumerate(query.atoms):
+        table_schema = schema[atom.relation]
+        for column in table_schema.columns:
+            selects.append(f"a{i}.{_q(column)} AS {_q(f'{atom.relation}_{column}')}")
+        selects.append(f"a{i}.{PROB_COLUMN} AS {_q(f'{atom.relation}_p')}")
+    where = f"\nWHERE {' AND '.join(conditions)}" if conditions else ""
+    return f"SELECT {', '.join(selects)}\nFROM {', '.join(froms)}{where}"

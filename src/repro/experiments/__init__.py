@@ -1,0 +1,51 @@
+"""Experiment harnesses regenerating every table and figure of Sec. 5."""
+
+from .fig2_counts import (
+    Fig2Row,
+    catalan,
+    fig2_chain_rows,
+    fig2_report,
+    fig2_star_rows,
+    fubini,
+    super_catalan,
+)
+from .quality import (
+    PlanRanking,
+    QualityTrial,
+    ScalingTrial,
+    per_plan_rankings,
+    run_quality_trial,
+    run_scaling_trial,
+)
+from .report import format_series, format_table, format_seconds
+from .runtime import (
+    OPTIMIZATION_MODES,
+    RuntimeRow,
+    dissociation_timings,
+    timed,
+    tpch_timings,
+)
+
+__all__ = [
+    "Fig2Row",
+    "OPTIMIZATION_MODES",
+    "PlanRanking",
+    "QualityTrial",
+    "RuntimeRow",
+    "ScalingTrial",
+    "catalan",
+    "dissociation_timings",
+    "fig2_chain_rows",
+    "fig2_report",
+    "fig2_star_rows",
+    "format_seconds",
+    "format_series",
+    "format_table",
+    "fubini",
+    "per_plan_rankings",
+    "run_quality_trial",
+    "run_scaling_trial",
+    "super_catalan",
+    "timed",
+    "tpch_timings",
+]

@@ -1,0 +1,123 @@
+"""Figure 2: number of minimal plans, total plans, and dissociations.
+
+Regenerates the paper's Figure 2 table for k-star and k-chain queries and
+checks it against the closed forms: star ``#MP = k!`` and
+``#P = Fubini(k)`` (A000670), chain ``#MP = Catalan(k−1)`` (A000108) and
+``#P = super-Catalan(k−1)`` (A001003); ``#∆ = 2^K``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dissociation import count_dissociations
+from ..core.minplans import enumerate_all_plans, minimal_plans
+from ..workloads.chains import chain_query
+from ..workloads.stars import star_query
+from .report import format_table
+
+__all__ = [
+    "Fig2Row",
+    "fig2_star_rows",
+    "fig2_chain_rows",
+    "fig2_report",
+    "catalan",
+    "super_catalan",
+    "fubini",
+    "factorial",
+]
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    k: int
+    minimal_plans: int
+    total_plans: int
+    dissociations: int
+
+
+def fig2_star_rows(max_k: int = 7, count_plans_up_to: int = 6) -> list[Fig2Row]:
+    """The k-star half of Figure 2.
+
+    ``#P`` is enumerated up to ``count_plans_up_to`` (star 7 has 47 293
+    plans — enumerable but slow in a benchmark loop) and taken from the
+    closed form above that.
+    """
+    rows = []
+    for k in range(1, max_k + 1):
+        q = star_query(k)
+        n_minimal = len(minimal_plans(q))
+        if k <= count_plans_up_to:
+            n_total = len(enumerate_all_plans(q))
+        else:
+            n_total = fubini(k)
+        rows.append(Fig2Row(k, n_minimal, n_total, count_dissociations(q)))
+    return rows
+
+
+def fig2_chain_rows(max_k: int = 8, count_plans_up_to: int = 8) -> list[Fig2Row]:
+    """The k-chain half of Figure 2."""
+    rows = []
+    for k in range(2, max_k + 1):
+        q = chain_query(k)
+        n_minimal = len(minimal_plans(q))
+        if k <= count_plans_up_to:
+            n_total = len(enumerate_all_plans(q))
+        else:
+            n_total = super_catalan(k - 1)
+        rows.append(Fig2Row(k, n_minimal, n_total, count_dissociations(q)))
+    return rows
+
+
+def fig2_report(star_rows: list[Fig2Row], chain_rows: list[Fig2Row]) -> str:
+    headers = ["k", "#MP", "#P", "#∆"]
+    star = format_table(
+        headers,
+        [(r.k, r.minimal_plans, r.total_plans, r.dissociations) for r in star_rows],
+        title="k-star queries (Fig. 2 left)",
+    )
+    chain = format_table(
+        headers,
+        [(r.k, r.minimal_plans, r.total_plans, r.dissociations) for r in chain_rows],
+        title="k-chain queries (Fig. 2 right)",
+    )
+    return star + "\n\n" + chain
+
+
+# ----------------------------------------------------------------------
+# closed forms (OEIS cross-checks)
+# ----------------------------------------------------------------------
+def factorial(n: int) -> int:
+    out = 1
+    for i in range(2, n + 1):
+        out *= i
+    return out
+
+
+def catalan(n: int) -> int:
+    """A000108. ``catalan(k−1)`` counts minimal plans of the k-chain."""
+    out = 1
+    for i in range(n):
+        out = out * 2 * (2 * i + 1) // (i + 2)
+    return out
+
+
+def super_catalan(n: int) -> int:
+    """A001003 (little Schröder numbers): total plans of the (n+1)-chain."""
+    if n <= 1:
+        return 1
+    values = [1, 1]
+    for i in range(2, n + 1):
+        nxt = ((6 * i - 3) * values[i - 1] - (i - 2) * values[i - 2]) // (i + 1)
+        values.append(nxt)
+    return values[n]
+
+
+def fubini(n: int) -> int:
+    """A000670 (ordered Bell numbers): total plans of the n-star."""
+    values = [1]
+    from math import comb
+
+    for i in range(1, n + 1):
+        values.append(sum(comb(i, j) * values[i - j] for j in range(1, i + 1)))
+    return values[n]

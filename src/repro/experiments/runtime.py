@@ -1,0 +1,161 @@
+"""Runtime harnesses for Figures 5a–5h.
+
+Each function measures wall-clock time of one evaluation strategy on one
+workload instance and returns plain dict rows, which the benchmarks print
+as the paper's series. Strategies:
+
+* ``standard_sql`` — deterministic ``SELECT DISTINCT`` (the floor);
+* ``all_plans``    — every minimal plan as its own SQL query;
+* ``opt1``         — one merged plan, no view reuse;
+* ``opt12``        — merged plan with ``WITH`` views;
+* ``opt123``       — additionally the semi-join reduction;
+* (TPC-H only) ``lineage_query``, ``exact``, ``mc``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from ..engine.evaluator import DissociationEngine, Optimizations
+from ..lineage.exact import ExactEvaluator
+from ..lineage.mc import monte_carlo_many
+
+__all__ = [
+    "timed",
+    "RuntimeRow",
+    "dissociation_timings",
+    "tpch_timings",
+    "OPTIMIZATION_MODES",
+]
+
+OPTIMIZATION_MODES: dict[str, Optimizations] = {
+    "all_plans": Optimizations.none(),
+    "opt1": Optimizations(single_plan=True, reuse_views=False, semijoin=False),
+    "opt12": Optimizations(single_plan=True, reuse_views=True, semijoin=False),
+    "opt123": Optimizations(single_plan=True, reuse_views=True, semijoin=True),
+}
+
+
+def timed(fn: Callable[[], object]) -> tuple[float, object]:
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+@dataclass
+class RuntimeRow:
+    """Timings (seconds) of the strategies on one instance."""
+
+    label: str
+    n_rows: int
+    plan_count: int
+    seconds: dict[str, float] = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+def dissociation_timings(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    label: str = "",
+    modes: dict[str, Optimizations] | None = None,
+    include_standard_sql: bool = True,
+) -> RuntimeRow:
+    """Figures 5a–5d: optimization modes vs. the deterministic floor.
+
+    All strategies run on the SQLite backend (the paper's setting); the
+    backend is materialized once, outside the timed regions.
+    """
+    engine = DissociationEngine(db, backend="sqlite")
+    engine.sqlite  # materialize before timing
+    row = RuntimeRow(
+        label=label,
+        n_rows=db.total_rows(),
+        plan_count=len(engine.minimal_plans(query)),
+    )
+    if include_standard_sql:
+        sql = engine.deterministic_sql(query)
+        seconds, _ = timed(lambda: engine.sqlite.execute(sql))
+        row.seconds["standard_sql"] = seconds
+    for name, opts in (modes or OPTIMIZATION_MODES).items():
+        seconds, _ = timed(lambda: engine.propagation_score(query, opts))
+        row.seconds[name] = seconds
+    return row
+
+
+def tpch_timings(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    label: str = "",
+    mc_samples: int = 1000,
+    exact_lineage_limit: int = 4000,
+    mc_lineage_limit: int = 20000,
+) -> RuntimeRow:
+    """Figures 5e–5h: dissociation vs. the probabilistic baselines.
+
+    ``exact``/``mc`` are skipped (reported as ``nan``) above the lineage
+    limits, mirroring how the paper could not obtain ground truth for its
+    largest parameters.
+    """
+    engine = DissociationEngine(db, backend="sqlite")
+    engine.sqlite
+    row = RuntimeRow(
+        label=label,
+        n_rows=db.total_rows(),
+        plan_count=len(engine.minimal_plans(query)),
+    )
+
+    sql = engine.deterministic_sql(query)
+    row.seconds["standard_sql"], _ = timed(lambda: engine.sqlite.execute(sql))
+
+    lineage_q = engine.lineage_sql(query)
+    row.seconds["lineage_query"], _ = timed(
+        lambda: engine.sqlite.execute(lineage_q)
+    )
+
+    row.seconds["diss"], _ = timed(
+        lambda: engine.propagation_score(query, Optimizations.none())
+    )
+    row.seconds["diss_opt3"], _ = timed(
+        lambda: engine.propagation_score(
+            query,
+            Optimizations(single_plan=False, reuse_views=False, semijoin=True),
+        )
+    )
+
+    lineage_seconds, lineage = timed(lambda: engine.lineage(query))
+    max_lineage = lineage.max_size()
+    row.extra["max_lineage"] = float(max_lineage)
+
+    if max_lineage <= mc_lineage_limit:
+        answers = list(lineage.by_answer)
+
+        def run_mc() -> None:
+            monte_carlo_many(
+                [lineage.by_answer[a] for a in answers],
+                lineage.probabilities,
+                mc_samples,
+                seed=0,
+            )
+
+        mc_seconds, _ = timed(run_mc)
+        # MC must first retrieve the lineage (Sec. 5.1 footnote): charge it.
+        row.seconds["mc"] = lineage_seconds + mc_seconds
+    else:
+        row.seconds["mc"] = float("nan")
+
+    if max_lineage <= exact_lineage_limit:
+
+        def run_exact() -> None:
+            evaluator = ExactEvaluator(lineage.probabilities)
+            for formula in lineage.by_answer.values():
+                evaluator.probability(formula)
+
+        exact_seconds, _ = timed(run_exact)
+        row.seconds["exact"] = lineage_seconds + exact_seconds
+    else:
+        row.seconds["exact"] = float("nan")
+    return row

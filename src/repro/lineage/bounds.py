@@ -1,0 +1,110 @@
+"""Dissociation of Boolean formulas and oblivious bounds (Theorem 8).
+
+A dissociation of ``F`` replaces the occurrences of a variable ``X`` by
+fresh copies ``X', X'', ...`` (all keeping ``X``'s probability). If no two
+copies of the same variable share a prime implicant, then
+``P(F) ≤ P(F')``, with equality when every dissociated variable is
+deterministic (probability 0 or 1). Query dissociation (Def. 10) is the
+lifted version of this operation; this module provides the formula-level
+primitive used for validation and for the worked examples.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from .formula import DNF
+
+__all__ = [
+    "dissociate_variable",
+    "dissociation_is_oblivious",
+    "DissociatedFormula",
+]
+
+
+class DissociatedFormula:
+    """Result of a formula dissociation.
+
+    Attributes
+    ----------
+    formula:
+        The dissociated DNF; copies of ``X`` appear as ``(X, k)`` pairs.
+    probabilities:
+        Marginals extended to the fresh copies (``p'(X') = p(X)``).
+    substitution:
+        Fresh variable → original variable (the ``θ`` of Sec. 2).
+    """
+
+    __slots__ = ("formula", "probabilities", "substitution")
+
+    def __init__(
+        self,
+        formula: DNF,
+        probabilities: dict[Hashable, float],
+        substitution: dict[Hashable, Hashable],
+    ) -> None:
+        self.formula = formula
+        self.probabilities = probabilities
+        self.substitution = substitution
+
+
+def dissociate_variable(
+    formula: DNF,
+    probabilities: Mapping[Hashable, float],
+    variable: Hashable,
+    groups: Sequence[Sequence[int]],
+) -> DissociatedFormula:
+    """Dissociate ``variable`` into one fresh copy per group of clauses.
+
+    ``groups`` partitions the indices of the clauses containing
+    ``variable``; clauses in group ``k`` get copy ``(variable, k)``.
+    A single group is the identity dissociation.
+    """
+    containing = [i for i, c in enumerate(formula.clauses) if variable in c]
+    flattened = sorted(i for g in groups for i in g)
+    if flattened != containing:
+        raise ValueError(
+            "groups must partition exactly the clauses containing the variable"
+        )
+    seen: set[int] = set()
+    for g in groups:
+        for i in g:
+            if i in seen:
+                raise ValueError("groups overlap")
+            seen.add(i)
+
+    copy_of: dict[int, Hashable] = {}
+    for k, group in enumerate(groups):
+        for i in group:
+            copy_of[i] = (variable, k) if len(groups) > 1 else variable
+
+    clauses = []
+    for i, clause in enumerate(formula.clauses):
+        if variable in clause:
+            clauses.append((clause - {variable}) | {copy_of[i]})
+        else:
+            clauses.append(clause)
+
+    new_probabilities = dict(probabilities)
+    substitution: dict[Hashable, Hashable] = {}
+    if len(groups) > 1:
+        new_probabilities.pop(variable, None)
+        for k in range(len(groups)):
+            copy = (variable, k)
+            new_probabilities[copy] = probabilities[variable]
+            substitution[copy] = variable
+    return DissociatedFormula(DNF(clauses), new_probabilities, substitution)
+
+
+def dissociation_is_oblivious(dissociated: DissociatedFormula) -> bool:
+    """Check Theorem 8's side condition: no two copies of the same original
+    variable occur in a common clause (prime implicant)."""
+    for clause in dissociated.formula:
+        originals = [
+            dissociated.substitution[v]
+            for v in clause
+            if v in dissociated.substitution
+        ]
+        if len(originals) != len(set(originals)):
+            return False
+    return True

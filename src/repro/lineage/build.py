@@ -1,0 +1,196 @@
+"""Lineage computation: grounding a query over a database.
+
+``lineage_of(q, db)`` returns, per answer tuple, the Boolean provenance
+DNF ``F_{q,D}`` whose variables are database tuples, together with the
+probability of every variable. ``P(answer) = P(F)`` (Sec. 2), which is what
+the exact and Monte Carlo evaluators consume.
+
+Grounding is a backtracking natural join with hash indexes built per atom
+on the variables bound by earlier atoms; atoms are ordered greedily so that
+each one binds as few new variables as possible.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.query import ConjunctiveQuery
+from ..core.symbols import Constant, Variable
+from ..db.database import ProbabilisticDatabase, TupleRef
+from .formula import DNF
+
+__all__ = ["Lineage", "lineage_of", "lineage_sizes"]
+
+
+class Lineage:
+    """The grounded lineage of a query on a database."""
+
+    __slots__ = ("query", "by_answer", "probabilities", "assignments")
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        by_answer: dict[tuple, DNF],
+        probabilities: dict[TupleRef, float],
+        assignments: dict[tuple, list[dict]] | None = None,
+    ) -> None:
+        self.query = query
+        #: answer tuple (in ``query.head_order``) → DNF over TupleRefs
+        self.by_answer = by_answer
+        #: TupleRef → marginal probability
+        self.probabilities = probabilities
+        #: answer → one variable assignment per clause (clause order of the
+        #: DNF); only populated with ``record_assignments=True`` — used by
+        #: the oblivious lower bounds, which must know the cut-variable
+        #: values per clause to name dissociated copies.
+        self.assignments = assignments or {}
+
+    def answers(self) -> list[tuple]:
+        return sorted(self.by_answer, key=repr)
+
+    def size(self, answer: tuple) -> int:
+        """Lineage size (number of clauses) of one answer."""
+        return len(self.by_answer[answer])
+
+    def max_size(self) -> int:
+        """``max[lin]`` over all answers (the x-axis of Fig. 5h)."""
+        if not self.by_answer:
+            return 0
+        return max(len(f) for f in self.by_answer.values())
+
+    def __len__(self) -> int:
+        return len(self.by_answer)
+
+
+def _atom_order(query: ConjunctiveQuery) -> list:
+    """Greedy join order: start with the smallest variable set, then always
+    pick the atom sharing the most variables with those already bound."""
+    remaining = list(query.atoms)
+    ordered = []
+    bound: set[Variable] = set()
+    while remaining:
+        if not ordered:
+            best = min(remaining, key=lambda a: len(a.own_variables))
+        else:
+            best = max(
+                remaining,
+                key=lambda a: (
+                    len(a.own_variables & bound),
+                    -len(a.own_variables),
+                ),
+            )
+        ordered.append(best)
+        bound |= best.own_variables
+        remaining.remove(best)
+    return ordered
+
+
+def lineage_of(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    record_assignments: bool = False,
+) -> Lineage:
+    """Ground ``query`` on ``db`` and build per-answer lineage DNFs.
+
+    With ``record_assignments=True`` every clause additionally stores the
+    satisfying assignment θ that produced it (needed by the oblivious
+    lower bounds). Note: clauses produced by *different* assignments may
+    coincide as sets of tuples only for queries with repeated variables;
+    the DNF deduplicates, and the recorded assignment is the first one.
+    """
+    atoms = _atom_order(query)
+
+    # Per atom: positions of constants, repeated-variable checks, and the
+    # distinct variables in first-occurrence order.
+    prepared = []
+    bound: set[Variable] = set()
+    for atom in atoms:
+        if db.table(atom.relation).arity != atom.arity:
+            raise ValueError(
+                f"atom {atom} has arity {atom.arity} but table "
+                f"{atom.relation} has arity {db.table(atom.relation).arity}"
+            )
+        var_positions: dict[Variable, int] = {}
+        all_positions: dict[Variable, list[int]] = {}
+        constant_checks: list[tuple[int, object]] = []
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                constant_checks.append((i, term.value))
+            else:
+                all_positions.setdefault(term, []).append(i)
+                if term not in var_positions:
+                    var_positions[term] = i
+        repeat_groups = [ps for ps in all_positions.values() if len(ps) > 1]
+        shared = [v for v in var_positions if v in bound]
+        new = [v for v in var_positions if v not in bound]
+        # index: key = values of shared vars → list of (row, new-var values)
+        table = db.table(atom.relation)
+        index: dict[tuple, list[tuple[tuple, tuple]]] = {}
+        for row, _ in table:
+            if any(row[i] != value for i, value in constant_checks):
+                continue
+            if any(
+                row[ps[0]] != row[p] for ps in repeat_groups for p in ps[1:]
+            ):
+                continue
+            key = tuple(row[var_positions[v]] for v in shared)
+            value = tuple(row[var_positions[v]] for v in new)
+            index.setdefault(key, []).append((row, value))
+        prepared.append((atom, shared, new, index))
+        bound |= set(var_positions)
+
+    probabilities: dict[TupleRef, float] = {}
+    by_answer: dict[tuple, list[frozenset]] = {}
+    assignment_lists: dict[tuple, list[dict]] = {}
+    head = query.head_order
+
+    def recurse(level: int, assignment: dict[Variable, object], refs: list[TupleRef]) -> None:
+        if level == len(prepared):
+            answer = tuple(assignment[v] for v in head)
+            by_answer.setdefault(answer, []).append(frozenset(refs))
+            if record_assignments:
+                assignment_lists.setdefault(answer, []).append(
+                    dict(assignment)
+                )
+            return
+        atom, shared, new, index = prepared[level]
+        key = tuple(assignment[v] for v in shared)
+        for row, new_values in index.get(key, ()):
+            ref: TupleRef = (atom.relation, row)
+            if ref not in probabilities:
+                probabilities[ref] = db.table(atom.relation).probability(row)
+            for v, value in zip(new, new_values):
+                assignment[v] = value
+            refs.append(ref)
+            recurse(level + 1, assignment, refs)
+            refs.pop()
+        for v in new:
+            assignment.pop(v, None)
+
+    recurse(0, {}, [])
+
+    final_by_answer = {
+        answer: DNF(clauses) for answer, clauses in by_answer.items()
+    }
+    final_assignments: dict[tuple, list[dict]] = {}
+    if record_assignments:
+        # align assignments with the (deduplicated) DNF clause order
+        for answer, formula in final_by_answer.items():
+            seen: dict[frozenset, dict] = {}
+            for clause, theta in zip(
+                by_answer[answer], assignment_lists[answer]
+            ):
+                seen.setdefault(clause, theta)
+            final_assignments[answer] = [
+                seen[clause] for clause in formula.clauses
+            ]
+    return Lineage(query, final_by_answer, probabilities, final_assignments)
+
+
+def lineage_sizes(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> Mapping[tuple, int]:
+    """Number of lineage clauses per answer (the Sec. 5 "ranking by
+    lineage size" baseline)."""
+    lineage = lineage_of(query, db)
+    return {answer: len(f) for answer, f in lineage.by_answer.items()}

@@ -1,0 +1,203 @@
+"""Exact probability of monotone DNF formulas (the ground-truth engine).
+
+This replaces the paper's use of SampleSearch for computing exact answer
+probabilities. The algorithm is a standard weighted-model-counting
+recursion specialized to monotone DNFs:
+
+1. simplify (drop impossible variables, strip certain ones, absorb);
+2. split into independent components (clauses sharing no variables):
+   ``P(F) = 1 − ∏_c (1 − P(F_c))``;
+3. otherwise Shannon-expand on the most frequent variable:
+   ``P(F) = p·P(F|X=1) + (1−p)·P(F|X=0)``;
+4. memoize on the clause set.
+
+Exact, so ground-truth rankings are identical to the paper's. Exponential
+in the worst case (the problem is #P-hard), fine for the lineage sizes the
+paper uses for ground truth.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Hashable, Mapping
+
+from .formula import DNF
+
+__all__ = ["exact_probability", "ExactEvaluator"]
+
+
+def exact_probability(
+    formula: DNF,
+    probabilities: Mapping[Hashable, float],
+    use_components: bool = True,
+    use_memo: bool = True,
+    use_read_once: bool = False,
+) -> float:
+    """``P(F)`` under independent variables with the given marginals.
+
+    ``use_components`` / ``use_memo`` / ``use_read_once`` exist for the
+    ablation benchmark; the read-once fast path (factor the formula, then
+    multiply/ior along the tree in linear time — the tractable data-level
+    cases of Sen et al. / Roy et al.) is off by default because the
+    recursion discovers the same structure anyway; it shines on large
+    read-once lineages.
+    """
+    return ExactEvaluator(
+        probabilities,
+        use_components=use_components,
+        use_memo=use_memo,
+        use_read_once=use_read_once,
+    ).probability(formula)
+
+
+class ExactEvaluator:
+    """Reusable evaluator sharing a memo table across many formulas.
+
+    Sharing pays off when evaluating all answers of one query: answers
+    often share sub-formulas (common join partners).
+    """
+
+    def __init__(
+        self,
+        probabilities: Mapping[Hashable, float],
+        use_components: bool = True,
+        use_memo: bool = True,
+        use_read_once: bool = False,
+    ) -> None:
+        self._p = probabilities
+        self._use_components = use_components
+        self._use_memo = use_memo
+        self._use_read_once = use_read_once
+        self._memo: dict[frozenset[frozenset], float] = {}
+
+    def probability(self, formula: DNF) -> float:
+        clauses = self._simplify(formula)
+        if clauses is True:
+            return 1.0
+        if not clauses:
+            return 0.0
+        if self._use_read_once:
+            from .readonce import try_read_once
+
+            tree = try_read_once(DNF(clauses))
+            if tree is not None:
+                return tree.probability(self._p)
+        needed = sum(len(c) for c in clauses) * 4 + 1000
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+        return self._prob(frozenset(clauses))
+
+    # ------------------------------------------------------------------
+    def _simplify(self, formula: DNF):
+        """Apply certain/impossible variables, then absorption.
+
+        Returns ``True`` for a tautology or a list of clauses.
+        """
+        out: list[frozenset] = []
+        for clause in formula:
+            stripped = []
+            dead = False
+            for v in clause:
+                p = self._p.get(v, 0.0)
+                if p >= 1.0:
+                    continue  # certain variable: drop from clause
+                if p <= 0.0:
+                    dead = True  # impossible variable: clause never fires
+                    break
+                stripped.append(v)
+            if dead:
+                continue
+            if not stripped:
+                return True
+            out.append(frozenset(stripped))
+        return DNF(out).absorb().clauses
+
+    # ------------------------------------------------------------------
+    def _prob(self, clauses: frozenset[frozenset]) -> float:
+        if not clauses:
+            return 0.0
+        for c in clauses:
+            if not c:
+                return 1.0
+        if len(clauses) == 1:
+            (clause,) = clauses
+            value = 1.0
+            for v in clause:
+                value *= self._p[v]
+            return value
+        if self._use_memo:
+            cached = self._memo.get(clauses)
+            if cached is not None:
+                return cached
+
+        value: float | None = None
+        if self._use_components:
+            components = _components(clauses)
+            if len(components) > 1:
+                complement = 1.0
+                for comp in components:
+                    complement *= 1.0 - self._prob(comp)
+                value = 1.0 - complement
+        if value is None:
+            pivot = _most_frequent_variable(clauses)
+            p = self._p[pivot]
+            pos = _condition(clauses, pivot, True)
+            neg = _condition(clauses, pivot, False)
+            value = p * self._prob(pos) + (1.0 - p) * self._prob(neg)
+
+        if self._use_memo:
+            self._memo[clauses] = value
+        return value
+
+
+def _components(clauses: frozenset[frozenset]) -> list[frozenset[frozenset]]:
+    """Partition clauses into variable-disjoint groups (union-find)."""
+    clause_list = list(clauses)
+    parent = list(range(len(clause_list)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    owner: dict[Hashable, int] = {}
+    for i, clause in enumerate(clause_list):
+        for v in clause:
+            if v in owner:
+                ri, rj = find(i), find(owner[v])
+                if ri != rj:
+                    parent[rj] = ri
+            else:
+                owner[v] = i
+    groups: dict[int, list[frozenset]] = {}
+    for i, clause in enumerate(clause_list):
+        groups.setdefault(find(i), []).append(clause)
+    return [frozenset(g) for g in groups.values()]
+
+
+def _most_frequent_variable(clauses: frozenset[frozenset]) -> Hashable:
+    counts: dict[Hashable, int] = {}
+    for clause in clauses:
+        for v in clause:
+            counts[v] = counts.get(v, 0) + 1
+    # deterministic tie-break by repr for reproducibility
+    return max(counts, key=lambda v: (counts[v], repr(v)))
+
+
+def _condition(
+    clauses: frozenset[frozenset], variable: Hashable, value: bool
+) -> frozenset[frozenset]:
+    out: set[frozenset] = set()
+    for clause in clauses:
+        if variable in clause:
+            if value:
+                reduced = clause - {variable}
+                out.add(reduced)
+        else:
+            out.add(clause)
+    if value:
+        # re-absorb: removing the pivot may create subsumptions
+        minimal = [c for c in out if not any(o < c for o in out)]
+        return frozenset(minimal)
+    return frozenset(out)

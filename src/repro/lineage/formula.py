@@ -1,0 +1,109 @@
+"""Monotone DNF formulas over tuple events.
+
+The lineage of a Boolean query is a positive DNF whose variables are
+database tuples (Sec. 2, "Boolean Formulas"). Variables may be any hashable
+objects; in this package they are :data:`repro.db.TupleRef` pairs
+``(relation, tuple)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+__all__ = ["DNF"]
+
+
+class DNF:
+    """A monotone DNF: a set of clauses, each a set of positive variables.
+
+    The empty DNF (no clauses) is ``false``; a DNF containing the empty
+    clause is ``true``. Clauses are stored deduplicated, in insertion
+    order of first occurrence.
+    """
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, clauses: Iterable[Iterable[Hashable]] = ()) -> None:
+        seen: set[frozenset] = set()
+        ordered: list[frozenset] = []
+        for clause in clauses:
+            fs = frozenset(clause)
+            if fs not in seen:
+                seen.add(fs)
+                ordered.append(fs)
+        self.clauses: tuple[frozenset, ...] = tuple(ordered)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def variables(self) -> frozenset:
+        if not self.clauses:
+            return frozenset()
+        return frozenset().union(*self.clauses)
+
+    def is_false(self) -> bool:
+        return not self.clauses
+
+    def is_true_constant(self) -> bool:
+        """True iff the formula contains the empty clause (tautology)."""
+        return any(not c for c in self.clauses)
+
+    def __len__(self) -> int:
+        """Number of clauses — the paper's "lineage size"."""
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[frozenset]:
+        return iter(self.clauses)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DNF) and frozenset(self.clauses) == frozenset(
+            other.clauses
+        )
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.clauses))
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def absorb(self) -> "DNF":
+        """Remove subsumed clauses (``XY ∨ X ≡ X``).
+
+        Quadratic in the number of clauses; used by the exact evaluator
+        where it provably never changes the probability.
+        """
+        by_size = sorted(self.clauses, key=len)
+        kept: list[frozenset] = []
+        for clause in by_size:
+            if not any(k <= clause for k in kept):
+                kept.append(clause)
+        return DNF(kept)
+
+    def or_(self, other: "DNF") -> "DNF":
+        return DNF(self.clauses + other.clauses)
+
+    def condition(self, variable: Hashable, value: bool) -> "DNF":
+        """Shannon restriction ``F|_{X=value}``."""
+        out: list[frozenset] = []
+        for clause in self.clauses:
+            if variable in clause:
+                if value:
+                    out.append(clause - {variable})
+                # value False: clause dies
+            else:
+                out.append(clause)
+        return DNF(out)
+
+    def evaluate(self, assignment: set) -> bool:
+        """Truth value when exactly the variables in ``assignment`` hold."""
+        return any(clause <= assignment for clause in self.clauses)
+
+    def __repr__(self) -> str:
+        if not self.clauses:
+            return "DNF(false)"
+        parts = " ∨ ".join(
+            "(" + " ∧ ".join(sorted(map(str, c))) + ")" if c else "⊤"
+            for c in self.clauses[:4]
+        )
+        more = f" … [{len(self.clauses)} clauses]" if len(self.clauses) > 4 else ""
+        return f"DNF({parts}{more})"

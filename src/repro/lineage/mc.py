@@ -1,0 +1,68 @@
+"""Monte Carlo estimation of DNF probabilities (the MC(x) baseline).
+
+Samples possible worlds by independent coin flips and reports the fraction
+of worlds satisfying each formula. Vectorized with numpy: one Boolean
+matrix of variable outcomes is shared by all clauses (and, in
+:func:`monte_carlo_many`, by all answers — matching the paper's setup where
+one sampling run scores every answer of the query simultaneously).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from .formula import DNF
+
+__all__ = ["monte_carlo_probability", "monte_carlo_many"]
+
+
+def monte_carlo_probability(
+    formula: DNF,
+    probabilities: Mapping[Hashable, float],
+    samples: int,
+    seed: int | None = None,
+) -> float:
+    """Estimate ``P(F)`` from ``samples`` sampled worlds."""
+    result = monte_carlo_many([formula], probabilities, samples, seed)
+    return result[0]
+
+
+def monte_carlo_many(
+    formulas: Sequence[DNF],
+    probabilities: Mapping[Hashable, float],
+    samples: int,
+    seed: int | None = None,
+) -> list[float]:
+    """Estimate ``P(F_i)`` for several formulas over *shared* worlds.
+
+    Sharing worlds across answers is both faster and what a sampling-based
+    ranker would do in practice; per-answer estimates remain unbiased.
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    variables = sorted(
+        frozenset().union(*(f.variables() for f in formulas)) or frozenset(),
+        key=repr,
+    )
+    if not variables:
+        return [1.0 if f.is_true_constant() else 0.0 for f in formulas]
+    index = {v: i for i, v in enumerate(variables)}
+    marginals = np.array([probabilities[v] for v in variables])
+    rng = np.random.default_rng(seed)
+    worlds = rng.random((samples, len(variables))) < marginals
+
+    estimates: list[float] = []
+    for formula in formulas:
+        if formula.is_true_constant():
+            estimates.append(1.0)
+            continue
+        satisfied = np.zeros(samples, dtype=bool)
+        for clause in formula:
+            cols = [index[v] for v in clause]
+            satisfied |= worlds[:, cols].all(axis=1)
+            if satisfied.all():
+                break
+        estimates.append(float(satisfied.mean()))
+    return estimates

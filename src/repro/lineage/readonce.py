@@ -1,0 +1,287 @@
+"""Read-once formulas: detection, factorization, linear-time probability.
+
+A monotone Boolean formula is *read-once* if it is equivalent to a formula
+in which every variable appears exactly once; its probability then factors
+along the expression tree and is computable in linear time. Read-once
+lineages are the data-level tractable cases of probabilistic query
+evaluation studied by Sen et al. (PVLDB 2010) and Roy et al. (ICDT 2011),
+which the paper's related-work section contrasts with dissociation:
+dissociation gives guaranteed upper bounds on *all* instances, read-once
+gives exactness on lucky instances.
+
+The implementation uses the classical Gurvich / Golumbic characterization
+operationally: recursively split the DNF by
+
+1. **independent-or** — variable-disjoint clause groups: ``F = G ∨ H``
+   with ``Var(G) ∩ Var(H) = ∅``;
+2. **common factor** — variables occurring in *every* clause: ``F = x ∧ G``;
+3. **independent-and** — a partition of the variables such that every
+   clause splits as ``c = c_1 ∪ c_2`` with the cross product of the two
+   projected clause sets equal to the original clause set:
+   ``F = G ∧ H`` with independent ``G, H``.
+
+If no rule applies to a sub-formula with more than one clause/variable,
+the formula is not read-once (for absorbed monotone DNFs this criterion is
+exact: a P4-free co-occurrence structure always admits one of the three
+splits — rule 3 implements the "AND-decomposition" of normality testing).
+
+:class:`ReadOnceTree` is also consumed by the exact evaluator's fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from .formula import DNF
+
+__all__ = [
+    "ReadOnceTree",
+    "RVar",
+    "ROr",
+    "RAnd",
+    "try_read_once",
+    "is_read_once",
+    "read_once_probability",
+]
+
+
+class ReadOnceTree:
+    """Base class of read-once expression nodes."""
+
+    __slots__ = ()
+
+    def probability(self, probabilities: Mapping[Hashable, float]) -> float:
+        raise NotImplementedError
+
+    def variables(self) -> frozenset:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RVar(ReadOnceTree):
+    """A single variable leaf."""
+
+    variable: Hashable
+
+    def probability(self, probabilities: Mapping[Hashable, float]) -> float:
+        return probabilities[self.variable]
+
+    def variables(self) -> frozenset:
+        return frozenset([self.variable])
+
+    def __str__(self) -> str:
+        return str(self.variable)
+
+
+@dataclass(frozen=True)
+class ROr(ReadOnceTree):
+    """Independent-or of variable-disjoint children."""
+
+    parts: tuple[ReadOnceTree, ...]
+
+    def probability(self, probabilities: Mapping[Hashable, float]) -> float:
+        complement = 1.0
+        for part in self.parts:
+            complement *= 1.0 - part.probability(probabilities)
+        return 1.0 - complement
+
+    def variables(self) -> frozenset:
+        return frozenset().union(*(p.variables() for p in self.parts))
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class RAnd(ReadOnceTree):
+    """Independent-and of variable-disjoint children."""
+
+    parts: tuple[ReadOnceTree, ...]
+
+    def probability(self, probabilities: Mapping[Hashable, float]) -> float:
+        value = 1.0
+        for part in self.parts:
+            value *= part.probability(probabilities)
+        return value
+
+    def variables(self) -> frozenset:
+        return frozenset().union(*(p.variables() for p in self.parts))
+
+    def __str__(self) -> str:
+        return "(" + " ∧ ".join(str(p) for p in self.parts) + ")"
+
+
+def try_read_once(formula: DNF) -> ReadOnceTree | None:
+    """Factor ``formula`` into a read-once tree, or ``None``.
+
+    The formula is absorbed first (read-onceness is a property of the
+    underlying monotone function, and absorption preserves it).
+    """
+    absorbed = formula.absorb()
+    if absorbed.is_false() or absorbed.is_true_constant():
+        return None  # constants carry no read-once structure
+    clauses = [frozenset(c) for c in absorbed.clauses]
+    return _factor(clauses)
+
+
+def is_read_once(formula: DNF) -> bool:
+    return try_read_once(formula) is not None
+
+
+def read_once_probability(
+    formula: DNF, probabilities: Mapping[Hashable, float]
+) -> float | None:
+    """Linear-time exact probability when the formula is read-once."""
+    tree = try_read_once(formula)
+    if tree is None:
+        return None
+    return tree.probability(probabilities)
+
+
+# ----------------------------------------------------------------------
+# factorization rules
+# ----------------------------------------------------------------------
+def _factor(clauses: Sequence[frozenset]) -> ReadOnceTree | None:
+    if len(clauses) == 1:
+        (clause,) = clauses
+        parts = [RVar(v) for v in sorted(clause, key=repr)]
+        if len(parts) == 1:
+            return parts[0]
+        return RAnd(tuple(parts))
+
+    # rule 1: independent-or on variable-disjoint clause groups
+    groups = _variable_disjoint_groups(clauses)
+    if len(groups) > 1:
+        parts = []
+        for group in groups:
+            sub = _factor(group)
+            if sub is None:
+                return None
+            parts.append(sub)
+        return ROr(tuple(parts))
+
+    # rule 2: common factor across all clauses
+    common = frozenset.intersection(*clauses)
+    if common:
+        remainder = [c - common for c in clauses]
+        factor_parts: list[ReadOnceTree] = [
+            RVar(v) for v in sorted(common, key=repr)
+        ]
+        nonempty = [c for c in remainder if c]
+        if len(nonempty) != len(remainder):
+            # a clause equal to the common factor: absorbed away earlier,
+            # so this means the function degenerates to the factor alone
+            if nonempty:
+                return None
+            tree = (
+                factor_parts[0]
+                if len(factor_parts) == 1
+                else RAnd(tuple(factor_parts))
+            )
+            return tree
+        sub = _factor(nonempty)
+        if sub is None:
+            return None
+        return RAnd(tuple(factor_parts + [sub]))
+
+    # rule 3: independent-and — partition the variables so the clause set
+    # is the cross product of the per-part projections
+    split = _and_split(clauses)
+    if split is not None:
+        parts: list[ReadOnceTree] = []
+        for part_clauses in split:
+            sub = _factor(part_clauses)
+            if sub is None:
+                return None
+            parts.append(sub)
+        return RAnd(tuple(parts))
+    return None
+
+
+def _variable_disjoint_groups(
+    clauses: Sequence[frozenset],
+) -> list[list[frozenset]]:
+    parent = list(range(len(clauses)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    owner: dict[Hashable, int] = {}
+    for i, clause in enumerate(clauses):
+        for v in clause:
+            if v in owner:
+                ri, rj = find(i), find(owner[v])
+                if ri != rj:
+                    parent[rj] = ri
+            else:
+                owner[v] = i
+    groups: dict[int, list[frozenset]] = {}
+    for i, clause in enumerate(clauses):
+        groups.setdefault(find(i), []).append(clause)
+    return list(groups.values())
+
+
+def _and_split(
+    clauses: Sequence[frozenset],
+) -> list[list[frozenset]] | None:
+    """Partition the variables so that the clause set is the cross product
+    of its per-part projections (``F = G_1 ∧ ... ∧ G_r``).
+
+    Key observation: if ``F = G ∧ H`` with variable-disjoint ``G, H``,
+    then every ``G``-variable co-occurs with every ``H``-variable (the
+    clause set is ``proj_G × proj_H``). Hence the parts are unions of
+    connected components of the *complement* of the co-occurrence graph;
+    taking exactly those components is the finest candidate partition,
+    and the cross-product condition is then verified directly.
+    """
+    clause_list = [frozenset(c) for c in clauses]
+    variables = sorted(frozenset().union(*clause_list), key=repr)
+    if len(variables) < 2:
+        return None
+
+    cooccur: dict = {v: set() for v in variables}
+    for clause in clause_list:
+        for u in clause:
+            for v in clause:
+                if u != v:
+                    cooccur[u].add(v)
+
+    # connected components of the complement graph
+    unassigned = set(variables)
+    components: list[frozenset] = []
+    while unassigned:
+        start = next(iter(unassigned))
+        component = {start}
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for v in list(unassigned):
+                if v not in component and v not in cooccur[u]:
+                    component.add(v)
+                    frontier.append(v)
+        unassigned -= component
+        components.append(frozenset(component))
+
+    if len(components) < 2:
+        return None
+
+    projections = [
+        sorted({c & part for c in clause_list}, key=repr)
+        for part in components
+    ]
+    total = 1
+    for proj in projections:
+        total *= len(proj)
+    if total != len(set(clause_list)):
+        return None
+    # verify the cross product exactly
+    cross = {frozenset(), }
+    for proj in projections:
+        cross = {base | p for base in cross for p in proj}
+    if cross != set(clause_list):
+        return None
+    return [list(proj) for proj in projections]

@@ -1,0 +1,33 @@
+"""Ranking metrics and rankers for the quality experiments."""
+
+from .metrics import (
+    average_precision_at_k,
+    mean_average_precision,
+    random_ranking_ap,
+    tied_rank_intervals,
+    top_k,
+)
+from .topk import TopKCertificate, certified_top_k, certify_top_k
+from .rankers import (
+    rank_by_dissociation,
+    rank_by_exact,
+    rank_by_lineage_size,
+    rank_by_monte_carlo,
+    rank_by_relative_weights,
+)
+
+__all__ = [
+    "TopKCertificate",
+    "average_precision_at_k",
+    "certified_top_k",
+    "certify_top_k",
+    "mean_average_precision",
+    "random_ranking_ap",
+    "rank_by_dissociation",
+    "rank_by_exact",
+    "rank_by_lineage_size",
+    "rank_by_monte_carlo",
+    "rank_by_relative_weights",
+    "tied_rank_intervals",
+    "top_k",
+]

@@ -1,0 +1,82 @@
+"""The rankers compared in Sec. 5.2.
+
+Each ranker maps (query, database) to ``{answer: score}``; rankings are
+read off by decreasing score and judged against the exact ground truth
+with :func:`repro.ranking.metrics.average_precision_at_k`.
+
+* :func:`rank_by_dissociation` — propagation score ``ρ`` (the paper's
+  method);
+* :func:`rank_by_exact` — exact probabilities (ground truth, replacing
+  SampleSearch);
+* :func:`rank_by_monte_carlo` — MC(x) sampled probabilities;
+* :func:`rank_by_lineage_size` — the non-probabilistic "more support is
+  better" baseline;
+* :func:`rank_by_relative_weights` — exact ranking on a database scaled
+  by ``f → 0``: probabilities become proportional to input weights, the
+  limit object of Results 7/8.
+"""
+
+from __future__ import annotations
+
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from ..engine.evaluator import DissociationEngine, Optimizations
+from ..lineage.build import lineage_sizes
+
+__all__ = [
+    "rank_by_dissociation",
+    "rank_by_exact",
+    "rank_by_monte_carlo",
+    "rank_by_lineage_size",
+    "rank_by_relative_weights",
+]
+
+
+def rank_by_dissociation(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    optimizations: Optimizations | None = None,
+) -> dict[tuple, float]:
+    """Propagation scores ``ρ(q)`` per answer."""
+    return DissociationEngine(db).propagation_score(query, optimizations)
+
+
+def rank_by_exact(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> dict[tuple, float]:
+    """Exact probabilities (the ground truth)."""
+    return DissociationEngine(db).exact(query)
+
+
+def rank_by_monte_carlo(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    samples: int,
+    seed: int | None = None,
+) -> dict[tuple, float]:
+    """MC(x) estimates (shared sampled worlds across answers)."""
+    return DissociationEngine(db).monte_carlo(query, samples, seed)
+
+
+def rank_by_lineage_size(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> dict[tuple, float]:
+    """Number of lineage clauses per answer ("more support wins")."""
+    return {a: float(n) for a, n in lineage_sizes(query, db).items()}
+
+
+def rank_by_relative_weights(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    factor: float = 1e-3,
+) -> dict[tuple, float]:
+    """Exact ranking on a down-scaled database (the ``f → 0`` limit).
+
+    With all probabilities scaled by a small ``f``, the exact probability
+    of an answer is dominated by the sum of its lineage clause weights —
+    "ranking by relative input weights" (Result 7). Scores are rescaled by
+    ``f^{-m}`` (``m`` = number of atoms) only implicitly: scaling is
+    monotone per answer, so the ranking is unaffected.
+    """
+    scaled = db.scaled(factor, include_deterministic=True)
+    return DissociationEngine(scaled).exact(query)

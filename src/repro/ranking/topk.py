@@ -1,0 +1,110 @@
+"""Certified top-k answers from probability intervals (extension).
+
+The paper cites Ré, Dalvi & Suciu (ICDE 2007) for top-k query evaluation
+by *multisimulation*: maintain probability intervals per answer and stop
+as soon as the top k are separated from the rest. With the dissociation
+upper bound ρ and the oblivious lower bound of ``repro.lineage.lower``
+this package has deterministic intervals, so the same separation test
+yields a certificate without any sampling:
+
+* an answer is **certainly in** the top k if its lower bound beats the
+  (k+1)-largest upper bound;
+* **certainly out** if its upper bound is below the k-th largest lower
+  bound;
+* otherwise **undecided** — the intervals overlap and only tighter bounds
+  (or exact inference on the undecided few) can settle membership.
+
+:func:`certified_top_k` reports all three sets; callers typically run
+exact inference only on the undecided answers — usually a small fraction
+(see ``tests/test_topk.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from ..engine.evaluator import DissociationEngine
+
+__all__ = ["TopKCertificate", "certify_top_k", "certified_top_k"]
+
+
+@dataclass
+class TopKCertificate:
+    """Partition of the answers by certified top-k membership."""
+
+    k: int
+    certain: list[tuple]
+    undecided: list[tuple]
+    excluded: list[tuple]
+    bounds: dict[tuple, tuple[float, float]]
+
+    def is_complete(self) -> bool:
+        """True iff the top k is fully determined by the bounds alone."""
+        return len(self.certain) >= min(self.k, len(self.bounds))
+
+    def candidates(self) -> list[tuple]:
+        """All answers that may belong to the top k."""
+        return self.certain + self.undecided
+
+
+def certify_top_k(
+    bounds: Mapping[tuple, tuple[float, float]], k: int
+) -> TopKCertificate:
+    """Classify answers given ``{answer: (low, high)}`` intervals."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    answers = list(bounds)
+    if not answers:
+        return TopKCertificate(k, [], [], [], {})
+    lows = sorted((bounds[a][0] for a in answers), reverse=True)
+    highs = sorted((bounds[a][1] for a in answers), reverse=True)
+    # thresholds: the k-th best lower bound and the (k+1)-th best upper
+    kth_low = lows[k - 1] if k <= len(lows) else float("-inf")
+    next_high = highs[k] if k < len(highs) else float("-inf")
+
+    certain, undecided, excluded = [], [], []
+    for answer in answers:
+        low, high = bounds[answer]
+        if low > next_high:
+            certain.append(answer)
+        elif high < kth_low:
+            excluded.append(answer)
+        else:
+            undecided.append(answer)
+    by_high = lambda a: (-bounds[a][1], repr(a))  # noqa: E731
+    return TopKCertificate(
+        k,
+        sorted(certain, key=by_high),
+        sorted(undecided, key=by_high),
+        sorted(excluded, key=by_high),
+        dict(bounds),
+    )
+
+
+def certified_top_k(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    k: int = 10,
+    resolve_undecided: bool = False,
+) -> TopKCertificate:
+    """End-to-end certified top-k for a query.
+
+    With ``resolve_undecided=True`` the undecided answers (only) are
+    settled by exact inference: their intervals collapse to points and the
+    classification is recomputed — the typical "prune with bounds, pay
+    exact only for the contested few" pipeline.
+    """
+    engine = DissociationEngine(db)
+    bounds = engine.probability_bounds(query)
+    certificate = certify_top_k(bounds, k)
+    if not resolve_undecided or not certificate.undecided:
+        return certificate
+    exact = engine.exact(query)
+    refined = dict(bounds)
+    for answer in certificate.undecided:
+        value = exact[answer]
+        refined[answer] = (value, value)
+    return certify_top_k(refined, k)

@@ -1,0 +1,27 @@
+"""Workload generators: k-chains, k-stars, and the TPC-H subset."""
+
+from .chains import chain_database, chain_domain_size, chain_query
+from .stars import star_database, star_domain_size, star_query
+from .tpch import (
+    COLORS,
+    TPCHParameters,
+    filtered_instance,
+    like_match,
+    tpch_database,
+    tpch_query,
+)
+
+__all__ = [
+    "COLORS",
+    "TPCHParameters",
+    "chain_database",
+    "chain_domain_size",
+    "chain_query",
+    "filtered_instance",
+    "like_match",
+    "star_database",
+    "star_domain_size",
+    "star_query",
+    "tpch_database",
+    "tpch_query",
+]

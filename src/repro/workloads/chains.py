@@ -1,0 +1,66 @@
+"""k-chain workload (Setup 2 of Sec. 5).
+
+Query shape::
+
+    q(x0, xk) :- R1(x0,x1), R2(x1,x2), ..., Rk(x_{k-1}, xk)
+
+Data: every table holds ``n`` distinct pairs with values uniform in
+``{1..N}`` and probabilities uniform in ``[0, p_max]``. The domain size
+``N`` controls selectivity; :func:`chain_domain_size` picks ``N`` so the
+expected answer multiplicity stays roughly constant as ``n`` grows, which
+is how the paper keeps answer cardinality around 20–50 across scales.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.parser import parse_query
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from ..db.generators import random_table_rows, uniform_probabilities
+
+__all__ = ["chain_query", "chain_database", "chain_domain_size"]
+
+
+def chain_query(k: int, boolean: bool = False) -> ConjunctiveQuery:
+    """The k-chain query (``k ≥ 2`` tables)."""
+    if k < 1:
+        raise ValueError("chain length must be at least 1")
+    atoms = ", ".join(f"R{i}(x{i - 1}, x{i})" for i in range(1, k + 1))
+    head = "" if boolean else f"x0, x{k}"
+    return parse_query(f"q({head}) :- {atoms}")
+
+
+def chain_domain_size(k: int, n_rows: int, expansion: float = 4.0) -> int:
+    """Domain size keeping the expected join expansion constant.
+
+    With ``n`` uniform pairs over ``{1..N}²`` per table, the full k-way
+    join has expected size ``n^k / N^{k-1}``; solving for
+    ``= expansion · n`` gives ``N = n / expansion^{1/(k-1)}``.
+    """
+    if k < 2:
+        return max(2, n_rows)
+    return max(2, round(n_rows / expansion ** (1.0 / (k - 1))))
+
+
+def chain_database(
+    k: int,
+    n_rows: int,
+    domain_size: int | None = None,
+    p_max: float = 0.5,
+    seed: int | None = None,
+    deterministic_tables: frozenset[str] = frozenset(),
+) -> ProbabilisticDatabase:
+    """A random database instance for the k-chain query."""
+    rng = random.Random(seed)
+    domain = domain_size or chain_domain_size(k, n_rows)
+    db = ProbabilisticDatabase()
+    for i in range(1, k + 1):
+        name = f"R{i}"
+        rows = random_table_rows(rng, n_rows, 2, domain)
+        if name in deterministic_tables:
+            db.add_table(name, rows, deterministic=True)
+        else:
+            db.add_table(name, uniform_probabilities(rng, rows, p_max))
+    return db

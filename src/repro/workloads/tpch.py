@@ -1,0 +1,181 @@
+"""Synthetic TPC-H subset and the parameterized query of Setup 1 (Sec. 5).
+
+The paper runs, over a probabilistic TPC-H instance::
+
+    Q(a) :- S(s,a), PS(s,u), P(u,n), s ≤ $1, n LIKE $2
+
+    select distinct s_nationkey from Supplier, Partsupp, Part
+    where s_suppkey = ps_suppkey and ps_partkey = p_partkey
+      and s_suppkey <= $1 and p_name like $2
+
+Since no TPC-H ``dbgen`` output is available offline, :func:`tpch_database`
+generates a structurally faithful subset: ``Supplier(s_suppkey,
+s_nationkey)``, ``Partsupp(ps_suppkey, ps_partkey)``, ``Part(p_partkey,
+p_name)`` with 25 nations, part names built from the TPC-H colour word
+list, and the 1 : 80 : 20 table-size ratio of the 1 GB instance (scaled
+down by ``scale``). Probabilities are uniform in ``[0, p_max]`` as in the
+paper.
+
+Selection predicates (``≤``, ``LIKE``) are outside the conjunctive-query
+formalism; as in any engine they are pushed below the joins:
+:func:`filtered_instance` applies them to the base tables, after which the
+query is the pure 3-atom conjunctive query :func:`tpch_query` — exactly
+the shape the dissociation machinery sees. The query is unsafe and has two
+minimal plans (dissociating ``S`` or ``P``).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from ..core.parser import parse_query
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from ..db.generators import uniform_probabilities
+
+__all__ = [
+    "COLORS",
+    "tpch_query",
+    "tpch_database",
+    "filtered_instance",
+    "like_match",
+    "TPCHParameters",
+]
+
+#: The TPC-H P_NAME colour vocabulary (dbgen's full 92-word list).
+COLORS = (
+    "almond antique aquamarine azure beige bisque black blanched blue "
+    "blush brown burlywood burnished chartreuse chiffon chocolate coral "
+    "cornflower cornsilk cream cyan dark deep dim dodger drab firebrick "
+    "floral forest frosted gainsboro ghost goldenrod green grey honeydew "
+    "hot indian ivory khaki lace lavender lawn lemon light lime linen "
+    "magenta maroon medium metallic midnight mint misty moccasin navajo "
+    "navy olive orange orchid pale papaya peach peru pink plum powder "
+    "puff purple red rose rosy royal saddle salmon sandy seashell sienna "
+    "sky slate smoke snow spring steel tan thistle tomato turquoise "
+    "violet wheat white yellow"
+).split()
+
+
+def tpch_query() -> ConjunctiveQuery:
+    """``Q(a) :- S(s,a), PS(s,u), P(u,n)`` — the join core of Setup 1."""
+    return parse_query("Q(a) :- S(s, a), PS(s, u), P(u, n)")
+
+
+def tpch_database(
+    scale: float = 0.01,
+    p_max: float = 0.5,
+    seed: int | None = 0,
+    n_nations: int = 25,
+    links_per_part: int = 4,
+) -> ProbabilisticDatabase:
+    """A synthetic probabilistic TPC-H subset.
+
+    ``scale = 1.0`` matches the paper's 1 GB row counts (10k suppliers,
+    200k parts, 800k partsupp links); the default ``0.01`` is a laptop-
+    friendly hundredth.
+    """
+    rng = random.Random(seed)
+    n_suppliers = max(10, round(10_000 * scale))
+    n_parts = max(20, round(200_000 * scale))
+
+    suppliers = [
+        (s, rng.randrange(n_nations)) for s in range(1, n_suppliers + 1)
+    ]
+    parts = [(u, _part_name(rng)) for u in range(1, n_parts + 1)]
+    links = {
+        (rng.randint(1, n_suppliers), u)
+        for u in range(1, n_parts + 1)
+        for _ in range(links_per_part)
+    }
+
+    db = ProbabilisticDatabase()
+    db.add_table(
+        "S",
+        uniform_probabilities(rng, suppliers, p_max),
+        columns=("s_suppkey", "s_nationkey"),
+    )
+    db.add_table(
+        "PS",
+        uniform_probabilities(rng, sorted(links), p_max),
+        columns=("ps_suppkey", "ps_partkey"),
+    )
+    db.add_table(
+        "P",
+        uniform_probabilities(rng, parts, p_max),
+        columns=("p_partkey", "p_name"),
+    )
+    return db
+
+
+def _part_name(rng: random.Random) -> str:
+    return " ".join(rng.choice(COLORS) for _ in range(5))
+
+
+def like_match(pattern: str, text: str) -> bool:
+    """SQL ``LIKE`` semantics: ``%`` any run, ``_`` one character."""
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+        for ch in pattern
+    )
+    return re.fullmatch(regex, text) is not None
+
+
+class TPCHParameters:
+    """The query parameters ``$1`` (suppkey cutoff) and ``$2`` (LIKE)."""
+
+    __slots__ = ("suppkey_max", "name_pattern")
+
+    def __init__(self, suppkey_max: int, name_pattern: str) -> None:
+        self.suppkey_max = suppkey_max
+        self.name_pattern = name_pattern
+
+    def __repr__(self) -> str:
+        return f"TPCHParameters($1={self.suppkey_max}, $2={self.name_pattern!r})"
+
+
+def filtered_instance(
+    db: ProbabilisticDatabase, parameters: TPCHParameters
+) -> ProbabilisticDatabase:
+    """Push the selections ``s ≤ $1`` and ``n LIKE $2`` into the tables.
+
+    Returns a new database over the same three relations; evaluating the
+    pure conjunctive :func:`tpch_query` over it is equivalent to the
+    paper's parameterized query.
+    """
+    out = ProbabilisticDatabase()
+    supplier = db.table("S")
+    out.add_table(
+        "S",
+        [
+            (row, p)
+            for row, p in supplier
+            if row[0] <= parameters.suppkey_max
+        ],
+        columns=supplier.schema.columns,
+        arity=2,
+    )
+    partsupp = db.table("PS")
+    out.add_table(
+        "PS",
+        [
+            (row, p)
+            for row, p in partsupp
+            if row[0] <= parameters.suppkey_max
+        ],
+        columns=partsupp.schema.columns,
+        arity=2,
+    )
+    part = db.table("P")
+    out.add_table(
+        "P",
+        [
+            (row, p)
+            for row, p in part
+            if like_match(parameters.name_pattern, row[1])
+        ],
+        columns=part.schema.columns,
+        arity=2,
+    )
+    return out

@@ -1,0 +1,115 @@
+"""Shared test utilities: random queries, random databases, comparisons.
+
+Used both by plain unit tests and by the hypothesis strategies in the
+property-based suites.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import Atom, ConjunctiveQuery, Variable
+from repro.db import ProbabilisticDatabase
+
+__all__ = [
+    "random_query",
+    "random_database_for",
+    "boolean",
+    "close",
+    "assert_scores_close",
+]
+
+
+def boolean(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    return query.with_head(())
+
+
+def random_query(
+    rng: random.Random,
+    max_atoms: int = 4,
+    max_vars: int = 4,
+    max_arity: int = 3,
+    head_vars: int = 0,
+) -> ConjunctiveQuery:
+    """A random connected-or-not self-join-free query.
+
+    Every variable is used at least once; atoms draw 1..max_arity variables
+    with replacement (repeated variables within an atom are allowed).
+    """
+    n_atoms = rng.randint(1, max_atoms)
+    n_vars = rng.randint(1, max_vars)
+    variables = [Variable(f"x{i}") for i in range(n_vars)]
+    atoms = []
+    for i in range(n_atoms):
+        arity = rng.randint(1, max_arity)
+        terms = tuple(rng.choice(variables) for _ in range(arity))
+        atoms.append(Atom(f"R{i}", terms))
+    # ensure every variable occurs somewhere: retarget unused ones
+    used = set().union(*(a.own_variables for a in atoms))
+    variables = [v for v in variables if v in used]
+    if not variables:
+        variables = sorted(used) or [Variable("x0")]
+    head = tuple(
+        rng.sample(variables, min(head_vars, len(variables)))
+        if head_vars
+        else ()
+    )
+    return ConjunctiveQuery(atoms, head)
+
+
+def random_database_for(
+    query: ConjunctiveQuery,
+    rng: random.Random,
+    domain_size: int = 3,
+    fill: float = 0.7,
+    p_max: float = 0.8,
+    deterministic: frozenset[str] = frozenset(),
+) -> ProbabilisticDatabase:
+    """A small random instance covering the query's relations.
+
+    Each relation gets each tuple of ``{1..domain}^arity`` independently
+    with probability ``fill``, carrying a random marginal in
+    ``(0, p_max]``.
+    """
+    db = ProbabilisticDatabase()
+    for atom in query.atoms:
+        arity = atom.arity
+        rows = []
+        for idx in range(domain_size**arity):
+            if rng.random() > fill:
+                continue
+            digits = []
+            x = idx
+            for _ in range(arity):
+                x, d = divmod(x, domain_size)
+                digits.append(d + 1)
+            rows.append(tuple(digits))
+        if not rows:
+            rows = [tuple(1 for _ in range(arity))]
+        if atom.relation in deterministic:
+            db.add_table(atom.relation, rows, deterministic=True, arity=arity)
+        else:
+            db.add_table(
+                atom.relation,
+                [(r, rng.uniform(0.05, p_max)) for r in rows],
+                arity=arity,
+            )
+    return db
+
+
+def close(a: float, b: float, tolerance: float = 1e-9) -> bool:
+    return abs(a - b) <= tolerance
+
+
+def assert_scores_close(
+    left: dict[tuple, float],
+    right: dict[tuple, float],
+    tolerance: float = 1e-9,
+) -> None:
+    assert set(left) == set(right), (
+        f"answer sets differ: {set(left) ^ set(right)}"
+    )
+    for answer in left:
+        assert close(left[answer], right[answer], tolerance), (
+            f"{answer}: {left[answer]} != {right[answer]}"
+        )

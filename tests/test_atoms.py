@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.atoms."""
+
+import pytest
+
+from repro.core import Atom, Constant, Variable, parse_atom
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestConstruction:
+    def test_basic(self):
+        a = Atom("R", (x, y))
+        assert a.relation == "R"
+        assert a.arity == 2
+        assert a.own_variables == {x, y}
+
+    def test_constants_allowed(self):
+        a = Atom("R", (Constant("a"), x))
+        assert a.has_constants()
+        assert a.own_variables == {x}
+
+    def test_zero_arity(self):
+        a = Atom("R", ())
+        assert a.arity == 0
+        assert a.own_variables == frozenset()
+
+    def test_rejects_bad_terms(self):
+        with pytest.raises(TypeError):
+            Atom("R", ("x",))  # type: ignore[arg-type]
+
+    def test_rejects_empty_relation(self):
+        with pytest.raises(ValueError):
+            Atom("", (x,))
+
+    def test_repeated_variable(self):
+        a = Atom("R", (x, x))
+        assert a.own_variables == {x}
+        assert a.arity == 2
+
+
+class TestDissociation:
+    def test_dissociate_adds_structural_variables(self):
+        a = Atom("R", (x,)).dissociate([y])
+        assert a.own_variables == {x}
+        assert a.variables == {x, y}
+        assert a.dissociated == {y}
+
+    def test_dissociate_ignores_present_variables(self):
+        a = Atom("R", (x, y)).dissociate([y, z])
+        assert a.dissociated == {z}
+
+    def test_dissociate_noop_returns_self(self):
+        a = Atom("R", (x, y))
+        assert a.dissociate([x]) is a
+
+    def test_rejects_overlapping_dissociation(self):
+        with pytest.raises(ValueError):
+            Atom("R", (x,), dissociated=[x])
+
+    def test_without_dissociation(self):
+        a = Atom("R", (x,), dissociated=[y])
+        assert a.without_dissociation() == Atom("R", (x,))
+
+    def test_str_shows_dissociation(self):
+        a = Atom("R", (x,), dissociated=[y])
+        assert "R^{y}" in str(a)
+
+
+class TestRestrict:
+    def test_restrict_drops_variables(self):
+        a = Atom("R", (x, y, z)).restrict(frozenset([x]))
+        assert a.terms == (x,)
+
+    def test_restrict_keeps_constants(self):
+        a = Atom("R", (Constant(1), x)).restrict(frozenset())
+        assert a.terms == (Constant(1),)
+
+    def test_restrict_drops_dissociated(self):
+        a = Atom("R", (x,), dissociated=[y]).restrict(frozenset([x]))
+        assert a.dissociated == frozenset()
+
+
+class TestEquality:
+    def test_equal_atoms(self):
+        assert Atom("R", (x, y)) == Atom("R", (x, y))
+
+    def test_dissociation_matters(self):
+        assert Atom("R", (x,)) != Atom("R", (x,), dissociated=[y])
+
+    def test_hashable(self):
+        assert len({Atom("R", (x,)), Atom("R", (x,))}) == 1
+
+    def test_parse_round_trip(self):
+        a = parse_atom("R('a', x, 3)")
+        assert a.relation == "R"
+        assert a.terms[0] == Constant("a")
+        assert a.terms[1] == x
+        assert a.terms[2] == Constant(3)

@@ -1,0 +1,105 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestDemo:
+    def test_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "rho" in out and "exact" in out
+        assert "0.1650390625" in out
+        assert "0.1621093750" in out
+
+
+class TestFig2:
+    def test_prints_table(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "#MP" in out
+        assert "132" in out  # 7-chain minimal plans
+
+
+class TestPlans:
+    def test_unsafe_query(self, capsys):
+        assert main(["plans", "q() :- R(x), S(x,y), T(y)"]) == 0
+        out = capsys.readouterr().out
+        assert "2 minimal plans" in out
+        assert "π" in out
+
+    def test_safe_query(self, capsys):
+        assert main(["plans", "q() :- R(x), S(x,y)"]) == 0
+        out = capsys.readouterr().out
+        assert "safe" in out
+
+    def test_deterministic_knowledge(self, capsys):
+        assert main(
+            ["plans", "q() :- R(x), S(x,y), T(y)", "--deterministic", "T"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "safe" in out
+
+    def test_parse_error_raises(self):
+        with pytest.raises(Exception):
+            main(["plans", "not a query"])
+
+
+class TestEvaluate:
+    @pytest.fixture
+    def data_dir(self, tmp_path):
+        (tmp_path / "R.csv").write_text("x,p\n1,0.5\n2,0.5\n")
+        (tmp_path / "S.csv").write_text("x,y,p\n1,4,0.5\n1,5,0.5\n2,4,0.5\n")
+        (tmp_path / "T.csv").write_text("y,p\n4,0.5\n5,0.5\n")
+        return tmp_path
+
+    def test_evaluate_with_exact(self, capsys, data_dir):
+        assert main(
+            ["evaluate", "q() :- R(x), S(x,y), T(y)", "--data", str(data_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rho=" in out and "exact=" in out
+
+    def test_evaluate_sqlite_backend(self, capsys, data_dir):
+        assert main(
+            [
+                "evaluate",
+                "q() :- R(x), S(x,y), T(y)",
+                "--data",
+                str(data_dir),
+                "--sqlite",
+            ]
+        ) == 0
+        assert "rho=" in capsys.readouterr().out
+
+    def test_exact_limit_zero_skips_exact(self, capsys, data_dir):
+        assert main(
+            [
+                "evaluate",
+                "q() :- R(x), S(x,y), T(y)",
+                "--data",
+                str(data_dir),
+                "--exact-limit",
+                "0",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rho=" in out and "exact=" not in out
+
+    def test_non_boolean_query(self, capsys, data_dir):
+        assert main(
+            ["evaluate", "q(x) :- R(x), S(x,y)", "--data", str(data_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 answers" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])

@@ -1,0 +1,88 @@
+"""Tests for cut-set enumeration (MinCuts / MinPCuts)."""
+
+from repro.core import Variable, all_cutsets, is_cutset, min_cutsets, min_p_cutsets, parse_query
+from repro.workloads import chain_query
+
+x, y, z, u = (Variable(n) for n in "xyzu")
+
+
+class TestMinCuts:
+    def test_rst(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        cuts = min_cutsets(q)
+        assert sorted(cuts, key=sorted) == [frozenset([x]), frozenset([y])]
+
+    def test_disconnected_returns_empty_set(self):
+        q = parse_query("q() :- R(x), S(y)")
+        assert min_cutsets(q) == [frozenset()]
+
+    def test_single_atom_no_cuts(self):
+        q = parse_query("q() :- R(x, y)")
+        assert min_cutsets(q) == []
+
+    def test_head_vars_act_as_constants(self):
+        # with y in the head, removing x alone disconnects
+        q = parse_query("q(y) :- R(x,y), S(y,z)")
+        assert min_cutsets(q) == [frozenset()]
+
+    def test_joint_cut_needed(self):
+        q = parse_query("q() :- R(x,y), S(x,y)")
+        assert min_cutsets(q) == [frozenset([x, y])]
+
+    def test_chain_3(self):
+        q = chain_query(3)
+        x1, x2 = Variable("x1"), Variable("x2")
+        cuts = set(min_cutsets(q))
+        assert cuts == {frozenset([x1]), frozenset([x2])}
+
+    def test_minimality(self):
+        q = chain_query(4)
+        cuts = min_cutsets(q)
+        for a in cuts:
+            for b in cuts:
+                assert not (a < b), "non-minimal cut returned"
+
+    def test_is_cutset_consistency(self):
+        q = chain_query(4)
+        for cut in all_cutsets(q):
+            assert is_cutset(q, cut)
+
+
+class TestAllCutsets:
+    def test_includes_non_minimal(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        cuts = set(all_cutsets(q))
+        assert frozenset([x]) in cuts
+        assert frozenset([x, y]) in cuts
+
+    def test_empty_included_iff_disconnected(self):
+        connected = parse_query("q() :- R(x), S(x)")
+        disconnected = parse_query("q() :- R(x), S(y)")
+        assert frozenset() not in all_cutsets(connected)
+        assert frozenset() in all_cutsets(disconnected)
+
+
+class TestMinPCuts:
+    def test_example_23(self):
+        # q :- R(x), S(x,y), Td(y): MinCuts = {{x},{y}}, MinPCuts = {{x}}
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        assert set(min_cutsets(q)) == {frozenset([x]), frozenset([y])}
+        assert min_p_cutsets(q, deterministic={"T"}) == [frozenset([x])]
+
+    def test_no_deterministic_equals_mincuts(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        assert min_p_cutsets(q) == min_cutsets(q)
+        assert min_p_cutsets(q, deterministic=set()) == min_cutsets(q)
+
+    def test_all_deterministic_but_two(self):
+        # only the cut separating the two probabilistic relations counts
+        q = parse_query("q() :- R(x), S(x,y), T(y,z), U(z)")
+        cuts = min_p_cutsets(q, deterministic={"S", "T"})
+        # R and U are probabilistic; any cut separating them qualifies
+        for cut in cuts:
+            assert is_cutset(q, cut)
+
+    def test_pcut_may_be_larger_than_mincut(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        p_cuts = set(min_p_cutsets(q, deterministic={"T"}))
+        assert frozenset([y]) not in p_cuts

@@ -1,0 +1,174 @@
+"""Tests for the dissociation lattice and the Theorem 18 mappings."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Dissociation,
+    Variable,
+    count_dissociations,
+    enumerate_dissociations,
+    enumerate_safe_dissociations,
+    is_hierarchical,
+    minimal_plans,
+    minimal_safe_dissociations,
+    parse_query,
+)
+from repro.core.dissociation import dissociation_of_plan, plan_for
+from repro.core.safety import UnsafeQueryError
+from repro.db import ProbabilisticDatabase
+from repro.engine import DissociationEngine, plan_scores
+from repro.lineage import exact_probability, lineage_of
+
+from .helpers import random_database_for, random_query
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestDissociationObject:
+    def test_empty_components_dropped(self):
+        d = Dissociation({"R": frozenset(), "S": frozenset([x])})
+        assert "R" not in d.extras
+        assert d.size() == 1
+
+    def test_partial_order(self):
+        bottom = Dissociation({})
+        mid = Dissociation({"R": frozenset([x])})
+        top = Dissociation({"R": frozenset([x, y])})
+        assert bottom <= mid <= top
+        assert bottom < top
+        assert not top <= mid
+
+    def test_incomparable(self):
+        a = Dissociation({"R": frozenset([x])})
+        b = Dissociation({"S": frozenset([x])})
+        assert not a <= b and not b <= a
+
+    def test_probabilistic_preorder_ignores_deterministic(self):
+        a = Dissociation({"T": frozenset([x])})
+        b = Dissociation({})
+        assert a.le_probabilistic(b, deterministic=frozenset({"T"}))
+        assert not a <= b
+
+    def test_apply(self):
+        q = parse_query("q() :- R(x), S(x,y)")
+        d = Dissociation({"R": frozenset([y])})
+        q2 = d.apply(q)
+        assert q2.atom("R").variables == {x, y}
+        assert q2.atom("R").own_variables == {x}
+
+    def test_str(self):
+        assert str(Dissociation({})) == "∆⊥"
+        assert "R+{y}" in str(Dissociation({"R": frozenset([y])}))
+
+
+class TestEnumeration:
+    def test_count_matches_enumeration(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        assert count_dissociations(q) == len(list(enumerate_dissociations(q)))
+
+    def test_enumeration_sorted_by_rank(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        sizes = [d.size() for d in enumerate_dissociations(q)]
+        assert sizes == sorted(sizes)
+
+    def test_example_17_lattice(self):
+        # 2^3 = 8 dissociations, 5 safe, 2 minimal safe (Fig. 1)
+        q = parse_query("q() :- R(x), S(x), T(x,y), U(y)")
+        assert count_dissociations(q) == 8
+        assert len(enumerate_safe_dissociations(q)) == 5
+        assert len(minimal_safe_dissociations(q)) == 2
+
+    def test_example_17_minimal_dissociations(self):
+        q = parse_query("q() :- R(x), S(x), T(x,y), U(y)")
+        minimal = set(minimal_safe_dissociations(q))
+        expected = {
+            Dissociation({"U": frozenset([x])}),
+            Dissociation({"R": frozenset([y]), "S": frozenset([y])}),
+        }
+        assert minimal == expected
+
+    def test_safe_query_minimal_is_bottom(self):
+        q = parse_query("q() :- R(x), S(x,y)")
+        assert minimal_safe_dissociations(q) == [Dissociation({})]
+
+
+class TestMonotonicity:
+    """Corollary 16: P(q^∆) increases along the lattice."""
+
+    def test_probability_monotone_on_random_instances(self):
+        rng = random.Random(5)
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        db = random_database_for(q, rng)
+        scored: dict[Dissociation, float] = {}
+        for d in enumerate_safe_dissociations(q):
+            plan = plan_for(q, d)
+            scored[d] = plan_scores(plan, q, db).get((), 0.0)
+        for a in scored:
+            for b in scored:
+                if a < b:
+                    assert scored[a] <= scored[b] + 1e-12, (a, b)
+
+    def test_dissociated_probability_is_upper_bound(self):
+        rng = random.Random(6)
+        q = parse_query("q() :- R(x), S(x), T(x,y), U(y)")
+        db = random_database_for(q, rng)
+        lineage = lineage_of(q, db)
+        exact = exact_probability(
+            lineage.by_answer.get((), __import__("repro.lineage", fromlist=["DNF"]).DNF()),
+            lineage.probabilities,
+        )
+        for d in enumerate_safe_dissociations(q):
+            plan = plan_for(q, d)
+            score = plan_scores(plan, q, db).get((), 0.0)
+            assert score >= exact - 1e-12
+
+
+class TestTheorem18:
+    def test_roundtrip_on_example_17(self):
+        q = parse_query("q() :- R(x), S(x), T(x,y), U(y)")
+        for d in enumerate_safe_dissociations(q):
+            assert dissociation_of_plan(plan_for(q, d)) == d
+
+    def test_minimal_plans_are_minimal_dissociations(self):
+        q = parse_query("q() :- R(x), S(x), T(x,y), U(y)")
+        plan_deltas = {dissociation_of_plan(p) for p in minimal_plans(q)}
+        assert plan_deltas == set(minimal_safe_dissociations(q))
+
+    def test_plan_for_unsafe_dissociation_raises(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        with pytest.raises(UnsafeQueryError):
+            plan_for(q, Dissociation({}))  # q itself is unsafe
+
+    def test_plan_for_materialized_equivalence(self):
+        """P(q^∆) on the dissociated database equals score(P_∆) on the
+        original (Theorem 18 (2)) — checked by explicit materialization."""
+        rng = random.Random(42)
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        db = random_database_for(q, rng, domain_size=2)
+        d = Dissociation({"T": frozenset([x])})
+        plan = plan_for(q, d)
+        score = plan_scores(plan, q, db).get((), 0.0)
+
+        # materialize D^∆: copy T once per value in ADom(x)
+        adom_x = sorted(
+            {row[0] for row, _ in db.table("R")}
+            | {row[0] for row, _ in db.table("S")}
+        )
+        mat = ProbabilisticDatabase()
+        mat.add_table("R", list(db.table("R")), arity=1)
+        mat.add_table("S", list(db.table("S")), arity=2)
+        mat.add_table(
+            "T",
+            [((row[0], a), p) for row, p in db.table("T") for a in adom_x],
+            arity=2,
+        )
+        q_diss = parse_query("q() :- R(x), S(x,y), T(y,x)")
+        lineage = lineage_of(q_diss, mat)
+        from repro.lineage import DNF
+
+        exact = exact_probability(
+            lineage.by_answer.get((), DNF()), lineage.probabilities
+        )
+        assert abs(score - exact) < 1e-9

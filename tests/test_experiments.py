@@ -1,0 +1,182 @@
+"""Tests for the experiment harnesses (Fig. 2, runtime, quality)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    OPTIMIZATION_MODES,
+    catalan,
+    dissociation_timings,
+    fig2_chain_rows,
+    fig2_report,
+    fig2_star_rows,
+    format_seconds,
+    format_series,
+    format_table,
+    fubini,
+    per_plan_rankings,
+    run_quality_trial,
+    run_scaling_trial,
+    super_catalan,
+    tpch_timings,
+)
+from repro.workloads import (
+    TPCHParameters,
+    chain_database,
+    chain_query,
+    filtered_instance,
+    tpch_database,
+    tpch_query,
+)
+
+
+class TestClosedForms:
+    def test_catalan(self):
+        assert [catalan(n) for n in range(8)] == [1, 1, 2, 5, 14, 42, 132, 429]
+
+    def test_super_catalan(self):
+        assert [super_catalan(n) for n in range(8)] == [
+            1, 1, 3, 11, 45, 197, 903, 4279,
+        ]
+
+    def test_fubini(self):
+        assert [fubini(n) for n in range(8)] == [
+            1, 1, 3, 13, 75, 541, 4683, 47293,
+        ]
+
+
+class TestFig2:
+    def test_chain_rows_match_paper(self):
+        rows = fig2_chain_rows(max_k=6)
+        expected = {
+            2: (1, 1, 1),
+            3: (2, 3, 4),
+            4: (5, 11, 64),
+            5: (14, 45, 4096),
+            6: (42, 197, 2**20),
+        }
+        for row in rows:
+            assert (
+                row.minimal_plans,
+                row.total_plans,
+                row.dissociations,
+            ) == expected[row.k]
+
+    def test_star_rows_match_paper(self):
+        rows = fig2_star_rows(max_k=5)
+        expected = {
+            1: (1, 1, 1),
+            2: (2, 3, 4),
+            3: (6, 13, 64),
+            4: (24, 75, 4096),
+            5: (120, 541, 2**20),
+        }
+        for row in rows:
+            assert (
+                row.minimal_plans,
+                row.total_plans,
+                row.dissociations,
+            ) == expected[row.k]
+
+    def test_closed_form_used_above_cutoff(self):
+        rows = fig2_star_rows(max_k=7, count_plans_up_to=3)
+        by_k = {r.k: r for r in rows}
+        assert by_k[7].total_plans == 47293
+        assert by_k[7].minimal_plans == 5040
+
+    def test_report_renders(self):
+        text = fig2_report(fig2_star_rows(3, 3), fig2_chain_rows(4, 4))
+        assert "#MP" in text and "k-star" in text and "k-chain" in text
+
+
+class TestRuntimeHarness:
+    def test_dissociation_timings_row(self):
+        q = chain_query(3)
+        db = chain_database(3, 80, seed=0)
+        row = dissociation_timings(q, db, label="chain3")
+        assert row.plan_count == 2
+        assert set(row.seconds) == {"standard_sql", *OPTIMIZATION_MODES}
+        assert all(v >= 0 for v in row.seconds.values())
+
+    def test_tpch_timings_row(self):
+        db = filtered_instance(
+            tpch_database(scale=0.003, seed=1), TPCHParameters(20, "%")
+        )
+        row = tpch_timings(tpch_query(), db)
+        for key in ("standard_sql", "lineage_query", "diss", "diss_opt3"):
+            assert row.seconds[key] >= 0
+        assert row.extra["max_lineage"] >= 0
+
+    def test_tpch_skips_exact_above_limit(self):
+        db = filtered_instance(
+            tpch_database(scale=0.003, seed=1), TPCHParameters(20, "%")
+        )
+        row = tpch_timings(tpch_query(), db, exact_lineage_limit=0,
+                           mc_lineage_limit=0)
+        assert math.isnan(row.seconds["exact"])
+        assert math.isnan(row.seconds["mc"])
+
+
+class TestQualityHarness:
+    @pytest.fixture(scope="class")
+    def trial(self):
+        db = filtered_instance(
+            tpch_database(scale=0.004, seed=2), TPCHParameters(25, "%re%")
+        )
+        return run_quality_trial(tpch_query(), db, mc_samples=(50, 1000))
+
+    def test_rankers_present(self, trial):
+        assert trial.ground_truth and trial.dissociation
+        assert set(trial.monte_carlo) == {50, 1000}
+
+    def test_dissociation_ap_high(self, trial):
+        assert trial.ap_dissociation() > 0.85
+
+    def test_more_samples_do_not_hurt_much(self, trial):
+        assert trial.ap_monte_carlo(1000) >= trial.ap_monte_carlo(50) - 0.1
+
+    def test_covariates(self, trial):
+        assert 0 < trial.avg_pi < 0.5
+        assert 0 <= trial.avg_pa <= 1
+        assert trial.avg_d >= 1.0
+        assert trial.max_lineage >= 1
+
+    def test_per_plan_rankings(self):
+        db = filtered_instance(
+            tpch_database(scale=0.004, seed=3), TPCHParameters(25, "%")
+        )
+        rankings = per_plan_rankings(tpch_query(), db)
+        assert len(rankings) == 2
+        for r in rankings:
+            assert r.avg_d >= 1.0
+            assert 0 <= r.ap <= 1
+
+    def test_scaling_trial(self):
+        db = filtered_instance(
+            tpch_database(scale=0.004, seed=4), TPCHParameters(25, "%re%")
+        )
+        trial = run_scaling_trial(tpch_query(), db, factor=0.1)
+        assert 0 <= trial.ap_scaled_gt_vs_gt <= 1
+        assert 0 <= trial.ap_scaled_diss_vs_scaled_gt <= 1
+        # dissociation works increasingly well at small scales (Prop. 21)
+        tiny = run_scaling_trial(tpch_query(), db, factor=0.01)
+        assert tiny.ap_scaled_diss_vs_scaled_gt > 0.9
+
+
+class TestReport:
+    def test_format_seconds(self):
+        assert format_seconds(2.5) == "2.50s"
+        assert format_seconds(0.0205).endswith("ms")
+        assert format_seconds(3e-5).endswith("µs")
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_series(self):
+        text = format_series("diss", {100: 0.5, 200: 0.25}, unit="s")
+        assert text.startswith("diss:")
+        assert "100=0.5s" in text

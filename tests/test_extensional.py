@@ -1,0 +1,125 @@
+"""Tests for the in-memory extensional plan evaluator."""
+
+import random
+
+import pytest
+
+from repro.core import Atom, Constant, Join, MinPlan, Project, Scan, Variable, parse_query
+from repro.db import ProbabilisticDatabase
+from repro.engine import deterministic_answers, evaluate_plan, plan_scores
+
+from .helpers import random_database_for, random_query
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestScan:
+    def test_basic(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.3), ((2,), 0.6)])
+        scores = evaluate_plan(Scan(Atom("R", (x,))), db)
+        assert scores == {(1,): 0.3, (2,): 0.6}
+
+    def test_constant_filter(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [(("a", 1), 0.3), (("b", 2), 0.6)])
+        scores = evaluate_plan(Scan(Atom("R", (Constant("a"), x))), db)
+        assert scores == {(1,): 0.3}
+
+    def test_repeated_variable_filter(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 1), 0.3), ((1, 2), 0.6)])
+        scores = evaluate_plan(Scan(Atom("R", (x, x))), db)
+        assert scores == {(1,): 0.3}
+
+
+class TestJoin:
+    def test_scores_multiply(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        db.add_table("S", [((1, 2), 0.4)])
+        plan = Join([Scan(Atom("R", (x,))), Scan(Atom("S", (x, y)))])
+        scores = evaluate_plan(plan, db)
+        assert scores == {(1, 2): 0.2}
+
+    def test_no_match_empty(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        db.add_table("S", [((9, 2), 0.4)])
+        plan = Join([Scan(Atom("R", (x,))), Scan(Atom("S", (x, y)))])
+        assert evaluate_plan(plan, db) == {}
+
+    def test_cross_product(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        db.add_table("S", [((2,), 0.4)])
+        plan = Join([Scan(Atom("R", (x,))), Scan(Atom("S", (y,)))])
+        scores = evaluate_plan(plan, db, output_order=(x, y))
+        assert scores == {(1, 2): 0.2}
+
+
+class TestProject:
+    def test_independent_or(self):
+        db = ProbabilisticDatabase()
+        db.add_table("S", [((1, 4), 0.5), ((1, 5), 0.5), ((2, 4), 0.3)])
+        plan = Project([x], Scan(Atom("S", (x, y))))
+        scores = evaluate_plan(plan, db)
+        assert abs(scores[(1,)] - 0.75) < 1e-12
+        assert abs(scores[(2,)] - 0.3) < 1e-12
+
+    def test_boolean_projection(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5), ((2,), 0.5)])
+        plan = Project([], Scan(Atom("R", (x,))))
+        assert abs(evaluate_plan(plan, db)[()] - 0.75) < 1e-12
+
+
+class TestMin:
+    def test_per_tuple_minimum(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 4), 0.9), ((1, 5), 0.1)])
+        a = Project([x], Scan(Atom("R", (x, y))))
+        # identical subplans: min degenerates but exercises alignment
+        plan = MinPlan([a, Project([x], Scan(Atom("R", (x, y))))])
+        scores = evaluate_plan(plan, db)
+        assert abs(scores[(1,)] - (1 - 0.1 * 0.9)) < 1e-12
+
+
+class TestOutputOrder:
+    def test_head_order_respected(self):
+        db = ProbabilisticDatabase()
+        db.add_table("S", [((1, 2), 0.4)])
+        q = parse_query("q(y, x) :- S(x, y)")
+        scores = plan_scores(Scan(Atom("S", (x, y))), q, db)
+        assert scores == {(2, 1): 0.4}
+
+    def test_mismatched_order_rejected(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        with pytest.raises(ValueError):
+            evaluate_plan(Scan(Atom("R", (x,))), db, output_order=(y,))
+
+
+class TestAgainstAnswers:
+    def test_plans_return_exactly_the_answers(self):
+        rng = random.Random(50)
+        from repro.core import minimal_plans
+
+        for _ in range(30):
+            q = random_query(rng, head_vars=rng.randint(0, 2))
+            db = random_database_for(q, rng, domain_size=2)
+            answers = deterministic_answers(q, db)
+            for plan in minimal_plans(q):
+                scores = plan_scores(plan, q, db)
+                assert set(scores) == answers, str(q)
+
+    def test_scores_are_probabilities(self):
+        rng = random.Random(51)
+        from repro.core import minimal_plans
+
+        for _ in range(20):
+            q = random_query(rng, head_vars=1)
+            db = random_database_for(q, rng, domain_size=2)
+            for plan in minimal_plans(q):
+                for score in plan_scores(plan, q, db).values():
+                    assert -1e-12 <= score <= 1.0 + 1e-12

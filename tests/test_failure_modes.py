@@ -1,0 +1,143 @@
+"""Failure-injection tests: wrong inputs must fail loudly and precisely."""
+
+import pytest
+
+from repro.core import (
+    Atom,
+    ConjunctiveQuery,
+    UnsafeQueryError,
+    Variable,
+    parse_query,
+    safe_plan,
+)
+from repro.db import ProbabilisticDatabase
+from repro.engine import DissociationEngine, SQLCompiler, plan_scores
+from repro.lineage import DNF, exact_probability
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestMissingData:
+    def test_query_over_missing_table(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        q = parse_query("q() :- R(x), S(x,y)")
+        engine = DissociationEngine(db)
+        with pytest.raises(KeyError, match="S"):
+            engine.propagation_score(q)
+
+    def test_arity_mismatch_between_query_and_table(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 2), 0.5)])  # binary
+        q = parse_query("q() :- R(x)")  # unary atom
+        engine = DissociationEngine(db)
+        with pytest.raises(Exception):
+            engine.propagation_score(q)
+
+    def test_sql_compiler_missing_schema(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        q = parse_query("q() :- R(x), S(x)")
+        compiler = SQLCompiler(db.schema)
+        from repro.core import minimal_plans
+
+        with pytest.raises(KeyError):
+            for plan in minimal_plans(q):
+                compiler.compile(plan, q)
+
+
+class TestBadProbabilities:
+    def test_negative_probability(self):
+        db = ProbabilisticDatabase()
+        with pytest.raises(ValueError):
+            db.add_table("R", [((1,), -0.1)])
+
+    def test_probability_above_one(self):
+        db = ProbabilisticDatabase()
+        with pytest.raises(ValueError):
+            db.add_table("R", [((1,), 1.00001)])
+
+    def test_exact_evaluator_missing_variable_treated_impossible(self):
+        # a variable without a recorded marginal is impossible (p = 0)
+        f = DNF([["a"]])
+        assert exact_probability(f, {}) == 0.0
+
+
+class TestBadPlans:
+    def test_safe_plan_on_unsafe_query(self):
+        with pytest.raises(UnsafeQueryError):
+            safe_plan(parse_query("q() :- R(x), S(x,y), T(y)"))
+
+    def test_plan_scores_wrong_query_head(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 2), 0.5)])
+        from repro.core import Scan
+
+        plan = Scan(Atom("R", (x, y)))
+        wrong = ConjunctiveQuery([Atom("R", (x, y))], head=[x])
+        with pytest.raises(ValueError):
+            plan_scores(plan, wrong, db)
+
+    def test_projection_of_foreign_variable(self):
+        from repro.core import Project, Scan
+
+        with pytest.raises(ValueError):
+            Project([Variable("zz")], Scan(Atom("R", (x,))))
+
+
+class TestClosedBackend:
+    def test_execute_after_close(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        from repro.db import SQLiteBackend
+
+        backend = SQLiteBackend(db)
+        backend.close()
+        import sqlite3
+
+        with pytest.raises(sqlite3.ProgrammingError):
+            backend.execute('SELECT * FROM "R"')
+
+    def test_engine_recovers_after_invalidate(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        db.add_table("S", [((1, 2), 0.5)])
+        q = parse_query("q() :- R(x), S(x,y)")
+        engine = DissociationEngine(db, backend="sqlite")
+        first = engine.propagation_score(q)
+        engine.invalidate_sqlite()
+        second = engine.propagation_score(q)
+        assert first == second
+
+
+class TestDegenerateQueries:
+    def test_zero_arity_atom(self):
+        db = ProbabilisticDatabase()
+        db.add_table("N", [((), 0.7)], arity=0)
+        db.add_table("R", [((1,), 0.5)])
+        q = parse_query("q() :- N(), R(x)")
+        engine = DissociationEngine(db)
+        rho = engine.propagation_score(q)[()]
+        exact = engine.exact(q)[()]
+        assert abs(rho - 0.7 * 0.5) < 1e-12
+        assert abs(exact - 0.35) < 1e-12
+
+    def test_all_head_variables(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 2), 0.5), ((3, 4), 0.25)])
+        q = parse_query("q(x, y) :- R(x, y)")
+        engine = DissociationEngine(db)
+        scores = engine.propagation_score(q)
+        assert scores == {(1, 2): 0.5, (3, 4): 0.25}
+
+    def test_single_tuple_database(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        db.add_table("S", [((1, 1), 0.5)])
+        db.add_table("T", [((1,), 0.5)])
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        engine = DissociationEngine(db)
+        # one clause: rho should equal exact exactly
+        assert abs(
+            engine.propagation_score(q)[()] - engine.exact(q)[()]
+        ) < 1e-12

@@ -1,0 +1,112 @@
+"""Tests for functional dependencies and the ∆Γ chase."""
+
+import pytest
+
+from repro.core import (
+    FD,
+    Atom,
+    ColumnFD,
+    Constant,
+    Variable,
+    closure,
+    dissociation_closure,
+    parse_query,
+)
+from repro.core.fds import apply_dissociation_closure, instantiate_column_fds
+
+x, y, z, u = (Variable(n) for n in "xyzu")
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert closure([x], []) == {x}
+
+    def test_single_step(self):
+        assert closure([x], [FD(frozenset([x]), frozenset([y]))]) == {x, y}
+
+    def test_transitive(self):
+        fds = [
+            FD(frozenset([x]), frozenset([y])),
+            FD(frozenset([y]), frozenset([z])),
+        ]
+        assert closure([x], fds) == {x, y, z}
+
+    def test_composite_lhs(self):
+        fds = [FD(frozenset([x, y]), frozenset([z]))]
+        assert closure([x], fds) == {x}
+        assert closure([x, y], fds) == {x, y, z}
+
+    def test_no_spurious(self):
+        fds = [FD(frozenset([y]), frozenset([z]))]
+        assert closure([x], fds) == {x}
+
+
+class TestInstantiation:
+    def test_basic_key(self):
+        atom = Atom("S", (x, y))
+        fds = instantiate_column_fds(atom, [ColumnFD((0,), (1,))])
+        assert fds == [FD(frozenset([x]), frozenset([y]))]
+
+    def test_constant_lhs_dropped(self):
+        atom = Atom("S", (Constant(1), y))
+        fds = instantiate_column_fds(atom, [ColumnFD((0,), (1,))])
+        # the constant is fixed, so y is determined by the empty set
+        assert fds == [FD(frozenset(), frozenset([y]))]
+
+    def test_constant_rhs_skipped(self):
+        atom = Atom("S", (x, Constant(1)))
+        assert instantiate_column_fds(atom, [ColumnFD((0,), (1,))]) == []
+
+    def test_repeated_variable(self):
+        atom = Atom("S", (x, x))
+        assert instantiate_column_fds(atom, [ColumnFD((0,), (1,))]) == []
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            instantiate_column_fds(Atom("S", (x,)), [ColumnFD((0,), (5,))])
+
+
+class TestDissociationClosure:
+    def test_rst_example(self):
+        # S: x→y dissociates R(x) on y (Sec. 3.3.2)
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        delta = dissociation_closure(q, {"S": [ColumnFD((0,), (1,))]})
+        assert delta == {"R": frozenset([y])}
+
+    def test_reverse_fd(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        delta = dissociation_closure(q, {"S": [ColumnFD((1,), (0,))]})
+        assert delta == {"T": frozenset([x])}
+
+    def test_head_variables_excluded(self):
+        q = parse_query("q(y) :- R(x), S(x,y), T(y)")
+        delta = dissociation_closure(q, {"S": [ColumnFD((0,), (1,))]})
+        assert delta == {}
+
+    def test_propagation_through_atoms(self):
+        # R1: x→y and R2: y→z dissociate R1 on z transitively
+        q = parse_query("q() :- R1(x,y), R2(y,z), R3(z)")
+        fds = {"R1": [ColumnFD((0,), (1,))], "R2": [ColumnFD((0,), (1,))]}
+        delta = dissociation_closure(q, fds)
+        assert delta["R1"] == frozenset([z])
+        assert delta["R2"] == frozenset()  if "R2" in delta else True
+
+    def test_apply_makes_hierarchical(self):
+        from repro.core import is_hierarchical
+
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        assert not is_hierarchical(q)
+        chased = apply_dissociation_closure(q, {"S": [ColumnFD((0,), (1,))]})
+        assert is_hierarchical(chased)
+
+    def test_no_fds_identity(self):
+        q = parse_query("q() :- R(x), S(x,y)")
+        assert apply_dissociation_closure(q, {}) == q
+
+
+class TestTableSchemaKeyHelper:
+    def test_key_builds_column_fd(self):
+        from repro.db import TableSchema
+
+        schema = TableSchema("S", 3).key(0)
+        assert schema.fds == (ColumnFD((0,), (1, 2)),)

@@ -1,0 +1,113 @@
+"""Tests for hierarchical queries (Def. 1 / Lemma 3) and safety."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    hierarchy_violations,
+    is_hierarchical,
+    is_hierarchical_recursive,
+    is_safe,
+    parse_query,
+)
+from repro.workloads import chain_query, star_query
+
+from .helpers import random_query
+
+
+class TestPaperExamples:
+    def test_hierarchical_example(self):
+        # q1 :- R(x,y), S(y,z), T(y,z,u) is hierarchical (Sec. 2)
+        q = parse_query("q() :- R(x,y), S(y,z), T(y,z,u)")
+        assert is_hierarchical(q)
+
+    def test_non_hierarchical_example(self):
+        # q2 :- R(x,y), S(y,z), T(z,u) is not (y and z violate)
+        q = parse_query("q() :- R(x,y), S(y,z), T(z,u)")
+        assert not is_hierarchical(q)
+        witnesses = hierarchy_violations(q)
+        names = {frozenset((a.name, b.name)) for a, b in witnesses}
+        assert frozenset(("y", "z")) in names
+
+    def test_rst_pattern_unsafe(self):
+        # the canonical #P-hard query
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        assert not is_hierarchical(q)
+        assert not is_safe(q)
+
+    def test_rs_pattern_safe(self):
+        q = parse_query("q() :- R(x), S(x,y)")
+        assert is_hierarchical(q)
+        assert is_safe(q)
+
+    def test_example_17_unsafe(self):
+        q = parse_query("q() :- R(x), S(x), T(x,y), U(y)")
+        assert not is_hierarchical(q)
+
+
+class TestHeadVariables:
+    def test_head_variables_excluded(self):
+        # unsafe as Boolean, safe when y is a head variable
+        q_bool = parse_query("q() :- R(x), S(x,y), T(y)")
+        q_head = parse_query("q(y) :- R(x), S(x,y), T(y)")
+        assert not is_hierarchical(q_bool)
+        assert is_hierarchical(q_head)
+
+    def test_single_atom_always_hierarchical(self):
+        assert is_hierarchical(parse_query("q() :- R(x,y,z)"))
+
+
+class TestWorkloadShapes:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_chains_unsafe_beyond_2(self, k):
+        assert not is_hierarchical(chain_query(k))
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_short_chains_safe(self, k):
+        # the 2-chain has a single existential variable → hierarchical
+        # (matching #MP = 1 in Fig. 2)
+        assert is_hierarchical(chain_query(k))
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_stars_unsafe_beyond_1(self, k):
+        assert not is_hierarchical(star_query(k))
+
+    def test_star_1_safe(self):
+        assert is_hierarchical(star_query(1))
+
+
+class TestDissociatedQueries:
+    def test_dissociation_restores_hierarchy(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        from repro.core import Variable
+
+        q_diss = q.dissociate({"T": frozenset([Variable("x")])})
+        assert is_hierarchical(q_diss)
+
+    def test_safe_unsafe_safe_along_lattice(self):
+        # Sec. 3.1: safety can toggle along the dissociation lattice
+        from repro.core import Variable
+
+        x, y = Variable("x"), Variable("y")
+        q = parse_query("q() :- R(x), S(x), T(y)")
+        assert is_hierarchical(q)
+        q1 = q.dissociate({"S": frozenset([y])})
+        assert not is_hierarchical(q1)
+        q2 = q1.dissociate({"T": frozenset([x])})
+        assert is_hierarchical(q2)
+
+
+class TestRecursiveCharacterization:
+    def test_agrees_with_pairwise_on_random_queries(self):
+        rng = random.Random(7)
+        for _ in range(300):
+            q = random_query(rng, head_vars=rng.randint(0, 2))
+            assert is_hierarchical(q) == is_hierarchical_recursive(q), str(q)
+
+    def test_agrees_on_workloads(self):
+        for k in range(1, 6):
+            q = chain_query(k)
+            assert is_hierarchical(q) == is_hierarchical_recursive(q)
+            q = star_query(k)
+            assert is_hierarchical(q) == is_hierarchical_recursive(q)

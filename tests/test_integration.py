@@ -1,0 +1,181 @@
+"""End-to-end integration tests across the whole stack.
+
+Each scenario drives the public API the way the examples and benchmarks
+do: generate a workload, evaluate with several strategies, compare
+rankings against exact ground truth.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    DissociationEngine,
+    Optimizations,
+    ProbabilisticDatabase,
+    parse_query,
+)
+from repro.experiments import run_quality_trial, run_scaling_trial
+from repro.ranking import average_precision_at_k
+from repro.workloads import (
+    TPCHParameters,
+    chain_database,
+    chain_query,
+    filtered_instance,
+    star_database,
+    star_query,
+    tpch_database,
+    tpch_query,
+)
+
+from .helpers import assert_scores_close
+
+
+class TestChainPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        q = chain_query(4)
+        db = chain_database(4, 250, seed=11, p_max=0.5)
+        return q, db
+
+    def test_all_strategies_agree_on_answers(self, setup):
+        q, db = setup
+        engine = DissociationEngine(db)
+        sqlite_engine = DissociationEngine(db, backend="sqlite")
+        answers = engine.answers(q)
+        for opts in (
+            Optimizations.none(),
+            Optimizations(),
+            Optimizations.all(),
+        ):
+            assert set(engine.propagation_score(q, opts)) == answers
+            assert set(sqlite_engine.propagation_score(q, opts)) == answers
+
+    def test_upper_bound_and_quality(self, setup):
+        q, db = setup
+        engine = DissociationEngine(db)
+        rho = engine.propagation_score(q)
+        exact = engine.exact(q)
+        for a in exact:
+            assert rho[a] >= exact[a] - 1e-9
+        assert average_precision_at_k(rho, exact, k=10) > 0.9
+
+    def test_backends_bitwise_close(self, setup):
+        q, db = setup
+        memory = DissociationEngine(db).propagation_score(q)
+        sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
+        assert_scores_close(memory, sqlite, tolerance=1e-9)
+
+
+class TestStarPipeline:
+    def test_boolean_probability_bounds(self):
+        # kept deliberately small: the Boolean 3-star lineage is exactly
+        # the hard regime for exact WMC (that hardness is the paper's
+        # premise) — n=80 instances already take minutes of Shannon
+        # expansion, so ground truth is computed on a 25-row instance
+        q = star_query(3)
+        db = star_database(3, 25, domain_size=8, seed=12)
+        engine = DissociationEngine(db)
+        rho = engine.propagation_score(q).get((), 0.0)
+        exact = engine.exact(q).get((), 0.0)
+        mc = engine.monte_carlo(q, 30_000, seed=0).get((), 0.0)
+        assert exact - 1e-9 <= rho
+        assert abs(mc - exact) < 0.02
+
+    def test_plan_count_is_factorial(self):
+        engine = DissociationEngine(star_database(3, 20, seed=1))
+        assert len(engine.minimal_plans(star_query(3))) == 6
+
+
+class TestTPCHPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        db = tpch_database(scale=0.01, seed=13)
+        filtered = filtered_instance(db, TPCHParameters(60, "%re%"))
+        return tpch_query(), filtered
+
+    def test_quality_ordering(self, setup):
+        q, db = setup
+        trial = run_quality_trial(q, db, mc_samples=(100,))
+        # Result 3: dissociation ≥ MC(100) ≥ lineage (allowing slack)
+        assert trial.ap_dissociation() >= trial.ap_monte_carlo(100) - 0.05
+        assert trial.ap_dissociation() >= trial.ap_lineage() - 0.02
+
+    def test_scaling_improves_dissociation(self, setup):
+        q, db = setup
+        coarse = run_scaling_trial(q, db, factor=0.5)
+        fine = run_scaling_trial(q, db, factor=0.02)
+        assert (
+            fine.ap_scaled_diss_vs_scaled_gt
+            >= coarse.ap_scaled_diss_vs_scaled_gt - 0.05
+        )
+
+    def test_sqlite_evaluation(self, setup):
+        q, db = setup
+        engine = DissociationEngine(db, backend="sqlite")
+        result = engine.evaluate(q, Optimizations.all())
+        assert result.plan_count == 2
+        assert result.sql is not None
+        assert all(0 <= v <= 1 + 1e-9 for v in result.scores.values())
+
+
+class TestSchemaPipeline:
+    def test_deterministic_hub_star(self):
+        # star with a deterministic hub: fewer plans, still exact bounds
+        q = star_query(2)
+        db = star_database(
+            2, 50, seed=14, deterministic_tables=frozenset({"R0"})
+        )
+        engine = DissociationEngine(db)
+        plans = engine.minimal_plans(q)
+        oblivious = DissociationEngine(db, use_schema_knowledge=False)
+        assert len(plans) <= len(oblivious.minimal_plans(q))
+        rho = engine.propagation_score(q).get((), 0.0)
+        exact = engine.exact(q).get((), 0.0)
+        assert rho >= exact - 1e-9
+
+    def test_scaled_database_pipeline(self):
+        q = chain_query(3)
+        db = chain_database(3, 150, seed=15, p_max=0.8)
+        engine = DissociationEngine(db)
+        scaled_engine = DissociationEngine(db.scaled(0.1))
+        exact = engine.exact(q)
+        scaled_exact = scaled_engine.exact(q)
+        assert set(exact) == set(scaled_exact)
+        for a in exact:
+            assert scaled_exact[a] <= exact[a] + 1e-12
+
+
+class TestNumericEdgeCases:
+    def test_probability_one_tuples(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 1.0)])
+        db.add_table("S", [((1, 2), 1.0), ((1, 3), 0.5)])
+        db.add_table("T", [((2,), 1.0), ((3,), 1.0)])
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        engine = DissociationEngine(db)
+        rho = engine.propagation_score(q)[()]
+        exact = engine.exact(q)[()]
+        assert rho >= exact - 1e-12
+        assert exact == 1.0
+
+    def test_probability_zero_tuples(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.0)])
+        db.add_table("S", [((1, 2), 0.9)])
+        q = parse_query("q() :- R(x), S(x,y)")
+        engine = DissociationEngine(db)
+        assert engine.exact(q)[()] == 0.0
+        assert engine.propagation_score(q)[()] == 0.0
+
+    def test_tiny_probabilities_stable(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((i,), 1e-12) for i in range(5)])
+        db.add_table("S", [((i, j), 1e-12) for i in range(5) for j in range(3)])
+        q = parse_query("q() :- R(x), S(x,y)")
+        engine = DissociationEngine(db)
+        rho = engine.propagation_score(q)[()]
+        exact = engine.exact(q)[()]
+        assert rho >= exact - 1e-24
+        assert not math.isnan(rho)

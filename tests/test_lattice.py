@@ -1,0 +1,109 @@
+"""Tests for the explicit dissociation lattice and incidence matrices."""
+
+from repro.core import (
+    Dissociation,
+    DissociationLattice,
+    Variable,
+    incidence_matrix,
+    parse_query,
+)
+
+x, y = Variable("x"), Variable("y")
+
+EXAMPLE_17 = "q() :- R(x), S(x), T(x,y), U(y)"
+
+
+class TestLatticeStructure:
+    def test_example_17_counts(self):
+        lattice = DissociationLattice(parse_query(EXAMPLE_17))
+        assert len(lattice) == 8
+        assert len(lattice.safe_nodes()) == 5
+        assert len(lattice.minimal_safe_nodes()) == 2
+
+    def test_bottom_and_top(self):
+        lattice = DissociationLattice(parse_query(EXAMPLE_17))
+        assert lattice.bottom().delta.is_empty()
+        assert lattice.top().delta.size() == 3
+
+    def test_cover_edges_increase_rank_by_one(self):
+        lattice = DissociationLattice(parse_query(EXAMPLE_17))
+        for node in lattice.nodes:
+            for j in node.covers:
+                successor = lattice.nodes[j]
+                assert successor.delta.size() == node.delta.size() + 1
+                assert node.delta < successor.delta
+
+    def test_every_non_top_node_has_a_cover(self):
+        lattice = DissociationLattice(parse_query(EXAMPLE_17))
+        top_rank = lattice.top().delta.size()
+        for node in lattice.nodes:
+            if node.delta.size() < top_rank:
+                assert node.covers
+
+    def test_node_lookup(self):
+        q = parse_query(EXAMPLE_17)
+        lattice = DissociationLattice(q)
+        delta = Dissociation({"U": frozenset([x])})
+        node = lattice.node(delta)
+        assert node.safe and node.minimal_safe
+
+    def test_safety_toggles_in_general(self):
+        # Sec. 3.1: safety is not upward closed for this query
+        q = parse_query("q() :- R(x), S(x), T(y)")
+        lattice = DissociationLattice(q)
+        assert not lattice.upset_is_safe_closed()
+
+    def test_render(self):
+        text = DissociationLattice(parse_query(EXAMPLE_17)).render()
+        assert "minimal" in text and "safe" in text and "∆⊥" in text
+
+
+class TestEquivalenceClasses:
+    def test_no_deterministic_all_singletons(self):
+        lattice = DissociationLattice(parse_query("q() :- R(x), S(x,y), T(y)"))
+        classes = lattice.equivalence_classes_p()
+        assert all(len(c) == 1 for c in classes)
+
+    def test_deterministic_t_merges_classes(self):
+        # Fig. 3b: with T deterministic, ∆0 ≡p ∆2 (dissociating T is free)
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        lattice = DissociationLattice(q, deterministic={"T"})
+        classes = lattice.equivalence_classes_p()
+        sizes = sorted(len(c) for c in classes)
+        assert sizes == [2, 2]
+
+    def test_all_deterministic_single_class(self):
+        # Fig. 3c: with R and T deterministic all four collapse into one
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        lattice = DissociationLattice(q, deterministic={"R", "T"})
+        classes = lattice.equivalence_classes_p()
+        assert len(classes) == 1
+        assert len(classes[0]) == 4
+
+
+class TestIncidenceMatrix:
+    def test_plain_matrix(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        text = incidence_matrix(q)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 3 relations
+        assert "R" in lines[1] and "o" in lines[1]
+
+    def test_dissociated_cell(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        delta = Dissociation({"T": frozenset([x])})
+        text = incidence_matrix(q, delta)
+        t_line = [l for l in text.splitlines() if l.lstrip().startswith("T")][0]
+        assert "*" in t_line
+
+    def test_deterministic_marker(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        delta = Dissociation({"T": frozenset([x])})
+        text = incidence_matrix(q, delta, deterministic={"T"})
+        t_line = [l for l in text.splitlines() if "T" in l][0]
+        assert "(o)" in t_line and "Td" in t_line.replace(" ", "")
+
+    def test_head_variables_not_shown(self):
+        q = parse_query("q(z) :- R(z,x), S(x)")
+        text = incidence_matrix(q)
+        assert "z" not in text.splitlines()[0]

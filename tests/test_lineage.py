@@ -1,0 +1,190 @@
+"""Tests for lineage construction (grounding) and oblivious bounds."""
+
+import random
+
+import pytest
+
+from repro.core import parse_query
+from repro.db import ProbabilisticDatabase
+from repro.lineage import (
+    DNF,
+    dissociate_variable,
+    dissociation_is_oblivious,
+    exact_probability,
+    lineage_of,
+    lineage_sizes,
+)
+
+from .helpers import random_database_for, random_query
+
+
+def example_7_db() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_table("R", [((1,), 0.5), ((2,), 0.6)])
+    db.add_table("S", [((1, 4), 0.3), ((1, 5), 0.8)])
+    return db
+
+
+class TestLineageConstruction:
+    def test_example_7(self):
+        # q :- R(x), S(x,y): F = R(1)S(1,4) ∨ R(1)S(1,5)
+        db = example_7_db()
+        q = parse_query("q() :- R(x), S(x,y)")
+        lineage = lineage_of(q, db)
+        f = lineage.by_answer[()]
+        assert len(f) == 2
+        expected = {
+            frozenset({("R", (1,)), ("S", (1, 4))}),
+            frozenset({("R", (1,)), ("S", (1, 5))}),
+        }
+        assert set(f.clauses) == expected
+
+    def test_probabilities_recorded(self):
+        db = example_7_db()
+        q = parse_query("q() :- R(x), S(x,y)")
+        lineage = lineage_of(q, db)
+        assert lineage.probabilities[("R", (1,))] == 0.5
+        assert lineage.probabilities[("S", (1, 5))] == 0.8
+
+    def test_per_answer_grouping(self):
+        db = example_7_db()
+        q = parse_query("q(x) :- R(x), S(x,y)")
+        lineage = lineage_of(q, db)
+        assert set(lineage.by_answer) == {(1,)}
+        assert lineage.size((1,)) == 2
+
+    def test_no_answers_empty(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        db.add_table("S", [((9, 9), 0.5)])
+        q = parse_query("q() :- R(x), S(x,y)")
+        assert len(lineage_of(q, db)) == 0
+
+    def test_constants_filter(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [(("a", 1), 0.5), (("b", 2), 0.5)])
+        q = parse_query("q() :- R('a', x)")
+        lineage = lineage_of(q, db)
+        assert len(lineage.by_answer[()]) == 1
+
+    def test_repeated_variable_in_atom(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 1), 0.5), ((1, 2), 0.5)])
+        q = parse_query("q() :- R(x, x)")
+        lineage = lineage_of(q, db)
+        assert len(lineage.by_answer[()]) == 1
+
+    def test_lineage_sizes(self):
+        db = example_7_db()
+        q = parse_query("q(x) :- R(x), S(x,y)")
+        assert lineage_sizes(q, db) == {(1,): 2}
+
+    def test_max_size(self):
+        db = example_7_db()
+        q = parse_query("q() :- R(x), S(x,y)")
+        assert lineage_of(q, db).max_size() == 2
+
+    def test_probability_of_query_equals_lineage_probability(self):
+        # P(q) = P(F_{q,D}) on random instances
+        rng = random.Random(31)
+        for _ in range(25):
+            q = random_query(rng, max_atoms=3, head_vars=0)
+            db = random_database_for(q, rng, domain_size=2)
+            lineage = lineage_of(q, db)
+            if () not in lineage.by_answer:
+                continue
+            value = exact_probability(
+                lineage.by_answer[()], lineage.probabilities
+            )
+            assert 0.0 <= value <= 1.0
+
+
+class TestObliviousBounds:
+    def test_example_9(self):
+        # F = XY ∨ XZ dissociated on X: P(F') = 1 − (1 − pq)(1 − pr)
+        probs = {"X": 0.5, "Y": 0.3, "Z": 0.8}
+        f = DNF([["X", "Y"], ["X", "Z"]])
+        d = dissociate_variable(f, probs, "X", [[0], [1]])
+        assert dissociation_is_oblivious(d)
+        p, q, r = 0.5, 0.3, 0.8
+        expected = 1 - (1 - p * q) * (1 - p * r)
+        assert abs(
+            exact_probability(d.formula, d.probabilities) - expected
+        ) < 1e-12
+
+    def test_upper_bound(self):
+        probs = {"X": 0.5, "Y": 0.3, "Z": 0.8}
+        f = DNF([["X", "Y"], ["X", "Z"]])
+        d = dissociate_variable(f, probs, "X", [[0], [1]])
+        assert exact_probability(d.formula, d.probabilities) >= exact_probability(
+            f, probs
+        )
+
+    def test_identity_dissociation(self):
+        probs = {"X": 0.5, "Y": 0.3}
+        f = DNF([["X", "Y"], ["X"]])
+        d = dissociate_variable(f, probs, "X", [[0, 1]])
+        assert d.formula == f
+        assert dissociation_is_oblivious(d)
+
+    def test_equality_for_deterministic_variable(self):
+        # Theorem 8 (2): p(X) ∈ {0, 1} ⇒ P(F) = P(F')
+        for px in (0.0, 1.0):
+            probs = {"X": px, "Y": 0.3, "Z": 0.8}
+            f = DNF([["X", "Y"], ["X", "Z"]])
+            d = dissociate_variable(f, probs, "X", [[0], [1]])
+            assert abs(
+                exact_probability(d.formula, d.probabilities)
+                - exact_probability(f, probs)
+            ) < 1e-12
+
+    def test_invalid_groups_rejected(self):
+        f = DNF([["X", "Y"], ["X", "Z"]])
+        with pytest.raises(ValueError):
+            dissociate_variable(f, {"X": 0.5}, "X", [[0]])
+        with pytest.raises(ValueError):
+            dissociate_variable(f, {"X": 0.5}, "X", [[0, 1], [1]])
+
+    def test_non_oblivious_detected(self):
+        # F = X: dissociating the single occurrence into two copies in the
+        # SAME clause violates the side condition (Example 9's caveat).
+        f = DNF([["X", "X2"]])
+        probs = {"X": 0.5, "X2": 0.5}
+        d = dissociate_variable(f, probs, "X", [[0]])
+        assert dissociation_is_oblivious(d)  # one copy only: fine
+        # build the pathological F' = X'X'' by hand
+        from repro.lineage.bounds import DissociatedFormula
+
+        pathological = DissociatedFormula(
+            DNF([[("X", 0), ("X", 1)]]),
+            {("X", 0): 0.5, ("X", 1): 0.5},
+            {("X", 0): "X", ("X", 1): "X"},
+        )
+        assert not dissociation_is_oblivious(pathological)
+
+    def test_random_dissociations_are_upper_bounds(self):
+        rng = random.Random(17)
+        for _ in range(40):
+            n_vars = rng.randint(2, 5)
+            variables = [f"v{i}" for i in range(n_vars)]
+            probs = {v: rng.random() for v in variables}
+            clauses = [
+                rng.sample(variables, rng.randint(1, n_vars))
+                for _ in range(rng.randint(2, 5))
+            ]
+            f = DNF(clauses)
+            target = rng.choice(variables)
+            containing = [
+                i for i, c in enumerate(f.clauses) if target in c
+            ]
+            if len(containing) < 2:
+                continue
+            # random partition into two groups
+            cut = rng.randint(1, len(containing) - 1)
+            groups = [containing[:cut], containing[cut:]]
+            d = dissociate_variable(f, probs, target, groups)
+            assert dissociation_is_oblivious(d)
+            assert (
+                exact_probability(d.formula, d.probabilities)
+                >= exact_probability(f, probs) - 1e-12
+            )

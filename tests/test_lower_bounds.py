@@ -1,0 +1,161 @@
+"""Tests for the oblivious lower bounds (the TODS 2014 companion result).
+
+Soundness target: for every answer, ``low ≤ P(answer) ≤ ρ(answer)``.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import minimal_plans, parse_query
+from repro.db import ProbabilisticDatabase
+from repro.engine import DissociationEngine
+from repro.lineage import (
+    DNF,
+    dissociated_lineage_by_plan,
+    exact_probability,
+    lineage_of,
+    oblivious_lower_bounds,
+    plan_lower_bounds,
+    symmetric_lower_probability,
+)
+
+from .helpers import random_database_for, random_query
+
+
+class TestSymmetricMarginal:
+    def test_single_copy_identity(self):
+        assert symmetric_lower_probability(0.37, 1) == 0.37
+
+    def test_two_copies(self):
+        p = symmetric_lower_probability(0.75, 2)
+        assert abs((1 - p) ** 2 - 0.25) < 1e-12
+
+    def test_complement_product_invariant(self):
+        for p in (0.0, 0.1, 0.5, 0.99):
+            for k in (1, 2, 3, 7):
+                adjusted = symmetric_lower_probability(p, k)
+                assert abs((1 - adjusted) ** k - (1 - p)) < 1e-12
+
+    def test_certain_variable(self):
+        assert symmetric_lower_probability(1.0, 5) == 1.0
+
+    def test_rejects_zero_copies(self):
+        with pytest.raises(ValueError):
+            symmetric_lower_probability(0.5, 0)
+
+    def test_formula_level_bound(self):
+        # F = XY ∨ XZ; lower-bound dissociation of X into 2 copies
+        p, q, r = 0.6, 0.3, 0.8
+        exact = p * q + p * r - p * q * r
+        p_adj = symmetric_lower_probability(p, 2)
+        lower = 1 - (1 - p_adj * q) * (1 - p_adj * r)
+        assert lower <= exact + 1e-12
+
+
+class TestDissociatedLineage:
+    def _setup(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5), ((2,), 0.5)])
+        db.add_table("S", [((1, 4), 0.5), ((1, 5), 0.5), ((2, 4), 0.5)])
+        db.add_table("T", [((4,), 0.5), ((5,), 0.5)])
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        return q, db
+
+    def test_requires_assignments(self):
+        q, db = self._setup()
+        lineage = lineage_of(q, db)  # no assignments recorded
+        (plan, *_) = minimal_plans(q)
+        with pytest.raises(ValueError, match="record_assignments"):
+            dissociated_lineage_by_plan(lineage, (), plan)
+
+    def test_copy_counting(self):
+        q, db = self._setup()
+        lineage = lineage_of(q, db, record_assignments=True)
+        for plan in minimal_plans(q):
+            formula, adjusted = dissociated_lineage_by_plan(lineage, (), plan)
+            # same number of clauses, all probabilities within (0, 1]
+            assert len(formula) == len(lineage.by_answer[()])
+            assert all(0 < p <= 1 for p in adjusted.values())
+
+    def test_dissociated_formula_no_shared_copies_per_clause(self):
+        q, db = self._setup()
+        lineage = lineage_of(q, db, record_assignments=True)
+        for plan in minimal_plans(q):
+            formula, _ = dissociated_lineage_by_plan(lineage, (), plan)
+            for clause in formula:
+                assert len(clause) == 3  # one variable per atom
+
+    def test_upper_variant_recovers_plan_score(self):
+        """With unadjusted probabilities the dissociated lineage evaluates
+        to the plan's extensional score (Theorem 18 (2))."""
+        from repro.engine import plan_scores
+
+        q, db = self._setup()
+        lineage = lineage_of(q, db, record_assignments=True)
+        for plan in minimal_plans(q):
+            formula, _ = dissociated_lineage_by_plan(lineage, (), plan)
+            unadjusted = {}
+            for clause in formula:
+                for v in clause:
+                    original = v[0] if isinstance(v[0], tuple) else v
+                    unadjusted[v] = lineage.probabilities[original]
+            value = exact_probability(formula, unadjusted)
+            score = plan_scores(plan, q, db)[()]
+            assert abs(value - score) < 1e-9
+
+
+class TestSoundness:
+    def test_example_17_interval(self):
+        db = ProbabilisticDatabase()
+        half = 0.5
+        db.add_table("R", [((1,), half), ((2,), half)])
+        db.add_table("S", [((1,), half), ((2,), half)])
+        db.add_table("T", [((1, 1), half), ((1, 2), half), ((2, 2), half)])
+        db.add_table("U", [((1,), half), ((2,), half)])
+        q = parse_query("q() :- R(x), S(x), T(x,y), U(y)")
+        engine = DissociationEngine(db)
+        low, high = engine.probability_bounds(q)[()]
+        exact = engine.exact(q)[()]
+        assert low <= exact <= high
+        assert abs(high - 169 / 2**10) < 1e-12
+        assert low > 0.1  # non-trivial lower bound
+
+    def test_random_instances(self):
+        checked = 0
+        for seed in range(40):
+            rng = random.Random(seed)
+            q = random_query(rng, max_atoms=3, head_vars=rng.randint(0, 1))
+            db = random_database_for(q, rng, domain_size=2)
+            engine = DissociationEngine(db)
+            exact = engine.exact(q)
+            for answer, (low, high) in engine.probability_bounds(q).items():
+                checked += 1
+                assert low <= exact[answer] + 1e-9, (str(q), answer)
+                assert exact[answer] <= high + 1e-9, (str(q), answer)
+        assert checked > 30
+
+    def test_safe_queries_tight_intervals(self):
+        # safe query: one plan, nothing dissociates → low == high == exact
+        rng = random.Random(7)
+        q = parse_query("q() :- R(x), S(x,y)")
+        db = random_database_for(q, rng)
+        engine = DissociationEngine(db)
+        exact = engine.exact(q)[()]
+        low, high = engine.probability_bounds(q)[()]
+        assert abs(low - exact) < 1e-9
+        assert abs(high - exact) < 1e-9
+
+    def test_max_over_plans_improves(self):
+        rng = random.Random(9)
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        db = random_database_for(q, rng, domain_size=3)
+        lineage = lineage_of(q, db, record_assignments=True)
+        plans = minimal_plans(q)
+        per_plan = [plan_lower_bounds(lineage, p) for p in plans]
+        combined = oblivious_lower_bounds(q, lineage, plans)
+        for answer in combined:
+            assert combined[answer] == max(
+                bounds[answer] for bounds in per_plan
+            )

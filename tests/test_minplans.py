@@ -1,0 +1,238 @@
+"""Tests for Algorithm 1 (minimal plans) and the full plan space.
+
+The strongest anchors are the Figure 2 integer sequences and the 1-to-1
+correspondence with (minimal) safe dissociations on small queries.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ColumnFD,
+    Variable,
+    count_all_plans,
+    count_dissociations,
+    enumerate_all_plans,
+    enumerate_safe_dissociations,
+    is_hierarchical,
+    minimal_plans,
+    minimal_safe_dissociations,
+    parse_query,
+)
+from repro.core.dissociation import dissociation_of_plan, plan_for
+from repro.experiments import catalan, fubini, super_catalan
+from repro.workloads import chain_query, star_query
+
+from .helpers import random_query
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestFig2Chains:
+    @pytest.mark.parametrize("k", range(2, 9))
+    def test_minimal_plan_counts_are_catalan(self, k):
+        assert len(minimal_plans(chain_query(k))) == catalan(k - 1)
+
+    @pytest.mark.parametrize("k", range(2, 8))
+    def test_total_plan_counts_are_super_catalan(self, k):
+        assert count_all_plans(chain_query(k)) == super_catalan(k - 1)
+
+    @pytest.mark.parametrize("k", range(2, 8))
+    def test_dissociation_counts(self, k):
+        assert count_dissociations(chain_query(k)) == 2 ** ((k - 1) * (k - 2))
+
+
+class TestFig2Stars:
+    @pytest.mark.parametrize("k", range(1, 7))
+    def test_minimal_plan_counts_are_factorials(self, k):
+        import math
+
+        assert len(minimal_plans(star_query(k))) == math.factorial(k)
+
+    @pytest.mark.parametrize("k", range(1, 6))
+    def test_total_plan_counts_are_fubini(self, k):
+        assert count_all_plans(star_query(k)) == fubini(k)
+
+    @pytest.mark.parametrize("k", range(1, 6))
+    def test_dissociation_counts(self, k):
+        assert count_dissociations(star_query(k)) == 2 ** (k * (k - 1))
+
+
+class TestStructure:
+    def test_example_17_minimal_plans(self):
+        q = parse_query("q() :- R(x), S(x), T(x,y), U(y)")
+        plans = minimal_plans(q)
+        assert len(plans) == 2
+        for plan in plans:
+            assert {a.relation for a in plan.atoms()} == {"R", "S", "T", "U"}
+
+    def test_safe_query_single_plan(self):
+        q = parse_query("q() :- R(x), S(x,y)")
+        plans = minimal_plans(q)
+        assert len(plans) == 1
+        assert plans[0].is_safe()
+
+    def test_every_plan_covers_all_atoms(self):
+        for k in (3, 4, 5):
+            q = chain_query(k)
+            for plan in minimal_plans(q):
+                assert len(plan.atoms()) == k
+
+    def test_plans_have_query_head(self):
+        q = chain_query(4)
+        for plan in minimal_plans(q):
+            assert plan.head_variables == q.head
+
+    def test_all_plans_include_minimal(self):
+        q = chain_query(4)
+        every = set(enumerate_all_plans(q))
+        for plan in minimal_plans(q):
+            assert plan in every
+
+    def test_plans_unique(self):
+        q = chain_query(5)
+        plans = minimal_plans(q)
+        assert len(set(plans)) == len(plans)
+
+
+class TestCorrespondenceWithDissociations:
+    """Theorem 18 on small queries: plans ↔ safe dissociations."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "q() :- R(x), S(x,y), T(y)",
+            "q() :- R(x), S(x), T(x,y), U(y)",
+            "q(x0, x3) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)",
+            "q() :- R(x), S(y), T(x,y)",
+        ],
+    )
+    def test_minimal_plans_match_minimal_safe_dissociations(self, text):
+        q = parse_query(text)
+        plans = minimal_plans(q)
+        minimal = minimal_safe_dissociations(q)
+        assert len(plans) == len(minimal)
+        plan_deltas = {dissociation_of_plan(p) for p in plans}
+        assert plan_deltas == set(minimal)
+
+    def test_plan_dissociations_are_safe(self):
+        q = chain_query(4)
+        for plan in enumerate_all_plans(q):
+            delta = dissociation_of_plan(plan)
+            assert is_hierarchical(delta.apply(q)), (plan, delta)
+
+    def test_safe_dissociation_count_vs_plan_count(self):
+        # Every enumerated plan arises as P_∆ of a safe dissociation; safe
+        # dissociations beyond the plan space (those needing cross-product
+        # joins, see minplans._all_join_top) are all non-minimal.
+        for k in (3, 4):
+            q = chain_query(k)
+            plan_space = set(enumerate_all_plans(q))
+            safe = enumerate_safe_dissociations(q)
+            in_space = [d for d in safe if plan_for(q, d) in plan_space]
+            assert len(in_space) == len(plan_space)
+            minimal = set(minimal_safe_dissociations(q))
+            outside = [d for d in safe if plan_for(q, d) not in plan_space]
+            for d in outside:
+                assert d not in minimal
+                assert any(m < d for m in minimal), (
+                    f"cross-product dissociation {d} not dominated"
+                )
+
+    def test_plan_dissociation_roundtrip(self):
+        # ∆ ↦ P_∆ ↦ ∆ is the identity on all safe dissociations (Thm. 18)
+        q = chain_query(4)
+        for d in enumerate_safe_dissociations(q):
+            assert dissociation_of_plan(plan_for(q, d)) == d
+
+
+class TestDeterministicRelations:
+    def test_example_23_single_plan(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        plans = minimal_plans(q, deterministic={"T"})
+        assert len(plans) == 1
+        # expected shape: π(R ⋈ π_x(S ⋈ T))
+        assert str(plans[0]).count("π") == 2
+
+    def test_example_23_both_deterministic(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        plans = minimal_plans(q, deterministic={"R", "T"})
+        assert len(plans) == 1
+        # collapsed plan: single join, single projection
+        assert str(plans[0]).count("π") == 1
+
+    def test_all_deterministic(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        plans = minimal_plans(q, deterministic={"R", "S", "T"})
+        assert len(plans) == 1
+
+    def test_deterministic_reduces_plan_count(self):
+        q = chain_query(5)
+        baseline = len(minimal_plans(q))
+        with_dr = len(minimal_plans(q, deterministic={"R2"}))
+        assert with_dr <= baseline
+
+    def test_unrelated_deterministic_relation_no_effect(self):
+        q = parse_query("q() :- R(x), S(x), T(x,y), U(y)")
+        assert len(minimal_plans(q, deterministic={"S"})) <= 2
+
+
+class TestFunctionalDependencies:
+    def test_fd_makes_rst_safe(self):
+        # S: x → y turns R(x),S(x,y),T(y) safe (Sec. 3.3.2)
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        fds = {"S": [ColumnFD((0,), (1,))]}
+        plans = minimal_plans(q, fds=fds)
+        assert len(plans) == 1
+
+    def test_fd_plan_joins_r_and_s_first(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        fds = {"S": [ColumnFD((0,), (1,))]}
+        (plan,) = minimal_plans(q, fds=fds)
+        # the plan corresponding to dissociating R on y:
+        # π(⋈[π_y(R ⋈ S), T])
+        text = str(plan)
+        assert "R(x)" in text and "S(x, y)" in text
+        r_pos = text.index("R(x)")
+        t_pos = text.index("T(y)")
+        assert r_pos < t_pos
+
+    def test_reverse_fd_selects_other_plan(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        fds = {"S": [ColumnFD((1,), (0,))]}  # y → x
+        plans = minimal_plans(q, fds=fds)
+        assert len(plans) == 1
+
+    def test_irrelevant_fd_no_change(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        fds = {"S": [ColumnFD((0, 1), ())]}
+        assert len(minimal_plans(q, fds=fds)) == 2
+
+    def test_fd_chain_through_atoms(self):
+        # R1: x0→x1 and R2: x1→x2 make the closure propagate
+        q = chain_query(3)
+        fds = {
+            "R1": [ColumnFD((0,), (1,))],
+            "R2": [ColumnFD((0,), (1,))],
+        }
+        plans = minimal_plans(q, fds=fds)
+        assert len(plans) == 1
+
+
+class TestRandomQueries:
+    def test_safe_iff_single_plan(self):
+        rng = random.Random(11)
+        for _ in range(200):
+            q = random_query(rng, head_vars=rng.randint(0, 2))
+            plans = minimal_plans(q)
+            assert plans, str(q)
+            assert (len(plans) == 1) == is_hierarchical(q), str(q)
+
+    def test_minimal_dissociations_match(self):
+        rng = random.Random(13)
+        for _ in range(60):
+            q = random_query(rng, max_atoms=3, max_vars=3)
+            plans = minimal_plans(q)
+            minimal = minimal_safe_dissociations(q)
+            assert len(plans) == len(minimal), str(q)

@@ -1,0 +1,98 @@
+"""Assorted corner-case tests across modules."""
+
+import random
+
+from repro.core import DissociationLattice, parse_query
+from repro.engine import DissociationEngine
+from repro.workloads import like_match
+
+from .helpers import random_database_for
+
+
+class TestLikeMatchEscaping:
+    def test_regex_metacharacters_literal(self):
+        assert like_match("%a.b%", "xxa.bxx")
+        assert not like_match("%a.b%", "xxaXbxx")
+
+    def test_parentheses_and_brackets(self):
+        assert like_match("(x)%", "(x) suffix")
+        assert like_match("[y]_", "[y]z")
+
+    def test_star_and_plus_literal(self):
+        assert like_match("a*b", "a*b")
+        assert not like_match("a*b", "aaab")
+
+    def test_empty_pattern(self):
+        assert like_match("", "")
+        assert not like_match("", "a")
+
+
+class TestLatticeUpwardSafety:
+    def test_upward_closed_for_simple_query(self):
+        # the only dissociation of R(x),S(x,y) above the bottom keeps it
+        # safe: upward closedness holds here
+        lattice = DissociationLattice(parse_query("q() :- R(x), S(x,y)"))
+        assert lattice.upset_is_safe_closed()
+
+
+class TestEvaluationResultRanking:
+    def test_tie_break_is_deterministic(self):
+        db = __import__(
+            "repro.db", fromlist=["ProbabilisticDatabase"]
+        ).ProbabilisticDatabase()
+        db.add_table("R", [((1, 5), 0.5), ((2, 6), 0.5), ((3, 7), 0.25)])
+        q = parse_query("q(x) :- R(x, y)")
+        engine = DissociationEngine(db)
+        first = engine.evaluate(q).ranking()
+        second = engine.evaluate(q).ranking()
+        assert first == second
+        assert first[-1] == (3,)
+
+
+class TestScorePerPlanSemijoin:
+    def test_semijoin_variant_matches(self):
+        rng = random.Random(3)
+        q = parse_query("q(z) :- R(z,x), S(x,y), T(y)")
+        db = random_database_for(q, rng, domain_size=3, fill=0.5)
+        engine = DissociationEngine(db)
+        plain = engine.score_per_plan(q, semijoin=False)
+        reduced = engine.score_per_plan(q, semijoin=True)
+        assert len(plain) == len(reduced)
+        for plan, scores in plain.items():
+            assert scores == reduced[plan] or all(
+                abs(scores[a] - reduced[plan][a]) < 1e-9 for a in scores
+            )
+
+
+class TestDatabaseRepr:
+    def test_reprs_do_not_crash(self):
+        from repro.db import ProbabilisticDatabase
+
+        db = ProbabilisticDatabase()
+        table = db.add_table("R", [((1,), 0.5)])
+        assert "R" in repr(db)
+        assert "R" in repr(table)
+        assert "Schema" in repr(db.schema)
+
+    def test_query_plan_reprs(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        from repro.core import minimal_plans
+
+        for plan in minimal_plans(q):
+            assert "π" in repr(plan)
+            assert "R(x)" in str(plan)
+
+
+class TestBackendDataTypes:
+    def test_mixed_type_columns(self):
+        # SQLite stores values dynamically; mixed int/str columns must
+        # round-trip through both backends identically
+        from repro.db import ProbabilisticDatabase
+
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5), (("1",), 0.25)])
+        db.add_table("S", [((1, "a"), 0.5), (("1", "b"), 0.5)])
+        q = parse_query("q(y) :- R(x), S(x, y)")
+        memory = DissociationEngine(db).propagation_score(q)
+        sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
+        assert set(memory) == set(sqlite) == {("a",), ("b",)}

@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.parser."""
+
+import pytest
+
+from repro.core import Constant, QueryParseError, Variable, parse_atom, parse_query
+
+
+class TestQueries:
+    def test_simple(self):
+        q = parse_query("q(z) :- R(z,x), S(x,y), T(y)")
+        assert len(q.atoms) == 3
+        assert q.head == {Variable("z")}
+
+    def test_boolean(self):
+        q = parse_query("q() :- R(x)")
+        assert q.is_boolean()
+
+    def test_alternative_arrow(self):
+        q = parse_query("q(x) <- R(x)")
+        assert q.head == {Variable("x")}
+
+    def test_whitespace_insensitive(self):
+        q1 = parse_query("q(x):-R(x,y),S(y)")
+        q2 = parse_query("q( x )  :-  R( x , y ) , S( y )")
+        assert q1 == q2
+
+    def test_name_preserved(self):
+        assert parse_query("myQuery(x) :- R(x)").name == "myQuery"
+
+    def test_zero_arity_atom(self):
+        q = parse_query("q() :- R()")
+        assert q.atoms[0].arity == 0
+
+
+class TestConstants:
+    def test_single_quoted_string(self):
+        q = parse_query("q() :- R('a', x)")
+        assert q.atoms[0].terms[0] == Constant("a")
+
+    def test_double_quoted_string(self):
+        q = parse_query('q() :- R("hello world", x)')
+        assert q.atoms[0].terms[0] == Constant("hello world")
+
+    def test_integer(self):
+        q = parse_query("q() :- R(42, x)")
+        assert q.atoms[0].terms[0] == Constant(42)
+
+    def test_negative_integer(self):
+        q = parse_query("q() :- R(-3)")
+        assert q.atoms[0].terms[0] == Constant(-3)
+
+    def test_float(self):
+        q = parse_query("q() :- R(2.5)")
+        assert q.atoms[0].terms[0] == Constant(2.5)
+
+
+class TestErrors:
+    def test_missing_arrow(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q(x) R(x)")
+
+    def test_constant_in_head(self):
+        with pytest.raises(QueryParseError, match="head terms"):
+            parse_query("q('a') :- R('a', x)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q(x) :- R(x) extra")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q(x :- R(x)")
+
+    def test_bad_character(self):
+        with pytest.raises(QueryParseError):
+            parse_query("q(x) :- R(x) & S(x)")
+
+    def test_self_join_raises(self):
+        with pytest.raises(ValueError, match="self-join"):
+            parse_query("q() :- R(x), R(y)")
+
+
+class TestAtoms:
+    def test_parse_atom(self):
+        a = parse_atom("S(x, y)")
+        assert a.relation == "S"
+        assert a.own_variables == {Variable("x"), Variable("y")}
+
+    def test_parse_atom_rejects_trailing(self):
+        with pytest.raises(QueryParseError):
+            parse_atom("S(x), T(y)")

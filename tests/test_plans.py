@@ -1,0 +1,129 @@
+"""Tests for the plan AST (Definitions 4 and 5)."""
+
+import pytest
+
+from repro.core import (
+    Atom,
+    Join,
+    MinPlan,
+    Project,
+    Scan,
+    Variable,
+    parse_query,
+    plan_signature,
+    safe_plan,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def rxy():
+    return Scan(Atom("R", (x, y)))
+
+
+def syz():
+    return Scan(Atom("S", (y, z)))
+
+
+class TestScan:
+    def test_head_is_own_variables(self):
+        assert rxy().head_variables == {x, y}
+
+    def test_dissociated_vars_not_in_head(self):
+        s = Scan(Atom("R", (x,), dissociated=[y]))
+        assert s.head_variables == {x}
+
+    def test_atoms(self):
+        assert rxy().atoms() == (Atom("R", (x, y)),)
+
+
+class TestProject:
+    def test_projected_away(self):
+        p = Project([x], rxy())
+        assert p.projected_away == {y}
+        assert p.head_variables == {x}
+
+    def test_rejects_foreign_variables(self):
+        with pytest.raises(ValueError):
+            Project([z], rxy())
+
+    def test_boolean_projection(self):
+        p = Project([], rxy())
+        assert p.head_variables == frozenset()
+
+
+class TestJoin:
+    def test_head_is_union(self):
+        j = Join([rxy(), syz()])
+        assert j.head_variables == {x, y, z}
+        assert j.join_variables == {x, y, z}
+
+    def test_requires_two_children(self):
+        with pytest.raises(ValueError):
+            Join([rxy()])
+
+    def test_order_insensitive_equality(self):
+        assert Join([rxy(), syz()]) == Join([syz(), rxy()])
+        assert hash(Join([rxy(), syz()])) == hash(Join([syz(), rxy()]))
+
+
+class TestMinPlan:
+    def test_requires_same_heads(self):
+        with pytest.raises(ValueError, match="head"):
+            MinPlan([Project([x], rxy()), Project([y], rxy())])
+
+    def test_requires_same_relations(self):
+        with pytest.raises(ValueError, match="relations"):
+            MinPlan([Project([y], rxy()), Project([y], syz())])
+
+    def test_atoms_counted_once(self):
+        m = MinPlan([Project([x], rxy()), Project([x], rxy())])
+        # identical children collapse structurally; atoms from one branch
+        assert len(m.atoms()) == 1
+
+    def test_contains_min(self):
+        m = MinPlan([Project([x], rxy()), Project([x], rxy())])
+        assert m.contains_min()
+        assert not rxy().contains_min()
+
+
+class TestSafety:
+    def test_safe_plan_is_safe(self):
+        q = parse_query("q() :- R(x), S(x,y)")
+        assert safe_plan(q).is_safe()
+
+    def test_unsafe_join_detected(self):
+        # join children with different existential heads (Boolean context)
+        j = Join([Scan(Atom("R", (x,))), syz()])
+        assert not j.is_safe(head=frozenset())
+
+    def test_join_safe_modulo_head_variables(self):
+        # children differ only on the plan's free variables → safe (Def. 5
+        # with head variables as constants); this is the paper's P1 shape
+        j = Join([Scan(Atom("R", (x,))), syz()])
+        assert j.is_safe(head=frozenset([x, y, z]))
+
+    def test_scan_is_safe(self):
+        assert rxy().is_safe()
+
+
+class TestStructure:
+    def test_walk_counts_nodes(self):
+        p = Project([x], Join([rxy(), syz()]))
+        assert p.count_nodes() == 4
+
+    def test_query_reconstruction(self):
+        q = parse_query("q(x) :- R(x,y), S(y,z)")
+        p = Project([x], Join([rxy(), syz()]))
+        assert p.query() == q
+
+    def test_signature(self):
+        p1 = Project([y], Join([rxy(), syz()]))
+        rels, head = plan_signature(p1)
+        assert rels == {"R", "S"}
+        assert head == {y}
+
+    def test_pretty_renders_tree(self):
+        p = Project([x], Join([rxy(), syz()]))
+        text = p.pretty()
+        assert "π" in text and "⋈" in text and "R(x, y)" in text

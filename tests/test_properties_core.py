@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the query-level machinery.
+
+Strategies build random self-join-free queries; the properties are the
+paper's structural theorems: hierarchy characterizations agree, Algorithm 1
+is conservative, plans cover all atoms, the dissociation order is
+respected, and Theorem 18's mappings are mutually inverse.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Atom,
+    ConjunctiveQuery,
+    Variable,
+    enumerate_safe_dissociations,
+    is_hierarchical,
+    is_hierarchical_recursive,
+    min_cutsets,
+    min_p_cutsets,
+    minimal_plans,
+    minimal_safe_dissociations,
+    parse_query,
+)
+from repro.core.dissociation import dissociation_of_plan, plan_for
+from repro.core.plans import Join
+from repro.core.singleplan import single_plan
+
+VARIABLES = [Variable(f"x{i}") for i in range(4)]
+
+
+@st.composite
+def queries(draw, max_atoms: int = 4, head: bool = True):
+    n_atoms = draw(st.integers(1, max_atoms))
+    atoms = []
+    for i in range(n_atoms):
+        arity = draw(st.integers(1, 3))
+        terms = tuple(
+            VARIABLES[draw(st.integers(0, len(VARIABLES) - 1))]
+            for _ in range(arity)
+        )
+        atoms.append(Atom(f"R{i}", terms))
+    used = sorted(frozenset().union(*(a.own_variables for a in atoms)))
+    if head:
+        n_head = draw(st.integers(0, min(2, len(used))))
+        head_vars = used[:n_head]
+    else:
+        head_vars = []
+    return ConjunctiveQuery(atoms, head_vars)
+
+
+@settings(max_examples=200, deadline=None)
+@given(queries())
+def test_hierarchy_characterizations_agree(q):
+    assert is_hierarchical(q) == is_hierarchical_recursive(q)
+
+
+@settings(max_examples=200, deadline=None)
+@given(queries())
+def test_conservativity_single_plan_iff_safe(q):
+    plans = minimal_plans(q)
+    assert plans
+    assert (len(plans) == 1) == is_hierarchical(q)
+
+
+@settings(max_examples=200, deadline=None)
+@given(queries())
+def test_plans_cover_all_atoms_with_query_head(q):
+    for plan in minimal_plans(q):
+        assert {a.relation for a in plan.atoms()} == {
+            a.relation for a in q.atoms
+        }
+        assert plan.head_variables == q.head
+
+
+@settings(max_examples=100, deadline=None)
+@given(queries(max_atoms=3))
+def test_minimal_plans_match_minimal_safe_dissociations(q):
+    plans = minimal_plans(q)
+    assert {dissociation_of_plan(p) for p in plans} == set(
+        minimal_safe_dissociations(q)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(queries(max_atoms=3))
+def test_theorem_18_roundtrip(q):
+    for delta in enumerate_safe_dissociations(q):
+        plan = plan_for(q, delta)
+        assert dissociation_of_plan(plan) == delta
+
+
+@settings(max_examples=150, deadline=None)
+@given(queries())
+def test_min_cutsets_are_minimal_antichain(q):
+    cuts = min_cutsets(q)
+    for a in cuts:
+        for b in cuts:
+            if a is not b:
+                assert not a <= b or a == b
+
+
+@settings(max_examples=150, deadline=None)
+@given(queries(), st.data())
+def test_min_p_cutsets_subsume_or_extend_min_cuts(q, data):
+    relations = [a.relation for a in q.atoms]
+    n_det = data.draw(st.integers(0, len(relations)))
+    deterministic = frozenset(relations[:n_det])
+    p_cuts = min_p_cutsets(q, deterministic)
+    # every p-cut is a cut (or ∅ for disconnected queries)
+    all_cuts = {frozenset(c) for c in min_cutsets(q)}
+    for cut in p_cuts:
+        # a p-cut contains some ordinary min-cut
+        assert any(c <= cut for c in all_cuts) or cut == frozenset()
+
+
+@settings(max_examples=150, deadline=None)
+@given(queries())
+def test_single_plan_structure(q):
+    plan = single_plan(q)
+    assert {a.relation for a in plan.atoms()} == {
+        a.relation for a in q.atoms
+    }
+    assert plan.head_variables == q.head
+    if is_hierarchical(q):
+        assert not plan.contains_min()
+
+
+@settings(max_examples=150, deadline=None)
+@given(queries())
+def test_joins_alternate_with_projections(q):
+    """Definition 4: no join has a join child (flattening invariant)."""
+    for plan in minimal_plans(q):
+        for node in plan.walk():
+            if isinstance(node, Join):
+                for child in node.children():
+                    assert not isinstance(child, Join)
+
+
+@settings(max_examples=100, deadline=None)
+@given(queries(max_atoms=3))
+def test_safe_dissociations_upward_closed_within_plans(q):
+    """Every plan's dissociation is safe (Def. 13 via Thm. 18)."""
+    for plan in minimal_plans(q):
+        delta = dissociation_of_plan(plan)
+        assert is_hierarchical(delta.apply(q))

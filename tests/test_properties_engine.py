@@ -1,0 +1,164 @@
+"""Property-based tests for evaluation: bounds, agreement, monotonicity.
+
+These check the paper's semantic guarantees on random (query, database)
+pairs:
+
+* Corollary 19 — every plan's score upper-bounds the exact probability;
+* conservativity — safe queries are computed exactly;
+* backend agreement — memory and SQLite produce identical scores;
+* Optimization 3 — semi-join reduction never changes scores;
+* Proposition 21 — the relative error of ρ vanishes as probabilities
+  are scaled down.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import is_hierarchical, minimal_plans
+from repro.db import ProbabilisticDatabase
+from repro.engine import (
+    DissociationEngine,
+    Optimizations,
+    plan_scores,
+    reduce_database,
+)
+from repro.lineage import DNF, exact_probability, lineage_of
+
+from .helpers import random_database_for, random_query
+from .test_properties_core import queries
+
+
+@st.composite
+def query_and_database(draw, max_atoms: int = 3):
+    q = draw(queries(max_atoms=max_atoms))
+    seed = draw(st.integers(0, 10_000))
+    db = random_database_for(q, random.Random(seed), domain_size=2)
+    return q, db
+
+
+@settings(max_examples=60, deadline=None)
+@given(query_and_database())
+def test_every_plan_upper_bounds_exact(pair):
+    q, db = pair
+    engine = DissociationEngine(db)
+    exact = engine.exact(q)
+    for plan in minimal_plans(q):
+        scores = plan_scores(plan, q, db)
+        assert set(scores) == set(exact)
+        for answer in exact:
+            assert scores[answer] >= exact[answer] - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(query_and_database())
+def test_safe_queries_computed_exactly(pair):
+    q, db = pair
+    if not is_hierarchical(q):
+        return
+    engine = DissociationEngine(db)
+    exact = engine.exact(q)
+    rho = engine.propagation_score(q)
+    for answer in exact:
+        assert abs(rho[answer] - exact[answer]) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_and_database())
+def test_backends_agree(pair):
+    q, db = pair
+    memory = DissociationEngine(db).propagation_score(q)
+    sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
+    assert set(memory) == set(sqlite)
+    for answer in memory:
+        assert abs(memory[answer] - sqlite[answer]) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_and_database())
+def test_semijoin_reduction_preserves_scores(pair):
+    q, db = pair
+    engine = DissociationEngine(db)
+    plain = engine.propagation_score(q)
+    reduced = engine.propagation_score(q, Optimizations(semijoin=True))
+    assert set(plain) == set(reduced)
+    for answer in plain:
+        assert abs(plain[answer] - reduced[answer]) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_and_database())
+def test_reduction_preserves_answers(pair):
+    q, db = pair
+    assert set(lineage_of(q, db).by_answer) == set(
+        lineage_of(q, reduce_database(q, db)).by_answer
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_and_database())
+def test_scores_within_unit_interval(pair):
+    q, db = pair
+    for score in DissociationEngine(db).propagation_score(q).values():
+        assert -1e-12 <= score <= 1.0 + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(query_and_database(), st.sampled_from([0.5, 0.2, 0.05]))
+def test_proposition_21_error_shrinks_with_scale(pair, factor):
+    """Scaling all probabilities down shrinks ρ's relative error."""
+    q, db = pair
+    engine = DissociationEngine(db)
+    exact = engine.exact(q)
+    rho = engine.propagation_score(q)
+    answers = [a for a in exact if exact[a] > 1e-9]
+    if not answers:
+        return
+    base_error = max(
+        (rho[a] - exact[a]) / exact[a] for a in answers
+    )
+
+    scaled = db.scaled(factor, include_deterministic=True)
+    scaled_engine = DissociationEngine(scaled)
+    scaled_exact = scaled_engine.exact(q)
+    scaled_rho = scaled_engine.propagation_score(q)
+    scaled_answers = [a for a in scaled_exact if scaled_exact[a] > 1e-12]
+    if not scaled_answers:
+        return
+    scaled_error = max(
+        (scaled_rho[a] - scaled_exact[a]) / scaled_exact[a]
+        for a in scaled_answers
+    )
+    assert scaled_error <= base_error + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(query_and_database(max_atoms=2), st.integers(0, 1000))
+def test_monte_carlo_unbiasedness_envelope(pair, seed):
+    """MC estimates stay within a generous CLT envelope of exact."""
+    q, db = pair
+    engine = DissociationEngine(db)
+    exact = engine.exact(q)
+    if not exact:
+        return
+    estimates = engine.monte_carlo(q, samples=4000, seed=seed)
+    for answer, p in exact.items():
+        sigma = (p * (1 - p) / 4000) ** 0.5
+        assert abs(estimates[answer] - p) <= 6 * sigma + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(query_and_database(max_atoms=3))
+def test_lineage_probability_equals_exact(pair):
+    """P(q) = P(F_{q,D}) — grounding then counting matches the engine."""
+    q, db = pair
+    lineage = lineage_of(q, db)
+    engine = DissociationEngine(db)
+    exact = engine.exact(q)
+    for answer, formula in lineage.by_answer.items():
+        assert abs(
+            exact_probability(formula, lineage.probabilities)
+            - exact[answer]
+        ) < 1e-9

@@ -1,0 +1,96 @@
+"""Property-based tests for the ranking metrics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ranking import (
+    average_precision_at_k,
+    random_ranking_ap,
+    tied_rank_intervals,
+    top_k,
+)
+
+
+@st.composite
+def score_maps(draw, min_size: int = 1, max_size: int = 25):
+    n = draw(st.integers(min_size, max_size))
+    values = draw(
+        st.lists(
+            st.floats(0, 1, allow_nan=False), min_size=n, max_size=n
+        )
+    )
+    return {i: v for i, v in enumerate(values)}
+
+
+@settings(max_examples=200, deadline=None)
+@given(score_maps())
+def test_ap_self_is_one_without_ties(scores):
+    distinct = {k: v for k, v in scores.items()}
+    # break ties deterministically by perturbing with the key
+    perturbed = {k: (v, -k) for k, v in distinct.items()}
+    as_floats = {
+        k: rank for rank, (k, _) in enumerate(
+            sorted(perturbed.items(), key=lambda kv: kv[1], reverse=True)
+        )
+    }
+    untied = {k: len(as_floats) - r for k, r in as_floats.items()}
+    assert abs(average_precision_at_k(untied, untied, k=10) - 1.0) < 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(score_maps(), score_maps())
+def test_ap_bounded(returned, ground_truth):
+    # align key spaces
+    returned = {k: v for k, v in returned.items() if k in ground_truth}
+    ap = average_precision_at_k(returned, ground_truth, k=10)
+    assert -1e-12 <= ap <= 1.0 + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(score_maps(min_size=2))
+def test_flat_ranking_matches_closed_form(ground_truth):
+    flat = {k: 0.5 for k in ground_truth}
+    ap = average_precision_at_k(flat, ground_truth, k=10)
+    # with GT ties the flat ranking can only do better than the closed
+    # form for fully distinct GT
+    assert ap >= random_ranking_ap(len(ground_truth), 10) - 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(score_maps())
+def test_intervals_partition_ranks(scores):
+    intervals = tied_rank_intervals(scores)
+    n = len(scores)
+    covered = sorted(
+        rank for a, b in intervals.values() for rank in range(a, b + 1)
+    )
+    # every rank 1..n covered exactly (group of size g covers g ranks,
+    # each member claiming the same interval)
+    assert set(covered) == set(range(1, n + 1))
+    for item, (a, b) in intervals.items():
+        group = [i for i, (x, y) in intervals.items() if (x, y) == (a, b)]
+        assert len(group) == b - a + 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(score_maps(), st.integers(1, 25))
+def test_top_k_is_prefix_monotone(scores, k):
+    shorter = top_k(scores, k)
+    longer = top_k(scores, k + 1)
+    assert longer[: len(shorter)] == shorter
+
+
+@settings(max_examples=100, deadline=None)
+@given(score_maps(min_size=3))
+def test_promoting_a_relevant_item_never_hurts(ground_truth):
+    """Moving the GT-best item to the top of the returned ranking can only
+    improve AP."""
+    items = list(ground_truth)
+    best = max(items, key=lambda i: ground_truth[i])
+    base = {i: float(len(items) - idx) for idx, i in enumerate(items)}
+    ap_before = average_precision_at_k(base, ground_truth, k=10)
+    promoted = dict(base)
+    promoted[best] = max(base.values()) + 1
+    ap_after = average_precision_at_k(promoted, ground_truth, k=10)
+    assert ap_after >= ap_before - 1e-9

@@ -1,0 +1,85 @@
+"""Property-based tests for the query parser (round-trips, fuzzing)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    QueryParseError,
+    Variable,
+    parse_query,
+)
+
+_names = st.from_regex(r"[a-z][a-z0-9_]{0,5}", fullmatch=True)
+_relations = st.from_regex(r"[A-Z][A-Za-z0-9_]{0,5}", fullmatch=True)
+_constants = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=0x2FF
+        ),
+        max_size=8,
+    ),
+)
+
+
+@st.composite
+def random_queries(draw):
+    n_atoms = draw(st.integers(1, 4))
+    variable_pool = draw(
+        st.lists(_names, min_size=1, max_size=4, unique=True)
+    )
+    variables = [Variable(n) for n in variable_pool]
+    relation_names = draw(
+        st.lists(_relations, min_size=n_atoms, max_size=n_atoms, unique=True)
+    )
+    atoms = []
+    for rel in relation_names:
+        arity = draw(st.integers(1, 3))
+        terms = []
+        for _ in range(arity):
+            if draw(st.booleans()):
+                terms.append(draw(st.sampled_from(variables)))
+            else:
+                terms.append(Constant(draw(_constants)))
+        atoms.append(Atom(rel, tuple(terms)))
+    used = sorted(
+        frozenset().union(*(a.own_variables for a in atoms)), key=str
+    )
+    head = used[: draw(st.integers(0, len(used)))]
+    return ConjunctiveQuery(atoms, head)
+
+
+@settings(max_examples=200, deadline=None)
+@given(random_queries())
+def test_str_parse_round_trip(query):
+    assert parse_query(str(query)) == query
+
+
+@settings(max_examples=200, deadline=None)
+@given(random_queries())
+def test_round_trip_preserves_head_order(query):
+    reparsed = parse_query(str(query))
+    assert reparsed.head_order == query.head_order
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=40))
+def test_fuzz_never_crashes_unexpectedly(text):
+    """Arbitrary input either parses or raises QueryParseError/ValueError —
+    never any other exception type."""
+    try:
+        parse_query(text)
+    except (QueryParseError, ValueError):
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_queries())
+def test_parsed_query_is_self_join_free(query):
+    reparsed = parse_query(str(query))
+    names = [a.relation for a in reparsed.atoms]
+    assert len(names) == len(set(names))

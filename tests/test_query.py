@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.query."""
+
+import pytest
+
+from repro.core import Atom, ConjunctiveQuery, Variable, parse_query
+
+x, y, z, u, v = (Variable(n) for n in "xyzuv")
+
+
+class TestConstruction:
+    def test_self_join_rejected(self):
+        with pytest.raises(ValueError, match="self-join"):
+            ConjunctiveQuery([Atom("R", (x,)), Atom("R", (y,))])
+
+    def test_head_must_occur_in_body(self):
+        with pytest.raises(ValueError, match="head variables"):
+            ConjunctiveQuery([Atom("R", (x,))], head=[y])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([])
+
+    def test_head_order_preserved(self):
+        q = parse_query("q(z, x) :- R(x, z)")
+        assert [v.name for v in q.head_order] == ["z", "x"]
+
+    def test_head_order_deduplicated(self):
+        q = ConjunctiveQuery([Atom("R", (x, y))], head=[x, y, x])
+        assert q.head_order == (x, y)
+
+    def test_str_round_trips_through_parser(self):
+        q = parse_query("q(z) :- R(z, x), S(x, y)")
+        assert parse_query(str(q)) == q
+
+
+class TestVariableSets:
+    def test_variables(self):
+        q = parse_query("q() :- R(x, y), S(y, z)")
+        assert q.variables == {x, y, z}
+
+    def test_existential_variables(self):
+        q = parse_query("q(x) :- R(x, y)")
+        assert q.existential_variables == {y}
+
+    def test_atoms_containing(self):
+        q = parse_query("q() :- R(x, y), S(y, z), T(z)")
+        assert {a.relation for a in q.atoms_containing(y)} == {"R", "S"}
+
+    def test_dissociated_variables_are_structural(self):
+        q = parse_query("q() :- R(x), S(x, y)")
+        q2 = q.dissociate({"R": frozenset([y])})
+        assert {a.relation for a in q2.atoms_containing(y)} == {"R", "S"}
+
+    def test_separator_variables(self):
+        q = parse_query("q() :- R(x, y), S(y, z)")
+        assert q.separator_variables() == {y}
+
+    def test_no_separator(self):
+        q = parse_query("q() :- R(x), S(y)")
+        assert q.separator_variables() == frozenset()
+
+
+class TestMinus:
+    def test_minus_shrinks_arity(self):
+        q = parse_query("q() :- R(x, y), S(y)")
+        reduced = q.minus([y])
+        assert reduced.atom("R").terms == (x,)
+        assert reduced.atom("S").terms == ()
+
+    def test_minus_removes_head(self):
+        q = parse_query("q(x) :- R(x, y)")
+        assert q.minus([x]).head == frozenset()
+
+
+class TestConnectivity:
+    def test_connected_via_existential(self):
+        q = parse_query("q() :- R(x, y), S(y, z)")
+        assert q.is_connected()
+
+    def test_head_variables_act_as_constants(self):
+        q = parse_query("q(y) :- R(x, y), S(y, z)")
+        comps = q.connected_components()
+        assert len(comps) == 2
+
+    def test_component_heads_restricted(self):
+        q = parse_query("q(y) :- R(x, y), S(y, z), T(u)")
+        comps = q.connected_components()
+        assert len(comps) == 3
+        for comp in comps:
+            assert comp.head <= comp.variables
+
+    def test_paper_example_disconnected(self):
+        # q :- R(x,y), S(z,u), T(u,v) has components {R} and {S,T}
+        q = parse_query("q() :- R(x, y), S(z, u), T(u, v)")
+        comps = q.connected_components()
+        assert sorted(len(c.atoms) for c in comps) == [1, 2]
+
+    def test_single_atom_connected(self):
+        assert parse_query("q() :- R(x)").is_connected()
+
+
+class TestEquality:
+    def test_atom_order_irrelevant(self):
+        q1 = parse_query("q() :- R(x), S(x)")
+        q2 = parse_query("q() :- S(x), R(x)")
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+
+    def test_head_matters(self):
+        q1 = parse_query("q(x) :- R(x, y)")
+        q2 = parse_query("q() :- R(x, y)")
+        assert q1 != q2

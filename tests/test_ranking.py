@@ -1,0 +1,172 @@
+"""Tests for ranking metrics (AP@k with ties) and the rankers."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import parse_query
+from repro.db import ProbabilisticDatabase
+from repro.ranking import (
+    average_precision_at_k,
+    mean_average_precision,
+    random_ranking_ap,
+    rank_by_dissociation,
+    rank_by_exact,
+    rank_by_lineage_size,
+    rank_by_monte_carlo,
+    rank_by_relative_weights,
+    tied_rank_intervals,
+    top_k,
+)
+
+from .helpers import random_database_for
+
+
+class TestTiedRankIntervals:
+    def test_no_ties(self):
+        scores = {"a": 3.0, "b": 2.0, "c": 1.0}
+        intervals = tied_rank_intervals(scores)
+        assert intervals == {"a": (1, 1), "b": (2, 2), "c": (3, 3)}
+
+    def test_full_tie(self):
+        scores = {"a": 1.0, "b": 1.0, "c": 1.0}
+        assert tied_rank_intervals(scores) == {
+            "a": (1, 3),
+            "b": (1, 3),
+            "c": (1, 3),
+        }
+
+    def test_partial_tie(self):
+        scores = {"a": 2.0, "b": 1.0, "c": 1.0, "d": 0.5}
+        intervals = tied_rank_intervals(scores)
+        assert intervals["a"] == (1, 1)
+        assert intervals["b"] == intervals["c"] == (2, 3)
+        assert intervals["d"] == (4, 4)
+
+
+class TestTopK:
+    def test_ordering(self):
+        scores = {"a": 0.1, "b": 0.9, "c": 0.5}
+        assert top_k(scores, 2) == ["b", "c"]
+
+    def test_deterministic_tie_break(self):
+        scores = {"a": 0.5, "b": 0.5}
+        assert top_k(scores, 1) == top_k(dict(reversed(list(scores.items()))), 1)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        gt = {i: 25 - i for i in range(25)}
+        assert average_precision_at_k(gt, gt, k=10) == pytest.approx(1.0)
+
+    def test_random_baseline_25_answers(self):
+        # all-tied ranking of 25 answers: AP@10 ≈ 0.220 (the paper's
+        # "random average precision" baseline)
+        gt = {i: 25 - i for i in range(25)}
+        flat = {i: 1.0 for i in range(25)}
+        assert average_precision_at_k(flat, gt, k=10) == pytest.approx(0.22)
+        assert random_ranking_ap(25, 10) == pytest.approx(0.22)
+
+    def test_reversed_ranking_is_poor(self):
+        gt = {i: 25 - i for i in range(25)}
+        reverse = {i: i for i in range(25)}
+        ap = average_precision_at_k(reverse, gt, k=10)
+        assert ap < 0.1
+
+    def test_analytic_matches_sampled_tie_breaking(self):
+        rng = random.Random(0)
+        gt = {i: 20 - i for i in range(20)}
+        returned = {i: rng.choice([1.0, 2.0, 3.0]) for i in range(20)}
+        analytic = average_precision_at_k(returned, gt, k=10)
+
+        # Monte Carlo over random tie-breaks
+        def sampled_ap() -> float:
+            jitter = {i: (returned[i], rng.random()) for i in returned}
+            order = sorted(jitter, key=lambda i: (-jitter[i][0], jitter[i][1]))
+            total = 0.0
+            for depth in range(1, 11):
+                rel = set(top_k(gt, depth))
+                got = set(order[:depth])
+                total += len(rel & got) / depth
+            return total / 10
+
+        estimate = sum(sampled_ap() for _ in range(4000)) / 4000
+        assert abs(analytic - estimate) < 0.02
+
+    def test_missing_answers_ranked_last(self):
+        gt = {"a": 3.0, "b": 2.0, "c": 1.0}
+        partial = {"a": 1.0}
+        ap = average_precision_at_k(partial, gt, k=2)
+        assert 0.0 < ap < 1.0
+
+    def test_k_larger_than_answers(self):
+        gt = {"a": 1.0, "b": 0.5}
+        assert average_precision_at_k(gt, gt, k=10) == pytest.approx(1.0)
+
+    def test_empty_ground_truth_rejected(self):
+        with pytest.raises(ValueError):
+            average_precision_at_k({}, {}, k=10)
+
+    def test_map_is_mean(self):
+        gt = {i: 10 - i for i in range(10)}
+        pairs = [(gt, gt), ({i: 1.0 for i in range(10)}, gt)]
+        value = mean_average_precision(pairs, k=10)
+        single = (
+            average_precision_at_k(gt, gt, 10)
+            + average_precision_at_k({i: 1.0 for i in range(10)}, gt, 10)
+        ) / 2
+        assert value == pytest.approx(single)
+
+    def test_random_ranking_ap_small_n(self):
+        # fewer answers than k: all answers retrieved at depth ≥ n
+        assert random_ranking_ap(1, 10) == pytest.approx(1.0)
+
+
+class TestRankers:
+    def _setup(self):
+        q = parse_query("q(z) :- R(z,x), S(x,y), T(y)")
+        db = random_database_for(q, random.Random(90), domain_size=4, fill=0.6)
+        return q, db
+
+    def test_dissociation_upper_bounds_exact(self):
+        q, db = self._setup()
+        diss = rank_by_dissociation(q, db)
+        exact = rank_by_exact(q, db)
+        assert set(diss) == set(exact)
+        for a in exact:
+            assert diss[a] >= exact[a] - 1e-9
+
+    def test_dissociation_ranking_quality_high(self):
+        # larger instance: enough answers for a meaningful AP@10
+        q = parse_query("q(z) :- R(z,x), S(x,y), T(y)")
+        db = random_database_for(
+            q, random.Random(91), domain_size=8, fill=0.4, p_max=0.4
+        )
+        diss = rank_by_dissociation(q, db)
+        exact = rank_by_exact(q, db)
+        assert len(exact) >= 6
+        assert average_precision_at_k(diss, exact, k=10) > 0.8
+
+    def test_mc_beats_lineage_with_enough_samples(self):
+        q, db = self._setup()
+        exact = rank_by_exact(q, db)
+        mc = rank_by_monte_carlo(q, db, samples=20_000, seed=1)
+        lineage = rank_by_lineage_size(q, db)
+        ap_mc = average_precision_at_k(mc, exact, k=10)
+        ap_lineage = average_precision_at_k(lineage, exact, k=10)
+        assert ap_mc >= ap_lineage - 0.05
+
+    def test_lineage_sizes_are_integers(self):
+        q, db = self._setup()
+        for v in rank_by_lineage_size(q, db).values():
+            assert v == int(v)
+
+    def test_relative_weights_ranking(self):
+        q, db = self._setup()
+        weights = rank_by_relative_weights(q, db, factor=1e-3)
+        exact = rank_by_exact(q, db)
+        assert set(weights) == set(exact)
+        # the scaled ranking correlates with GT well above random
+        ap = average_precision_at_k(weights, exact, k=10)
+        assert ap > random_ranking_ap(len(exact), 10)

@@ -1,0 +1,164 @@
+"""Tests for read-once detection and factorization."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.lineage import (
+    DNF,
+    RAnd,
+    ROr,
+    RVar,
+    exact_probability,
+    is_read_once,
+    lineage_of,
+    read_once_probability,
+    try_read_once,
+)
+
+from .test_formula import brute_force_probability
+
+
+class TestPositiveCases:
+    def test_single_variable(self):
+        tree = try_read_once(DNF([["a"]]))
+        assert isinstance(tree, RVar)
+
+    def test_single_clause(self):
+        tree = try_read_once(DNF([["a", "b", "c"]]))
+        assert isinstance(tree, RAnd)
+        assert tree.variables() == {"a", "b", "c"}
+
+    def test_disjoint_or(self):
+        tree = try_read_once(DNF([["a", "b"], ["c"]]))
+        assert isinstance(tree, ROr)
+
+    def test_common_factor(self):
+        # x(y ∨ z) — the classic read-once shape
+        tree = try_read_once(DNF([["x", "y"], ["x", "z"]]))
+        assert tree is not None
+        probs = {"x": 0.5, "y": 0.3, "z": 0.8}
+        assert abs(
+            tree.probability(probs) - exact_probability(DNF([["x", "y"], ["x", "z"]]), probs)
+        ) < 1e-12
+
+    def test_and_of_ors(self):
+        # (a ∨ b)(c ∨ d) expanded
+        f = DNF([["a", "c"], ["a", "d"], ["b", "c"], ["b", "d"]])
+        tree = try_read_once(f)
+        assert tree is not None
+        probs = {v: 0.4 for v in "abcd"}
+        assert abs(
+            tree.probability(probs) - brute_force_probability(f, probs)
+        ) < 1e-12
+
+    def test_nested_structure(self):
+        # x(y ∨ z) ∨ w : or of independent parts
+        f = DNF([["x", "y"], ["x", "z"], ["w"]])
+        assert is_read_once(f)
+
+    def test_absorption_applied_first(self):
+        # xy ∨ x ≡ x is read-once after absorption
+        assert is_read_once(DNF([["x", "y"], ["x"]]))
+
+    def test_hierarchical_query_lineage_is_read_once(self):
+        # safe queries have read-once lineages on every instance
+        from repro.core import parse_query
+        from repro.db import ProbabilisticDatabase
+
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5), ((2,), 0.6)])
+        db.add_table("S", [((1, 3), 0.2), ((1, 4), 0.9), ((2, 3), 0.4)])
+        q = parse_query("q() :- R(x), S(x,y)")
+        lineage = lineage_of(q, db)
+        assert is_read_once(lineage.by_answer[()])
+
+
+class TestNegativeCases:
+    def test_rst_lineage_not_read_once(self):
+        # the canonical non-read-once formula: x1y1 ∨ y1x2 ∨ x2y2 (path P4)
+        f = DNF([["x1", "y1"], ["x2", "y1"], ["x2", "y2"]])
+        assert not is_read_once(f)
+
+    def test_constants_return_none(self):
+        assert try_read_once(DNF()) is None
+        assert try_read_once(DNF([[]])) is None
+
+    def test_read_once_probability_none_for_hard(self):
+        f = DNF([["x1", "y1"], ["x2", "y1"], ["x2", "y2"]])
+        assert read_once_probability(f, {}) is None
+
+
+class TestSoundness:
+    """Whenever a tree is returned, its probability must be exact."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_formulas(self, seed):
+        rng = random.Random(seed)
+        n_vars = rng.randint(2, 6)
+        variables = [f"v{i}" for i in range(n_vars)]
+        probs = {v: rng.random() for v in variables}
+        clauses = [
+            rng.sample(variables, rng.randint(1, min(3, n_vars)))
+            for _ in range(rng.randint(1, 5))
+        ]
+        f = DNF(clauses)
+        tree = try_read_once(f)
+        if tree is None:
+            return
+        assert abs(
+            tree.probability(probs) - brute_force_probability(f, probs)
+        ) < 1e-9
+
+    def test_tree_variables_unique(self):
+        """Read-once: each variable appears exactly once in the tree."""
+
+        def leaves(tree):
+            if isinstance(tree, RVar):
+                return [tree.variable]
+            return [v for part in tree.parts for v in leaves(part)]
+
+        rng = random.Random(77)
+        for _ in range(40):
+            n_vars = rng.randint(2, 6)
+            variables = [f"v{i}" for i in range(n_vars)]
+            clauses = [
+                rng.sample(variables, rng.randint(1, min(3, n_vars)))
+                for _ in range(rng.randint(1, 5))
+            ]
+            tree = try_read_once(DNF(clauses))
+            if tree is None:
+                continue
+            found = leaves(tree)
+            assert len(found) == len(set(found))
+
+    def test_safe_query_lineages_random(self):
+        """Safe query lineages are read-once and the factored probability
+        matches the safe plan's score."""
+        import random as _random
+
+        from repro.core import is_hierarchical, safe_plan
+        from repro.engine import plan_scores
+
+        from .helpers import random_database_for, random_query
+
+        rng = _random.Random(5)
+        checked = 0
+        for _ in range(80):
+            q = random_query(rng, max_atoms=3, head_vars=0)
+            if not is_hierarchical(q):
+                continue
+            db = random_database_for(q, rng, domain_size=2)
+            lineage = lineage_of(q, db)
+            if () not in lineage.by_answer:
+                continue
+            formula = lineage.by_answer[()]
+            value = read_once_probability(formula, lineage.probabilities)
+            if value is None:
+                # detector may miss some shapes; soundness is what matters
+                continue
+            checked += 1
+            score = plan_scores(safe_plan(q), q, db)[()]
+            assert abs(value - score) < 1e-9
+        assert checked > 10

@@ -1,0 +1,159 @@
+"""Tests for safe plans, conservativity, and the schema dichotomy."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ColumnFD,
+    UnsafeQueryError,
+    is_hierarchical,
+    is_safe,
+    is_safe_with_schema,
+    minimal_plans,
+    parse_query,
+    safe_plan,
+    safe_plan_with_schema,
+)
+from repro.engine import DissociationEngine, plan_scores
+from repro.workloads import chain_query
+
+from .helpers import random_database_for, random_query
+
+
+class TestSafePlan:
+    def test_paper_example_q1(self):
+        # q1(z) :- R(z,x), S(x,y), K(x,y) has plan π_z(R ⋈_x π_x(S ⋈ K))
+        q = parse_query("q1(z) :- R(z,x), S(x,y), K(x,y)")
+        plan = safe_plan(q)
+        assert plan.is_safe()
+        assert plan.head_variables == q.head
+
+    def test_unsafe_raises(self):
+        with pytest.raises(UnsafeQueryError):
+            safe_plan(parse_query("q() :- R(x), S(x,y), T(y)"))
+
+    def test_single_atom(self):
+        q = parse_query("q(x) :- R(x, y)")
+        plan = safe_plan(q)
+        assert plan.head_variables == q.head
+
+    def test_safe_plan_equals_unique_minimal_plan(self):
+        rng = random.Random(3)
+        checked = 0
+        for _ in range(300):
+            q = random_query(rng, head_vars=rng.randint(0, 2))
+            if not is_hierarchical(q):
+                continue
+            checked += 1
+            (only,) = minimal_plans(q)
+            assert safe_plan(q) == only, str(q)
+        assert checked > 50
+
+    def test_safe_plan_score_is_exact(self):
+        """Proposition 6 (1): score(P) = P(q) for safe plans."""
+        rng = random.Random(8)
+        checked = 0
+        for _ in range(120):
+            q = random_query(rng, max_atoms=3, head_vars=rng.randint(0, 1))
+            if not is_hierarchical(q):
+                continue
+            checked += 1
+            db = random_database_for(q, rng)
+            engine = DissociationEngine(db)
+            exact = engine.exact(q)
+            scores = plan_scores(safe_plan(q), q, db)
+            assert set(scores) == set(exact)
+            for answer in exact:
+                assert abs(scores[answer] - exact[answer]) < 1e-9, str(q)
+        assert checked > 20
+
+
+class TestConservativity:
+    """If q is safe (possibly only with schema knowledge), the engine
+    returns its exact probability."""
+
+    def test_plain_safe_query(self):
+        rng = random.Random(21)
+        q = parse_query("q() :- R(x), S(x,y)")
+        db = random_database_for(q, rng)
+        engine = DissociationEngine(db)
+        rho = engine.propagation_score(q)[()]
+        exact = engine.exact(q)[()]
+        assert abs(rho - exact) < 1e-9
+
+    def test_deterministic_relation_makes_exact(self):
+        # q :- R(x), S(x,y), Td(y) is safe with T deterministic
+        rng = random.Random(22)
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        db = random_database_for(q, rng, deterministic=frozenset({"T"}))
+        engine = DissociationEngine(db)
+        assert engine.is_safe(q)
+        rho = engine.propagation_score(q)[()]
+        exact = engine.exact(q)[()]
+        assert abs(rho - exact) < 1e-9
+
+    def test_two_deterministic_relations(self):
+        rng = random.Random(23)
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        db = random_database_for(
+            q, rng, deterministic=frozenset({"R", "T"})
+        )
+        engine = DissociationEngine(db)
+        assert engine.is_safe(q)
+        assert abs(
+            engine.propagation_score(q)[()] - engine.exact(q)[()]
+        ) < 1e-9
+
+    def test_fd_satisfying_instance_exact(self):
+        # data satisfying S: x→y; the FD-aware single plan is exact
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        db = __import__("repro.db", fromlist=["ProbabilisticDatabase"]).ProbabilisticDatabase()
+        rng = random.Random(24)
+        db.add_table("R", [((i,), rng.uniform(0.1, 0.9)) for i in range(1, 5)])
+        db.add_table(
+            "S",
+            [((i, i % 3), rng.uniform(0.1, 0.9)) for i in range(1, 5)],
+            fds=[ColumnFD((0,), (1,))],
+        )
+        db.add_table("T", [((j,), rng.uniform(0.1, 0.9)) for j in range(3)])
+        engine = DissociationEngine(db)
+        assert engine.is_safe(q)
+        assert abs(
+            engine.propagation_score(q)[()] - engine.exact(q)[()]
+        ) < 1e-9
+
+    def test_schema_knowledge_can_be_disabled(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        db = random_database_for(
+            q, random.Random(25), deterministic=frozenset({"T"})
+        )
+        aware = DissociationEngine(db, use_schema_knowledge=True)
+        oblivious = DissociationEngine(db, use_schema_knowledge=False)
+        assert len(aware.minimal_plans(q)) == 1
+        assert len(oblivious.minimal_plans(q)) == 2
+        # both still compute the same (exact) value on this instance
+        assert abs(
+            aware.propagation_score(q)[()]
+            - oblivious.propagation_score(q)[()]
+        ) < 1e-9
+
+
+class TestSchemaDichotomy:
+    def test_is_safe_with_schema(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        assert not is_safe(q)
+        assert is_safe_with_schema(q, deterministic={"T"})
+        assert is_safe_with_schema(q, fds={"S": [ColumnFD((0,), (1,))]})
+        assert not is_safe_with_schema(q)
+
+    def test_safe_plan_with_schema(self):
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        plan = safe_plan_with_schema(q, deterministic={"T"})
+        assert {a.relation for a in plan.atoms()} == {"R", "S", "T"}
+        with pytest.raises(UnsafeQueryError):
+            safe_plan_with_schema(q)
+
+    def test_chain_queries_unsafe_with_no_knowledge(self):
+        for k in (3, 4, 5):
+            assert not is_safe_with_schema(chain_query(k))

@@ -1,0 +1,113 @@
+"""Tests for the deterministic semi-join reduction (Optimization 3)."""
+
+import random
+
+from repro.core import minimal_plans, parse_query
+from repro.db import ProbabilisticDatabase
+from repro.engine import (
+    DissociationEngine,
+    Optimizations,
+    plan_scores,
+    reduce_database,
+    semijoin_statements,
+)
+from repro.lineage import lineage_of
+
+from .helpers import assert_scores_close, random_database_for, random_query
+
+
+class TestInMemoryReducer:
+    def test_dangling_tuples_removed(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5), ((9,), 0.5)])
+        db.add_table("S", [((1, 2), 0.5)])
+        db.add_table("T", [((2,), 0.5), ((7,), 0.5)])
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        reduced = reduce_database(q, db)
+        assert set(reduced.table("R").rows) == {(1,)}
+        assert set(reduced.table("T").rows) == {(2,)}
+
+    def test_cascading_reduction(self):
+        # removing a dangling T tuple makes an S tuple dangling too
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        db.add_table("S", [((1, 2), 0.5), ((1, 3), 0.5)])
+        db.add_table("T", [((2,), 0.5)])
+        q = parse_query("q() :- R(x), S(x,y), T(y)")
+        reduced = reduce_database(q, db)
+        assert set(reduced.table("S").rows) == {(1, 2)}
+
+    def test_constants_pushed(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [(("a", 1), 0.5), (("b", 2), 0.5)])
+        db.add_table("S", [((1,), 0.5), ((2,), 0.5)])
+        q = parse_query("q() :- R('a', x), S(x)")
+        reduced = reduce_database(q, db)
+        assert set(reduced.table("R").rows) == {("a", 1)}
+        assert set(reduced.table("S").rows) == {(1,)}
+
+    def test_reduction_preserves_lineage(self):
+        rng = random.Random(61)
+        for _ in range(25):
+            q = random_query(rng, head_vars=rng.randint(0, 1))
+            db = random_database_for(q, rng, domain_size=2, fill=0.5)
+            full = lineage_of(q, db)
+            reduced = lineage_of(q, reduce_database(q, db))
+            assert full.by_answer == reduced.by_answer, str(q)
+
+    def test_reduction_preserves_scores(self):
+        rng = random.Random(62)
+        for _ in range(20):
+            q = random_query(rng, head_vars=rng.randint(0, 2))
+            db = random_database_for(q, rng, domain_size=3, fill=0.4)
+            reduced = reduce_database(q, db)
+            for plan in minimal_plans(q):
+                assert_scores_close(
+                    plan_scores(plan, q, db),
+                    plan_scores(plan, q, reduced),
+                    tolerance=1e-9,
+                )
+
+    def test_preserves_deterministic_flag(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [(1,)], deterministic=True)
+        db.add_table("S", [((1, 2), 0.5)])
+        q = parse_query("q() :- R(x), S(x,y)")
+        reduced = reduce_database(q, db)
+        assert reduced.table("R").schema.deterministic
+
+
+class TestSQLReducer:
+    def test_statements_reduce_tables(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5), ((9,), 0.5)])
+        db.add_table("S", [((1, 2), 0.5)])
+        q = parse_query("q() :- R(x), S(x,y)")
+        engine = DissociationEngine(db, backend="sqlite")
+        statements, names = semijoin_statements(q, db.schema)
+        engine.sqlite.run_statements(statements)
+        assert engine.sqlite.table_count(names["R"]) == 1
+        assert engine.sqlite.table_count(names["S"]) == 1
+
+    def test_scores_unchanged_by_opt3(self):
+        rng = random.Random(63)
+        for _ in range(15):
+            q = random_query(rng, head_vars=rng.randint(0, 2))
+            db = random_database_for(q, rng, domain_size=2, fill=0.5)
+            engine = DissociationEngine(db, backend="sqlite")
+            plain = engine.propagation_score(
+                q, Optimizations(semijoin=False)
+            )
+            reduced = engine.propagation_score(
+                q, Optimizations(semijoin=True)
+            )
+            assert_scores_close(plain, reduced, tolerance=1e-9)
+
+    def test_memory_backend_opt3(self):
+        rng = random.Random(64)
+        q = parse_query("q(z) :- R(z,x), S(x,y), T(y)")
+        db = random_database_for(q, rng, fill=0.5)
+        engine = DissociationEngine(db, backend="memory")
+        plain = engine.propagation_score(q, Optimizations(semijoin=False))
+        reduced = engine.propagation_score(q, Optimizations(semijoin=True))
+        assert_scores_close(plain, reduced, tolerance=1e-9)

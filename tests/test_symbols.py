@@ -1,0 +1,67 @@
+"""Unit tests for repro.core.symbols."""
+
+import pytest
+
+from repro.core import Constant, Variable, const, var, vars_
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hash_consistent(self):
+        assert hash(Variable("x")) == hash(Variable("x"))
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_ordering_by_name(self):
+        assert Variable("a") < Variable("b")
+        assert sorted([Variable("z"), Variable("a")])[0].name == "a"
+
+    def test_str_and_repr(self):
+        assert str(Variable("x1")) == "x1"
+        assert "x1" in repr(Variable("x1"))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            Variable(3)  # type: ignore[arg-type]
+
+    def test_not_equal_to_constant(self):
+        assert Variable("x") != Constant("x")
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant("1")
+
+    def test_hash_distinct_from_variable(self):
+        assert hash(Constant("x")) != hash(Variable("x"))
+
+    def test_str_quotes_strings(self):
+        assert str(Constant("a")) == "'a'"
+        assert str(Constant(5)) == "5"
+
+    def test_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            Constant([1, 2])
+
+
+class TestShorthand:
+    def test_var(self):
+        assert var("x") == Variable("x")
+
+    def test_const(self):
+        assert const(7) == Constant(7)
+
+    def test_vars_space_separated(self):
+        x, y, z = vars_("x y z")
+        assert (x.name, y.name, z.name) == ("x", "y", "z")
+
+    def test_vars_comma_separated(self):
+        a, b = vars_("a, b")
+        assert (a.name, b.name) == ("a", "b")

@@ -1,0 +1,125 @@
+"""Tests for certified top-k from probability intervals."""
+
+import random
+
+import pytest
+
+from repro.ranking.topk import TopKCertificate, certified_top_k, certify_top_k
+from repro.workloads import chain_database, chain_query
+
+from .helpers import random_database_for, random_query
+
+
+class TestCertifyFromBounds:
+    def test_disjoint_intervals_fully_certified(self):
+        bounds = {
+            "a": (0.8, 0.9),
+            "b": (0.5, 0.6),
+            "c": (0.1, 0.2),
+        }
+        cert = certify_top_k(bounds, k=2)
+        assert cert.certain == ["a", "b"]
+        assert cert.excluded == ["c"]
+        assert cert.is_complete()
+
+    def test_overlap_leaves_undecided(self):
+        bounds = {
+            "a": (0.8, 0.9),
+            "b": (0.4, 0.6),
+            "c": (0.5, 0.7),
+        }
+        cert = certify_top_k(bounds, k=2)
+        assert "a" in cert.certain
+        assert set(cert.undecided) == {"b", "c"}
+        assert not cert.is_complete()
+
+    def test_k_at_least_answer_count(self):
+        bounds = {"a": (0.5, 0.6), "b": (0.1, 0.2)}
+        cert = certify_top_k(bounds, k=5)
+        # everything is trivially in the top 5
+        assert set(cert.certain) == {"a", "b"}
+        assert cert.excluded == []
+
+    def test_empty_bounds(self):
+        cert = certify_top_k({}, k=3)
+        assert cert.candidates() == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            certify_top_k({"a": (0.1, 0.2)}, k=0)
+
+    def test_partition_is_total(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            bounds = {}
+            for i in range(rng.randint(1, 12)):
+                low = rng.random()
+                bounds[i] = (low, min(1.0, low + rng.random() * 0.3))
+            cert = certify_top_k(bounds, k=3)
+            classified = (
+                set(cert.certain) | set(cert.undecided) | set(cert.excluded)
+            )
+            assert classified == set(bounds)
+
+
+class TestEndToEnd:
+    def test_certificate_sound_against_exact(self):
+        from repro.engine import DissociationEngine
+        from repro.ranking import top_k
+
+        q = chain_query(3)
+        db = chain_database(3, 80, seed=21, p_max=0.6)
+        k = 5
+        cert = certified_top_k(q, db, k=k)
+        exact = DissociationEngine(db).exact(q)
+        true_top = set(top_k(exact, k))
+        # certified-in answers really are in the exact top k
+        for answer in cert.certain:
+            assert answer in true_top, answer
+        # certified-out answers really are not
+        for answer in cert.excluded:
+            assert answer not in true_top, answer
+
+    def test_resolution_completes_certificate(self):
+        q = chain_query(3)
+        db = chain_database(3, 80, seed=22, p_max=0.6)
+        resolved = certified_top_k(q, db, k=5, resolve_undecided=True)
+        assert resolved.is_complete()
+
+    def test_resolved_matches_exact_ranking(self):
+        from repro.engine import DissociationEngine
+        from repro.ranking import top_k
+
+        q = chain_query(3)
+        db = chain_database(3, 60, seed=23, p_max=0.6)
+        k = 4
+        resolved = certified_top_k(q, db, k=k, resolve_undecided=True)
+        exact = DissociationEngine(db).exact(q)
+        # modulo genuine ties at the boundary, the certified set matches
+        true_top = top_k(exact, k)
+        kth = exact[true_top[-1]]
+        for answer in resolved.certain[:k]:
+            assert exact[answer] >= kth - 1e-9
+
+    def test_random_instances_sound(self):
+        from repro.engine import DissociationEngine
+        from repro.ranking import top_k
+
+        checked = 0
+        for seed in range(15):
+            rng = random.Random(seed)
+            q = random_query(rng, max_atoms=3, head_vars=1)
+            db = random_database_for(q, rng, domain_size=3)
+            engine = DissociationEngine(db)
+            exact = engine.exact(q)
+            if len(exact) < 3:
+                continue
+            k = 2
+            cert = certified_top_k(q, db, k=k)
+            true_top = set(top_k(exact, k))
+            checked += 1
+            for answer in cert.certain:
+                # allow exact ties at the boundary
+                kth = sorted(exact.values(), reverse=True)[k - 1]
+                assert exact[answer] >= kth - 1e-9
+        assert checked >= 5

@@ -1,0 +1,154 @@
+"""Tests for the workload generators (chains, stars, TPC-H subset)."""
+
+import random
+
+import pytest
+
+from repro.core import is_hierarchical, minimal_plans
+from repro.engine import DissociationEngine
+from repro.workloads import (
+    TPCHParameters,
+    chain_database,
+    chain_domain_size,
+    chain_query,
+    filtered_instance,
+    like_match,
+    star_database,
+    star_query,
+    tpch_database,
+    tpch_query,
+)
+
+
+class TestChains:
+    def test_query_shape(self):
+        q = chain_query(4)
+        assert len(q.atoms) == 4
+        assert [v.name for v in q.head_order] == ["x0", "x4"]
+
+    def test_boolean_variant(self):
+        assert chain_query(3, boolean=True).is_boolean()
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            chain_query(0)
+
+    def test_database_tables(self):
+        db = chain_database(3, 100, seed=0)
+        assert db.table_names == ["R1", "R2", "R3"]
+        assert all(len(db.table(n)) == 100 for n in db.table_names)
+
+    def test_probabilities_bounded(self):
+        db = chain_database(3, 50, p_max=0.4, seed=1)
+        for table in db:
+            for _, p in table:
+                assert 0 <= p <= 0.4
+
+    def test_deterministic_tables(self):
+        db = chain_database(
+            3, 50, seed=1, deterministic_tables=frozenset({"R2"})
+        )
+        assert db.schema.deterministic_relations == {"R2"}
+
+    def test_domain_size_monotone_in_n(self):
+        assert chain_domain_size(4, 1000) > chain_domain_size(4, 100)
+
+    def test_reproducible(self):
+        a = chain_database(3, 40, seed=7)
+        b = chain_database(3, 40, seed=7)
+        assert a.table("R1").rows == b.table("R1").rows
+
+    def test_produces_answers(self):
+        q = chain_query(3)
+        db = chain_database(3, 300, seed=2)
+        engine = DissociationEngine(db)
+        assert len(engine.answers(q)) > 0
+
+
+class TestStars:
+    def test_query_shape(self):
+        q = star_query(3)
+        assert len(q.atoms) == 4  # R1..R3 plus hub R0
+        assert q.is_boolean()
+        assert q.atom("R0").arity == 3
+
+    def test_anchor_constant(self):
+        q = star_query(2)
+        assert q.atom("R1").has_constants()
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            star_query(0)
+
+    def test_database_matches_query(self):
+        k = 3
+        q = star_query(k)
+        db = star_database(k, 60, seed=3)
+        engine = DissociationEngine(db)
+        scores = engine.propagation_score(q)
+        assert set(scores) <= {()}
+
+    def test_unsafe_for_k2(self):
+        assert not is_hierarchical(star_query(2))
+
+
+class TestLikeMatch:
+    def test_percent(self):
+        assert like_match("%red%", "dark red metallic")
+        assert not like_match("%red%", "blue")
+
+    def test_underscore(self):
+        assert like_match("r_d", "red")
+        assert not like_match("r_d", "reed")
+
+    def test_anchored(self):
+        assert not like_match("red", "dark red")
+        assert like_match("%", "anything")
+
+    def test_multi_wildcards(self):
+        assert like_match("%red%green%", "a red and green thing")
+        assert not like_match("%red%green%", "a green and red thing")
+
+
+class TestTPCH:
+    def test_query_has_two_minimal_plans(self):
+        assert len(minimal_plans(tpch_query())) == 2
+
+    def test_database_shapes(self):
+        db = tpch_database(scale=0.01, seed=0)
+        assert len(db.table("S")) == 100
+        assert len(db.table("P")) == 2000
+        # ~4 links per part modulo collisions
+        assert len(db.table("PS")) > 4000
+
+    def test_nationkeys_bounded(self):
+        db = tpch_database(scale=0.01, seed=0)
+        assert {row[1] for row, _ in db.table("S")} <= set(range(25))
+
+    def test_part_names_use_colors(self):
+        from repro.workloads import COLORS
+
+        db = tpch_database(scale=0.005, seed=1)
+        for row, _ in list(db.table("P"))[:20]:
+            assert all(w in COLORS for w in row[1].split())
+
+    def test_filtered_instance(self):
+        db = tpch_database(scale=0.01, seed=2)
+        params = TPCHParameters(50, "%red%")
+        filtered = filtered_instance(db, params)
+        assert all(row[0] <= 50 for row, _ in filtered.table("S"))
+        assert all(row[0] <= 50 for row, _ in filtered.table("PS"))
+        assert all(
+            like_match("%red%", row[1]) for row, _ in filtered.table("P")
+        )
+
+    def test_end_to_end_ranking(self):
+        db = tpch_database(scale=0.005, seed=4)
+        filtered = filtered_instance(db, TPCHParameters(40, "%"))
+        engine = DissociationEngine(filtered)
+        q = tpch_query()
+        scores = engine.propagation_score(q)
+        exact = engine.exact(q)
+        assert set(scores) == set(exact)
+        for a in exact:
+            assert scores[a] >= exact[a] - 1e-9
