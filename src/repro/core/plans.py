@@ -137,7 +137,13 @@ class Scan(Plan):
         return str(self.atom.without_dissociation())
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Scan) and self.atom == other.atom
+        if self is other:
+            return True
+        return (
+            isinstance(other, Scan)
+            and hash(self) == hash(other)
+            and self.atom == other.atom
+        )
 
     def __hash__(self) -> int:
         if self._hash is None:
@@ -187,8 +193,13 @@ class Project(Plan):
         return f"π[-{away}]({self.child})"
 
     def __eq__(self, other: object) -> bool:
+        # cached-hash short-circuit: deep structural comparison only runs
+        # for equal hashes, keeping DAG-wide cache lookups near-linear
+        if self is other:
+            return True
         return (
             isinstance(other, Project)
+            and hash(self) == hash(other)
             and self.head == other.head
             and self.child == other.child
         )
@@ -245,7 +256,13 @@ class Join(Plan):
         return frozenset(counts.items())
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Join) and self._key() == other._key()
+        if self is other:
+            return True
+        return (
+            isinstance(other, Join)
+            and hash(self) == hash(other)
+            and self._key() == other._key()
+        )
 
     def __hash__(self) -> int:
         if self._hash is None:
@@ -298,8 +315,12 @@ class MinPlan(Plan):
         return f"min[{inner}]"
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, MinPlan) and frozenset(self.parts) == frozenset(
-            other.parts
+        if self is other:
+            return True
+        return (
+            isinstance(other, MinPlan)
+            and hash(self) == hash(other)
+            and frozenset(self.parts) == frozenset(other.parts)
         )
 
     def __hash__(self) -> int:

@@ -24,7 +24,7 @@ TupleRef = tuple[str, tuple]
 class Table:
     """One relation: distinct tuples with probabilities."""
 
-    __slots__ = ("schema", "rows")
+    __slots__ = ("schema", "rows", "_version")
 
     def __init__(
         self,
@@ -33,6 +33,7 @@ class Table:
     ) -> None:
         self.schema = schema
         self.rows: dict[tuple, float] = {}
+        self._version = 0
         if rows:
             for row, p in rows.items():
                 self.insert(row, p)
@@ -61,6 +62,12 @@ class Table:
                 f"{self.name} is deterministic; tuple probability must be 1"
             )
         self.rows[row] = probability
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped on every :meth:`insert`."""
+        return self._version
 
     def probability(self, row: Sequence) -> float:
         return self.rows.get(tuple(row), 0.0)
@@ -87,6 +94,7 @@ class ProbabilisticDatabase:
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -133,10 +141,27 @@ class ProbabilisticDatabase:
         for row, p in normalized:
             table.insert(row, p)
         self._tables[name] = table
+        self._version += 1
         return table
 
     def drop_table(self, name: str) -> None:
         del self._tables[name]
+        self._version += 1
+
+    @property
+    def version(self) -> tuple:
+        """A hashable token identifying the database's current state.
+
+        Changes whenever a table is added, dropped, or mutated; the
+        evaluation caches snapshot it to detect staleness.
+        """
+        return (
+            self._version,
+            tuple(
+                (name, table._version)
+                for name, table in sorted(self._tables.items())
+            ),
+        )
 
     # ------------------------------------------------------------------
     # access

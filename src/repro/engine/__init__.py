@@ -1,20 +1,29 @@
 """Evaluation backends: in-memory extensional, SQL compilation, engine."""
 
 from .evaluator import DissociationEngine, EvaluationResult, Optimizations
-from .extensional import deterministic_answers, evaluate_plan, plan_scores
+from .extensional import (
+    EvaluationCache,
+    deterministic_answers,
+    evaluate_plan,
+    plan_scores,
+)
+from .reference import evaluate_plan_reference, plan_scores_reference
 from .semijoin import reduce_database, reduced_name, semijoin_statements
 from .sql import SQLCompiler, deterministic_sql, lineage_sql
 
 __all__ = [
     "DissociationEngine",
+    "EvaluationCache",
     "EvaluationResult",
     "Optimizations",
     "SQLCompiler",
     "deterministic_answers",
     "deterministic_sql",
     "evaluate_plan",
+    "evaluate_plan_reference",
     "lineage_sql",
     "plan_scores",
+    "plan_scores_reference",
     "reduce_database",
     "reduced_name",
     "semijoin_statements",

@@ -28,7 +28,7 @@ from ..db.sqlite_backend import SQLiteBackend
 from ..lineage.build import Lineage, lineage_of
 from ..lineage.exact import ExactEvaluator
 from ..lineage.mc import monte_carlo_many
-from .extensional import deterministic_answers, plan_scores
+from .extensional import EvaluationCache, deterministic_answers, plan_scores
 from .semijoin import reduce_database, semijoin_statements
 from .sql import SQLCompiler, deterministic_sql, lineage_sql
 
@@ -106,6 +106,7 @@ class DissociationEngine:
         self.backend: Backend = backend
         self.use_schema_knowledge = use_schema_knowledge
         self._sqlite: SQLiteBackend | None = None
+        self._memory_cache: EvaluationCache | None = None
 
     # ------------------------------------------------------------------
     # schema plumbing
@@ -128,6 +129,22 @@ class DissociationEngine:
         if self._sqlite is not None:
             self._sqlite.close()
             self._sqlite = None
+
+    def _cache_for(self, db: ProbabilisticDatabase) -> EvaluationCache:
+        """The persistent cross-query cache (for the engine's own ``db``).
+
+        Semi-join reduction materializes a throwaway database per call,
+        so those get a throwaway cache; the engine's database keeps one
+        long-lived cache that survives across queries and is dropped
+        automatically when the database's version token moves.
+        """
+        if db is not self.db:
+            return EvaluationCache(db)
+        if self._memory_cache is None or self._memory_cache.db is not db:
+            self._memory_cache = EvaluationCache(db)
+        else:
+            self._memory_cache.validate()
+        return self._memory_cache
 
     # ------------------------------------------------------------------
     # plan-level API
@@ -187,8 +204,9 @@ class DissociationEngine:
         """Each minimal plan's scores separately (needed by the ``avg[d]``
         ranking experiments, Result 6)."""
         db = reduce_database(query, self.db) if semijoin else self.db
+        cache = self._cache_for(db)
         return {
-            plan: plan_scores(plan, query, db)
+            plan: plan_scores(plan, query, db, cache=cache)
             for plan in self.minimal_plans(query)
         }
 
@@ -199,15 +217,21 @@ class DissociationEngine:
         opts: Optimizations,
     ) -> dict[tuple, float]:
         db = reduce_database(query, self.db) if opts.semijoin else self.db
+        base = self._cache_for(db)
+        # Opt. 2 (view reuse) is the shared plan-result memo: with it on,
+        # one structural cache spans all plans of this call *and* — for the
+        # engine's own database — later calls. With it off, each plan gets
+        # a fresh memo scope (encoded relations are representation, not an
+        # optimization, so those stay shared either way); the DAG produced
+        # by Algorithm 2 still shares nodes within one plan.
         if opts.single_plan:
-            # The DAG evaluator caches shared nodes, so Opt. 2 is automatic;
-            # with reuse_views disabled we still evaluate the single plan
-            # (per-node caching is how this backend realizes views).
             merged = self.single_plan(query)
-            return plan_scores(merged, query, db)
+            cache = base if opts.reuse_views else base.plan_scope()
+            return plan_scores(merged, query, db, cache=cache)
         combined: dict[tuple, float] = {}
         for plan in plans:
-            for answer, score in plan_scores(plan, query, db).items():
+            cache = base if opts.reuse_views else base.plan_scope()
+            for answer, score in plan_scores(plan, query, db, cache=cache).items():
                 previous = combined.get(answer)
                 if previous is None or score < previous:
                     combined[answer] = score

@@ -1,51 +1,207 @@
-"""In-memory extensional plan evaluation (the ``score`` semantics, Def. 4).
+"""Columnar, vectorized in-memory extensional evaluation (Def. 4).
 
-Evaluates a plan bottom-up over a :class:`ProbabilisticDatabase`:
+Evaluates a plan bottom-up over a :class:`ProbabilisticDatabase` with
+set-at-a-time operators instead of the seed's row-at-a-time interpreter
+(preserved in :mod:`repro.engine.reference`):
 
-* scan — tuple probability;
-* join — product of the children's scores (independence assumption);
-* projection with duplicate elimination — independent-or
-  ``1 − ∏(1 − s_i)``;
-* ``min`` — per-tuple minimum over alternative subplans (Opt. 1).
+* intermediate relations are *column stores* — one ``int64`` code array
+  per head variable plus a contiguous ``float64`` score column
+  (:class:`_Columnar`); tuple values are interned once per database into
+  a shared dictionary, so all joins and group-bys run on integers;
+* scan — mask-filter the cached encoded relation (tuple probability);
+* join — vectorized hash join (sort + ``searchsorted`` match expansion),
+  driven by a cost-ordered scheduler that always folds in the *smallest
+  connected* input; scores multiply (independence assumption);
+* projection with duplicate elimination — grouped independent-or
+  ``1 − ∏(1 − s_i)`` via ``np.multiply.reduceat`` over stably sorted
+  group runs;
+* ``min`` — per-tuple minimum over alternative subplans (Opt. 1),
+  aligned by sorting both children on their full row keys.
 
-Shared plan nodes (the DAG produced by Algorithm 2's memoization) are
-evaluated once — Optimization 2 for this backend.
+Shared plan nodes are evaluated once: results are memoized in an
+:class:`EvaluationCache` keyed by the plans' *structural* hash/equality
+(not object identity), so Optimization 2 view reuse extends across the
+separate plans of the "all plans" mode and — when the cache is threaded
+through :class:`repro.engine.DissociationEngine` — across queries. The
+cache snapshots the database's version token and clears itself when the
+database mutates.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from ..core.plans import Join, MinPlan, Plan, Project, Scan
 from ..core.query import ConjunctiveQuery
 from ..core.symbols import Constant, Variable
 from ..db.database import ProbabilisticDatabase
 
-__all__ = ["evaluate_plan", "plan_scores", "deterministic_answers"]
+__all__ = [
+    "EvaluationCache",
+    "evaluate_plan",
+    "plan_scores",
+    "deterministic_answers",
+]
+
+#: Radix-combined row keys must fit a signed 64-bit integer.
+_KEY_BITS = 62
 
 
-class _Result:
-    """An intermediate relation: ordered columns + scored rows."""
+class _Columnar:
+    """An intermediate relation in columnar layout.
 
-    __slots__ = ("order", "rows")
+    ``columns[i]`` holds the interned codes of variable ``order[i]`` for
+    every row; ``scores`` is the parallel score column. Rows are always
+    distinct (scans are injective after filtering, joins concatenate
+    distinct inputs, projections group). Arrays are treated as immutable
+    and may be shared between results.
+    """
 
-    def __init__(self, order: tuple[Variable, ...], rows: dict[tuple, float]) -> None:
+    __slots__ = ("order", "columns", "scores")
+
+    def __init__(
+        self,
+        order: tuple[Variable, ...],
+        columns: tuple[np.ndarray, ...],
+        scores: np.ndarray,
+    ) -> None:
         self.order = order
-        self.rows = rows
+        self.columns = columns
+        self.scores = scores
+
+    def __len__(self) -> int:
+        return self.scores.shape[0]
 
 
+def _empty(order: tuple[Variable, ...]) -> _Columnar:
+    return _Columnar(
+        order,
+        tuple(np.empty(0, dtype=np.int64) for _ in order),
+        np.empty(0, dtype=np.float64),
+    )
+
+
+class EvaluationCache:
+    """Shared evaluation state for one database.
+
+    Three layers, from representation to optimization:
+
+    * a value dictionary interning tuple constants to ``int64`` codes
+      (append-only, never invalidated — codes stay valid across clears);
+    * encoded base relations, one set of code columns + a score column
+      per relation (built lazily on first scan);
+    * plan results keyed by the plan nodes' structural hash/equality —
+      this is what realizes Opt. 2 across plans and across queries.
+
+    The cache records ``db.version`` when created; :meth:`validate`
+    drops the encoded tables and plan results whenever the token moved.
+    :meth:`plan_scope` returns a view sharing the dictionary and encoded
+    tables but with an empty plan memo — used when view reuse (Opt. 2)
+    is disabled but re-encoding relations per plan would be wasteful.
+    """
+
+    __slots__ = ("db", "_code_of", "_values", "_tables", "_plans", "_token")
+
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        _share_with: "EvaluationCache | None" = None,
+    ) -> None:
+        self.db = db
+        if _share_with is None:
+            self._code_of: dict = {}
+            self._values: list = []
+            self._tables: dict[str, tuple[tuple[np.ndarray, ...], np.ndarray]] = {}
+        else:
+            self._code_of = _share_with._code_of
+            self._values = _share_with._values
+            self._tables = _share_with._tables
+        self._plans: dict[Plan, _Columnar] = {}
+        self._token = _db_token(db)
+
+    def validate(self) -> None:
+        """Clear cached state if the database changed since it was built."""
+        token = _db_token(self.db)
+        if token != self._token:
+            self._tables.clear()
+            self._plans.clear()
+            self._token = token
+
+    def plan_scope(self) -> "EvaluationCache":
+        """A cache sharing encodings but with a fresh plan-result memo."""
+        return EvaluationCache(self.db, _share_with=self)
+
+    # ------------------------------------------------------------------
+    # value interning
+    # ------------------------------------------------------------------
+    def encode(self, value) -> int:
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._values)
+            self._code_of[value] = code
+            self._values.append(value)
+        return code
+
+    def encoded_table(self, name: str) -> tuple[tuple[np.ndarray, ...], np.ndarray]:
+        """The relation ``name`` as interned code columns + score column."""
+        entry = self._tables.get(name)
+        if entry is None:
+            table = self.db.table(name)
+            rows = table.rows
+            n = len(rows)
+            scores = np.fromiter(rows.values(), dtype=np.float64, count=n)
+            code_of = self._code_of
+            values = self._values
+            columns: list[np.ndarray] = []
+            for raw in zip(*rows) if n else ((),) * table.arity:
+                codes = []
+                append = codes.append
+                for v in raw:
+                    code = code_of.get(v)
+                    if code is None:
+                        code = len(values)
+                        code_of[v] = code
+                        values.append(v)
+                    append(code)
+                columns.append(np.fromiter(codes, dtype=np.int64, count=n))
+            entry = (tuple(columns), scores)
+            self._tables[name] = entry
+        return entry
+
+
+def _db_token(db: ProbabilisticDatabase):
+    # ``version`` distinguishes snapshots of a mutable database; fall back
+    # to a constant for duck-typed stand-ins without version tracking.
+    return getattr(db, "version", None)
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
 def evaluate_plan(
     plan: Plan,
     db: ProbabilisticDatabase,
     output_order: Iterable[Variable] | None = None,
+    cache: EvaluationCache | None = None,
 ) -> dict[tuple, float]:
     """Score every output tuple of ``plan`` on ``db``.
 
     Keys are tuples of the plan's head-variable values, ordered by
     ``output_order`` when given (e.g. a query's ``head_order``), otherwise
     by variable name. For Boolean plans the single key is ``()``.
+
+    ``cache`` shares interning, encoded relations, and plan results
+    across calls; it must have been built for the same ``db``.
     """
-    result = _evaluate(plan, db, {})
+    if cache is None:
+        cache = EvaluationCache(db)
+    else:
+        if cache.db is not db:
+            raise ValueError("evaluation cache was built for a different database")
+        cache.validate()
+    result = _evaluate(plan, cache)
     if output_order is None:
         order = tuple(sorted(result.order))
     else:
@@ -55,149 +211,262 @@ def evaluate_plan(
                 f"output order {order} does not match plan head {result.order}"
             )
     if order == result.order:
-        return dict(result.rows)
-    positions = [result.order.index(v) for v in order]
-    return {
-        tuple(row[i] for i in positions): score
-        for row, score in result.rows.items()
-    }
+        columns = result.columns
+    else:
+        positions = [result.order.index(v) for v in order]
+        columns = tuple(result.columns[i] for i in positions)
+    return _decode(cache, columns, result.scores)
 
 
 def plan_scores(
-    plan: Plan, query: ConjunctiveQuery, db: ProbabilisticDatabase
+    plan: Plan,
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    cache: EvaluationCache | None = None,
 ) -> dict[tuple, float]:
     """``evaluate_plan`` keyed in the query's declared head order."""
-    return evaluate_plan(plan, db, query.head_order)
+    return evaluate_plan(plan, db, query.head_order, cache=cache)
 
 
-def _evaluate(
-    plan: Plan, db: ProbabilisticDatabase, memo: dict[int, _Result]
-) -> _Result:
-    cached = memo.get(id(plan))
+def _decode(
+    cache: EvaluationCache,
+    columns: Sequence[np.ndarray],
+    scores: np.ndarray,
+) -> dict[tuple, float]:
+    n = scores.shape[0]
+    if not columns:
+        return {} if n == 0 else {(): float(scores[0])}
+    values = cache._values
+    decoded = [[values[c] for c in col.tolist()] for col in columns]
+    return dict(zip(zip(*decoded), scores.tolist()))
+
+
+# ----------------------------------------------------------------------
+# operators
+# ----------------------------------------------------------------------
+def _evaluate(plan: Plan, cache: EvaluationCache) -> _Columnar:
+    cached = cache._plans.get(plan)
     if cached is not None:
         return cached
     if isinstance(plan, Scan):
-        result = _scan(plan, db)
+        result = _scan(plan, cache)
     elif isinstance(plan, Project):
-        result = _project(plan, db, memo)
+        result = _project(plan, cache)
     elif isinstance(plan, Join):
-        result = _join(plan, db, memo)
+        result = _join(plan, cache)
     elif isinstance(plan, MinPlan):
-        result = _min(plan, db, memo)
+        result = _min(plan, cache)
     else:  # pragma: no cover - sealed hierarchy
         raise TypeError(f"unknown plan node {plan!r}")
-    memo[id(plan)] = result
+    cache._plans[plan] = result
     return result
 
 
-def _scan(plan: Scan, db: ProbabilisticDatabase) -> _Result:
+def _scan(plan: Scan, cache: EvaluationCache) -> _Columnar:
     atom = plan.atom
-    table = db.table(atom.relation)
+    table = cache.db.table(atom.relation)
     if table.arity != atom.arity:
         raise ValueError(
             f"atom {atom} has arity {atom.arity} but table "
             f"{atom.relation} has arity {table.arity}"
         )
+    columns, scores = cache.encoded_table(atom.relation)
     var_positions: dict[Variable, int] = {}
     all_positions: dict[Variable, list[int]] = {}
-    constant_checks: list[tuple[int, object]] = []
+    mask: np.ndarray | None = None
     for i, term in enumerate(atom.terms):
         if isinstance(term, Constant):
-            constant_checks.append((i, term.value))
+            check = columns[i] == cache.encode(term.value)
+            mask = check if mask is None else mask & check
         else:
             all_positions.setdefault(term, []).append(i)
             var_positions.setdefault(term, i)
-    repeat_groups = [ps for ps in all_positions.values() if len(ps) > 1]
+    for ps in all_positions.values():
+        for q in ps[1:]:
+            check = columns[ps[0]] == columns[q]
+            mask = check if mask is None else mask & check
     order = tuple(var_positions)
     keep = [var_positions[v] for v in order]
-    rows: dict[tuple, float] = {}
-    for row, p in table:
-        if any(row[i] != value for i, value in constant_checks):
-            continue
-        if any(row[ps[0]] != row[q] for ps in repeat_groups for q in ps[1:]):
-            continue
-        rows[tuple(row[i] for i in keep)] = p
-    return _Result(order, rows)
+    if mask is None:
+        return _Columnar(order, tuple(columns[i] for i in keep), scores)
+    idx = np.flatnonzero(mask)
+    return _Columnar(order, tuple(columns[i][idx] for i in keep), scores[idx])
 
 
-def _project(
-    plan: Project, db: ProbabilisticDatabase, memo: dict[int, _Result]
-) -> _Result:
-    child = _evaluate(plan.child, db, memo)
+def _project(plan: Project, cache: EvaluationCache) -> _Columnar:
+    child = _evaluate(plan.child, cache)
     order = tuple(v for v in child.order if v in plan.head)
     keep = [child.order.index(v) for v in order]
-    complements: dict[tuple, float] = {}
-    for row, score in child.rows.items():
-        key = tuple(row[i] for i in keep)
-        complements[key] = complements.get(key, 1.0) * (1.0 - score)
-    rows = {key: 1.0 - c for key, c in complements.items()}
-    return _Result(order, rows)
+    n = len(child)
+    if n == 0:
+        return _empty(order)
+    if not keep:
+        total = float(np.multiply.reduce(1.0 - child.scores))
+        return _Columnar((), (), np.array([1.0 - total]))
+    key_cols = tuple(child.columns[i] for i in keep)
+    (key,) = _row_keys(cache, [(key_cols, n)])
+    uniq, inverse = np.unique(key, return_inverse=True)
+    if uniq.shape[0] == n:
+        # duplicate-free: independent-or degenerates to the identity
+        return _Columnar(order, key_cols, child.scores)
+    perm = np.argsort(inverse, kind="stable")
+    counts = np.bincount(inverse)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    grouped = np.multiply.reduceat((1.0 - child.scores)[perm], starts)
+    representatives = perm[starts]
+    return _Columnar(
+        order,
+        tuple(col[representatives] for col in key_cols),
+        1.0 - grouped,
+    )
 
 
-def _join(
-    plan: Join, db: ProbabilisticDatabase, memo: dict[int, _Result]
-) -> _Result:
-    results = [_evaluate(part, db, memo) for part in plan.parts]
-    # Greedy order: start small, then always join a connected input when one
-    # exists (avoids intermediate cross products in collapsed plans).
-    remaining = sorted(results, key=lambda r: len(r.rows))
-    current = remaining.pop(0)
-    while remaining:
-        bound = set(current.order)
-        connected = [r for r in remaining if bound & set(r.order)]
-        nxt = connected[0] if connected else remaining[0]
-        remaining.remove(nxt)
-        current = _hash_join(current, nxt)
+def _join(plan: Join, cache: EvaluationCache) -> _Columnar:
+    results = [_evaluate(part, cache) for part in plan.parts]
+    # Cost-ordered schedule: start from the smallest input, then always
+    # fold in the smallest input connected to the variables bound so far
+    # (falling back to the smallest disconnected one — a cross product).
+    by_size = sorted(range(len(results)), key=lambda i: len(results[i]))
+    taken = [False] * len(results)
+    first = by_size[0]
+    taken[first] = True
+    current = results[first]
+    bound = set(current.order)
+    for _ in range(len(results) - 1):
+        choice = None
+        for i in by_size:
+            if taken[i]:
+                continue
+            if choice is None:
+                choice = i
+            if bound & set(results[i].order):
+                choice = i
+                break
+        taken[choice] = True
+        current = _pair_join(current, results[choice], cache)
+        bound.update(results[choice].order)
     return current
 
 
-def _hash_join(left: _Result, right: _Result) -> _Result:
+def _pair_join(left: _Columnar, right: _Columnar, cache: EvaluationCache) -> _Columnar:
     shared = [v for v in right.order if v in left.order]
     right_new = [v for v in right.order if v not in left.order]
-    left_key = [left.order.index(v) for v in shared]
-    right_key = [right.order.index(v) for v in shared]
     right_keep = [right.order.index(v) for v in right_new]
-
-    index: dict[tuple, list[tuple[tuple, float]]] = {}
-    for row, score in right.rows.items():
-        key = tuple(row[i] for i in right_key)
-        index.setdefault(key, []).append(
-            (tuple(row[i] for i in right_keep), score)
-        )
-
     order = left.order + tuple(right_new)
-    rows: dict[tuple, float] = {}
-    for row, score in left.rows.items():
-        key = tuple(row[i] for i in left_key)
-        for extension, right_score in index.get(key, ()):
-            rows[row + extension] = score * right_score
-    return _Result(order, rows)
+    nl, nr = len(left), len(right)
+    if nl == 0 or nr == 0:
+        return _empty(order)
+    if not shared:
+        li = np.repeat(np.arange(nl), nr)
+        ri = np.tile(np.arange(nr), nl)
+    else:
+        lpos = [left.order.index(v) for v in shared]
+        rpos = [right.order.index(v) for v in shared]
+        lk, rk = _row_keys(
+            cache,
+            [
+                (tuple(left.columns[i] for i in lpos), nl),
+                (tuple(right.columns[i] for i in rpos), nr),
+            ],
+        )
+        perm = np.argsort(rk, kind="stable")
+        rk_sorted = rk[perm]
+        starts = np.searchsorted(rk_sorted, lk, side="left")
+        ends = np.searchsorted(rk_sorted, lk, side="right")
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            return _empty(order)
+        li = np.repeat(np.arange(nl), counts)
+        run_starts = np.cumsum(counts) - counts
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
+        ri = perm[np.repeat(starts, counts) + offsets]
+    columns = tuple(col[li] for col in left.columns) + tuple(
+        right.columns[i][ri] for i in right_keep
+    )
+    return _Columnar(order, columns, left.scores[li] * right.scores[ri])
 
 
-def _min(
-    plan: MinPlan, db: ProbabilisticDatabase, memo: dict[int, _Result]
-) -> _Result:
-    results = [_evaluate(part, db, memo) for part in plan.parts]
+def _min(plan: MinPlan, cache: EvaluationCache) -> _Columnar:
+    results = [_evaluate(part, cache) for part in plan.parts]
     base = results[0]
-    rows = dict(base.rows)
-    for other in results[1:]:
+    n = len(base)
+    aligned: list[tuple[tuple[np.ndarray, ...], int]] = []
+    for other in results:
         if other.order == base.order:
-            aligned = other.rows
+            cols = other.columns
         else:
             positions = [other.order.index(v) for v in base.order]
-            aligned = {
-                tuple(row[i] for i in positions): score
-                for row, score in other.rows.items()
-            }
-        if aligned.keys() != rows.keys():
-            raise AssertionError(
+            cols = tuple(other.columns[i] for i in positions)
+        aligned.append((cols, len(other)))
+    if any(m != n for _, m in aligned):
+        raise ValueError(
+            "min children produced different tuple sets; "
+            "they must compute the same subquery"
+        )
+    if n == 0 or len(results) == 1:
+        return base
+    keys = _row_keys(cache, aligned)
+    base_perm = np.argsort(keys[0], kind="stable")
+    base_sorted = keys[0][base_perm]
+    scores = base.scores
+    for other, key in zip(results[1:], keys[1:]):
+        perm = np.argsort(key, kind="stable")
+        if not np.array_equal(base_sorted, key[perm]):
+            raise ValueError(
                 "min children produced different tuple sets; "
                 "they must compute the same subquery"
             )
-        for key, score in aligned.items():
-            if score < rows[key]:
-                rows[key] = score
-    return _Result(base.order, rows)
+        realigned = np.empty(n, dtype=np.float64)
+        realigned[base_perm] = other.scores[perm]
+        scores = np.minimum(scores, realigned)
+    return _Columnar(base.order, base.columns, scores)
+
+
+# ----------------------------------------------------------------------
+# row keys
+# ----------------------------------------------------------------------
+def _row_keys(
+    cache: EvaluationCache,
+    column_sets: Sequence[tuple[tuple[np.ndarray, ...], int]],
+) -> list[np.ndarray]:
+    """One ``int64`` key per row, consistent across all ``column_sets``.
+
+    Each set is ``(columns, row_count)`` with the same column width.
+    Codes are radix-combined (``key = ((c0·B) + c1)·B + ...`` with ``B``
+    the interning-table size) so equal rows — within or across sets —
+    get equal keys and distinct rows distinct keys. When the combined
+    width would overflow 62 bits, falls back to interning row tuples
+    through a dictionary shared by all sets.
+    """
+    width = len(column_sets[0][0])
+    if width == 0:
+        return [np.zeros(n, dtype=np.int64) for _, n in column_sets]
+    if width == 1:
+        return [cols[0] for cols, _ in column_sets]
+    radix = max(len(cache._values), 2)
+    if width * (radix - 1).bit_length() <= _KEY_BITS:
+        out = []
+        for cols, _ in column_sets:
+            key = cols[0].astype(np.int64, copy=True)
+            for col in cols[1:]:
+                key *= radix
+                key += col
+            out.append(key)
+        return out
+    mapping: dict[tuple, int] = {}
+    out = []
+    for cols, n in column_sets:
+        lists = [c.tolist() for c in cols]
+        codes = np.empty(n, dtype=np.int64)
+        for i, row in enumerate(zip(*lists)):
+            code = mapping.get(row)
+            if code is None:
+                code = len(mapping)
+                mapping[row] = code
+            codes[i] = code
+        out.append(codes)
+    return out
 
 
 def deterministic_answers(

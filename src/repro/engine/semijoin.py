@@ -58,7 +58,7 @@ def reduce_database(
     shared variables run until no table shrinks.
     """
     working: dict[str, dict[tuple, float]] = {}
-    filters: dict[str, tuple] = {}
+    filters: dict[str, dict] = {}
     for atom in query.atoms:
         table = db.table(atom.relation)
         checks, repeats, first = _atom_filters(atom)
@@ -72,33 +72,55 @@ def reduce_database(
         working[atom.relation] = rows
         filters[atom.relation] = first
 
-    pairs = []
+    # Precompute, per ordered pair (a reduced by b), the column positions
+    # of the shared variables on both sides — no per-row dict lookups.
+    pairs: list[tuple[str, str, tuple[int, ...], tuple[int, ...]]] = []
     for a in query.atoms:
         for b in query.atoms:
             if a.relation == b.relation:
                 continue
             shared = sorted(a.own_variables & b.own_variables)
             if shared:
-                pairs.append((a, b, shared))
+                first_a = filters[a.relation]
+                first_b = filters[b.relation]
+                pairs.append(
+                    (
+                        a.relation,
+                        b.relation,
+                        tuple(first_a[v] for v in shared),
+                        tuple(first_b[v] for v in shared),
+                    )
+                )
 
-    changed = True
-    while changed:
-        changed = False
-        for a, b, shared in pairs:
-            first_a = filters[a.relation]
-            first_b = filters[b.relation]
-            keys_b = {
-                tuple(row[first_b[v]] for v in shared)
-                for row in working[b.relation]
-            }
-            before = len(working[a.relation])
-            working[a.relation] = {
-                row: p
-                for row, p in working[a.relation].items()
-                if tuple(row[first_a[v]] for v in shared) in keys_b
-            }
-            if len(working[a.relation]) != before:
-                changed = True
+    # Semi-naive fixpoint: a pair only needs re-running when its source
+    # relation shrank in the previous round.
+    shrunk = {atom.relation for atom in query.atoms}
+    while shrunk:
+        previous, shrunk = shrunk, set()
+        for target, source, key_a, key_b in pairs:
+            if source not in previous:
+                continue
+            rows = working[target]
+            if len(key_b) == 1:
+                (jb,) = key_b
+                (ja,) = key_a
+                keys = {row[jb] for row in working[source]}
+                reduced = {
+                    row: p for row, p in rows.items() if row[ja] in keys
+                }
+            else:
+                keys = {
+                    tuple(row[j] for j in key_b)
+                    for row in working[source]
+                }
+                reduced = {
+                    row: p
+                    for row, p in rows.items()
+                    if tuple(row[j] for j in key_a) in keys
+                }
+            if len(reduced) != len(rows):
+                working[target] = reduced
+                shrunk.add(target)
 
     reduced = ProbabilisticDatabase()
     for atom in query.atoms:

@@ -18,12 +18,14 @@ paper uses for ground truth.
 
 from __future__ import annotations
 
-import sys
 from typing import Hashable, Mapping
 
 from .formula import DNF
 
 __all__ = ["exact_probability", "ExactEvaluator"]
+
+# work-stack task kinds for the iterative Shannon expansion
+_EVAL, _COMBINE_SHANNON, _COMBINE_IOR = 0, 1, 2
 
 
 def exact_probability(
@@ -82,9 +84,6 @@ class ExactEvaluator:
             tree = try_read_once(DNF(clauses))
             if tree is not None:
                 return tree.probability(self._p)
-        needed = sum(len(c) for c in clauses) * 4 + 1000
-        if sys.getrecursionlimit() < needed:
-            sys.setrecursionlimit(needed)
         return self._prob(frozenset(clauses))
 
     # ------------------------------------------------------------------
@@ -113,41 +112,69 @@ class ExactEvaluator:
         return DNF(out).absorb().clauses
 
     # ------------------------------------------------------------------
-    def _prob(self, clauses: frozenset[frozenset]) -> float:
-        if not clauses:
-            return 0.0
-        for c in clauses:
-            if not c:
-                return 1.0
-        if len(clauses) == 1:
-            (clause,) = clauses
-            value = 1.0
-            for v in clause:
-                value *= self._p[v]
-            return value
-        if self._use_memo:
-            cached = self._memo.get(clauses)
-            if cached is not None:
-                return cached
+    def _prob(self, root: frozenset[frozenset]) -> float:
+        """Evaluate the expansion with an explicit work stack.
 
-        value: float | None = None
-        if self._use_components:
-            components = _components(clauses)
-            if len(components) > 1:
+        The recursion depth of Shannon expansion grows with the number of
+        distinct variables, which used to force a global (and never
+        restored) ``sys.setrecursionlimit``; the explicit stack removes
+        both the limit mutation and the Python call overhead per step.
+        Each task is either an ``_EVAL`` of a clause set or a combine
+        step that pops its children's values off ``values``.
+        """
+        memo = self._memo if self._use_memo else None
+        tasks: list[tuple[int, frozenset[frozenset], float | int]] = [
+            (_EVAL, root, 0)
+        ]
+        values: list[float] = []
+        while tasks:
+            kind, clauses, extra = tasks.pop()
+            if kind == _EVAL:
+                if not clauses:
+                    values.append(0.0)
+                    continue
+                if any(not c for c in clauses):
+                    values.append(1.0)
+                    continue
+                if len(clauses) == 1:
+                    (clause,) = clauses
+                    value = 1.0
+                    for v in clause:
+                        value *= self._p[v]
+                    values.append(value)
+                    continue
+                if memo is not None:
+                    cached = memo.get(clauses)
+                    if cached is not None:
+                        values.append(cached)
+                        continue
+                if self._use_components:
+                    components = _components(clauses)
+                    if len(components) > 1:
+                        tasks.append((_COMBINE_IOR, clauses, len(components)))
+                        for comp in components:
+                            tasks.append((_EVAL, comp, 0))
+                        continue
+                pivot = _most_frequent_variable(clauses)
+                tasks.append((_COMBINE_SHANNON, clauses, self._p[pivot]))
+                tasks.append((_EVAL, _condition(clauses, pivot, True), 0))
+                tasks.append((_EVAL, _condition(clauses, pivot, False), 0))
+                continue
+            if kind == _COMBINE_SHANNON:
+                # LIFO: the positive cofactor was evaluated last
+                pos = values.pop()
+                neg = values.pop()
+                p = extra
+                value = p * pos + (1.0 - p) * neg
+            else:  # _COMBINE_IOR over independent components
                 complement = 1.0
-                for comp in components:
-                    complement *= 1.0 - self._prob(comp)
+                for _ in range(extra):
+                    complement *= 1.0 - values.pop()
                 value = 1.0 - complement
-        if value is None:
-            pivot = _most_frequent_variable(clauses)
-            p = self._p[pivot]
-            pos = _condition(clauses, pivot, True)
-            neg = _condition(clauses, pivot, False)
-            value = p * self._prob(pos) + (1.0 - p) * self._prob(neg)
-
-        if self._use_memo:
-            self._memo[clauses] = value
-        return value
+            if memo is not None:
+                memo[clauses] = value
+            values.append(value)
+        return values[-1]
 
 
 def _components(clauses: frozenset[frozenset]) -> list[frozenset[frozenset]]:

@@ -1,0 +1,167 @@
+"""Equivalence tests for the columnar vectorized engine (PR 1).
+
+The vectorized evaluator in :mod:`repro.engine.extensional` must return
+scores equal (within 1e-12) to the preserved seed row-at-a-time
+implementation (:mod:`repro.engine.reference`) on randomized instances,
+for every plan and for every engine optimization combination, and the
+memory and sqlite backends must agree. Also covers the
+:class:`EvaluationCache` lifecycle: structural (cross-object) plan hits,
+cross-query reuse, and invalidation when the database mutates.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Atom, Variable, Scan, parse_query
+from repro.core.minplans import minimal_plans
+from repro.core.singleplan import single_plan
+from repro.db import ProbabilisticDatabase
+from repro.engine import (
+    DissociationEngine,
+    EvaluationCache,
+    Optimizations,
+    evaluate_plan,
+    plan_scores,
+    plan_scores_reference,
+    reduce_database,
+)
+
+from .helpers import random_database_for, random_query
+
+TOLERANCE = 1e-12
+
+#: the four Optimizations combinations of the memory backend ablation
+OPTIMIZATION_COMBOS = (
+    Optimizations.none(),
+    Optimizations(single_plan=True, reuse_views=False),
+    Optimizations(single_plan=True, reuse_views=True),
+    Optimizations.all(),
+)
+
+
+def _assert_equal_scores(left: dict, right: dict, context: str) -> None:
+    assert set(left) == set(right), context
+    for answer in left:
+        assert abs(left[answer] - right[answer]) <= TOLERANCE, (
+            f"{context}: {answer}: {left[answer]} != {right[answer]}"
+        )
+
+
+def _reference_engine_scores(engine, query, opts):
+    """The seed evaluator run through the same pipeline as the engine."""
+    deterministic, fds = engine._schema_args()
+    db = reduce_database(query, engine.db) if opts.semijoin else engine.db
+    if opts.single_plan:
+        merged = single_plan(query, deterministic=deterministic, fds=fds)
+        return plan_scores_reference(merged, query, db)
+    combined: dict[tuple, float] = {}
+    for plan in minimal_plans(query, deterministic=deterministic, fds=fds):
+        for answer, score in plan_scores_reference(plan, query, db).items():
+            if answer not in combined or score < combined[answer]:
+                combined[answer] = score
+    return combined
+
+
+class TestVectorizedEquivalence:
+    def test_per_plan_scores_match_reference(self):
+        rng = random.Random(101)
+        for trial in range(40):
+            q = random_query(rng, head_vars=rng.randint(0, 2))
+            db = random_database_for(q, rng, domain_size=3)
+            for plan in minimal_plans(q):
+                want = plan_scores_reference(plan, q, db)
+                got = plan_scores(plan, q, db)
+                _assert_equal_scores(got, want, f"trial {trial}: {q}")
+
+    def test_single_plan_scores_match_reference(self):
+        rng = random.Random(102)
+        for trial in range(40):
+            q = random_query(rng, head_vars=rng.randint(0, 2))
+            db = random_database_for(q, rng, domain_size=3)
+            merged = single_plan(q)
+            want = plan_scores_reference(merged, q, db)
+            got = plan_scores(merged, q, db)
+            _assert_equal_scores(got, want, f"trial {trial}: {q}")
+
+    def test_engine_matches_reference_for_all_optimization_combos(self):
+        rng = random.Random(103)
+        for trial in range(25):
+            q = random_query(rng, head_vars=rng.randint(0, 2))
+            db = random_database_for(q, rng, domain_size=2)
+            engine = DissociationEngine(db)
+            for opts in OPTIMIZATION_COMBOS:
+                want = _reference_engine_scores(engine, q, opts)
+                got = engine.evaluate(q, opts).scores
+                _assert_equal_scores(got, want, f"trial {trial}: {q} {opts}")
+
+    def test_memory_and_sqlite_backends_agree(self):
+        rng = random.Random(104)
+        for trial in range(15):
+            q = random_query(rng, head_vars=rng.randint(0, 2))
+            db = random_database_for(q, rng, domain_size=2)
+            memory = DissociationEngine(db).propagation_score(q)
+            sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
+            assert set(memory) == set(sqlite), f"trial {trial}: {q}"
+            for answer in memory:
+                assert abs(memory[answer] - sqlite[answer]) < 1e-9
+
+
+class TestEvaluationCache:
+    def test_structural_hits_across_distinct_plan_objects(self):
+        x, y = Variable("x"), Variable("y")
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 2), 0.5), ((1, 3), 0.25)])
+        cache = EvaluationCache(db)
+        first = evaluate_plan(Scan(Atom("R", (x, y))), db, cache=cache)
+        # a structurally equal but distinct plan object must hit the cache
+        before = len(cache._plans)
+        second = evaluate_plan(Scan(Atom("R", (x, y))), db, cache=cache)
+        assert first == second
+        assert len(cache._plans) == before
+
+    def test_cross_query_reuse_in_engine(self):
+        rng = random.Random(105)
+        q = random_query(rng, max_atoms=3, head_vars=1)
+        db = random_database_for(q, rng, domain_size=3)
+        engine = DissociationEngine(db)
+        first = engine.propagation_score(q)
+        assert engine._memory_cache is not None
+        cached_plans = len(engine._memory_cache._plans)
+        assert cached_plans > 0
+        second = engine.propagation_score(q)
+        _assert_equal_scores(first, second, "repeat evaluation")
+
+    def test_cache_invalidated_when_database_mutates(self):
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        q = parse_query("q(x) :- R(x)")
+        engine = DissociationEngine(db)
+        assert engine.propagation_score(q) == {(1,): 0.5}
+        db.table("R").insert((2,), 0.25)
+        assert engine.propagation_score(q) == {(1,): 0.5, (2,): 0.25}
+
+    def test_cache_rejects_foreign_database(self):
+        x = Variable("x")
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1,), 0.5)])
+        other = ProbabilisticDatabase()
+        other.add_table("R", [((1,), 0.5)])
+        cache = EvaluationCache(db)
+        with pytest.raises(ValueError):
+            evaluate_plan(Scan(Atom("R", (x,))), other, cache=cache)
+
+    def test_plan_scope_shares_encodings_but_not_results(self):
+        x, y = Variable("x"), Variable("y")
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 2), 0.5)])
+        cache = EvaluationCache(db)
+        evaluate_plan(Scan(Atom("R", (x, y))), db, cache=cache)
+        scope = cache.plan_scope()
+        assert scope._tables is cache._tables
+        assert scope._plans == {}
+        evaluate_plan(Scan(Atom("R", (x, y))), db, cache=scope)
+        assert len(scope._plans) == 1
+        assert len(cache._plans) == 1  # untouched by the scope

@@ -84,6 +84,42 @@ class TestMin:
         scores = evaluate_plan(plan, db)
         assert abs(scores[(1,)] - (1 - 0.1 * 0.9)) < 1e-12
 
+    def test_aligned_reorder_branch(self):
+        # children with *different column orders*: Scan(R(x,y)) produces
+        # order (x, y) while Scan(R(y,x)) produces (y, x); on a symmetric
+        # instance they compute the same tuple set, so min must realign
+        # the second child before comparing scores.
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 2), 0.3), ((2, 1), 0.8)])
+        plan = MinPlan([Scan(Atom("R", (x, y))), Scan(Atom("R", (y, x)))])
+        scores = evaluate_plan(plan, db, output_order=(x, y))
+        # (1,2): min(base 0.3, aligned-from-(2,1) 0.8) = 0.3
+        # (2,1): min(base 0.8, aligned-from-(1,2) 0.3) = 0.3
+        assert scores == {(1, 2): 0.3, (2, 1): 0.3}
+
+    def test_mismatched_tuple_sets_raise_value_error(self):
+        # an asymmetric instance: Scan(R(y,x)) aligned back to (x, y)
+        # yields {(2,1)} while the base child yields {(1,2)}
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 2), 0.3)])
+        plan = MinPlan([Scan(Atom("R", (x, y))), Scan(Atom("R", (y, x)))])
+        with pytest.raises(ValueError, match="different tuple sets"):
+            evaluate_plan(plan, db)
+
+    def test_mismatched_row_counts_raise_value_error(self):
+        # π_x R(x,y) dedupes to one row while π_x R(y,x) keeps two, so the
+        # children disagree already on row *count* (not just tuple values)
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 2), 0.3), ((1, 3), 0.4)])
+        plan = MinPlan(
+            [
+                Project([x], Scan(Atom("R", (x, y)))),
+                Project([x], Scan(Atom("R", (y, x)))),
+            ]
+        )
+        with pytest.raises(ValueError, match="different tuple sets"):
+            evaluate_plan(plan, db)
+
 
 class TestOutputOrder:
     def test_head_order_respected(self):
