@@ -1,16 +1,26 @@
 # Repro toolchain entry points.
 #
-#   make test   — tier-1 verification (full pytest suite)
-#   make bench  — PR perf micro-benchmarks; writes BENCH_PR1.json at the
-#                 repo root (seed row-at-a-time vs columnar engine on the
-#                 Fig. 5 chain/star/TPC-H memory workloads)
+#   make test        — tier-1 verification (full pytest suite)
+#   make bench       — the current PR's perf micro-benchmarks; writes
+#                      BENCH_PR2.json at the repo root (SQLite all-plans
+#                      mode, before/after the materialized temp-view
+#                      registry, on the Fig. 5 chain/star/TPC-H workloads)
+#   make bench-quick — CI smoke: chain-5 workload only, no speedup gate
+#   make bench-pr1   — re-run the PR 1 benchmarks (BENCH_PR1.json: seed
+#                      row-at-a-time vs columnar memory engine)
 
 PYTHON ?= python
 
-.PHONY: test bench
+.PHONY: test bench bench-quick bench-pr1
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr2.py
+
+bench-quick:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr2.py --quick
+
+bench-pr1:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr1.py

@@ -1,0 +1,206 @@
+"""PR 2 micro-benchmarks: SQLite all-plans mode, before/after view reuse.
+
+Times the SQLite-backend "all minimal plans" evaluation (the mode behind
+the ``avg[d]`` ranking experiments and the ablation baselines) on the
+Fig. 5 chain / star / TPC-H workloads with
+
+* **before** — the pre-PR compilation: each plan becomes one monolithic
+  CTE query, executed and min-combined in Python; shared subplans are
+  recomputed by every plan and every call;
+* **after (cold)** — a fresh engine using the materialized temp-view
+  registry (``CREATE TEMP TABLE dissoc_<structural-hash>``): shared
+  projection/min subplans are computed once across all plans of the
+  call, and the per-answer min-combining runs inside SQLite via
+  ``UNION ALL`` + ``MIN``;
+* **after (warm)** — the same engine re-evaluating: the steady-state
+  cost of a repeated query, everything served from the registry.
+
+Every workload also cross-checks the SQLite scores against the columnar
+memory backend (< 1e-9).
+
+Writes ``BENCH_PR2.json`` at the repository root (run via ``make
+bench``). ``--quick`` (or ``BENCH_QUICK=1``) runs the chain-5 smoke
+workload only and skips the speedup gate — the CI mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.db import SQLiteBackend  # noqa: E402 - path bootstrap above
+from repro.engine import (  # noqa: E402
+    DissociationEngine,
+    Optimizations,
+    SQLCompiler,
+)
+from repro.workloads import (  # noqa: E402
+    TPCHParameters,
+    chain_database,
+    chain_query,
+    filtered_instance,
+    star_database,
+    star_query,
+    tpch_database,
+    tpch_query,
+)
+
+OUTPUT = ROOT / "BENCH_PR2.json"
+REPEATS = 3
+ALL_PLANS = Optimizations(single_plan=False, reuse_views=True)
+
+
+def best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def max_diff(left: dict, right: dict) -> float:
+    assert set(left) == set(right), "backends disagree on the answer set"
+    return max((abs(left[k] - right[k]) for k in left), default=0.0)
+
+
+def evaluate_before(db, query, plans) -> dict[tuple, float]:
+    """The pre-PR SQLite all-plans path: one CTE query per plan."""
+    backend = SQLiteBackend(db)
+    compiler = SQLCompiler(db.schema, reuse_views=True)
+    width = len(query.head_order)
+    scores: dict[tuple, float] = {}
+    for plan in plans:
+        for row in backend.execute(compiler.compile(plan, query)):
+            probability = row[width]
+            if probability is None:
+                continue
+            answer = tuple(row[:width])
+            if answer not in scores or probability < scores[answer]:
+                scores[answer] = probability
+    backend.close()
+    return scores
+
+
+def all_plans_workload(name: str, query, db, repeats: int = REPEATS) -> dict:
+    plans = DissociationEngine(db).minimal_plans(query)
+
+    def after_cold():
+        return DissociationEngine(db, backend="sqlite").propagation_score(
+            query, ALL_PLANS
+        )
+
+    # correctness first: before vs after vs the memory backend
+    before_scores = evaluate_before(db, query, plans)
+    after_scores = after_cold()
+    memory_scores = DissociationEngine(db).propagation_score(
+        query, ALL_PLANS
+    )
+    diff = max(
+        max_diff(before_scores, after_scores),
+        max_diff(memory_scores, after_scores),
+    )
+
+    before = best_of(lambda: evaluate_before(db, query, plans), repeats)
+    cold = best_of(after_cold, repeats)
+    warm_engine = DissociationEngine(db, backend="sqlite")
+    warm_engine.propagation_score(query, ALL_PLANS)  # warm the registry
+    warm = best_of(
+        lambda: warm_engine.propagation_score(query, ALL_PLANS), repeats
+    )
+    stats = warm_engine.cache_stats()
+
+    entry = {
+        "plan_count": len(plans),
+        "before_seconds": before,
+        "after_cold_seconds": cold,
+        "after_warm_seconds": warm,
+        "speedup_cold": before / cold,
+        "speedup_warm": before / warm,
+        "speedup_amortized_5_evaluations": before / ((cold + 4 * warm) / 5),
+        "view_cache_stats": stats,
+        "max_abs_score_diff": diff,
+    }
+    print(
+        f"{name:<18} plans={len(plans):>3}  before={before * 1e3:8.1f}ms  "
+        f"cold={cold * 1e3:8.1f}ms ({entry['speedup_cold']:4.1f}x)  "
+        f"warm={warm * 1e3:8.1f}ms ({entry['speedup_warm']:5.1f}x)  "
+        f"maxdiff={diff:.2e}"
+    )
+    return entry
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:] or os.environ.get("BENCH_QUICK") == "1"
+    print(
+        "PR 2 benchmark — SQLite all-plans mode, monolithic per-plan CTEs "
+        "vs materialized temp-view registry\n"
+    )
+    workloads = {}
+
+    q = chain_query(5)
+    db = chain_database(5, 300, seed=42, p_max=0.5)
+    workloads["chain5_n300"] = all_plans_workload("chain5_n300", q, db)
+
+    if not quick:
+        q = chain_query(7)
+        db = chain_database(7, 1000, seed=42, p_max=0.5)
+        workloads["chain7_n1000"] = all_plans_workload("chain7_n1000", q, db)
+
+        q = star_query(3)
+        db = star_database(3, 1000, seed=43, p_max=0.5)
+        workloads["star3_n1000"] = all_plans_workload("star3_n1000", q, db)
+
+        base = tpch_database(scale=0.02, seed=45, p_max=0.5)
+        q = tpch_query()
+        db = filtered_instance(base, TPCHParameters(100, "%"))
+        workloads["tpch_s002"] = all_plans_workload("tpch_s002", q, db)
+
+    if quick:
+        # never clobber the committed full-run record with a smoke run
+        print("quick mode: BENCH_PR2.json left untouched, gate skipped")
+        return
+    report = {
+        "pr": 2,
+        "description": (
+            "SQLite-backend all-plans evaluation: before = one monolithic "
+            "CTE query per plan (shared subplans recomputed per plan and "
+            "per call), after = materialized temp-view registry "
+            "(dissoc_<structural-hash> temp tables shared across plans "
+            "and queries) with SQL-side UNION ALL + MIN combining; "
+            "cold = fresh engine/registry, warm = repeated evaluation on "
+            "a persistent engine (steady-state service cost)"
+        ),
+        "repeats": REPEATS,
+        "timing": "best-of-N wall clock, seconds",
+        "workloads": workloads,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+
+    gates = {
+        "chain7_n1000 warm": workloads["chain7_n1000"]["speedup_warm"],
+        "tpch_s002 warm": workloads["tpch_s002"]["speedup_warm"],
+        "chain7_n1000 cold": workloads["chain7_n1000"]["speedup_cold"],
+    }
+    thresholds = {
+        "chain7_n1000 warm": 2.0,
+        "tpch_s002 warm": 2.0,
+        "chain7_n1000 cold": 1.2,
+    }
+    failed = {
+        k: v for k, v in gates.items() if v < thresholds[k]
+    }
+    if failed:
+        raise SystemExit(f"speedup gate failed: {failed}")
+    print(f"speedup gate OK: { {k: round(v, 1) for k, v in gates.items()} }")
+
+
+if __name__ == "__main__":
+    main()

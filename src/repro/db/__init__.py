@@ -9,13 +9,20 @@ from .generators import (
     uniform_probabilities,
 )
 from .schema import Schema, TableSchema
-from .sqlite_backend import PROB_COLUMN, IorAggregate, SQLiteBackend, sql_literal
+from .sqlite_backend import (
+    PROB_COLUMN,
+    IorAggregate,
+    SQLiteBackend,
+    SQLiteViewRegistry,
+    sql_literal,
+)
 
 __all__ = [
     "PROB_COLUMN",
     "IorAggregate",
     "ProbabilisticDatabase",
     "SQLiteBackend",
+    "SQLiteViewRegistry",
     "Schema",
     "Table",
     "TableSchema",

@@ -11,11 +11,19 @@ aggregate ``ior`` so generated plans are plain ``GROUP BY`` queries.
 from __future__ import annotations
 
 import sqlite3
-from typing import Iterable, Sequence
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Hashable, Iterable, Iterator, Sequence
 
 from .database import ProbabilisticDatabase
 
-__all__ = ["SQLiteBackend", "IorAggregate", "sql_literal", "PROB_COLUMN"]
+__all__ = [
+    "SQLiteBackend",
+    "SQLiteViewRegistry",
+    "IorAggregate",
+    "sql_literal",
+    "PROB_COLUMN",
+]
 
 #: Name of the probability column in materialized tables.
 PROB_COLUMN = "_p"
@@ -52,6 +60,141 @@ def _quote_ident(name: str) -> str:
     return '"' + name.replace('"', '""') + '"'
 
 
+class SQLiteViewRegistry:
+    """Materialized subplan views on one connection (Optimization 2).
+
+    SQLite has no materialized views, so "materializing a temp view"
+    means ``CREATE TEMP TABLE dissoc_<structural-hash> AS <subplan
+    select>``: each registered subplan is computed exactly once per
+    connection and every later statement — other plans of the same "all
+    plans" call, or later queries — reads the stored result. Entries are
+    keyed by the plan nodes' structural hash/equality, the same key the
+    memory :class:`~repro.engine.extensional.EvaluationCache` uses, so
+    the two backends share one notion of "same subplan".
+
+    ``max_views`` bounds the registry LRU-style: once exceeded, the
+    least-recently-used views are dropped (materialized tables snapshot
+    their data, so dropping a child never corrupts an already-built
+    parent). ``None`` means unbounded; ``0`` keeps nothing beyond the
+    current compilation. Views referenced while a :meth:`pin_scope` is
+    open are pinned — never evicted mid-compilation, because the pending
+    ``CREATE TEMP TABLE`` statements still reference them by name — and
+    the cap is (re-)enforced when the outermost scope exits.
+
+    :meth:`cache_stats` exposes hit/miss/eviction counters in the same
+    shape as ``EvaluationCache.cache_stats()``.
+    """
+
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        max_views: int | None = None,
+    ) -> None:
+        if max_views is not None and max_views < 0:
+            raise ValueError("max_views must be None or >= 0")
+        self._connection = connection
+        self._views: OrderedDict[Hashable, str] = OrderedDict()
+        self._names: set[str] = set()
+        self._pinned: set[str] = set()
+        self._pin_depth = 0
+        self._max_views = max_views
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    @property
+    def max_views(self) -> int | None:
+        return self._max_views
+
+    @contextmanager
+    def pin_scope(self) -> Iterator["SQLiteViewRegistry"]:
+        """Protect views referenced inside the scope from eviction."""
+        self._pin_depth += 1
+        try:
+            yield self
+        finally:
+            self._pin_depth -= 1
+            if self._pin_depth == 0:
+                self._pinned.clear()
+                self._enforce_cap()
+
+    def lookup(self, plan: Hashable) -> str | None:
+        """The view name of ``plan`` if registered (counts a hit), else
+        ``None`` (the miss is counted by the :meth:`register` that must
+        follow)."""
+        name = self._views.get(plan)
+        if name is None:
+            return None
+        self._hits += 1
+        self._views.move_to_end(plan)
+        self._pin(name)
+        return name
+
+    def register(self, plan: Hashable, sql: str) -> tuple[str, str]:
+        """Materialize ``sql`` as the view of ``plan``.
+
+        Returns ``(view name, executed DDL)``.
+        """
+        self._misses += 1
+        name = self._name_for(plan)
+        ddl = f"CREATE TEMP TABLE {name} AS\n{sql}"
+        self._connection.execute(ddl)
+        self._views[plan] = name
+        self._names.add(name)
+        self._pin(name)
+        self._enforce_cap()
+        return name, ddl
+
+    def cache_stats(self) -> dict:
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._views),
+            "max_size": self._max_views,
+        }
+
+    def clear(self) -> None:
+        """Drop every registered view (the drops count as evictions)."""
+        for plan in list(self._views):
+            self._evict(plan)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _pin(self, name: str) -> None:
+        if self._pin_depth:
+            self._pinned.add(name)
+
+    def _name_for(self, plan: Hashable) -> str:
+        digest = hash(plan) & 0xFFFFFFFFFFFFFFFF
+        name = f"dissoc_{digest:016x}"
+        suffix = 0
+        while name in self._names:  # hash collision of a *different* plan
+            suffix += 1
+            name = f"dissoc_{digest:016x}_{suffix}"
+        return name
+
+    def _evict(self, plan: Hashable) -> None:
+        name = self._views.pop(plan)
+        self._names.discard(name)
+        self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+        self._evictions += 1
+
+    def _enforce_cap(self) -> None:
+        if self._max_views is None:
+            return
+        for plan, name in list(self._views.items()):
+            if len(self._views) <= self._max_views:
+                break
+            if name in self._pinned:
+                continue
+            self._evict(plan)
+
+
 class SQLiteBackend:
     """Materializes a :class:`ProbabilisticDatabase` into SQLite.
 
@@ -65,6 +208,13 @@ class SQLiteBackend:
         Create one single-column index per data column of every table
         (cheap at our scales and lets the engine pick hash-free join
         strategies). Disable for insert-heavy micro-benchmarks.
+    view_cache_size:
+        LRU cap of the materialized-subplan view registry
+        (:class:`SQLiteViewRegistry`); ``None`` means unbounded.
+
+    The materialization is a snapshot: ``source_version`` records the
+    source database's version token at build time, so callers (the
+    engine) can detect that the source moved on and rebuild.
     """
 
     def __init__(
@@ -72,10 +222,18 @@ class SQLiteBackend:
         db: ProbabilisticDatabase,
         path: str = ":memory:",
         index_columns: bool = True,
+        view_cache_size: int | None = None,
     ) -> None:
         self.source = db
+        self.source_version = getattr(db, "version", None)
         self.connection = sqlite3.connect(path)
+        # Temp objects (semi-join reductions, materialized subplan views)
+        # otherwise spill to a file-backed temp database even for
+        # in-memory connections.
+        self.connection.execute("PRAGMA temp_store = MEMORY")
         self.connection.create_aggregate("ior", 1, IorAggregate)
+        self._view_registry: SQLiteViewRegistry | None = None
+        self._view_cache_size = view_cache_size
         self._materialize(index_columns)
 
     # ------------------------------------------------------------------
@@ -110,6 +268,19 @@ class SQLiteBackend:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    @property
+    def view_registry(self) -> SQLiteViewRegistry:
+        """The connection's materialized-subplan registry (lazily built).
+
+        Temp views live and die with the connection, so the registry
+        never outlives the snapshot it was built over.
+        """
+        if self._view_registry is None:
+            self._view_registry = SQLiteViewRegistry(
+                self.connection, self._view_cache_size
+            )
+        return self._view_registry
+
     def execute(self, sql: str, parameters: Sequence = ()) -> list[tuple]:
         """Run a query and fetch all rows."""
         cur = self.connection.execute(sql, parameters)

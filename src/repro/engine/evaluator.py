@@ -36,6 +36,10 @@ __all__ = ["Optimizations", "EvaluationResult", "DissociationEngine"]
 
 Backend = Literal["memory", "sqlite"]
 
+#: SQLite's compound-SELECT term limit defaults to 500; chunk the
+#: all-plans min-combining union well below it.
+_MAX_UNION_BRANCHES = 100
+
 
 @dataclass(frozen=True)
 class Optimizations:
@@ -92,6 +96,11 @@ class DissociationEngine:
         Feed the database's deterministic flags and FDs into plan
         enumeration (Sec. 3.3). Disable to reproduce the schema-oblivious
         behaviour.
+    cache_size:
+        LRU cap of the Opt.-2 subplan cache — the memory backend's
+        :class:`EvaluationCache` plan-result layer and the SQLite
+        backend's materialized-view registry. ``None`` (default) is
+        unbounded; ``0`` disables cross-statement reuse.
     """
 
     def __init__(
@@ -99,14 +108,19 @@ class DissociationEngine:
         db: ProbabilisticDatabase,
         backend: Backend = "memory",
         use_schema_knowledge: bool = True,
+        cache_size: int | None = None,
     ) -> None:
         if backend not in ("memory", "sqlite"):
             raise ValueError(f"unknown backend {backend!r}")
         self.db = db
         self.backend: Backend = backend
         self.use_schema_knowledge = use_schema_knowledge
+        self.cache_size = cache_size
         self._sqlite: SQLiteBackend | None = None
         self._memory_cache: EvaluationCache | None = None
+        # Counters of view registries dropped by rebuilds, so sqlite
+        # cache_stats() stays cumulative like the memory cache's.
+        self._sqlite_stats_base = {"hits": 0, "misses": 0, "evictions": 0}
 
     # ------------------------------------------------------------------
     # schema plumbing
@@ -119,14 +133,39 @@ class DissociationEngine:
 
     @property
     def sqlite(self) -> SQLiteBackend:
-        """The lazily-materialized SQLite backend."""
+        """The lazily-materialized SQLite backend.
+
+        The materialization is a snapshot of ``db``: whenever the
+        database's version token has moved since it was built, the stale
+        copy — tables, temp views and view registry alike — is dropped
+        and rebuilt, so mutating ``db`` between queries can never serve
+        stale SQLite results (mirroring the memory cache's
+        ``validate()``).
+        """
+        if (
+            self._sqlite is not None
+            and self._sqlite.source_version != self.db.version
+        ):
+            self.invalidate_sqlite()
         if self._sqlite is None:
-            self._sqlite = SQLiteBackend(self.db)
+            self._sqlite = SQLiteBackend(
+                self.db, view_cache_size=self.cache_size
+            )
         return self._sqlite
 
     def invalidate_sqlite(self) -> None:
-        """Drop the materialized SQLite copy (call after mutating ``db``)."""
+        """Drop the materialized SQLite copy.
+
+        Called automatically by :attr:`sqlite` when the database's
+        version token moves; mutations that bypass version tracking can
+        still invalidate explicitly.
+        """
         if self._sqlite is not None:
+            registry = self._sqlite._view_registry
+            if registry is not None:
+                stats = registry.cache_stats()
+                for key in self._sqlite_stats_base:
+                    self._sqlite_stats_base[key] += stats[key]
             self._sqlite.close()
             self._sqlite = None
 
@@ -139,12 +178,46 @@ class DissociationEngine:
         automatically when the database's version token moves.
         """
         if db is not self.db:
-            return EvaluationCache(db)
+            return EvaluationCache(db, max_plans=self.cache_size)
         if self._memory_cache is None or self._memory_cache.db is not db:
-            self._memory_cache = EvaluationCache(db)
+            self._memory_cache = EvaluationCache(
+                db, max_plans=self.cache_size
+            )
         else:
             self._memory_cache.validate()
         return self._memory_cache
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/eviction counters of the active backend's Opt.-2 cache.
+
+        One shape for both backends: ``hits``/``misses``/``evictions``
+        (cumulative — they survive invalidation by database mutation on
+        both backends), ``size`` (currently cached subplan results or
+        materialized views) and ``max_size`` (the LRU cap, ``None`` when
+        unbounded). Zeros before the first evaluation.
+        """
+        if self.backend == "memory":
+            if self._memory_cache is not None:
+                return self._memory_cache.cache_stats()
+            return {
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "size": 0,
+                "max_size": self.cache_size,
+            }
+        if self._sqlite is not None:
+            stats = self._sqlite.view_registry.cache_stats()
+        else:
+            stats = {"size": 0, "max_size": self.cache_size}
+        base = self._sqlite_stats_base
+        return {
+            "hits": stats.get("hits", 0) + base["hits"],
+            "misses": stats.get("misses", 0) + base["misses"],
+            "evictions": stats.get("evictions", 0) + base["evictions"],
+            "size": stats["size"],
+            "max_size": stats["max_size"],
+        }
 
     # ------------------------------------------------------------------
     # plan-level API
@@ -231,10 +304,9 @@ class DissociationEngine:
         combined: dict[tuple, float] = {}
         for plan in plans:
             cache = base if opts.reuse_views else base.plan_scope()
-            for answer, score in plan_scores(plan, query, db, cache=cache).items():
-                previous = combined.get(answer)
-                if previous is None or score < previous:
-                    combined[answer] = score
+            self._merge_min(
+                combined, plan_scores(plan, query, db, cache=cache)
+            )
         return combined
 
     def _evaluate_sqlite(
@@ -255,23 +327,73 @@ class DissociationEngine:
             table_names=table_names,
             reuse_views=opts.reuse_views,
         )
+        # Opt. 2 across statements and queries: with view reuse on, every
+        # projection/min subplan is materialized once as a temp view on
+        # the connection (keyed by structural plan hash, like the memory
+        # cache) and all later plans/queries read the stored result.
+        # Semi-join mode redirects scans to per-query reduced temp
+        # tables, whose materializations must not leak into the next
+        # query — it keeps the self-contained CTE form.
+        registry = (
+            backend.view_registry
+            if opts.reuse_views and not opts.semijoin
+            else None
+        )
         executed: list[str] = []
-        if opts.single_plan:
-            sql = compiler.compile(self.single_plan(query), query)
-            executed.append(sql)
-            scores = self._collect(backend.execute(sql), query)
-        else:
-            scores = {}
-            for plan in plans:
+        scores: dict[tuple, float] = {}
+        if registry is not None and not opts.single_plan:
+            # All-plans mode over the registry: materialize every plan's
+            # top, then min-combine the per-answer scores inside the
+            # engine with UNION ALL + MIN instead of one fetch-and-merge
+            # round trip per plan. The outer pin scope keeps all views
+            # alive until the combining SELECTs have run (pin_scope is
+            # re-entrant); the LRU cap is enforced when it exits.
+            with registry.pin_scope():
+                references: list[str] = []
+                for plan in plans:
+                    created, ref = compiler.materialize_reference(
+                        plan, registry
+                    )
+                    executed.extend(created)
+                    references.append(ref)
+                for start in range(
+                    0, len(references), _MAX_UNION_BRANCHES
+                ):
+                    chunk = references[start : start + _MAX_UNION_BRANCHES]
+                    sql = compiler.min_union_sql(chunk, query)
+                    executed.append(sql)
+                    self._merge_min(
+                        scores, self._collect(backend.execute(sql), query)
+                    )
+            return scores, ";\n\n".join(executed)
+        targets = (
+            [self.single_plan(query)] if opts.single_plan else list(plans)
+        )
+        for plan in targets:
+            if registry is not None:
+                # Keep the top view alive until its SELECT has run.
+                with registry.pin_scope():
+                    created, sql = compiler.materialize(
+                        plan, query, registry
+                    )
+                    executed.extend(created)
+                    executed.append(sql)
+                    rows = backend.execute(sql)
+            else:
                 sql = compiler.compile(plan, query)
                 executed.append(sql)
-                for answer, score in self._collect(
-                    backend.execute(sql), query
-                ).items():
-                    previous = scores.get(answer)
-                    if previous is None or score < previous:
-                        scores[answer] = score
+                rows = backend.execute(sql)
+            self._merge_min(scores, self._collect(rows, query))
         return scores, ";\n\n".join(executed)
+
+    @staticmethod
+    def _merge_min(
+        into: dict[tuple, float], update: Mapping[tuple, float]
+    ) -> None:
+        for answer, score in update.items():
+            previous = into.get(answer)
+            if previous is None or score < previous:
+                into[answer] = score
 
     @staticmethod
     def _collect(

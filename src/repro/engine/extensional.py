@@ -29,6 +29,7 @@ database mutates.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -100,15 +101,37 @@ class EvaluationCache:
     :meth:`plan_scope` returns a view sharing the dictionary and encoded
     tables but with an empty plan memo — used when view reuse (Opt. 2)
     is disabled but re-encoding relations per plan would be wasteful.
+
+    ``max_plans`` bounds the plan-result layer LRU-style: ``None`` is
+    unbounded, ``0`` retains nothing across calls (shared DAG nodes
+    still evaluate once *within* a call through a per-call memo), ``N``
+    keeps the ``N`` most recently used results. :meth:`cache_stats` exposes
+    cumulative hit/miss/eviction counters — the same shape the SQLite
+    backend's view registry reports, so both backends share one cache
+    interface.
     """
 
-    __slots__ = ("db", "_code_of", "_values", "_tables", "_plans", "_token")
+    __slots__ = (
+        "db",
+        "_code_of",
+        "_values",
+        "_tables",
+        "_plans",
+        "_token",
+        "_max_plans",
+        "_hits",
+        "_misses",
+        "_evictions",
+    )
 
     def __init__(
         self,
         db: ProbabilisticDatabase,
+        max_plans: int | None = None,
         _share_with: "EvaluationCache | None" = None,
     ) -> None:
+        if max_plans is not None and max_plans < 0:
+            raise ValueError("max_plans must be None or >= 0")
         self.db = db
         if _share_with is None:
             self._code_of: dict = {}
@@ -118,8 +141,19 @@ class EvaluationCache:
             self._code_of = _share_with._code_of
             self._values = _share_with._values
             self._tables = _share_with._tables
-        self._plans: dict[Plan, _Columnar] = {}
-        self._token = _db_token(db)
+            if max_plans is None:
+                max_plans = _share_with._max_plans
+        self._plans: OrderedDict[Plan, _Columnar] = OrderedDict()
+        # A scope must inherit the parent's token, not re-snapshot: the
+        # shared encoded tables may predate a mutation the parent has
+        # not validated away yet, and a fresh token would hide it.
+        self._token = (
+            _db_token(db) if _share_with is None else _share_with._token
+        )
+        self._max_plans = max_plans
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     def validate(self) -> None:
         """Clear cached state if the database changed since it was built."""
@@ -132,6 +166,43 @@ class EvaluationCache:
     def plan_scope(self) -> "EvaluationCache":
         """A cache sharing encodings but with a fresh plan-result memo."""
         return EvaluationCache(self.db, _share_with=self)
+
+    # ------------------------------------------------------------------
+    # plan-result layer (Opt. 2), LRU-bounded
+    # ------------------------------------------------------------------
+    @property
+    def max_plans(self) -> int | None:
+        return self._max_plans
+
+    def lookup_plan(self, plan: Plan) -> "_Columnar | None":
+        """The memoized result of ``plan``, marking it most recently used."""
+        entry = self._plans.get(plan)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        self._plans.move_to_end(plan)
+        return entry
+
+    def store_plan(self, plan: Plan, result: "_Columnar") -> None:
+        if self._max_plans == 0:
+            return
+        self._plans[plan] = result
+        self._plans.move_to_end(plan)
+        if self._max_plans is not None:
+            while len(self._plans) > self._max_plans:
+                self._plans.popitem(last=False)
+                self._evictions += 1
+
+    def cache_stats(self) -> dict:
+        """Cumulative counters (they survive :meth:`validate` clears)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._plans),
+            "max_size": self._max_plans,
+        }
 
     # ------------------------------------------------------------------
     # value interning
@@ -201,7 +272,7 @@ def evaluate_plan(
         if cache.db is not db:
             raise ValueError("evaluation cache was built for a different database")
         cache.validate()
-    result = _evaluate(plan, cache)
+    result = _evaluate(plan, cache, {})
     if output_order is None:
         order = tuple(sorted(result.order))
     else:
@@ -244,21 +315,32 @@ def _decode(
 # ----------------------------------------------------------------------
 # operators
 # ----------------------------------------------------------------------
-def _evaluate(plan: Plan, cache: EvaluationCache) -> _Columnar:
-    cached = cache._plans.get(plan)
+def _evaluate(
+    plan: Plan, cache: EvaluationCache, local: dict[Plan, _Columnar]
+) -> _Columnar:
+    # ``local`` memoizes within one evaluate_plan call: shared nodes of
+    # an Algorithm-2 DAG must evaluate once even when the cross-call
+    # cache layer is disabled or capped (max_plans=0 bounds *retained*
+    # state, not the intra-call sharing the algorithm relies on).
+    cached = local.get(plan)
     if cached is not None:
+        return cached
+    cached = cache.lookup_plan(plan)
+    if cached is not None:
+        local[plan] = cached
         return cached
     if isinstance(plan, Scan):
         result = _scan(plan, cache)
     elif isinstance(plan, Project):
-        result = _project(plan, cache)
+        result = _project(plan, cache, local)
     elif isinstance(plan, Join):
-        result = _join(plan, cache)
+        result = _join(plan, cache, local)
     elif isinstance(plan, MinPlan):
-        result = _min(plan, cache)
+        result = _min(plan, cache, local)
     else:  # pragma: no cover - sealed hierarchy
         raise TypeError(f"unknown plan node {plan!r}")
-    cache._plans[plan] = result
+    local[plan] = result
+    cache.store_plan(plan, result)
     return result
 
 
@@ -293,8 +375,10 @@ def _scan(plan: Scan, cache: EvaluationCache) -> _Columnar:
     return _Columnar(order, tuple(columns[i][idx] for i in keep), scores[idx])
 
 
-def _project(plan: Project, cache: EvaluationCache) -> _Columnar:
-    child = _evaluate(plan.child, cache)
+def _project(
+    plan: Project, cache: EvaluationCache, local: dict[Plan, _Columnar]
+) -> _Columnar:
+    child = _evaluate(plan.child, cache, local)
     order = tuple(v for v in child.order if v in plan.head)
     keep = [child.order.index(v) for v in order]
     n = len(child)
@@ -321,8 +405,10 @@ def _project(plan: Project, cache: EvaluationCache) -> _Columnar:
     )
 
 
-def _join(plan: Join, cache: EvaluationCache) -> _Columnar:
-    results = [_evaluate(part, cache) for part in plan.parts]
+def _join(
+    plan: Join, cache: EvaluationCache, local: dict[Plan, _Columnar]
+) -> _Columnar:
+    results = [_evaluate(part, cache, local) for part in plan.parts]
     # Cost-ordered schedule: start from the smallest input, then always
     # fold in the smallest input connected to the variables bound so far
     # (falling back to the smallest disconnected one — a cross product).
@@ -387,8 +473,10 @@ def _pair_join(left: _Columnar, right: _Columnar, cache: EvaluationCache) -> _Co
     return _Columnar(order, columns, left.scores[li] * right.scores[ri])
 
 
-def _min(plan: MinPlan, cache: EvaluationCache) -> _Columnar:
-    results = [_evaluate(part, cache) for part in plan.parts]
+def _min(
+    plan: MinPlan, cache: EvaluationCache, local: dict[Plan, _Columnar]
+) -> _Columnar:
+    results = [_evaluate(part, cache, local) for part in plan.parts]
     base = results[0]
     n = len(base)
     aligned: list[tuple[tuple[np.ndarray, ...], int]] = []

@@ -12,6 +12,12 @@ Every plan node becomes a ``SELECT``:
 With ``reuse_views=True`` (Optimization 2 / Algorithm 3), plan nodes that
 are referenced more than once in the plan DAG are emitted exactly once as
 ``WITH`` common table expressions and referenced by name everywhere else.
+:meth:`SQLCompiler.materialize` extends the same optimization *across*
+statements: subplans become materialized temp views
+(``dissoc_<structural-hash>`` tables managed by a
+:class:`~repro.db.sqlite_backend.SQLiteViewRegistry`), shared by all
+plans of an "all plans" evaluation and by later queries on the same
+connection.
 
 The compiler also produces the deterministic baselines of Sec. 5:
 ``deterministic_sql`` (``SELECT DISTINCT`` of the answers) and
@@ -21,7 +27,7 @@ probabilistic method outside the engine must pay for).
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..core.plans import Join, MinPlan, Plan, Project, Scan
 from ..core.query import ConjunctiveQuery
@@ -100,6 +106,91 @@ class SQLCompiler:
             )
             return f"WITH {with_clause}\n{body}"
         return body
+
+    def materialize_reference(self, plan: Plan, registry) -> tuple[list[str], str]:
+        """Materialize ``plan`` through a registry of shared views.
+
+        Projection and ``min`` nodes are looked up in ``registry`` (a
+        :class:`~repro.db.sqlite_backend.SQLiteViewRegistry`) by their
+        structural hash; missing ones are materialized bottom-up as
+        ``CREATE TEMP TABLE dissoc_<structural-hash> AS ...`` on the
+        registry's connection, known ones are referenced by name without
+        recomputation — Optimization 2 across statements and across
+        queries. Scans stay inline (the base tables *are* their
+        materialization) and joins stay inline too: a join's output is
+        the bulkiest intermediate and always feeds exactly one grouped
+        node, so storing it would pay its full write cost for no reuse —
+        the duplicate-eliminating projection above it is the natural
+        (and far smaller) view boundary, as in the paper's Sec. 4.2.
+
+        Returns ``(executed DDL statements, reference)`` where the
+        reference is the top view's name, or an inline subquery when the
+        plan's top is itself a scan or join. Runs inside
+        ``registry.pin_scope()`` so LRU eviction can never drop a view
+        that a pending DDL statement references.
+
+        The registry must not be combined with per-query scan
+        redirection (``table_names``): materialized views snapshot their
+        input, so views over the semi-join-reduced temp tables of one
+        query would silently be reused for the next query's differently
+        reduced tables.
+        """
+        if not self._reuse_views:
+            raise ValueError("materialize() requires reuse_views=True")
+        if self._table_names:
+            raise ValueError(
+                "materialize() cannot be used with table_names overrides; "
+                "per-query reduced tables must not leak across queries"
+            )
+        created: list[str] = []
+
+        def reference(node: Plan) -> str:
+            if isinstance(node, Scan):
+                return "(\n" + self._scan_sql(node) + "\n)"
+            if isinstance(node, Join):
+                return "(\n" + self._join_sql(node, reference) + "\n)"
+            name = registry.lookup(node)
+            if name is None:
+                sql = self._node_sql(node, reference)
+                name, ddl = registry.register(node, sql)
+                created.append(ddl)
+            return name
+
+        with registry.pin_scope():
+            top = reference(plan)
+        return created, top
+
+    def materialize(self, plan: Plan, query: ConjunctiveQuery, registry) -> tuple[list[str], str]:
+        """:meth:`materialize_reference` shaped into a final ``SELECT``.
+
+        Returns ``(executed DDL statements, final SELECT)``; only the
+        SELECT remains to be run (inside the caller's ``pin_scope`` if
+        an LRU cap may evict the top view first).
+        """
+        created, top = self.materialize_reference(plan, registry)
+        return created, self._final_select(top, query)
+
+    def min_union_sql(
+        self, references: Sequence[str], query: ConjunctiveQuery
+    ) -> str:
+        """Min-combine per-plan results inside the engine (all-plans mode).
+
+        ``references`` are view names / inline subqueries that all
+        compute the same answer set (every minimal plan returns exactly
+        the query's answers); the result takes the per-answer minimum
+        score, i.e. the tightest upper bound, in one statement instead
+        of one fetch-and-merge round-trip per plan.
+        """
+        columns = [_q(v.name) for v in query.head_order]
+        cols = ", ".join(columns + [PROB_COLUMN])
+        branches = "\nUNION ALL\n".join(
+            f"SELECT {cols} FROM {ref} b" for ref in references
+        )
+        outer = ", ".join(
+            columns + [f"MIN({PROB_COLUMN}) AS {PROB_COLUMN}"]
+        )
+        group = f"\nGROUP BY {', '.join(columns)}" if columns else ""
+        return f"SELECT {outer} FROM (\n{branches}\n) u{group}"
 
     # ------------------------------------------------------------------
     # node compilation

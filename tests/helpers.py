@@ -1,4 +1,5 @@
-"""Shared test utilities: random queries, random databases, comparisons.
+"""Shared test utilities: random queries, random databases, comparisons,
+and the cross-backend differential harness.
 
 Used both by plain unit tests and by the hypothesis strategies in the
 property-based suites.
@@ -6,18 +7,36 @@ property-based suites.
 
 from __future__ import annotations
 
+import itertools
 import random
 
 from repro.core import Atom, ConjunctiveQuery, Variable
+from repro.core.minplans import minimal_plans
+from repro.core.singleplan import single_plan
 from repro.db import ProbabilisticDatabase
+from repro.engine import (
+    DissociationEngine,
+    Optimizations,
+    plan_scores_reference,
+    reduce_database,
+)
 
 __all__ = [
+    "ALL_OPTIMIZATION_COMBOS",
     "random_query",
     "random_database_for",
     "boolean",
     "close",
     "assert_scores_close",
+    "reference_scores",
+    "assert_backends_agree",
 ]
+
+#: Every combination of the three Sec. 4 optimizations.
+ALL_OPTIMIZATION_COMBOS = tuple(
+    Optimizations(single_plan=sp, reuse_views=rv, semijoin=sj)
+    for sp, rv, sj in itertools.product((False, True), repeat=3)
+)
 
 
 def boolean(query: ConjunctiveQuery) -> ConjunctiveQuery:
@@ -95,6 +114,85 @@ def random_database_for(
                 arity=arity,
             )
     return db
+
+
+def reference_scores(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    opts: Optimizations,
+    use_schema_knowledge: bool = True,
+) -> dict[tuple, float]:
+    """The seed row-at-a-time evaluator run through the engine pipeline.
+
+    Mirrors ``DissociationEngine.evaluate`` (plan enumeration, Opt. 1
+    merging, Opt. 3 reduction, min-combining in "all plans" mode) but
+    scores every plan with :func:`plan_scores_reference` — the oracle the
+    differential harness compares both real backends against.
+    """
+    if use_schema_knowledge:
+        schema = db.schema
+        deterministic = schema.deterministic_relations
+        fds = schema.fds_by_relation
+    else:
+        deterministic, fds = frozenset(), {}
+    instance = reduce_database(query, db) if opts.semijoin else db
+    if opts.single_plan:
+        merged = single_plan(query, deterministic=deterministic, fds=fds)
+        return plan_scores_reference(merged, query, instance)
+    combined: dict[tuple, float] = {}
+    for plan in minimal_plans(query, deterministic=deterministic, fds=fds):
+        scored = plan_scores_reference(plan, query, instance)
+        for answer, score in scored.items():
+            if answer not in combined or score < combined[answer]:
+                combined[answer] = score
+    return combined
+
+
+def assert_backends_agree(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    combos: tuple[Optimizations, ...] = ALL_OPTIMIZATION_COMBOS,
+    tolerance: float = 1e-9,
+    use_schema_knowledge: bool = True,
+    cache_size: int | None = None,
+) -> dict[tuple, float]:
+    """Differential harness: reference vs columnar vs SQLite.
+
+    Runs the seed reference pipeline, the columnar memory engine, and
+    the SQLite engine on ``(query, db)`` under every ``Optimizations``
+    combination in ``combos`` and asserts that all scores agree within
+    ``tolerance``. The two engines persist across combinations, so
+    cross-query cache and temp-view-registry reuse is exercised too.
+    Returns the reference scores of the last combination.
+    """
+    memory = DissociationEngine(
+        db,
+        use_schema_knowledge=use_schema_knowledge,
+        cache_size=cache_size,
+    )
+    sqlite = DissociationEngine(
+        db,
+        backend="sqlite",
+        use_schema_knowledge=use_schema_knowledge,
+        cache_size=cache_size,
+    )
+    reference: dict[tuple, float] = {}
+    for opts in combos:
+        reference = reference_scores(
+            query, db, opts, use_schema_knowledge=use_schema_knowledge
+        )
+        for engine in (memory, sqlite):
+            got = engine.propagation_score(query, opts)
+            context = f"{engine.backend} backend, {opts}, {query}"
+            assert set(got) == set(reference), (
+                f"{context}: answer sets differ: {set(got) ^ set(reference)}"
+            )
+            for answer in reference:
+                assert close(got[answer], reference[answer], tolerance), (
+                    f"{context}: {answer}: "
+                    f"{got[answer]} != {reference[answer]}"
+                )
+    return reference
 
 
 def close(a: float, b: float, tolerance: float = 1e-9) -> bool:

@@ -22,24 +22,18 @@ from repro.db import ProbabilisticDatabase
 from repro.engine import (
     DissociationEngine,
     EvaluationCache,
-    Optimizations,
     evaluate_plan,
     plan_scores,
     plan_scores_reference,
-    reduce_database,
 )
 
-from .helpers import random_database_for, random_query
+from .helpers import (
+    assert_backends_agree,
+    random_database_for,
+    random_query,
+)
 
 TOLERANCE = 1e-12
-
-#: the four Optimizations combinations of the memory backend ablation
-OPTIMIZATION_COMBOS = (
-    Optimizations.none(),
-    Optimizations(single_plan=True, reuse_views=False),
-    Optimizations(single_plan=True, reuse_views=True),
-    Optimizations.all(),
-)
 
 
 def _assert_equal_scores(left: dict, right: dict, context: str) -> None:
@@ -48,21 +42,6 @@ def _assert_equal_scores(left: dict, right: dict, context: str) -> None:
         assert abs(left[answer] - right[answer]) <= TOLERANCE, (
             f"{context}: {answer}: {left[answer]} != {right[answer]}"
         )
-
-
-def _reference_engine_scores(engine, query, opts):
-    """The seed evaluator run through the same pipeline as the engine."""
-    deterministic, fds = engine._schema_args()
-    db = reduce_database(query, engine.db) if opts.semijoin else engine.db
-    if opts.single_plan:
-        merged = single_plan(query, deterministic=deterministic, fds=fds)
-        return plan_scores_reference(merged, query, db)
-    combined: dict[tuple, float] = {}
-    for plan in minimal_plans(query, deterministic=deterministic, fds=fds):
-        for answer, score in plan_scores_reference(plan, query, db).items():
-            if answer not in combined or score < combined[answer]:
-                combined[answer] = score
-    return combined
 
 
 class TestVectorizedEquivalence:
@@ -86,27 +65,14 @@ class TestVectorizedEquivalence:
             got = plan_scores(merged, q, db)
             _assert_equal_scores(got, want, f"trial {trial}: {q}")
 
-    def test_engine_matches_reference_for_all_optimization_combos(self):
+    def test_all_backends_agree_for_all_optimization_combos(self):
+        # the differential harness: reference vs columnar vs SQLite
+        # under every Optimizations combination, persistent engines
         rng = random.Random(103)
-        for trial in range(25):
+        for _ in range(12):
             q = random_query(rng, head_vars=rng.randint(0, 2))
             db = random_database_for(q, rng, domain_size=2)
-            engine = DissociationEngine(db)
-            for opts in OPTIMIZATION_COMBOS:
-                want = _reference_engine_scores(engine, q, opts)
-                got = engine.evaluate(q, opts).scores
-                _assert_equal_scores(got, want, f"trial {trial}: {q} {opts}")
-
-    def test_memory_and_sqlite_backends_agree(self):
-        rng = random.Random(104)
-        for trial in range(15):
-            q = random_query(rng, head_vars=rng.randint(0, 2))
-            db = random_database_for(q, rng, domain_size=2)
-            memory = DissociationEngine(db).propagation_score(q)
-            sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
-            assert set(memory) == set(sqlite), f"trial {trial}: {q}"
-            for answer in memory:
-                assert abs(memory[answer] - sqlite[answer]) < 1e-9
+            assert_backends_agree(q, db)
 
 
 class TestEvaluationCache:

@@ -6,7 +6,7 @@ from repro.core import minimal_plans, parse_query
 from repro.db import ProbabilisticDatabase, SQLiteBackend
 from repro.engine import DissociationEngine, SQLCompiler, plan_scores
 
-from .helpers import assert_scores_close
+from .helpers import assert_backends_agree, assert_scores_close
 
 
 class TestValueHandling:
@@ -16,10 +16,7 @@ class TestValueHandling:
         db.add_table("R", rows, arity=arity)
         db.add_table("S", [((rows[0][0][0],), 0.5)], arity=1)
         q = parse_query(query_text)
-        memory = DissociationEngine(db).propagation_score(q)
-        sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
-        assert_scores_close(memory, sqlite, tolerance=1e-9)
-        return memory
+        return assert_backends_agree(q, db)
 
     def test_string_values_with_quotes(self):
         rows = [(("o'brien", 1), 0.5), (('say "hi"', 2), 0.5)]
@@ -44,19 +41,15 @@ class TestValueHandling:
         q = ConjunctiveQuery(
             [Atom("R", (Constant("o'brien"), y))], head=[y]
         )
-        memory = DissociationEngine(db).propagation_score(q)
-        sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
-        assert memory == {(1,): 0.5}
-        assert_scores_close(memory, sqlite)
+        scores = assert_backends_agree(q, db)
+        assert scores == {(1,): 0.5}
 
     def test_probability_zero_and_one(self):
         db = ProbabilisticDatabase()
         db.add_table("R", [((1,), 0.0), ((2,), 1.0)])
         db.add_table("S", [((1, 5), 1.0), ((2, 5), 0.5)])
         q = parse_query("q() :- R(x), S(x,y)")
-        memory = DissociationEngine(db).propagation_score(q)
-        sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
-        assert_scores_close(memory, sqlite, tolerance=1e-9)
+        assert_backends_agree(q, db)
 
 
 class TestEmptyInputs:
@@ -118,9 +111,7 @@ class TestCompilerDetails:
         )
         db.add_table("S", [((2,), 0.5)], columns=("order",))
         q = parse_query("q() :- R(x, y), S(y)")
-        memory = DissociationEngine(db).propagation_score(q)
-        sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
-        assert_scores_close(memory, sqlite, tolerance=1e-9)
+        assert_backends_agree(q, db)
 
     def test_semijoin_tables_cleaned_up_between_queries(self):
         rng = random.Random(1)
