@@ -2,25 +2,38 @@
 #
 #   make test        — tier-1 verification (full pytest suite)
 #   make bench       — the current PR's perf micro-benchmarks; writes
-#                      BENCH_PR2.json at the repo root (SQLite all-plans
-#                      mode, before/after the materialized temp-view
-#                      registry, on the Fig. 5 chain/star/TPC-H workloads)
-#   make bench-quick — CI smoke: chain-5 workload only, no speedup gate
+#                      BENCH_PR3.json at the repo root (Algorithm-3
+#                      selective view materialization + Selinger
+#                      cost-based join ordering on the Fig. 5
+#                      chain/star/TPC-H workloads) and refreshes the
+#                      BENCH_LATEST.json copy
+#   make bench-quick — CI smoke: chain-5 workload only, writes
+#                      BENCH_PR3.quick.json, asserts the cost-vs-greedy
+#                      ablation gate (cost not >10% slower)
 #   make bench-pr1   — re-run the PR 1 benchmarks (BENCH_PR1.json: seed
 #                      row-at-a-time vs columnar memory engine)
+#   make bench-pr2   — re-run the PR 2 benchmarks (BENCH_PR2.json:
+#                      SQLite all-plans, pre/post temp-view registry)
+#   make bench-pr3   — alias of the current `make bench`
 
 PYTHON ?= python
 
-.PHONY: test bench bench-quick bench-pr1
+.PHONY: test bench bench-quick bench-pr1 bench-pr2 bench-pr3
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr2.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr3.py
 
 bench-quick:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr2.py --quick
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr3.py --quick
 
 bench-pr1:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr1.py
+
+bench-pr2:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr2.py
+
+bench-pr3:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr3.py

@@ -71,9 +71,14 @@ def max_diff(left: dict, right: dict) -> float:
 
 
 def evaluate_before(db, query, plans) -> dict[tuple, float]:
-    """The pre-PR SQLite all-plans path: one CTE query per plan."""
+    """The pre-PR SQLite all-plans path: one CTE query per plan.
+
+    ``native_ior=False`` keeps the baseline byte-faithful to the
+    historical compilation (the Python ``ior`` aggregate) after PR 3
+    made the C-native form the compiler default.
+    """
     backend = SQLiteBackend(db)
-    compiler = SQLCompiler(db.schema, reuse_views=True)
+    compiler = SQLCompiler(db.schema, reuse_views=True, native_ior=False)
     width = len(query.head_order)
     scores: dict[tuple, float] = {}
     for plan in plans:
@@ -106,6 +111,7 @@ def all_plans_workload(name: str, query, db, repeats: int = REPEATS) -> dict:
         max_diff(before_scores, after_scores),
         max_diff(memory_scores, after_scores),
     )
+    assert diff < 1e-9, f"{name}: backends diverge ({diff:.2e})"
 
     before = best_of(lambda: evaluate_before(db, query, plans), repeats)
     cold = best_of(after_cold, repeats)

@@ -1,0 +1,346 @@
+"""PR 3 micro-benchmarks: cost-based planning + Algorithm-3 materialization.
+
+Two experiments over the Fig. 5 chain / star / TPC-H workloads:
+
+* **SQLite all-plans mode** — ``before`` reproduces the pre-registry
+  (PR 2 "before") system byte for byte: one monolithic CTE query per
+  plan with the Python ``ior`` aggregate, shared subplans recomputed by
+  every plan and every call. ``after (cold)`` is a fresh engine on the
+  current path: Algorithm-3 selective materialization (only subplans
+  whose estimated cost × reuse beats the temp-table write cost become
+  ``dissoc_<hash>`` views; one-shot subplans stay inline), the C-native
+  ``EXP``/``LN`` independent-or, and SQL-side ``UNION ALL`` + ``MIN``
+  combining. ``after (warm)`` re-evaluates on a persistent engine — the
+  steady state, where the second call has promoted every recurring
+  subplan into the registry.
+* **Memory join-ordering ablation** — the columnar engine, cold, with
+  the Selinger cost-based DP enumerator vs. the greedy
+  smallest-connected-input scheduler. Scores must be *bit-identical*;
+  only the runtime may differ.
+
+Every workload cross-checks SQLite against the columnar memory backend
+(< 1e-9).
+
+Writes ``BENCH_PR3.json`` at the repository root plus a ``BENCH_LATEST.json``
+copy (run via ``make bench``). ``--quick`` (or ``BENCH_QUICK=1``) runs
+the chain-5 smoke workload only, writes ``BENCH_PR3.quick.json`` (never
+clobbering the committed full-run record), and asserts the CI smoke
+gate: cost-based chain-5 cold must not be slower than greedy by more
+than 10 %.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.db import SQLiteBackend  # noqa: E402 - path bootstrap above
+from repro.engine import (  # noqa: E402
+    DissociationEngine,
+    Optimizations,
+    SQLCompiler,
+    subplan_reference_counts,
+)
+from repro.workloads import (  # noqa: E402
+    TPCHParameters,
+    chain_database,
+    chain_query,
+    filtered_instance,
+    star_database,
+    star_query,
+    tpch_database,
+    tpch_query,
+)
+
+OUTPUT = ROOT / "BENCH_PR3.json"
+QUICK_OUTPUT = ROOT / "BENCH_PR3.quick.json"
+LATEST = ROOT / "BENCH_LATEST.json"
+REPEATS = 3
+ALL_PLANS = Optimizations(single_plan=False, reuse_views=True)
+
+#: CI smoke gate: cost-based must not lose to greedy by more than this
+#: ratio plus the absolute slack (shared CI runners jitter sub-100ms
+#: timings by more than real scheduling differences).
+QUICK_ABLATION_SLACK = 1.10
+QUICK_ABLATION_ABS_SLACK_SECONDS = 0.005
+
+
+def best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def max_diff(left: dict, right: dict) -> float:
+    assert set(left) == set(right), "backends disagree on the answer set"
+    return max((abs(left[k] - right[k]) for k in left), default=0.0)
+
+
+def evaluate_before(db, query, plans) -> dict[tuple, float]:
+    """The pre-registry SQLite all-plans path (PR 2's "before" arm).
+
+    One monolithic CTE query per plan, compiled with the historical
+    Python ``ior`` aggregate (``native_ior=False``) — the system as it
+    stood before the temp-view registry and this PR's planner.
+    """
+    backend = SQLiteBackend(db)
+    compiler = SQLCompiler(db.schema, reuse_views=True, native_ior=False)
+    width = len(query.head_order)
+    scores: dict[tuple, float] = {}
+    for plan in plans:
+        for row in backend.execute(compiler.compile(plan, query)):
+            probability = row[width]
+            if probability is None:
+                continue
+            answer = tuple(row[:width])
+            if answer not in scores or probability < scores[answer]:
+                scores[answer] = probability
+    backend.close()
+    return scores
+
+
+def sqlite_workload(name: str, query, db, repeats: int = REPEATS) -> dict:
+    plans = DissociationEngine(db).minimal_plans(query)
+
+    def after_cold():
+        return DissociationEngine(db, backend="sqlite").propagation_score(
+            query, ALL_PLANS
+        )
+
+    # correctness first: before vs after vs the memory backend
+    before_scores = evaluate_before(db, query, plans)
+    after_scores = after_cold()
+    memory_scores = DissociationEngine(db).propagation_score(
+        query, ALL_PLANS
+    )
+    diff = max(
+        max_diff(before_scores, after_scores),
+        max_diff(memory_scores, after_scores),
+    )
+    assert diff < 1e-9, f"{name}: backends diverge ({diff:.2e})"
+
+    # interleave the arms so machine drift hits both equally
+    before = float("inf")
+    cold = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        evaluate_before(db, query, plans)
+        before = min(before, time.perf_counter() - started)
+        started = time.perf_counter()
+        after_cold()
+        cold = min(cold, time.perf_counter() - started)
+    warm_engine = DissociationEngine(db, backend="sqlite")
+    # two warm-up calls: the second promotes the subplans Algorithm 3
+    # kept inline on the cold call, reaching the steady state
+    warm_engine.propagation_score(query, ALL_PLANS)
+    warm_engine.propagation_score(query, ALL_PLANS)
+    warm = best_of(
+        lambda: warm_engine.propagation_score(query, ALL_PLANS), repeats
+    )
+    stats = warm_engine.cache_stats()
+
+    cold_engine = DissociationEngine(db, backend="sqlite")
+    cold_engine.propagation_score(query, ALL_PLANS)
+    cold_stats = cold_engine.cache_stats()
+
+    entry = {
+        "plan_count": len(plans),
+        "before_seconds": before,
+        "after_cold_seconds": cold,
+        "after_warm_seconds": warm,
+        "speedup_cold": before / cold,
+        "speedup_warm": before / warm,
+        "speedup_amortized_5_evaluations": before / ((cold + 4 * warm) / 5),
+        "cold_views_materialized": cold_stats["misses"],
+        "cold_view_hits": cold_stats["hits"],
+        "subplans_total": len(subplan_reference_counts(plans)),
+        "view_cache_stats": stats,
+        "max_abs_score_diff": diff,
+    }
+    print(
+        f"{name:<14} plans={len(plans):>3}  before={before * 1e3:8.1f}ms  "
+        f"cold={cold * 1e3:8.1f}ms ({entry['speedup_cold']:4.1f}x)  "
+        f"warm={warm * 1e3:8.1f}ms ({entry['speedup_warm']:5.1f}x)  "
+        f"views={entry['cold_views_materialized']}/{entry['subplans_total']}  "
+        f"maxdiff={diff:.2e}"
+    )
+    return entry
+
+
+#: Extra repeats for the sub-100ms ordering arms — the expected margins
+#: are a few percent, so the minimum needs more samples to stabilize.
+ORDERING_REPEATS = 7
+
+
+def ordering_workload(name: str, query, db, repeats: int = ORDERING_REPEATS) -> dict:
+    """Memory-backend cold evaluation: greedy vs cost-based ordering.
+
+    On the uniform Fig. 5 shapes the plan algebra's duplicate-eliminating
+    projections pre-shrink every join input and the minimal plans contain
+    (almost) only binary joins, so the two schedulers mostly coincide —
+    cost-based wins modestly where input sizes are skewed (TPC-H) and
+    must never lose measurably anywhere. The DP's protection against
+    adversarially skewed inputs is unit-tested in
+    ``tests/test_stats_planner.py``.
+    """
+    greedy_scores = DissociationEngine(
+        db, join_ordering="greedy"
+    ).propagation_score(query, ALL_PLANS)
+    cost_scores = DissociationEngine(
+        db, join_ordering="cost"
+    ).propagation_score(query, ALL_PLANS)
+    assert greedy_scores == cost_scores, (
+        f"{name}: orderings must produce bit-identical scores"
+    )
+
+    greedy = float("inf")
+    cost = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        DissociationEngine(db, join_ordering="greedy").propagation_score(
+            query, ALL_PLANS
+        )
+        greedy = min(greedy, time.perf_counter() - started)
+        started = time.perf_counter()
+        DissociationEngine(db, join_ordering="cost").propagation_score(
+            query, ALL_PLANS
+        )
+        cost = min(cost, time.perf_counter() - started)
+    entry = {
+        "greedy_cold_seconds": greedy,
+        "cost_cold_seconds": cost,
+        "cost_vs_greedy": greedy / cost,
+        "bit_identical": True,
+    }
+    print(
+        f"{name:<14} ordering: greedy={greedy * 1e3:8.1f}ms  "
+        f"cost={cost * 1e3:8.1f}ms  ({entry['cost_vs_greedy']:4.2f}x)"
+    )
+    return entry
+
+
+def run_workloads(quick: bool) -> dict:
+    workloads: dict[str, dict] = {}
+
+    q = chain_query(5)
+    db = chain_database(5, 300, seed=42, p_max=0.5)
+    workloads["chain5_n300"] = sqlite_workload("chain5_n300", q, db)
+    workloads["chain5_n300"]["ordering"] = ordering_workload(
+        "chain5_n300", q, db
+    )
+    if quick:
+        return workloads
+
+    q = chain_query(7)
+    db = chain_database(7, 1000, seed=42, p_max=0.5)
+    workloads["chain7_n1000"] = sqlite_workload("chain7_n1000", q, db)
+    workloads["chain7_n1000"]["ordering"] = ordering_workload(
+        "chain7_n1000", q, db, repeats=REPEATS
+    )
+
+    q = star_query(3)
+    db = star_database(3, 1000, seed=43, p_max=0.5)
+    workloads["star3_n1000"] = sqlite_workload("star3_n1000", q, db)
+    workloads["star3_n1000"]["ordering"] = ordering_workload(
+        "star3_n1000", q, db
+    )
+
+    base = tpch_database(scale=0.02, seed=45, p_max=0.5)
+    q = tpch_query()
+    db = filtered_instance(base, TPCHParameters(100, "%"))
+    workloads["tpch_s002"] = sqlite_workload("tpch_s002", q, db)
+    workloads["tpch_s002"]["ordering"] = ordering_workload(
+        "tpch_s002", q, db
+    )
+    return workloads
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:] or os.environ.get("BENCH_QUICK") == "1"
+    print(
+        "PR 3 benchmark — Algorithm-3 selective materialization + "
+        "Selinger cost-based join ordering\n"
+    )
+    workloads = run_workloads(quick)
+
+    report = {
+        "pr": 3,
+        "description": (
+            "SQLite all-plans: before = pre-registry system (one "
+            "monolithic CTE query per plan, Python ior aggregate), "
+            "after = Algorithm-3 selective materialization (temp views "
+            "only for subplans whose estimated cost x reuse beats the "
+            "write cost; one-shot subplans inline) with native EXP/LN "
+            "independent-or and SQL-side UNION ALL + MIN combining; "
+            "cold = fresh engine/registry, warm = repeated evaluation "
+            "on a persistent engine after promotion. 'ordering' = "
+            "memory-backend cold ablation, Selinger DP vs greedy "
+            "smallest-connected scheduling (bit-identical scores)"
+        ),
+        "repeats": REPEATS,
+        "timing": "best-of-N wall clock, seconds, arms interleaved",
+        "quick": quick,
+        "workloads": workloads,
+    }
+    if quick:
+        # never clobber the committed full-run record with a smoke run
+        QUICK_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nquick mode: wrote {QUICK_OUTPUT}; gates: smoke only")
+        ordering = workloads["chain5_n300"]["ordering"]
+        greedy = ordering["greedy_cold_seconds"]
+        cost = ordering["cost_cold_seconds"]
+        limit = greedy * QUICK_ABLATION_SLACK + QUICK_ABLATION_ABS_SLACK_SECONDS
+        if cost > limit:
+            raise SystemExit(
+                f"smoke gate failed: cost-based chain-5 cold "
+                f"({cost * 1e3:.1f}ms) is more than 10% slower than "
+                f"greedy ({greedy * 1e3:.1f}ms)"
+            )
+        print(
+            f"smoke gate OK: cost-based chain-5 cold at "
+            f"{cost * 1e3:.1f}ms vs greedy {greedy * 1e3:.1f}ms "
+            f"(limit {limit * 1e3:.1f}ms)"
+        )
+        return
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    shutil.copyfile(OUTPUT, LATEST)
+    print(f"\nwrote {OUTPUT} (+ {LATEST.name})")
+
+    gates = {
+        "chain7_n1000 cold": (
+            workloads["chain7_n1000"]["speedup_cold"],
+            2.2,
+        ),
+        "chain7_n1000 warm": (
+            workloads["chain7_n1000"]["speedup_warm"],
+            2.0,
+        ),
+        "tpch_s002 warm": (workloads["tpch_s002"]["speedup_warm"], 2.0),
+        "cost beats greedy somewhere": (
+            max(
+                w["ordering"]["cost_vs_greedy"] for w in workloads.values()
+            ),
+            1.0,
+        ),
+    }
+    failed = {k: v for k, (v, t) in gates.items() if v < t}
+    if failed:
+        raise SystemExit(f"speedup gate failed: {failed}")
+    print(
+        f"speedup gate OK: "
+        f"{ {k: round(v, 2) for k, (v, _) in gates.items()} }"
+    )
+
+
+if __name__ == "__main__":
+    main()

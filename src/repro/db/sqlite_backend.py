@@ -10,6 +10,7 @@ aggregate ``ior`` so generated plans are plain ``GROUP BY`` queries.
 
 from __future__ import annotations
 
+import hashlib
 import sqlite3
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -81,9 +82,19 @@ class SQLiteViewRegistry:
     ``CREATE TEMP TABLE`` statements still reference them by name — and
     the cap is (re-)enforced when the outermost scope exits.
 
+    The registry also tracks *requests* — how often each key was part of
+    a compilation batch, whether or not it was materialized. The
+    Algorithm-3 policy reads this signal to promote a subplan that was
+    inline in an earlier batch but is being requested again: cross-call
+    reuse the batch-local reference count cannot see. Request history is
+    LRU-bounded independently of the views.
+
     :meth:`cache_stats` exposes hit/miss/eviction counters in the same
     shape as ``EvaluationCache.cache_stats()``.
     """
+
+    #: Bound on the request-history map (not on the views themselves).
+    MAX_REQUEST_ENTRIES = 65536
 
     def __init__(
         self,
@@ -98,12 +109,31 @@ class SQLiteViewRegistry:
         self._pinned: set[str] = set()
         self._pin_depth = 0
         self._max_views = max_views
+        self._requests: OrderedDict[Hashable, int] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     def __len__(self) -> int:
         return len(self._views)
+
+    def __contains__(self, plan: Hashable) -> bool:
+        """Whether ``plan`` has a live view (no hit counted, no pin)."""
+        return plan in self._views
+
+    # ------------------------------------------------------------------
+    # request history (the Algorithm-3 cross-call reuse signal)
+    # ------------------------------------------------------------------
+    def note_request(self, plan: Hashable) -> None:
+        """Record that a compilation batch asked for ``plan``."""
+        self._requests[plan] = self._requests.get(plan, 0) + 1
+        self._requests.move_to_end(plan)
+        while len(self._requests) > self.MAX_REQUEST_ENTRIES:
+            self._requests.popitem(last=False)
+
+    def request_count(self, plan: Hashable) -> int:
+        """How many batches have asked for ``plan`` so far."""
+        return self._requests.get(plan, 0)
 
     @property
     def max_views(self) -> int | None:
@@ -136,12 +166,27 @@ class SQLiteViewRegistry:
     def register(self, plan: Hashable, sql: str) -> tuple[str, str]:
         """Materialize ``sql`` as the view of ``plan``.
 
+        Every data column of the view gets a single-column index:
+        materialized views join with base tables and with each other,
+        and without an index SQLite falls back to nested full scans of
+        the temp tables (it has no statistics for them). Dropping the
+        view drops its indexes with it.
+
         Returns ``(view name, executed DDL)``.
         """
         self._misses += 1
         name = self._name_for(plan)
         ddl = f"CREATE TEMP TABLE {name} AS\n{sql}"
         self._connection.execute(ddl)
+        for (column,) in self._connection.execute(
+            f"SELECT name FROM pragma_table_info('{name}')"
+        ).fetchall():
+            if column == PROB_COLUMN:
+                continue
+            self._connection.execute(
+                f"CREATE INDEX {_quote_ident(f'ix_{name}_{column}')} "
+                f"ON {name} ({_quote_ident(column)})"
+            )
         self._views[plan] = name
         self._names.add(name)
         self._pin(name)
@@ -234,7 +279,25 @@ class SQLiteBackend:
         self.connection.create_aggregate("ior", 1, IorAggregate)
         self._view_registry: SQLiteViewRegistry | None = None
         self._view_cache_size = view_cache_size
+        self._has_math_functions: bool | None = None
+        self._reduction_tokens: dict[str, str] = {}
         self._materialize(index_columns)
+
+    @property
+    def has_math_functions(self) -> bool:
+        """Whether this SQLite build ships ``LN``/``EXP``.
+
+        Gates the compiler's C-native independent-or form; builds
+        without ``SQLITE_ENABLE_MATH_FUNCTIONS`` fall back to the
+        registered Python ``ior`` aggregate.
+        """
+        if self._has_math_functions is None:
+            try:
+                self.connection.execute("SELECT LN(1.0), EXP(0.0)")
+                self._has_math_functions = True
+            except sqlite3.OperationalError:
+                self._has_math_functions = False
+        return self._has_math_functions
 
     # ------------------------------------------------------------------
     # setup
@@ -285,6 +348,46 @@ class SQLiteBackend:
         """Run a query and fetch all rows."""
         cur = self.connection.execute(sql, parameters)
         return cur.fetchall()
+
+    def content_token(self, names: Iterable[str]) -> str:
+        """A digest of the current contents of the named tables.
+
+        Row order does not matter (rows are hashed in sorted order), so
+        two identically reduced semi-join table sets — e.g. repeats of
+        the same query on unchanged data — produce the same token, while
+        any content difference changes it. Used to key registry views
+        over per-query reduced tables by *content* instead of by name.
+        """
+        digest = hashlib.blake2b(digest_size=8)
+        for name in sorted(names):
+            rows = self.execute(f"SELECT * FROM {_quote_ident(name)}")
+            digest.update(name.encode())
+            digest.update(str(len(rows)).encode())
+            for row in sorted(rows, key=repr):
+                digest.update(repr(row).encode())
+        return digest.hexdigest()
+
+    def reduction_token(
+        self, statements: Iterable[str], names: Iterable[str]
+    ) -> str:
+        """:meth:`content_token` memoized per reduction recipe.
+
+        The backend is a snapshot of its source database, so the
+        reduced tables' contents are a pure function of the (already
+        executed) ``statements`` that built them; repeats of the same
+        reduction — the warm path — reuse the content digest without
+        re-reading the tables.
+        """
+        recipe = hashlib.blake2b(digest_size=8)
+        for statement in statements:
+            recipe.update(statement.encode())
+            recipe.update(b";")
+        key = recipe.hexdigest()
+        token = self._reduction_tokens.get(key)
+        if token is None:
+            token = self.content_token(names)
+            self._reduction_tokens[key] = token
+        return token
 
     def executescript(self, sql: str) -> None:
         self.connection.executescript(sql)

@@ -9,22 +9,40 @@ from .extensional import (
 )
 from .reference import evaluate_plan_reference, plan_scores_reference
 from .semijoin import reduce_database, reduced_name, semijoin_statements
-from .sql import SQLCompiler, deterministic_sql, lineage_sql
+from .sql import (
+    SQLCompiler,
+    deterministic_sql,
+    lineage_sql,
+    subplan_reference_counts,
+)
+from .stats import (
+    MaterializationPolicy,
+    StatisticsCatalog,
+    estimate_plan,
+    greedy_order,
+    selinger_order,
+)
 
 __all__ = [
     "DissociationEngine",
     "EvaluationCache",
     "EvaluationResult",
+    "MaterializationPolicy",
     "Optimizations",
     "SQLCompiler",
+    "StatisticsCatalog",
     "deterministic_answers",
     "deterministic_sql",
+    "estimate_plan",
     "evaluate_plan",
     "evaluate_plan_reference",
+    "greedy_order",
     "lineage_sql",
     "plan_scores",
     "plan_scores_reference",
     "reduce_database",
     "reduced_name",
+    "selinger_order",
     "semijoin_statements",
+    "subplan_reference_counts",
 ]

@@ -30,7 +30,13 @@ from ..lineage.exact import ExactEvaluator
 from ..lineage.mc import monte_carlo_many
 from .extensional import EvaluationCache, deterministic_answers, plan_scores
 from .semijoin import reduce_database, semijoin_statements
-from .sql import SQLCompiler, deterministic_sql, lineage_sql
+from .sql import (
+    SQLCompiler,
+    deterministic_sql,
+    lineage_sql,
+    subplan_reference_counts,
+)
+from .stats import DEFAULT_DP_THRESHOLD, MaterializationPolicy, estimate_plan
 
 __all__ = ["Optimizations", "EvaluationResult", "DissociationEngine"]
 
@@ -48,7 +54,8 @@ class Optimizations:
     * ``single_plan`` — Opt. 1: merge all minimal plans into one plan with
       ``min`` pushed into the leaves (Algorithm 2);
     * ``reuse_views`` — Opt. 2: share common subplans (views / cached
-      subresults; only meaningful together with ``single_plan``);
+      subresults) — within the merged plan, across the separate plans
+      of the "all plans" mode, and across queries;
     * ``semijoin`` — Opt. 3: deterministic semi-join reduction of the
       input relations before probabilistic evaluation.
     """
@@ -101,6 +108,17 @@ class DissociationEngine:
         :class:`EvaluationCache` plan-result layer and the SQLite
         backend's materialized-view registry. ``None`` (default) is
         unbounded; ``0`` disables cross-statement reuse.
+    join_ordering:
+        ``"cost"`` (default) schedules k-ary joins with the Selinger
+        dynamic-programming enumerator over the statistics catalog;
+        ``"greedy"`` keeps the smallest-connected-input heuristic — the
+        ablation baseline. Both produce bit-identical scores; only the
+        evaluation order (and therefore the runtime) differs. The same
+        setting drives ``evaluate``, ``score_per_plan``, and
+        ``explain``, so every mode shares one ordering decision.
+    join_dp_threshold:
+        Join arity above which the DP enumerator (exponential in the
+        arity) falls back to the greedy heuristic.
     """
 
     def __init__(
@@ -109,13 +127,21 @@ class DissociationEngine:
         backend: Backend = "memory",
         use_schema_knowledge: bool = True,
         cache_size: int | None = None,
+        join_ordering: str = "cost",
+        join_dp_threshold: int = DEFAULT_DP_THRESHOLD,
     ) -> None:
         if backend not in ("memory", "sqlite"):
             raise ValueError(f"unknown backend {backend!r}")
+        if join_ordering not in ("cost", "greedy"):
+            raise ValueError(
+                f"join_ordering must be 'cost' or 'greedy', got {join_ordering!r}"
+            )
         self.db = db
         self.backend: Backend = backend
         self.use_schema_knowledge = use_schema_knowledge
         self.cache_size = cache_size
+        self.join_ordering = join_ordering
+        self.join_dp_threshold = join_dp_threshold
         self._sqlite: SQLiteBackend | None = None
         self._memory_cache: EvaluationCache | None = None
         # Counters of view registries dropped by rebuilds, so sqlite
@@ -178,10 +204,18 @@ class DissociationEngine:
         automatically when the database's version token moves.
         """
         if db is not self.db:
-            return EvaluationCache(db, max_plans=self.cache_size)
+            return EvaluationCache(
+                db,
+                max_plans=self.cache_size,
+                join_ordering=self.join_ordering,
+                dp_threshold=self.join_dp_threshold,
+            )
         if self._memory_cache is None or self._memory_cache.db is not db:
             self._memory_cache = EvaluationCache(
-                db, max_plans=self.cache_size
+                db,
+                max_plans=self.cache_size,
+                join_ordering=self.join_ordering,
+                dp_threshold=self.join_dp_threshold,
             )
         else:
             self._memory_cache.validate()
@@ -283,6 +317,76 @@ class DissociationEngine:
             for plan in self.minimal_plans(query)
         }
 
+    def explain(
+        self,
+        query: ConjunctiveQuery,
+        optimizations: Optimizations | None = None,
+    ) -> dict:
+        """The planning decisions for ``query``, with their quality.
+
+        Evaluates the plan(s) on the columnar engine with a recorder
+        attached and returns, per plan, one entry for every executed
+        join: the scheduling method (``cost-dp``, ``greedy``, or
+        ``greedy-fallback`` above the DP threshold), the chosen order,
+        and the **estimated vs. actual** cardinality of every fold step.
+        Shared subplans are evaluated (and reported) once per plan.
+
+        For the SQLite backend the report additionally carries the
+        Algorithm-3 materialization analysis of the same plan batch:
+        per shared subplan, its reference count, cost estimate, and
+        whether the policy would materialize it against the current
+        view registry. Semi-join mode is excluded from that section —
+        its registry keys carry a per-call content token of the reduced
+        tables, so there is no meaningful registry state to report
+        without performing the reduction.
+        """
+        opts = optimizations or Optimizations()
+        db = reduce_database(query, self.db) if opts.semijoin else self.db
+        base = self._cache_for(db)
+        plans = self.minimal_plans(query)
+        targets = (
+            [self.single_plan(query)] if opts.single_plan else list(plans)
+        )
+        entries = []
+        for plan in targets:
+            # fresh memo scope per plan: every join of the plan executes
+            # (cached results would skip scheduling and leave gaps)
+            recorder: list[dict] = []
+            plan_scores(
+                plan, query, db, cache=base.plan_scope(), recorder=recorder
+            )
+            entries.append({"plan": plan.pretty(), "joins": recorder})
+        report = {
+            "query": str(query),
+            "backend": self.backend,
+            "join_ordering": self.join_ordering,
+            "dp_threshold": self.join_dp_threshold,
+            "optimizations": opts,
+            "plan_count": len(plans),
+            "plans": entries,
+        }
+        if self.backend == "sqlite" and opts.reuse_views and not opts.semijoin:
+            registry = self.sqlite.view_registry
+            estimator = self._plan_estimator()
+            policy = MaterializationPolicy(estimator=estimator)
+            decisions = []
+            for node, count in subplan_reference_counts(targets).items():
+                prior = registry.request_count(hash(node))
+                estimate = estimator(node)
+                decisions.append(
+                    {
+                        "subplan": str(node),
+                        "references": count,
+                        "prior_requests": prior,
+                        "estimated_rows": estimate.rows,
+                        "estimated_cost": estimate.cost,
+                        "materialize": node in registry
+                        or policy.should_materialize(node, count, prior),
+                    }
+                )
+            report["materialization"] = decisions
+        return report
+
     def _evaluate_memory(
         self,
         query: ConjunctiveQuery,
@@ -309,6 +413,19 @@ class DissociationEngine:
             )
         return combined
 
+    def _plan_estimator(self):
+        """A memoized ``Plan -> PlanEstimate`` closure over the catalog.
+
+        Estimates come from the memory cache's statistics catalog (the
+        interned code columns), so both backends price subplans with one
+        cost model.
+        """
+        cache = self._cache_for(self.db)
+        memo: dict[Plan, object] = {}
+        return lambda plan: estimate_plan(
+            plan, cache.table_statistics, cache.code_of, memo
+        )
+
     def _evaluate_sqlite(
         self,
         query: ConjunctiveQuery,
@@ -326,64 +443,86 @@ class DissociationEngine:
             self.db.schema,
             table_names=table_names,
             reuse_views=opts.reuse_views,
-        )
-        # Opt. 2 across statements and queries: with view reuse on, every
-        # projection/min subplan is materialized once as a temp view on
-        # the connection (keyed by structural plan hash, like the memory
-        # cache) and all later plans/queries read the stored result.
-        # Semi-join mode redirects scans to per-query reduced temp
-        # tables, whose materializations must not leak into the next
-        # query — it keeps the self-contained CTE form.
-        registry = (
-            backend.view_registry
-            if opts.reuse_views and not opts.semijoin
-            else None
+            native_ior=backend.has_math_functions,
         )
         executed: list[str] = []
         scores: dict[tuple, float] = {}
-        if registry is not None and not opts.single_plan:
-            # All-plans mode over the registry: materialize every plan's
-            # top, then min-combine the per-answer scores inside the
-            # engine with UNION ALL + MIN instead of one fetch-and-merge
-            # round trip per plan. The outer pin scope keeps all views
-            # alive until the combining SELECTs have run (pin_scope is
-            # re-entrant); the LRU cap is enforced when it exits.
-            with registry.pin_scope():
-                references: list[str] = []
-                for plan in plans:
-                    created, ref = compiler.materialize_reference(
-                        plan, registry
-                    )
-                    executed.extend(created)
-                    references.append(ref)
-                for start in range(
-                    0, len(references), _MAX_UNION_BRANCHES
-                ):
-                    chunk = references[start : start + _MAX_UNION_BRANCHES]
+        targets = (
+            [self.single_plan(query)] if opts.single_plan else list(plans)
+        )
+        if not opts.reuse_views:
+            for plan in targets:
+                sql = compiler.compile(plan, query)
+                executed.append(sql)
+                self._merge_min(
+                    scores, self._collect(backend.execute(sql), query)
+                )
+            return scores, ";\n\n".join(executed)
+        # Opt. 2 + Algorithm 3 across statements and queries: subplans
+        # worth sharing are materialized once as temp views on the
+        # connection (keyed by structural plan hash, like the memory
+        # cache); one-shot subplans stay inline, so the cold path never
+        # pays the write cost of a view nothing else will read. In
+        # semi-join mode the views additionally carry a content token of
+        # the per-query reduced temp tables, so structurally identical
+        # subplans over *differently* reduced inputs can never collide
+        # while repeats of the same reduction reuse their views.
+        registry = backend.view_registry
+        token = (
+            backend.reduction_token(statements, table_names.values())
+            if opts.semijoin
+            else None
+        )
+        key_of = (
+            (lambda node: (node, token)) if token is not None else (lambda node: node)
+        )
+        references = subplan_reference_counts(targets)
+        # Request history is keyed by hash, not by structural equality:
+        # repeated deep-plan comparisons would dominate the warm path,
+        # and a collision merely promotes a subplan early — the *view*
+        # registry stays structurally keyed, so correctness never
+        # depends on this map.
+        prior = {
+            node: registry.request_count(hash(key_of(node)))
+            for node in references
+        }
+        for node in references:
+            registry.note_request(hash(key_of(node)))
+        policy = MaterializationPolicy(estimator=self._plan_estimator())
+
+        def decide(node: Plan) -> bool:
+            return policy.should_materialize(
+                node, references.get(node, 1), prior.get(node, 0)
+            )
+
+        # The outer pin scope keeps every view alive until the combining
+        # SELECTs have run (pin_scope is re-entrant); the LRU cap is
+        # enforced when it exits.
+        with registry.pin_scope():
+            compiled: list[str] = []
+            for plan in targets:
+                created, ref = compiler.compile_selective(
+                    plan, registry, decide, key_of=key_of
+                )
+                executed.extend(created)
+                compiled.append(ref)
+            if opts.single_plan:
+                sql = compiler.select_statement(compiled[0], query)
+                executed.append(sql)
+                self._merge_min(
+                    scores, self._collect(backend.execute(sql), query)
+                )
+            else:
+                # min-combine the per-answer scores inside the engine
+                # with UNION ALL + MIN instead of one fetch-and-merge
+                # round trip per plan
+                for start in range(0, len(compiled), _MAX_UNION_BRANCHES):
+                    chunk = compiled[start : start + _MAX_UNION_BRANCHES]
                     sql = compiler.min_union_sql(chunk, query)
                     executed.append(sql)
                     self._merge_min(
                         scores, self._collect(backend.execute(sql), query)
                     )
-            return scores, ";\n\n".join(executed)
-        targets = (
-            [self.single_plan(query)] if opts.single_plan else list(plans)
-        )
-        for plan in targets:
-            if registry is not None:
-                # Keep the top view alive until its SELECT has run.
-                with registry.pin_scope():
-                    created, sql = compiler.materialize(
-                        plan, query, registry
-                    )
-                    executed.extend(created)
-                    executed.append(sql)
-                    rows = backend.execute(sql)
-            else:
-                sql = compiler.compile(plan, query)
-                executed.append(sql)
-                rows = backend.execute(sql)
-            self._merge_min(scores, self._collect(rows, query))
         return scores, ";\n\n".join(executed)
 
     @staticmethod

@@ -10,8 +10,12 @@ set-at-a-time operators instead of the seed's row-at-a-time interpreter
   a shared dictionary, so all joins and group-bys run on integers;
 * scan — mask-filter the cached encoded relation (tuple probability);
 * join — vectorized hash join (sort + ``searchsorted`` match expansion),
-  driven by a cost-ordered scheduler that always folds in the *smallest
-  connected* input; scores multiply (independence assumption);
+  driven by a Selinger-style dynamic-programming join-order enumerator
+  over the statistics catalog (:mod:`repro.engine.stats`), falling back
+  to the previous smallest-connected-input greedy heuristic above a
+  configurable arity threshold; scores multiply (independence
+  assumption), and the multiplication runs in *canonical part order* so
+  every join schedule produces bit-identical scores;
 * projection with duplicate elimination — grouped independent-or
   ``1 − ∏(1 − s_i)`` via ``np.multiply.reduceat`` over stably sorted
   group runs;
@@ -38,6 +42,15 @@ from ..core.plans import Join, MinPlan, Plan, Project, Scan
 from ..core.query import ConjunctiveQuery
 from ..core.symbols import Constant, Variable
 from ..db.database import ProbabilisticDatabase
+from .stats import (
+    DEFAULT_DP_THRESHOLD,
+    JoinProfile,
+    StatisticsCatalog,
+    greedy_order,
+    join_profile,
+    profile_of_columnar,
+    selinger_order,
+)
 
 __all__ = [
     "EvaluationCache",
@@ -60,7 +73,7 @@ class _Columnar:
     and may be shared between results.
     """
 
-    __slots__ = ("order", "columns", "scores")
+    __slots__ = ("order", "columns", "scores", "_profile")
 
     def __init__(
         self,
@@ -71,9 +84,22 @@ class _Columnar:
         self.order = order
         self.columns = columns
         self.scores = scores
+        self._profile: JoinProfile | None = None
 
     def __len__(self) -> int:
         return self.scores.shape[0]
+
+    def profile(self) -> JoinProfile:
+        """Exact cardinality profile (rows + per-variable distinct counts).
+
+        Computed once per result and cached — cached plan results carry
+        their profile across joins and across calls.
+        """
+        if self._profile is None:
+            self._profile = profile_of_columnar(
+                self.order, self.columns, len(self)
+            )
+        return self._profile
 
 
 def _empty(order: tuple[Variable, ...]) -> _Columnar:
@@ -109,16 +135,29 @@ class EvaluationCache:
     cumulative hit/miss/eviction counters — the same shape the SQLite
     backend's view registry reports, so both backends share one cache
     interface.
+
+    ``join_ordering`` selects the join scheduler: ``"cost"`` (default)
+    runs the Selinger DP over the statistics catalog for joins of up to
+    ``dp_threshold`` inputs (greedy above it); ``"greedy"`` keeps the
+    smallest-connected-input heuristic throughout — the ablation
+    baseline. Both schedules produce bit-identical scores: the join
+    multiplies part scores in canonical part order and projections
+    combine group members in canonical row order, so the schedule can
+    only change *when* rows are produced, never the floating-point
+    result.
     """
 
     __slots__ = (
         "db",
+        "join_ordering",
+        "dp_threshold",
         "_code_of",
         "_values",
         "_tables",
         "_plans",
         "_token",
         "_max_plans",
+        "_statistics",
         "_hits",
         "_misses",
         "_evictions",
@@ -128,21 +167,33 @@ class EvaluationCache:
         self,
         db: ProbabilisticDatabase,
         max_plans: int | None = None,
+        join_ordering: str = "cost",
+        dp_threshold: int = DEFAULT_DP_THRESHOLD,
         _share_with: "EvaluationCache | None" = None,
     ) -> None:
         if max_plans is not None and max_plans < 0:
             raise ValueError("max_plans must be None or >= 0")
+        if join_ordering not in ("cost", "greedy"):
+            raise ValueError(
+                f"join_ordering must be 'cost' or 'greedy', got {join_ordering!r}"
+            )
         self.db = db
         if _share_with is None:
             self._code_of: dict = {}
             self._values: list = []
             self._tables: dict[str, tuple[tuple[np.ndarray, ...], np.ndarray]] = {}
+            self._statistics = StatisticsCatalog(db)
         else:
             self._code_of = _share_with._code_of
             self._values = _share_with._values
             self._tables = _share_with._tables
+            self._statistics = _share_with._statistics
             if max_plans is None:
                 max_plans = _share_with._max_plans
+            join_ordering = _share_with.join_ordering
+            dp_threshold = _share_with.dp_threshold
+        self.join_ordering = join_ordering
+        self.dp_threshold = dp_threshold
         self._plans: OrderedDict[Plan, _Columnar] = OrderedDict()
         # A scope must inherit the parent's token, not re-snapshot: the
         # shared encoded tables may predate a mutation the parent has
@@ -166,6 +217,23 @@ class EvaluationCache:
     def plan_scope(self) -> "EvaluationCache":
         """A cache sharing encodings but with a fresh plan-result memo."""
         return EvaluationCache(self.db, _share_with=self)
+
+    # ------------------------------------------------------------------
+    # statistics catalog
+    # ------------------------------------------------------------------
+    @property
+    def statistics(self) -> StatisticsCatalog:
+        """The per-table column-statistics catalog (shared across scopes)."""
+        return self._statistics
+
+    def table_statistics(self, name: str):
+        """Statistics of ``name`` over its interned code columns."""
+        columns, _ = self.encoded_table(name)
+        return self._statistics.table_stats(name, columns)
+
+    def code_of(self, value) -> "int | None":
+        """The interned code of ``value`` without interning it."""
+        return self._code_of.get(value)
 
     # ------------------------------------------------------------------
     # plan-result layer (Opt. 2), LRU-bounded
@@ -256,6 +324,7 @@ def evaluate_plan(
     db: ProbabilisticDatabase,
     output_order: Iterable[Variable] | None = None,
     cache: EvaluationCache | None = None,
+    recorder: "list[dict] | None" = None,
 ) -> dict[tuple, float]:
     """Score every output tuple of ``plan`` on ``db``.
 
@@ -265,6 +334,12 @@ def evaluate_plan(
 
     ``cache`` shares interning, encoded relations, and plan results
     across calls; it must have been built for the same ``db``.
+
+    ``recorder``, when given, collects one dict per *executed* join node
+    (chosen order, scheduling method, and estimated vs. actual
+    cardinality per fold step) — the raw material of
+    ``DissociationEngine.explain``. Joins served from the plan cache do
+    not re-execute and are not recorded.
     """
     if cache is None:
         cache = EvaluationCache(db)
@@ -272,7 +347,7 @@ def evaluate_plan(
         if cache.db is not db:
             raise ValueError("evaluation cache was built for a different database")
         cache.validate()
-    result = _evaluate(plan, cache, {})
+    result = _evaluate(plan, cache, {}, recorder)
     if output_order is None:
         order = tuple(sorted(result.order))
     else:
@@ -294,9 +369,12 @@ def plan_scores(
     query: ConjunctiveQuery,
     db: ProbabilisticDatabase,
     cache: EvaluationCache | None = None,
+    recorder: "list[dict] | None" = None,
 ) -> dict[tuple, float]:
     """``evaluate_plan`` keyed in the query's declared head order."""
-    return evaluate_plan(plan, db, query.head_order, cache=cache)
+    return evaluate_plan(
+        plan, db, query.head_order, cache=cache, recorder=recorder
+    )
 
 
 def _decode(
@@ -316,7 +394,10 @@ def _decode(
 # operators
 # ----------------------------------------------------------------------
 def _evaluate(
-    plan: Plan, cache: EvaluationCache, local: dict[Plan, _Columnar]
+    plan: Plan,
+    cache: EvaluationCache,
+    local: dict[Plan, _Columnar],
+    recorder: "list[dict] | None" = None,
 ) -> _Columnar:
     # ``local`` memoizes within one evaluate_plan call: shared nodes of
     # an Algorithm-2 DAG must evaluate once even when the cross-call
@@ -332,11 +413,11 @@ def _evaluate(
     if isinstance(plan, Scan):
         result = _scan(plan, cache)
     elif isinstance(plan, Project):
-        result = _project(plan, cache, local)
+        result = _project(plan, cache, local, recorder)
     elif isinstance(plan, Join):
-        result = _join(plan, cache, local)
+        result = _join(plan, cache, local, recorder)
     elif isinstance(plan, MinPlan):
-        result = _min(plan, cache, local)
+        result = _min(plan, cache, local, recorder)
     else:  # pragma: no cover - sealed hierarchy
         raise TypeError(f"unknown plan node {plan!r}")
     local[plan] = result
@@ -376,16 +457,25 @@ def _scan(plan: Scan, cache: EvaluationCache) -> _Columnar:
 
 
 def _project(
-    plan: Project, cache: EvaluationCache, local: dict[Plan, _Columnar]
+    plan: Project,
+    cache: EvaluationCache,
+    local: dict[Plan, _Columnar],
+    recorder: "list[dict] | None" = None,
 ) -> _Columnar:
-    child = _evaluate(plan.child, cache, local)
+    child = _evaluate(plan.child, cache, local, recorder)
     order = tuple(v for v in child.order if v in plan.head)
     keep = [child.order.index(v) for v in order]
     n = len(child)
     if n == 0:
         return _empty(order)
     if not keep:
-        total = float(np.multiply.reduce(1.0 - child.scores))
+        complements = 1.0 - child.scores
+        if n > 1:
+            # canonical multiply order: sort by full-row key so the
+            # rounding is identical under every join schedule
+            (full,) = _row_keys(cache, [(child.columns, n)])
+            complements = complements[np.argsort(full)]
+        total = float(np.multiply.reduce(complements))
         return _Columnar((), (), np.array([1.0 - total]))
     key_cols = tuple(child.columns[i] for i in keep)
     (key,) = _row_keys(cache, [(key_cols, n)])
@@ -393,7 +483,11 @@ def _project(
     if uniq.shape[0] == n:
         # duplicate-free: independent-or degenerates to the identity
         return _Columnar(order, key_cols, child.scores)
-    perm = np.argsort(inverse, kind="stable")
+    # Canonical within-group order: rows are distinct, so the full-row
+    # key is a content-determined tie-break — group members multiply in
+    # the same order whatever row order the join schedule produced.
+    (full,) = _row_keys(cache, [(child.columns, n)])
+    perm = np.lexsort((full, inverse))
     counts = np.bincount(inverse)
     starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
     grouped = np.multiply.reduceat((1.0 - child.scores)[perm], starts)
@@ -406,52 +500,126 @@ def _project(
 
 
 def _join(
-    plan: Join, cache: EvaluationCache, local: dict[Plan, _Columnar]
+    plan: Join,
+    cache: EvaluationCache,
+    local: dict[Plan, _Columnar],
+    recorder: "list[dict] | None" = None,
 ) -> _Columnar:
-    results = [_evaluate(part, cache, local) for part in plan.parts]
-    # Cost-ordered schedule: start from the smallest input, then always
-    # fold in the smallest input connected to the variables bound so far
-    # (falling back to the smallest disconnected one — a cross product).
-    by_size = sorted(range(len(results)), key=lambda i: len(results[i]))
-    taken = [False] * len(results)
-    first = by_size[0]
-    taken[first] = True
-    current = results[first]
-    bound = set(current.order)
-    for _ in range(len(results) - 1):
-        choice = None
-        for i in by_size:
-            if taken[i]:
-                continue
-            if choice is None:
-                choice = i
-            if bound & set(results[i].order):
-                choice = i
-                break
-        taken[choice] = True
-        current = _pair_join(current, results[choice], cache)
-        bound.update(results[choice].order)
-    return current
+    results = [_evaluate(part, cache, local, recorder) for part in plan.parts]
+    k = len(results)
+    profiles: "list[JoinProfile] | None" = None
+    # Join-order selection: Selinger DP over the inputs' exact profiles
+    # (cost = summed estimated intermediate cardinality plus the
+    # sort/probe work of each folded input) up to the DP threshold, the
+    # smallest-connected-input greedy heuristic beyond it or when the
+    # cache is configured for the greedy ablation baseline. A binary
+    # join needs no profiles: both orders produce the same rows, and the
+    # DP's fold-cost term reduces to accumulating on the larger side so
+    # the smaller input is the one sorted and probed.
+    if cache.join_ordering == "cost" and k <= cache.dp_threshold:
+        if k == 2:
+            order = [0, 1] if len(results[0]) >= len(results[1]) else [1, 0]
+        else:
+            profiles = [r.profile() for r in results]
+            order = selinger_order(profiles)
+        method = "cost-dp"
+    else:
+        order = greedy_order(
+            [len(r) for r in results],
+            [frozenset(r.order) for r in results],
+        )
+        method = (
+            "greedy"
+            if cache.join_ordering == "greedy"
+            else "greedy-fallback"
+        )
+    record: dict | None = None
+    if recorder is not None:
+        profiles = profiles or [r.profile() for r in results]
+        record = {
+            "join": str(plan),
+            "method": method,
+            "order": list(order),
+            "parts": [str(p) for p in plan.parts],
+            "input_rows": [len(r) for r in results],
+            "steps": [],
+        }
+        recorder.append(record)
+    # Fold in the chosen order, tracking per-part gather indices instead
+    # of multiplying scores pairwise: the final score column multiplies
+    # the parts in canonical (plan) order, so every schedule — greedy or
+    # DP — produces bit-identical floating-point scores.
+    first = order[0]
+    state_order = results[first].order
+    state_columns = results[first].columns
+    indices: dict[int, np.ndarray] = {
+        first: np.arange(len(results[first]), dtype=np.int64)
+    }
+    rows = len(results[first])
+    estimate = profiles[first] if profiles is not None else None
+    for j in order[1:]:
+        state_order, state_columns, indices, rows = _fold_join(
+            state_order, state_columns, indices, rows,
+            results[j], j, cache,
+        )
+        if record is not None:
+            estimate = join_profile(estimate, profiles[j])
+            record["steps"].append(
+                {
+                    "joined": str(plan.parts[j]),
+                    "estimated_rows": estimate.rows,
+                    "actual_rows": rows,
+                }
+            )
+    if rows == 0:
+        return _empty(tuple(sorted(state_order)))
+    scores: np.ndarray | None = None
+    for part, idx in sorted(indices.items()):
+        gathered = results[part].scores[idx]
+        scores = gathered if scores is None else scores * gathered
+    # canonical output column order, independent of the schedule
+    final_order = tuple(sorted(state_order))
+    positions = [state_order.index(v) for v in final_order]
+    return _Columnar(
+        final_order,
+        tuple(state_columns[i] for i in positions),
+        scores,
+    )
 
 
-def _pair_join(left: _Columnar, right: _Columnar, cache: EvaluationCache) -> _Columnar:
-    shared = [v for v in right.order if v in left.order]
-    right_new = [v for v in right.order if v not in left.order]
+def _fold_join(
+    order: tuple[Variable, ...],
+    columns: tuple[np.ndarray, ...],
+    indices: dict[int, np.ndarray],
+    rows: int,
+    right: _Columnar,
+    right_part: int,
+    cache: EvaluationCache,
+) -> tuple[tuple[Variable, ...], tuple[np.ndarray, ...], dict[int, np.ndarray], int]:
+    """One pairwise hash-join step of the fold, propagating gather indices."""
+    shared = [v for v in right.order if v in order]
+    right_new = [v for v in right.order if v not in order]
     right_keep = [right.order.index(v) for v in right_new]
-    order = left.order + tuple(right_new)
-    nl, nr = len(left), len(right)
+    out_order = order + tuple(right_new)
+    nl, nr = rows, len(right)
     if nl == 0 or nr == 0:
-        return _empty(order)
+        empty_idx = np.empty(0, dtype=np.int64)
+        return (
+            out_order,
+            tuple(np.empty(0, dtype=np.int64) for _ in out_order),
+            {part: empty_idx for part in (*indices, right_part)},
+            0,
+        )
     if not shared:
         li = np.repeat(np.arange(nl), nr)
         ri = np.tile(np.arange(nr), nl)
     else:
-        lpos = [left.order.index(v) for v in shared]
+        lpos = [order.index(v) for v in shared]
         rpos = [right.order.index(v) for v in shared]
         lk, rk = _row_keys(
             cache,
             [
-                (tuple(left.columns[i] for i in lpos), nl),
+                (tuple(columns[i] for i in lpos), nl),
                 (tuple(right.columns[i] for i in rpos), nr),
             ],
         )
@@ -462,21 +630,32 @@ def _pair_join(left: _Columnar, right: _Columnar, cache: EvaluationCache) -> _Co
         counts = ends - starts
         total = int(counts.sum())
         if total == 0:
-            return _empty(order)
+            empty_idx = np.empty(0, dtype=np.int64)
+            return (
+                out_order,
+                tuple(np.empty(0, dtype=np.int64) for _ in out_order),
+                {part: empty_idx for part in (*indices, right_part)},
+                0,
+            )
         li = np.repeat(np.arange(nl), counts)
         run_starts = np.cumsum(counts) - counts
         offsets = np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
         ri = perm[np.repeat(starts, counts) + offsets]
-    columns = tuple(col[li] for col in left.columns) + tuple(
+    out_columns = tuple(col[li] for col in columns) + tuple(
         right.columns[i][ri] for i in right_keep
     )
-    return _Columnar(order, columns, left.scores[li] * right.scores[ri])
+    out_indices = {part: idx[li] for part, idx in indices.items()}
+    out_indices[right_part] = ri
+    return out_order, out_columns, out_indices, int(li.shape[0])
 
 
 def _min(
-    plan: MinPlan, cache: EvaluationCache, local: dict[Plan, _Columnar]
+    plan: MinPlan,
+    cache: EvaluationCache,
+    local: dict[Plan, _Columnar],
+    recorder: "list[dict] | None" = None,
 ) -> _Columnar:
-    results = [_evaluate(part, cache, local) for part in plan.parts]
+    results = [_evaluate(part, cache, local, recorder) for part in plan.parts]
     base = results[0]
     n = len(base)
     aligned: list[tuple[tuple[np.ndarray, ...], int]] = []
@@ -524,8 +703,13 @@ def _row_keys(
     Codes are radix-combined (``key = ((c0·B) + c1)·B + ...`` with ``B``
     the interning-table size) so equal rows — within or across sets —
     get equal keys and distinct rows distinct keys. When the combined
-    width would overflow 62 bits, falls back to interning row tuples
-    through a dictionary shared by all sets.
+    width would overflow 62 bits, falls back to ranking row tuples in
+    sorted order, shared by all sets.
+
+    Keys are *order-isomorphic to row content* on both paths (radix
+    combination preserves the lexicographic code order; the fallback
+    ranks sorted rows), which the projection operators rely on for their
+    canonical, schedule-independent combine order.
     """
     width = len(column_sets[0][0])
     if width == 0:
@@ -542,17 +726,16 @@ def _row_keys(
                 key += col
             out.append(key)
         return out
-    mapping: dict[tuple, int] = {}
+    rows_per_set = [list(zip(*(c.tolist() for c in cols))) for cols, _ in column_sets]
+    mapping = {
+        row: rank
+        for rank, row in enumerate(sorted(set().union(*map(set, rows_per_set))))
+    }
     out = []
-    for cols, n in column_sets:
-        lists = [c.tolist() for c in cols]
+    for rows, (_, n) in zip(rows_per_set, column_sets):
         codes = np.empty(n, dtype=np.int64)
-        for i, row in enumerate(zip(*lists)):
-            code = mapping.get(row)
-            if code is None:
-                code = len(mapping)
-                mapping[row] = code
-            codes[i] = code
+        for i, row in enumerate(rows):
+            codes[i] = mapping[row]
         out.append(codes)
     return out
 

@@ -12,12 +12,15 @@ Every plan node becomes a ``SELECT``:
 With ``reuse_views=True`` (Optimization 2 / Algorithm 3), plan nodes that
 are referenced more than once in the plan DAG are emitted exactly once as
 ``WITH`` common table expressions and referenced by name everywhere else.
-:meth:`SQLCompiler.materialize` extends the same optimization *across*
-statements: subplans become materialized temp views
-(``dissoc_<structural-hash>`` tables managed by a
+:meth:`SQLCompiler.compile_selective` extends the same optimization
+*across* statements with the Algorithm-3 policy: subplans that a
+reference-count + cost analysis deems worth sharing become materialized
+temp views (``dissoc_<structural-hash>`` tables managed by a
 :class:`~repro.db.sqlite_backend.SQLiteViewRegistry`), shared by all
 plans of an "all plans" evaluation and by later queries on the same
-connection.
+connection, while one-shot subplans stay inline and never pay the
+temp-table write cost. :meth:`SQLCompiler.materialize` is the
+materialize-everything predecessor, kept for the ablation benchmarks.
 
 The compiler also produces the deterministic baselines of Sec. 5:
 ``deterministic_sql`` (``SELECT DISTINCT`` of the answers) and
@@ -35,7 +38,12 @@ from ..core.symbols import Constant, Variable
 from ..db.schema import Schema
 from ..db.sqlite_backend import PROB_COLUMN, sql_literal
 
-__all__ = ["SQLCompiler", "deterministic_sql", "lineage_sql"]
+__all__ = [
+    "SQLCompiler",
+    "deterministic_sql",
+    "lineage_sql",
+    "subplan_reference_counts",
+]
 
 
 def _q(name: str) -> str:
@@ -55,6 +63,15 @@ class SQLCompiler:
         redirects scans to the semi-join-reduced temporary tables.
     reuse_views:
         Emit shared plan nodes as ``WITH`` views (Optimization 2).
+    native_ior:
+        Compile the independent-or combine as the C-native
+        ``1 − EXP(SUM(LN(1 − p)))`` form (with an exact guard for
+        ``p = 1``) instead of the registered Python ``ior`` aggregate.
+        The native form avoids one Python callback per grouped row —
+        the dominant per-row cost of grouped subplans — at a worst-case
+        relative rounding cost of a few ULPs per group member. Disable
+        to reproduce the historical (pre-PR-3) compilation byte for
+        byte, e.g. for the benchmark baseline arms.
     """
 
     def __init__(
@@ -62,10 +79,12 @@ class SQLCompiler:
         schema: Schema,
         table_names: Mapping[str, str] | None = None,
         reuse_views: bool = True,
+        native_ior: bool = True,
     ) -> None:
         self._schema = schema
         self._table_names = dict(table_names or {})
         self._reuse_views = reuse_views
+        self._native_ior = native_ior
 
     # ------------------------------------------------------------------
     # public API
@@ -106,6 +125,75 @@ class SQLCompiler:
             )
             return f"WITH {with_clause}\n{body}"
         return body
+
+    def compile_selective(
+        self,
+        plan: Plan,
+        registry,
+        decide,
+        key_of=None,
+    ) -> tuple[list[str], str]:
+        """Compile ``plan`` with Algorithm-3 selective materialization.
+
+        Walks the plan bottom-up. Projection and ``min`` nodes already
+        in ``registry`` are referenced by view name; missing ones are
+        passed to ``decide`` — a ``Plan -> bool`` callback embodying the
+        (cost × reuse)-based policy: ``True`` registers the node as a
+        ``CREATE TEMP TABLE dissoc_<hash>`` view shared across
+        statements and queries, ``False`` keeps it as an inline
+        subquery of its parent, computed once by the enclosing statement
+        and never written out. Scans and joins always stay inline (the
+        base tables are the scans' materialization; a join feeds exactly
+        one grouped node, so storing it pays its full write cost for no
+        reuse).
+
+        ``key_of`` maps a node to its registry key (default: the node
+        itself). Semi-join mode passes ``node -> (node, content token)``
+        so views over per-query reduced tables are keyed by the reduced
+        tables' *content* and can never be confused across differently
+        reduced queries — which also makes scan redirection
+        (``table_names``) safe here, unlike in :meth:`materialize`.
+
+        Returns ``(executed DDL statements, reference)`` where the
+        reference is a view name or an inline subquery for the plan's
+        top. Runs inside ``registry.pin_scope()`` so LRU eviction can
+        never drop a view a pending statement references.
+        """
+        if not self._reuse_views:
+            raise ValueError("compile_selective() requires reuse_views=True")
+        if key_of is None:
+            key_of = lambda node: node  # noqa: E731 - trivial default
+        created: list[str] = []
+        emitted: dict[Plan, str] = {}
+
+        def reference(node: Plan) -> str:
+            if isinstance(node, Scan):
+                return "(\n" + self._scan_sql(node) + "\n)"
+            if isinstance(node, Join):
+                return "(\n" + self._join_sql(node, reference) + "\n)"
+            cached = emitted.get(node)
+            if cached is not None:
+                return cached
+            key = key_of(node)
+            name = registry.lookup(key)
+            if name is None:
+                sql = self._node_sql(node, reference)
+                if decide(node):
+                    name, ddl = registry.register(key, sql)
+                    created.append(ddl)
+                else:
+                    # inline: the parent (or final SELECT) computes it
+                    name = "(\n" + sql + "\n)"
+            emitted[node] = name
+            return name
+
+        with registry.pin_scope():
+            top = reference(plan)
+        return created, top
+
+    def select_statement(self, reference: str, query: ConjunctiveQuery) -> str:
+        """The final ``SELECT`` over a compiled reference (view or inline)."""
+        return self._final_select(reference, query)
 
     def materialize_reference(self, plan: Plan, registry) -> tuple[list[str], str]:
         """Materialize ``plan`` through a registry of shared views.
@@ -228,11 +316,27 @@ class SQLCompiler:
         where = f"\nWHERE {' AND '.join(conditions)}" if conditions else ""
         return f"SELECT {', '.join(selects)} FROM {_q(physical)}{where}"
 
+    def _ior_expression(self) -> str:
+        if not self._native_ior:
+            return f"ior({PROB_COLUMN})"
+        # 1 − ∏(1 − p) as 1 − EXP(SUM(LN(1 − p))): p = 1 maps to an
+        # effectively −∞ addend so the product collapses to exactly 0.
+        # Like the Python aggregate, the expression is NULL on empty
+        # input (SUM over no rows) — the "empty Boolean aggregate"
+        # convention the engine's row collection depends on.
+        return (
+            "1.0 - EXP(SUM(CASE WHEN "
+            f"{PROB_COLUMN} >= 1.0 THEN -1e308 "
+            f"ELSE LN(1.0 - {PROB_COLUMN}) END))"
+        )
+
     def _project_sql(self, node: Project, reference) -> str:
         child_ref = reference(node.child)
         retained = sorted(v.name for v in node.head)
         columns = [f"{_q(v)}" for v in retained]
-        select_list = ", ".join(columns + [f"ior({PROB_COLUMN}) AS {PROB_COLUMN}"])
+        select_list = ", ".join(
+            columns + [f"{self._ior_expression()} AS {PROB_COLUMN}"]
+        )
         group = f"\nGROUP BY {', '.join(columns)}" if columns else ""
         return f"SELECT {select_list} FROM {child_ref} s{group}"
 
@@ -288,6 +392,43 @@ class SQLCompiler:
         ]
         select_list = ", ".join(head_cols + [PROB_COLUMN])
         return f"SELECT {select_list} FROM {top_reference} result"
+
+
+# ----------------------------------------------------------------------
+# Algorithm-3 reference analysis
+# ----------------------------------------------------------------------
+def subplan_reference_counts(plans: Sequence[Plan]) -> dict[Plan, int]:
+    """How often each projection/``min`` subplan is referenced by a batch.
+
+    Counts *statement reference sites* across all ``plans`` of one
+    evaluation batch: each plan's top counts once (the final SELECT or
+    the all-plans union references it), and every child reference from a
+    structurally distinct parent counts once. Structurally equal
+    parents collapse — within one plan *and* across the plans of the
+    batch — because they compile to a single shared view referencing
+    the child once. The result feeds the Algorithm-3 materialization
+    policy: a subplan with one reference site is never worth a temp
+    table in this batch. (The count is exact when every shared parent
+    is materialized; a shared parent the cost gate keeps inline would
+    re-reference its children per occurrence, which only errs toward
+    materializing them — never toward recomputation.)
+    """
+    counts: dict[Plan, int] = {}
+    seen: set[Plan] = set()
+    for plan in plans:
+        if isinstance(plan, (Project, MinPlan)):
+            counts[plan] = counts.get(plan, 0) + 1
+        stack: list[Plan] = [plan]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for child in node.children():
+                if isinstance(child, (Project, MinPlan)):
+                    counts[child] = counts.get(child, 0) + 1
+                stack.append(child)
+    return counts
 
 
 # ----------------------------------------------------------------------

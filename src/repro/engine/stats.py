@@ -1,0 +1,507 @@
+"""Column statistics, cardinality estimation, and cost-based planning.
+
+The statistics catalog summarizes every base relation over its *interned
+code columns* (the representation the columnar engine already maintains):
+row count and, per column, distinct count, min/max code, and a
+most-common-value (MCV) sketch. Statistics are maintained incrementally
+under the database's version token — each table's summary is keyed by
+that table's own mutation counter, so touching one relation never
+invalidates the statistics of the others.
+
+On top of the catalog sit the planning components of this module:
+
+* a textbook cardinality model (`scan_profile` / `join_profile`) with
+  *pessimistic caps*: repeated variables and constants divide by the
+  largest applicable distinct count, estimates never exceed the product
+  bound, and per-variable distinct counts are capped by the estimated
+  row count;
+* :func:`selinger_order` — a Selinger-style dynamic-programming
+  enumerator over left-deep join orders, minimizing the summed estimated
+  intermediate cardinality (cross products only when the query graph
+  forces them); :func:`greedy_order` preserves the previous
+  smallest-connected-input heuristic as the fallback (above the DP
+  threshold) and the ablation baseline;
+* :func:`estimate_plan` — bottom-up cost/cardinality estimation for a
+  whole plan, used by the SQLite backend's Algorithm-3 materialization
+  policy and by ``engine.explain()``;
+* :class:`MaterializationPolicy` — the Algorithm-3 decision rule: a
+  subplan is worth a ``CREATE TEMP TABLE`` only when the recomputation
+  cost it saves across its references beats the cost of writing its
+  rows out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.plans import Join, MinPlan, Plan, Project, Scan
+from ..core.symbols import Constant, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.database import ProbabilisticDatabase
+
+__all__ = [
+    "DEFAULT_DP_THRESHOLD",
+    "ColumnStats",
+    "TableStats",
+    "StatisticsCatalog",
+    "JoinProfile",
+    "scan_profile",
+    "join_profile",
+    "selinger_order",
+    "greedy_order",
+    "PlanEstimate",
+    "estimate_plan",
+    "MaterializationPolicy",
+]
+
+#: Join arity above which the DP enumerator falls back to the greedy
+#: scheduler (the DP is exponential in the number of join inputs).
+DEFAULT_DP_THRESHOLD = 10
+
+#: Relative cost of *folding* an input (sorting/probing its rows) vs.
+#: producing an intermediate row. Charging folded inputs makes the DP
+#: prefer accumulating on the larger side and sorting the smaller —
+#: for a binary join this degenerates to "fold the smaller input".
+FOLD_COST_FACTOR = 0.5
+
+#: Size of the most-common-value sketch kept per column.
+DEFAULT_MCV_SIZE = 8
+
+
+# ----------------------------------------------------------------------
+# the statistics catalog
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary of one interned code column."""
+
+    count: int
+    distinct: int
+    min_code: int
+    max_code: int
+    #: Most common values: ``((code, count), ...)``, count-descending.
+    mcv: tuple[tuple[int, int], ...]
+
+    def frequency(self, code: int) -> float:
+        """Estimated number of rows holding ``code``.
+
+        Codes in the MCV sketch use their exact counts; the remaining
+        rows are assumed uniform over the remaining distinct values.
+        """
+        for value, count in self.mcv:
+            if value == code:
+                return float(count)
+        covered = sum(count for _, count in self.mcv)
+        remaining_distinct = max(self.distinct - len(self.mcv), 1)
+        return max((self.count - covered) / remaining_distinct, 0.0)
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Per-table summary: row count plus one :class:`ColumnStats` each."""
+
+    name: str
+    rows: int
+    columns: tuple[ColumnStats, ...]
+
+
+def _column_stats(column: np.ndarray, mcv_size: int) -> ColumnStats:
+    n = int(column.shape[0])
+    if n == 0:
+        return ColumnStats(0, 0, 0, 0, ())
+    values, counts = np.unique(column, return_counts=True)
+    k = min(mcv_size, values.shape[0])
+    # stable top-k: count-descending, code-ascending tie-break
+    top = np.lexsort((values, -counts))[:k]
+    mcv = tuple(
+        (int(values[i]), int(counts[i]))
+        for i in top
+        if counts[i] > 1 or values.shape[0] <= mcv_size
+    )
+    return ColumnStats(
+        count=n,
+        distinct=int(values.shape[0]),
+        min_code=int(values[0]),
+        max_code=int(values[-1]),
+        mcv=mcv,
+    )
+
+
+class StatisticsCatalog:
+    """Per-table column statistics, incrementally maintained.
+
+    Each entry is keyed by the table's own mutation counter (a component
+    of the database-wide version token), so :meth:`table_stats` serves a
+    cached summary while the table is unchanged and transparently
+    recomputes it after a mutation — other tables' summaries survive.
+    """
+
+    __slots__ = ("db", "mcv_size", "_stats", "recomputations")
+
+    def __init__(
+        self, db: "ProbabilisticDatabase", mcv_size: int = DEFAULT_MCV_SIZE
+    ) -> None:
+        self.db = db
+        self.mcv_size = mcv_size
+        self._stats: dict[str, tuple[int, TableStats]] = {}
+        #: How many times summaries were (re)built — observability for
+        #: the incremental-maintenance tests.
+        self.recomputations = 0
+
+    def table_stats(
+        self, name: str, columns: Sequence[np.ndarray]
+    ) -> TableStats:
+        """The summary of ``name``, built over its encoded ``columns``."""
+        table = self.db.table(name)
+        entry = self._stats.get(name)
+        if entry is not None and entry[0] == table.version:
+            return entry[1]
+        rows = len(table)
+        stats = TableStats(
+            name=name,
+            rows=rows,
+            columns=tuple(
+                _column_stats(col, self.mcv_size) for col in columns
+            ),
+        )
+        self._stats[name] = (table.version, stats)
+        self.recomputations += 1
+        return stats
+
+    def validate(self) -> None:
+        """Drop summaries of mutated or dropped tables (also done lazily)."""
+        for name in list(self._stats):
+            if name not in self.db:
+                del self._stats[name]
+                continue
+            if self._stats[name][0] != self.db.table(name).version:
+                del self._stats[name]
+
+    def cached_tables(self) -> frozenset[str]:
+        return frozenset(self._stats)
+
+
+# ----------------------------------------------------------------------
+# cardinality model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinProfile:
+    """Estimated shape of a relation entering a join.
+
+    ``rows`` is the (estimated or actual) cardinality; ``distinct`` maps
+    each head variable to its (estimated or actual) distinct count.
+    """
+
+    rows: float
+    distinct: Mapping[Variable, float]
+
+    @property
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(self.distinct)
+
+
+def scan_profile(
+    atom,
+    stats: TableStats,
+    code_of: Callable[[object], "int | None"],
+) -> JoinProfile:
+    """Estimated output of scanning ``atom`` against ``stats``.
+
+    Constants select by MCV-aware frequency (an un-interned constant
+    matches nothing); a variable repeated within the atom divides by the
+    *largest* distinct count among its positions — the pessimistic cap.
+    """
+    rows = float(stats.rows)
+    positions: dict[Variable, list[int]] = {}
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            col = stats.columns[i] if i < len(stats.columns) else None
+            if col is None or col.count == 0:
+                rows = 0.0
+                continue
+            code = code_of(term.value)
+            if code is None:
+                rows = 0.0
+            else:
+                rows *= col.frequency(code) / col.count
+        else:
+            positions.setdefault(term, []).append(i)
+    for ps in positions.values():
+        if len(ps) > 1:
+            widest = max(
+                (stats.columns[i].distinct for i in ps if i < len(stats.columns)),
+                default=1,
+            )
+            rows /= max(widest, 1)
+    distinct = {}
+    for v, ps in positions.items():
+        d = min(
+            (stats.columns[i].distinct for i in ps if i < len(stats.columns)),
+            default=1,
+        )
+        distinct[v] = max(min(float(d), rows), 0.0)
+    return JoinProfile(max(rows, 0.0), distinct)
+
+
+def join_profile(left: JoinProfile, right: JoinProfile) -> JoinProfile:
+    """Estimated join of two profiles (containment assumption).
+
+    ``|L ⋈ R| = |L|·|R| / ∏ max(d_L(v), d_R(v))`` over the shared
+    variables; with none shared this is the cross product. Distinct
+    counts of shared variables take the smaller side and every distinct
+    count is capped by the estimated row count.
+    """
+    rows = left.rows * right.rows
+    for v in left.distinct:
+        if v in right.distinct:
+            rows /= max(left.distinct[v], right.distinct[v], 1.0)
+    distinct: dict[Variable, float] = {}
+    for v, d in left.distinct.items():
+        other = right.distinct.get(v)
+        distinct[v] = min(d, other) if other is not None else d
+    for v, d in right.distinct.items():
+        distinct.setdefault(v, d)
+    rows = max(rows, 0.0)
+    return JoinProfile(rows, {v: min(d, rows) for v, d in distinct.items()})
+
+
+def profile_of_columnar(order, columns, n: int) -> JoinProfile:
+    """Exact profile of a materialized columnar relation."""
+    distinct = {
+        v: float(np.unique(col).shape[0]) if n else 0.0
+        for v, col in zip(order, columns)
+    }
+    return JoinProfile(float(n), distinct)
+
+
+# ----------------------------------------------------------------------
+# join-order enumeration
+# ----------------------------------------------------------------------
+def greedy_order(
+    sizes: Sequence[float], varsets: Sequence[frozenset[Variable]]
+) -> list[int]:
+    """The smallest-connected-input heuristic (the pre-stats scheduler).
+
+    Starts from the smallest input, then repeatedly folds in the
+    smallest input sharing a variable with the ones taken so far,
+    falling back to the smallest disconnected one (a cross product).
+    """
+    by_size = sorted(range(len(sizes)), key=lambda i: sizes[i])
+    taken = [False] * len(sizes)
+    first = by_size[0]
+    taken[first] = True
+    order = [first]
+    bound = set(varsets[first])
+    for _ in range(len(sizes) - 1):
+        choice = None
+        for i in by_size:
+            if taken[i]:
+                continue
+            if choice is None:
+                choice = i
+            if bound & varsets[i]:
+                choice = i
+                break
+        taken[choice] = True
+        order.append(choice)
+        bound.update(varsets[choice])
+    return order
+
+
+def selinger_order(profiles: Sequence[JoinProfile]) -> list[int]:
+    """Selinger-style DP over left-deep join orders.
+
+    ``dp[S]`` holds the cheapest way to join the input subset ``S``,
+    where the cost of one fold step is the estimated cardinality of the
+    intermediate it produces (the rows the fold has to gather) plus
+    :data:`FOLD_COST_FACTOR` times the folded input's rows (the
+    sort/probe work of bringing that input in). Extensions prefer
+    connected inputs; a cross product is considered only when no
+    remaining input connects to the subset. Ties break on the order
+    tuple, keeping the choice deterministic.
+
+    Exponential in ``len(profiles)`` — callers fall back to
+    :func:`greedy_order` above :data:`DEFAULT_DP_THRESHOLD`.
+    """
+    k = len(profiles)
+    if k <= 1:
+        return list(range(k))
+    varsets = [p.variables for p in profiles]
+    full = (1 << k) - 1
+    # mask -> (cost, order, profile)
+    dp: dict[int, tuple[float, tuple[int, ...], JoinProfile]] = {
+        1 << i: (0.0, (i,), profiles[i]) for i in range(k)
+    }
+    for mask in range(1, full):
+        entry = dp.get(mask)
+        if entry is None:
+            continue
+        cost, order, profile = entry
+        bound = profile.variables
+        connected = [
+            j
+            for j in range(k)
+            if not mask & (1 << j) and bound & varsets[j]
+        ]
+        candidates = connected or [
+            j for j in range(k) if not mask & (1 << j)
+        ]
+        for j in candidates:
+            joined = join_profile(profile, profiles[j])
+            new_cost = cost + joined.rows + FOLD_COST_FACTOR * profiles[j].rows
+            new_order = order + (j,)
+            new_mask = mask | (1 << j)
+            existing = dp.get(new_mask)
+            if existing is None or (new_cost, new_order) < (
+                existing[0],
+                existing[1],
+            ):
+                dp[new_mask] = (new_cost, new_order, joined)
+    return list(dp[full][1])
+
+
+# ----------------------------------------------------------------------
+# whole-plan estimation (the SQL side and explain())
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Estimated output cardinality and total work of a plan subtree.
+
+    ``cost`` counts the rows every operator in the subtree is estimated
+    to produce or group — the recomputation price of *not* having the
+    subtree materialized.
+    """
+
+    rows: float
+    cost: float
+    profile: JoinProfile
+
+
+def estimate_plan(
+    plan: Plan,
+    table_stats: Callable[[str], TableStats],
+    code_of: Callable[[object], "int | None"],
+    memo: "dict[Plan, PlanEstimate] | None" = None,
+) -> PlanEstimate:
+    """Bottom-up cost/cardinality estimate of ``plan`` from the catalog.
+
+    ``table_stats`` resolves a relation name to its summary;
+    ``code_of`` resolves a constant to its interned code (``None`` for
+    values absent from the database). ``memo`` may be shared across
+    calls to avoid re-estimating common subplans of a DAG.
+    """
+    if memo is None:
+        memo = {}
+    cached = memo.get(plan)
+    if cached is not None:
+        return cached
+    if isinstance(plan, Scan):
+        stats = table_stats(plan.atom.relation)
+        profile = scan_profile(plan.atom, stats, code_of)
+        estimate = PlanEstimate(profile.rows, float(stats.rows), profile)
+    elif isinstance(plan, Project):
+        child = estimate_plan(plan.child, table_stats, code_of, memo)
+        bound = 1.0
+        for v in plan.head:
+            bound *= max(child.profile.distinct.get(v, 1.0), 1.0)
+            if bound > child.rows:
+                bound = child.rows
+                break
+        rows = min(child.rows, max(bound, 0.0)) if plan.head else min(
+            child.rows, 1.0
+        )
+        profile = JoinProfile(
+            rows,
+            {
+                v: min(child.profile.distinct.get(v, rows), rows)
+                for v in plan.head
+            },
+        )
+        # grouping reads every child row once
+        estimate = PlanEstimate(rows, child.cost + child.rows, profile)
+    elif isinstance(plan, Join):
+        children = [
+            estimate_plan(part, table_stats, code_of, memo)
+            for part in plan.parts
+        ]
+        profiles = [c.profile for c in children]
+        if len(profiles) <= DEFAULT_DP_THRESHOLD:
+            order = selinger_order(profiles)
+        else:
+            order = greedy_order(
+                [p.rows for p in profiles],
+                [p.variables for p in profiles],
+            )
+        cost = sum(c.cost for c in children)
+        profile = profiles[order[0]]
+        for j in order[1:]:
+            profile = join_profile(profile, profiles[j])
+            cost += profile.rows
+        estimate = PlanEstimate(profile.rows, cost, profile)
+    elif isinstance(plan, MinPlan):
+        children = [
+            estimate_plan(part, table_stats, code_of, memo)
+            for part in plan.parts
+        ]
+        rows = max(c.rows for c in children)
+        # min-combining unions all branches and groups them once
+        cost = sum(c.cost for c in children) + sum(
+            c.rows for c in children
+        )
+        estimate = PlanEstimate(rows, cost, children[0].profile)
+    else:  # pragma: no cover - sealed hierarchy
+        raise TypeError(f"unknown plan node {plan!r}")
+    memo[plan] = estimate
+    return estimate
+
+
+# ----------------------------------------------------------------------
+# Algorithm-3 materialization policy
+# ----------------------------------------------------------------------
+class MaterializationPolicy:
+    """Decides which subplans earn a ``CREATE TEMP TABLE`` (Algorithm 3).
+
+    A subplan referenced once is never worth materializing in the
+    current batch — inlining it costs exactly one evaluation, while a
+    temp table pays the same evaluation *plus* writing every output row.
+    A subplan referenced ``r ≥ 2`` times saves ``(r − 1) ×`` its
+    recomputation cost; it is materialized when that saving beats the
+    write cost ``write_factor × rows``. A subplan that was already
+    requested by an *earlier* batch on the same connection counts one
+    extra reference — the cross-query reuse signal that converges the
+    warm path to full materialization.
+
+    Without an estimator the rule degrades to pure reference counting
+    (materialize iff effectively referenced at least twice).
+    """
+
+    __slots__ = ("estimator", "write_factor")
+
+    def __init__(
+        self,
+        estimator: "Callable[[Plan], PlanEstimate] | None" = None,
+        write_factor: float = 2.0,
+    ) -> None:
+        self.estimator = estimator
+        self.write_factor = write_factor
+
+    def should_materialize(
+        self, node: Plan, references: int, prior_requests: int
+    ) -> bool:
+        effective = references + (1 if prior_requests > 0 else 0)
+        if effective < 2:
+            return False
+        if self.estimator is None:
+            return True
+        try:
+            estimate = self.estimator(node)
+        except KeyError:
+            # a scanned relation has no stats (e.g. dropped mid-flight):
+            # fall back to pure reference counting
+            return True
+        saved = estimate.cost * (effective - 1)
+        return saved >= self.write_factor * estimate.rows

@@ -155,6 +155,8 @@ def assert_backends_agree(
     tolerance: float = 1e-9,
     use_schema_knowledge: bool = True,
     cache_size: int | None = None,
+    join_ordering: str = "cost",
+    compare_orderings: bool = False,
 ) -> dict[tuple, float]:
     """Differential harness: reference vs columnar vs SQLite.
 
@@ -164,11 +166,18 @@ def assert_backends_agree(
     ``tolerance``. The two engines persist across combinations, so
     cross-query cache and temp-view-registry reuse is exercised too.
     Returns the reference scores of the last combination.
+
+    ``join_ordering`` selects the memory engine's scheduler; with
+    ``compare_orderings`` a second memory engine runs the *other*
+    scheduler on every combination and its scores must be **bit
+    identical** (the canonical combine-order guarantee — the schedule
+    may change the work, never the floats).
     """
     memory = DissociationEngine(
         db,
         use_schema_knowledge=use_schema_knowledge,
         cache_size=cache_size,
+        join_ordering=join_ordering,
     )
     sqlite = DissociationEngine(
         db,
@@ -176,6 +185,14 @@ def assert_backends_agree(
         use_schema_knowledge=use_schema_knowledge,
         cache_size=cache_size,
     )
+    other = None
+    if compare_orderings:
+        other = DissociationEngine(
+            db,
+            use_schema_knowledge=use_schema_knowledge,
+            cache_size=cache_size,
+            join_ordering="greedy" if join_ordering == "cost" else "cost",
+        )
     reference: dict[tuple, float] = {}
     for opts in combos:
         reference = reference_scores(
@@ -192,6 +209,15 @@ def assert_backends_agree(
                     f"{context}: {answer}: "
                     f"{got[answer]} != {reference[answer]}"
                 )
+        if other is not None:
+            mine = memory.propagation_score(query, opts)
+            theirs = other.propagation_score(query, opts)
+            context = f"{opts}, {query}"
+            assert mine == theirs, (
+                f"join orderings disagree (must be bit-identical): "
+                f"{context}: "
+                f"{ {k: (mine[k], theirs.get(k)) for k in mine if mine.get(k) != theirs.get(k)} }"
+            )
     return reference
 
 

@@ -1,0 +1,383 @@
+"""The statistics catalog, the cost model, and cost-based planning.
+
+Covers the :mod:`repro.engine.stats` units (column summaries, MCV
+sketches, incremental maintenance under the db-version token, the
+Selinger DP enumerator and its greedy fallback, the Algorithm-3
+materialization policy), ``engine.explain()``'s estimated-vs-actual
+reporting, and seeded hypothesis property tests asserting that
+cost-based join ordering produces **bit-identical** scores to the greedy
+scheduler across all eight optimization combinations on random chain and
+star workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Variable, parse_query
+from repro.core.plans import Join, Project, Scan
+from repro.db import ProbabilisticDatabase
+from repro.engine import DissociationEngine, Optimizations
+from repro.engine.extensional import EvaluationCache
+from repro.engine.stats import (
+    DEFAULT_DP_THRESHOLD,
+    JoinProfile,
+    MaterializationPolicy,
+    PlanEstimate,
+    StatisticsCatalog,
+    estimate_plan,
+    greedy_order,
+    join_profile,
+    scan_profile,
+    selinger_order,
+)
+
+from .helpers import assert_backends_agree
+
+
+def _db() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_table(
+        "R",
+        [((1, 10), 0.5), ((1, 20), 0.5), ((2, 10), 0.5), ((3, 30), 0.5)],
+    )
+    db.add_table("S", [((10, 7), 0.5), ((20, 7), 0.5)])
+    return db
+
+
+class TestStatisticsCatalog:
+    def test_table_stats_summary(self):
+        db = _db()
+        cache = EvaluationCache(db)
+        stats = cache.table_statistics("R")
+        assert stats.rows == 4
+        assert stats.columns[0].distinct == 3  # values 1, 2, 3
+        assert stats.columns[1].distinct == 3  # values 10, 20, 30
+        code_of_one = cache.code_of(1)
+        # value 1 appears twice in column 0 and leads the MCV sketch
+        assert stats.columns[0].mcv[0] == (code_of_one, 2)
+        assert stats.columns[0].frequency(code_of_one) == 2.0
+
+    def test_stats_cached_while_table_unchanged(self):
+        cache = EvaluationCache(_db())
+        first = cache.table_statistics("R")
+        assert cache.table_statistics("R") is first
+        assert cache.statistics.recomputations == 1
+
+    def test_mutation_invalidates_only_the_mutated_table(self):
+        db = _db()
+        cache = EvaluationCache(db)
+        stats_r = cache.table_statistics("R")
+        stats_s = cache.table_statistics("S")
+        db.table("R").insert((4, 40), 0.5)
+        cache.validate()  # db-version token moved: encoded tables drop
+        new_r = cache.table_statistics("R")
+        assert new_r is not stats_r
+        assert new_r.rows == 5
+        assert new_r.columns[0].distinct == 4
+        # S was untouched: its summary survives the incremental refresh
+        assert cache.table_statistics("S") is stats_s
+
+    def test_catalog_validate_drops_stale_and_missing(self):
+        db = _db()
+        catalog = StatisticsCatalog(db)
+        cache = EvaluationCache(db)
+        catalog.table_stats("R", cache.encoded_table("R")[0])
+        catalog.table_stats("S", cache.encoded_table("S")[0])
+        db.table("R").insert((9, 90), 0.5)
+        db.drop_table("S")
+        catalog.validate()
+        assert catalog.cached_tables() == frozenset()
+
+
+class TestCardinalityModel:
+    def test_scan_profile_constant_uses_mcv(self):
+        db = _db()
+        cache = EvaluationCache(db)
+        stats = cache.table_statistics("R")
+        q = parse_query("q(y) :- R(1, y)")
+        profile = scan_profile(q.atoms[0], stats, cache.code_of)
+        assert profile.rows == pytest.approx(2.0)  # exact MCV count
+
+    def test_scan_profile_unseen_constant_is_empty(self):
+        db = _db()
+        cache = EvaluationCache(db)
+        stats = cache.table_statistics("R")
+        q = parse_query("q(y) :- R(99, y)")
+        profile = scan_profile(q.atoms[0], stats, cache.code_of)
+        assert profile.rows == 0.0
+
+    def test_scan_profile_repeated_variable_pessimistic_cap(self):
+        db = _db()
+        cache = EvaluationCache(db)
+        stats = cache.table_statistics("R")
+        q = parse_query("q(x) :- R(x, x)")
+        profile = scan_profile(q.atoms[0], stats, cache.code_of)
+        # divided by the larger distinct count of the two positions
+        assert profile.rows == pytest.approx(4 / 3)
+
+    def test_join_profile_containment(self):
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        left = JoinProfile(100.0, {x: 10.0, y: 50.0})
+        right = JoinProfile(30.0, {y: 25.0, z: 30.0})
+        joined = join_profile(left, right)
+        assert joined.rows == pytest.approx(100 * 30 / 50)
+        assert joined.distinct[y] == pytest.approx(25.0)
+        assert joined.distinct[x] == pytest.approx(10.0)
+
+
+class TestSelingerEnumerator:
+    def test_picks_selective_order_greedy_misses(self):
+        # three inputs: greedy starts from the smallest (A) and folds the
+        # smallest connected one; the DP instead avoids the high-fanout
+        # early join by cost
+        x, y = Variable("x"), Variable("y")
+        a = JoinProfile(10.0, {x: 1.0})       # tiny but x has fanout 10
+        b = JoinProfile(100.0, {x: 1.0, y: 100.0})
+        c = JoinProfile(50.0, {y: 50.0})
+        order = selinger_order([a, b, c])
+        # joining b ⋈ c first (y selective) is cheapest overall
+        cost_dp = _order_cost([a, b, c], order)
+        cost_greedy = _order_cost(
+            [a, b, c], greedy_order([10, 100, 50], [{x}, {x, y}, {y}])
+        )
+        assert cost_dp <= cost_greedy
+
+    def test_avoids_cross_products_when_connected(self):
+        x, y = Variable("x"), Variable("y")
+        profiles = [
+            JoinProfile(10.0, {x: 10.0}),
+            JoinProfile(10.0, {y: 10.0}),
+            JoinProfile(10.0, {x: 10.0, y: 10.0}),
+        ]
+        order = selinger_order(profiles)
+        # whichever side starts, the second input must connect to it
+        first_two = {order[0], order[1]}
+        assert 2 in first_two
+
+    def test_deterministic_on_ties(self):
+        x = Variable("x")
+        profiles = [JoinProfile(10.0, {x: 5.0}) for _ in range(4)]
+        assert selinger_order(profiles) == selinger_order(profiles)
+
+    def test_dp_threshold_falls_back_to_greedy(self):
+        # wide star join above the threshold: explain() reports the
+        # fallback method, below it reports the DP
+        k = 4
+        atoms = ", ".join(f"R{i}(x, y{i})" for i in range(k))
+        q = parse_query(f"q(x) :- {atoms}")
+        db = ProbabilisticDatabase()
+        for i in range(k):
+            db.add_table(f"R{i}", [((v, v + i), 0.5) for v in range(3)])
+        low = DissociationEngine(db, join_dp_threshold=2)
+        high = DissociationEngine(db, join_dp_threshold=DEFAULT_DP_THRESHOLD)
+        methods_low = {
+            j["method"]
+            for entry in low.explain(q)["plans"]
+            for j in entry["joins"]
+        }
+        methods_high = {
+            j["method"]
+            for entry in high.explain(q)["plans"]
+            for j in entry["joins"]
+        }
+        assert "greedy-fallback" in methods_low
+        assert methods_high == {"cost-dp"}
+
+    def test_greedy_engine_reports_greedy(self):
+        q = parse_query("q() :- R1(x0,x1), R2(x1,x2)")
+        db = ProbabilisticDatabase()
+        db.add_table("R1", [((1, 2), 0.5)])
+        db.add_table("R2", [((2, 3), 0.5)])
+        engine = DissociationEngine(db, join_ordering="greedy")
+        methods = {
+            j["method"]
+            for entry in engine.explain(q)["plans"]
+            for j in entry["joins"]
+        }
+        assert methods == {"greedy"}
+
+    def test_invalid_join_ordering_rejected(self):
+        db = _db()
+        with pytest.raises(ValueError):
+            DissociationEngine(db, join_ordering="random")
+        with pytest.raises(ValueError):
+            EvaluationCache(db, join_ordering="selinger")
+
+
+def _order_cost(profiles, order):
+    from repro.engine.stats import FOLD_COST_FACTOR
+
+    profile = profiles[order[0]]
+    cost = 0.0
+    for j in order[1:]:
+        profile = join_profile(profile, profiles[j])
+        cost += profile.rows + FOLD_COST_FACTOR * profiles[j].rows
+    return cost
+
+
+class TestExplain:
+    def test_every_join_reports_estimated_and_actual(self):
+        from repro.workloads import chain_database, chain_query
+
+        q = chain_query(4)
+        db = chain_database(4, 50, seed=2, p_max=0.5)
+        engine = DissociationEngine(db)
+        report = engine.explain(
+            q, Optimizations(single_plan=False, reuse_views=True)
+        )
+        assert report["plan_count"] == len(engine.minimal_plans(q))
+        assert len(report["plans"]) == report["plan_count"]
+        total_joins = 0
+        for entry in report["plans"]:
+            for join in entry["joins"]:
+                total_joins += 1
+                assert join["steps"], "every join folds at least once"
+                for step in join["steps"]:
+                    assert step["estimated_rows"] >= 0.0
+                    assert isinstance(step["actual_rows"], int)
+        assert total_joins > 0
+        # every executed join node of every plan is covered
+        for entry, plan in zip(
+            report["plans"],
+            engine.minimal_plans(q),
+        ):
+            joins_in_plan = {
+                str(node)
+                for node in plan.walk()
+                if isinstance(node, Join)
+            }
+            assert {j["join"] for j in entry["joins"]} == joins_in_plan
+
+    def test_explain_estimates_match_actuals_on_uniform_data(self):
+        from repro.workloads import chain_database, chain_query
+
+        q = chain_query(3)
+        db = chain_database(3, 200, seed=7, p_max=0.5)
+        report = DissociationEngine(db).explain(q)
+        for entry in report["plans"]:
+            for join in entry["joins"]:
+                for step in join["steps"]:
+                    if step["actual_rows"] == 0:
+                        continue
+                    ratio = step["estimated_rows"] / step["actual_rows"]
+                    assert 0.2 <= ratio <= 5.0, (
+                        "estimates should track actuals on uniform data"
+                    )
+
+    def test_sqlite_explain_includes_materialization_analysis(self):
+        from repro.workloads import chain_database, chain_query
+
+        q = chain_query(4)
+        db = chain_database(4, 30, seed=3, p_max=0.5)
+        engine = DissociationEngine(db, backend="sqlite")
+        report = engine.explain(
+            q, Optimizations(single_plan=False, reuse_views=True)
+        )
+        decisions = report["materialization"]
+        assert decisions, "chain plans share subplans"
+        shared = [d for d in decisions if d["references"] >= 2]
+        one_shot = [d for d in decisions if d["references"] == 1]
+        assert shared and one_shot
+        assert all(d["materialize"] for d in shared)
+        assert all(
+            d["estimated_cost"] >= 0.0 and d["estimated_rows"] >= 0.0
+            for d in decisions
+        )
+
+
+class TestMaterializationPolicy:
+    def test_single_reference_never_materializes(self):
+        policy = MaterializationPolicy()
+        assert not policy.should_materialize(object(), 1, 0)
+
+    def test_shared_reference_materializes_without_estimator(self):
+        policy = MaterializationPolicy()
+        assert policy.should_materialize(object(), 2, 0)
+
+    def test_prior_request_promotes_one_shot(self):
+        policy = MaterializationPolicy()
+        assert policy.should_materialize(object(), 1, 1)
+
+    def test_cost_gate_declines_cheap_subplans(self):
+        cheap = PlanEstimate(rows=100.0, cost=100.0, profile=None)
+        policy = MaterializationPolicy(
+            estimator=lambda node: cheap, write_factor=2.0
+        )
+        # saving one evaluation (cost 100) does not beat writing 100 rows
+        assert not policy.should_materialize(object(), 2, 0)
+        # three references save 200 ≥ 2 × 100
+        assert policy.should_materialize(object(), 3, 0)
+
+
+class TestDifferentialOrdering:
+    """Cost-based vs greedy must be bit-identical, across all 8 combos."""
+
+    @given(
+        k=st.integers(2, 4),
+        n=st.integers(5, 30),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    def test_chain_workloads_bit_identical(self, k, n, seed):
+        from repro.workloads import chain_database, chain_query
+
+        q = chain_query(k)
+        db = chain_database(k, n, seed=seed, p_max=0.6)
+        assert_backends_agree(q, db, compare_orderings=True)
+
+    @given(
+        k=st.integers(1, 3),
+        n=st.integers(5, 25),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    def test_star_workloads_bit_identical(self, k, n, seed):
+        from repro.workloads import star_database, star_query
+
+        q = star_query(k)
+        db = star_database(k, n, seed=seed, p_max=0.6)
+        assert_backends_agree(q, db, compare_orderings=True)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    def test_score_per_plan_shares_ordering_decisions(self, seed):
+        from repro.workloads import chain_database, chain_query
+
+        q = chain_query(3)
+        db = chain_database(3, 20, seed=seed, p_max=0.6)
+        cost = DissociationEngine(db, join_ordering="cost")
+        greedy = DissociationEngine(db, join_ordering="greedy")
+        per_plan_cost = cost.score_per_plan(q)
+        per_plan_greedy = greedy.score_per_plan(q)
+        assert per_plan_cost == per_plan_greedy  # bit-identical
+
+
+class TestEstimatePlan:
+    def test_plan_estimate_is_finite_and_positive(self):
+        from repro.workloads import chain_database, chain_query
+
+        q = chain_query(4)
+        db = chain_database(4, 40, seed=9, p_max=0.5)
+        engine = DissociationEngine(db)
+        cache = EvaluationCache(db)
+        memo = {}
+        for plan in engine.minimal_plans(q):
+            estimate = estimate_plan(
+                plan, cache.table_statistics, cache.code_of, memo
+            )
+            assert np.isfinite(estimate.rows) and estimate.rows >= 0
+            assert np.isfinite(estimate.cost) and estimate.cost > 0
+            # cost dominates output size: computing a subtree reads at
+            # least what it emits
+            assert estimate.cost >= estimate.rows
+
+    def test_scan_estimate_matches_table(self):
+        db = _db()
+        cache = EvaluationCache(db)
+        q = parse_query("q(x, y) :- R(x, y)")
+        scan = Scan(q.atoms[0])
+        estimate = estimate_plan(scan, cache.table_statistics, cache.code_of)
+        assert estimate.rows == 4.0
