@@ -2,32 +2,35 @@
 #
 #   make test        — tier-1 verification (full pytest suite)
 #   make bench       — the current PR's perf micro-benchmarks; writes
-#                      BENCH_PR3.json at the repo root (Algorithm-3
-#                      selective view materialization + Selinger
-#                      cost-based join ordering on the Fig. 5
-#                      chain/star/TPC-H workloads) and refreshes the
-#                      BENCH_LATEST.json copy
-#   make bench-quick — CI smoke: chain-5 workload only, writes
-#                      BENCH_PR3.quick.json, asserts the cost-vs-greedy
-#                      ablation gate (cost not >10% slower)
+#                      BENCH_PR4.json at the repo root (dissociation
+#                      query service: closed-loop traffic replay, N
+#                      clients × skewed query mix with db mutations,
+#                      service vs serial baseline throughput + p50/p95)
+#                      and refreshes the BENCH_LATEST.json copy
+#   make bench-quick — CI smoke: chain-5 traffic mix only, writes
+#                      BENCH_PR4.quick.json, asserts batched throughput
+#                      >= the serial baseline
 #   make bench-pr1   — re-run the PR 1 benchmarks (BENCH_PR1.json: seed
 #                      row-at-a-time vs columnar memory engine)
 #   make bench-pr2   — re-run the PR 2 benchmarks (BENCH_PR2.json:
 #                      SQLite all-plans, pre/post temp-view registry)
-#   make bench-pr3   — alias of the current `make bench`
+#   make bench-pr3   — re-run the PR 3 benchmarks (BENCH_PR3.json:
+#                      Algorithm-3 selective materialization + Selinger
+#                      cost-based join ordering)
+#   make bench-pr4   — alias of the current `make bench`
 
 PYTHON ?= python
 
-.PHONY: test bench bench-quick bench-pr1 bench-pr2 bench-pr3
+.PHONY: test bench bench-quick bench-pr1 bench-pr2 bench-pr3 bench-pr4
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr3.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4.py
 
 bench-quick:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr3.py --quick
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4.py --quick
 
 bench-pr1:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr1.py
@@ -37,3 +40,6 @@ bench-pr2:
 
 bench-pr3:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr3.py
+
+bench-pr4:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4.py

@@ -55,6 +55,7 @@ from .core import (
 )
 from .db import ProbabilisticDatabase, Schema, TableSchema
 from .engine import DissociationEngine, EvaluationResult, Optimizations
+from .service import DissociationService, ServiceOverloaded
 from .lineage import (
     DNF,
     exact_probability,
@@ -73,6 +74,7 @@ __all__ = [
     "DNF",
     "Dissociation",
     "DissociationEngine",
+    "DissociationService",
     "EvaluationResult",
     "FD",
     "Join",
@@ -83,6 +85,7 @@ __all__ = [
     "Project",
     "Scan",
     "Schema",
+    "ServiceOverloaded",
     "TableSchema",
     "UnsafeQueryError",
     "Variable",

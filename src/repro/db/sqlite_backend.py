@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import hashlib
 import sqlite3
+import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Hashable, Iterable, Iterator, Sequence
@@ -91,6 +93,19 @@ class SQLiteViewRegistry:
 
     :meth:`cache_stats` exposes hit/miss/eviction counters in the same
     shape as ``EvaluationCache.cache_stats()``.
+
+    The registry is **thread-safe**: every public method holds an
+    internal re-entrant lock (``pin_scope`` holds it only around the
+    depth bookkeeping, not across the scope's body), so a registry on a
+    ``check_same_thread=False`` connection can serve concurrent callers
+    without corrupting the LRU or the counters. ``namespace``, when
+    given, is a shared view-name authority (the service layer's
+    :class:`~repro.service.session.SharedViewNamespace`): per-worker
+    connections then draw view names for the same structural key from
+    one map, keeping the temp-view namespace consistent across sessions
+    and giving the service a global picture of which subplans exist
+    where. It must provide ``name_for(digest, key)`` and
+    ``note_materialized(key, name)`` / ``note_evicted(key, name)``.
     """
 
     #: Bound on the request-history map (not on the views themselves).
@@ -100,10 +115,13 @@ class SQLiteViewRegistry:
         self,
         connection: sqlite3.Connection,
         max_views: int | None = None,
+        namespace=None,
     ) -> None:
         if max_views is not None and max_views < 0:
             raise ValueError("max_views must be None or >= 0")
         self._connection = connection
+        self._lock = threading.RLock()
+        self._namespace = namespace
         self._views: OrderedDict[Hashable, str] = OrderedDict()
         self._names: set[str] = set()
         self._pinned: set[str] = set()
@@ -115,25 +133,29 @@ class SQLiteViewRegistry:
         self._evictions = 0
 
     def __len__(self) -> int:
-        return len(self._views)
+        with self._lock:
+            return len(self._views)
 
     def __contains__(self, plan: Hashable) -> bool:
         """Whether ``plan`` has a live view (no hit counted, no pin)."""
-        return plan in self._views
+        with self._lock:
+            return plan in self._views
 
     # ------------------------------------------------------------------
     # request history (the Algorithm-3 cross-call reuse signal)
     # ------------------------------------------------------------------
     def note_request(self, plan: Hashable) -> None:
         """Record that a compilation batch asked for ``plan``."""
-        self._requests[plan] = self._requests.get(plan, 0) + 1
-        self._requests.move_to_end(plan)
-        while len(self._requests) > self.MAX_REQUEST_ENTRIES:
-            self._requests.popitem(last=False)
+        with self._lock:
+            self._requests[plan] = self._requests.get(plan, 0) + 1
+            self._requests.move_to_end(plan)
+            while len(self._requests) > self.MAX_REQUEST_ENTRIES:
+                self._requests.popitem(last=False)
 
     def request_count(self, plan: Hashable) -> int:
         """How many batches have asked for ``plan`` so far."""
-        return self._requests.get(plan, 0)
+        with self._lock:
+            return self._requests.get(plan, 0)
 
     @property
     def max_views(self) -> int | None:
@@ -142,26 +164,29 @@ class SQLiteViewRegistry:
     @contextmanager
     def pin_scope(self) -> Iterator["SQLiteViewRegistry"]:
         """Protect views referenced inside the scope from eviction."""
-        self._pin_depth += 1
+        with self._lock:
+            self._pin_depth += 1
         try:
             yield self
         finally:
-            self._pin_depth -= 1
-            if self._pin_depth == 0:
-                self._pinned.clear()
-                self._enforce_cap()
+            with self._lock:
+                self._pin_depth -= 1
+                if self._pin_depth == 0:
+                    self._pinned.clear()
+                    self._enforce_cap()
 
     def lookup(self, plan: Hashable) -> str | None:
         """The view name of ``plan`` if registered (counts a hit), else
         ``None`` (the miss is counted by the :meth:`register` that must
         follow)."""
-        name = self._views.get(plan)
-        if name is None:
-            return None
-        self._hits += 1
-        self._views.move_to_end(plan)
-        self._pin(name)
-        return name
+        with self._lock:
+            name = self._views.get(plan)
+            if name is None:
+                return None
+            self._hits += 1
+            self._views.move_to_end(plan)
+            self._pin(name)
+            return name
 
     def register(self, plan: Hashable, sql: str) -> tuple[str, str]:
         """Materialize ``sql`` as the view of ``plan``.
@@ -174,41 +199,63 @@ class SQLiteViewRegistry:
 
         Returns ``(view name, executed DDL)``.
         """
-        self._misses += 1
-        name = self._name_for(plan)
-        ddl = f"CREATE TEMP TABLE {name} AS\n{sql}"
-        self._connection.execute(ddl)
-        for (column,) in self._connection.execute(
-            f"SELECT name FROM pragma_table_info('{name}')"
-        ).fetchall():
-            if column == PROB_COLUMN:
-                continue
-            self._connection.execute(
-                f"CREATE INDEX {_quote_ident(f'ix_{name}_{column}')} "
-                f"ON {name} ({_quote_ident(column)})"
-            )
-        self._views[plan] = name
-        self._names.add(name)
-        self._pin(name)
-        self._enforce_cap()
-        return name, ddl
+        with self._lock:
+            self._misses += 1
+            name = self._name_for(plan)
+            ddl = f"CREATE TEMP TABLE {name} AS\n{sql}"
+            self._connection.execute(ddl)
+            for (column,) in self._connection.execute(
+                f"SELECT name FROM pragma_table_info('{name}')"
+            ).fetchall():
+                if column == PROB_COLUMN:
+                    continue
+                self._connection.execute(
+                    f"CREATE INDEX {_quote_ident(f'ix_{name}_{column}')} "
+                    f"ON {name} ({_quote_ident(column)})"
+                )
+            self._views[plan] = name
+            self._names.add(name)
+            if self._namespace is not None:
+                self._namespace.note_materialized(plan, name)
+            self._pin(name)
+            self._enforce_cap()
+            return name, ddl
 
     def cache_stats(self) -> dict:
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "size": len(self._views),
-            "max_size": self._max_views,
-        }
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._views),
+                "max_size": self._max_views,
+            }
 
     def clear(self) -> None:
         """Drop every registered view (the drops count as evictions)."""
-        for plan in list(self._views):
-            self._evict(plan)
+        with self._lock:
+            for plan in list(self._views):
+                self._evict(plan)
+
+    def detach(self) -> None:
+        """Forget all views without touching the connection.
+
+        Called when the owning snapshot is about to close (closing the
+        connection destroys every temp view wholesale): no ``DROP``
+        statements are issued and nothing counts as an LRU eviction,
+        but the shared namespace — the service-wide census of live
+        views — is told about every view that is going away, so
+        ``sessions_holding`` stays exact across snapshot rebuilds.
+        """
+        with self._lock:
+            if self._namespace is not None:
+                for plan, name in self._views.items():
+                    self._namespace.note_evicted(plan, name)
+            self._views.clear()
+            self._names.clear()
 
     # ------------------------------------------------------------------
-    # internals
+    # internals (all called with the lock held)
     # ------------------------------------------------------------------
     def _pin(self, name: str) -> None:
         if self._pin_depth:
@@ -216,6 +263,13 @@ class SQLiteViewRegistry:
 
     def _name_for(self, plan: Hashable) -> str:
         digest = hash(plan) & 0xFFFFFFFFFFFFFFFF
+        if self._namespace is not None:
+            name = self._namespace.name_for(digest, plan)
+            if name not in self._names:
+                return name
+            # same key registered twice locally cannot happen (lookup
+            # precedes register); a namespace restart could recycle a
+            # name — fall through to local suffixing
         name = f"dissoc_{digest:016x}"
         suffix = 0
         while name in self._names:  # hash collision of a *different* plan
@@ -227,6 +281,8 @@ class SQLiteViewRegistry:
         name = self._views.pop(plan)
         self._names.discard(name)
         self._connection.execute(f"DROP TABLE IF EXISTS {name}")
+        if self._namespace is not None:
+            self._namespace.note_evicted(plan, name)
         self._evictions += 1
 
     def _enforce_cap(self) -> None:
@@ -256,6 +312,11 @@ class SQLiteBackend:
     view_cache_size:
         LRU cap of the materialized-subplan view registry
         (:class:`SQLiteViewRegistry`); ``None`` means unbounded.
+    view_namespace:
+        Optional shared view-name authority handed to the registry —
+        the service layer passes one object to every worker session so
+        all per-worker connections share a consistent temp-view
+        namespace.
 
     The materialization is a snapshot: ``source_version`` records the
     source database's version token at build time, so callers (the
@@ -268,6 +329,7 @@ class SQLiteBackend:
         path: str = ":memory:",
         index_columns: bool = True,
         view_cache_size: int | None = None,
+        view_namespace=None,
     ) -> None:
         self.source = db
         self.source_version = getattr(db, "version", None)
@@ -279,6 +341,7 @@ class SQLiteBackend:
         self.connection.create_aggregate("ior", 1, IorAggregate)
         self._view_registry: SQLiteViewRegistry | None = None
         self._view_cache_size = view_cache_size
+        self._view_namespace = view_namespace
         self._has_math_functions: bool | None = None
         self._reduction_tokens: dict[str, str] = {}
         self._materialize(index_columns)
@@ -340,7 +403,9 @@ class SQLiteBackend:
         """
         if self._view_registry is None:
             self._view_registry = SQLiteViewRegistry(
-                self.connection, self._view_cache_size
+                self.connection,
+                self._view_cache_size,
+                namespace=self._view_namespace,
             )
         return self._view_registry
 
@@ -388,6 +453,91 @@ class SQLiteBackend:
             token = self.content_token(names)
             self._reduction_tokens[key] = token
         return token
+
+    # ------------------------------------------------------------------
+    # pure-SQL statistics (no in-RAM encodings)
+    # ------------------------------------------------------------------
+    def column_summaries(
+        self, name: str, mcv_size: int = 8
+    ) -> tuple[int, list[dict]]:
+        """Row count plus per-column summaries via SQL aggregates.
+
+        Everything the cost model needs — ``COUNT(*)``, per-column
+        ``COUNT(DISTINCT)``, and a most-common-value sketch via
+        ``GROUP BY ... ORDER BY COUNT(*) DESC LIMIT k`` — computed by
+        the engine on the existing connection, so a sqlite-only
+        deployment never builds in-RAM encodings of its tables. The
+        sketch keeps the same convention as the in-memory catalog:
+        values occurring once enter it only when the whole column fits.
+        Works for base tables and ``TEMP`` tables (e.g. the semi-join
+        reduced ``_red_*`` copies) alike.
+        """
+        quoted = _quote_ident(name)
+        (rows,) = self.execute(f"SELECT COUNT(*) FROM {quoted}")[0]
+        summaries: list[dict] = []
+        for (column,) in self.execute(
+            f"SELECT name FROM pragma_table_info('{name}')"
+        ):
+            if column == PROB_COLUMN:
+                continue
+            qc = _quote_ident(column)
+            (distinct,) = self.execute(
+                f"SELECT COUNT(DISTINCT {qc}) FROM {quoted}"
+            )[0]
+            mcv = [
+                (value, int(count))
+                for value, count in self.execute(
+                    f"SELECT {qc}, COUNT(*) AS n FROM {quoted} "
+                    f"GROUP BY {qc} ORDER BY n DESC, {qc} LIMIT {mcv_size}"
+                )
+                if count > 1 or distinct <= mcv_size
+            ]
+            summaries.append(
+                {"column": column, "distinct": int(distinct), "mcv": mcv}
+            )
+        return int(rows), summaries
+
+    # ------------------------------------------------------------------
+    # write-throughput calibration
+    # ------------------------------------------------------------------
+    def measure_write_factor(
+        self, sample_rows: int = 4096, repeats: int = 3
+    ) -> float:
+        """Measured cost ratio of writing vs. reading temp-table rows.
+
+        Generates ``sample_rows`` rows with a recursive CTE, then times
+        (a) scanning and aggregating them and (b) materializing them as
+        an indexed ``TEMP`` table — the exact operation the Algorithm-3
+        policy prices with ``write_factor``. The returned ratio
+        (best-of-``repeats``, clamped to ``[0.5, 16]``) feeds
+        :class:`~repro.engine.stats.MaterializationPolicy` so the cost
+        gate reflects this machine's actual storage speed instead of a
+        baked-in constant.
+        """
+        generate = (
+            "WITH RECURSIVE gen(i) AS ("
+            "SELECT 1 UNION ALL SELECT i + 1 FROM gen WHERE i < {n}) "
+            "SELECT i AS k, (i * 7919) % 104729 AS v, "
+            "0.5 AS _p FROM gen".format(n=max(int(sample_rows), 16))
+        )
+        read_time = float("inf")
+        write_time = float("inf")
+        cur = self.connection.cursor()
+        for _ in range(max(repeats, 1)):
+            started = time.perf_counter()
+            cur.execute(
+                f"SELECT COUNT(*), SUM(v) FROM ({generate})"
+            ).fetchall()
+            read_time = min(read_time, time.perf_counter() - started)
+            started = time.perf_counter()
+            cur.execute(f"CREATE TEMP TABLE _calib AS {generate}")
+            cur.execute("CREATE INDEX _ix_calib_k ON _calib (k)")
+            cur.execute("CREATE INDEX _ix_calib_v ON _calib (v)")
+            write_time = min(write_time, time.perf_counter() - started)
+            cur.execute("DROP TABLE _calib")
+        if read_time <= 0.0:
+            return 2.0
+        return min(max(write_time / read_time, 0.5), 16.0)
 
     def executescript(self, sql: str) -> None:
         self.connection.executescript(sql)

@@ -6,17 +6,21 @@ from .extensional import (
     deterministic_answers,
     evaluate_plan,
     plan_scores,
+    plan_scores_min_combined,
 )
 from .reference import evaluate_plan_reference, plan_scores_reference
 from .semijoin import reduce_database, reduced_name, semijoin_statements
 from .sql import (
     SQLCompiler,
+    StatementScope,
     deterministic_sql,
     lineage_sql,
     subplan_reference_counts,
 )
 from .stats import (
+    DEFAULT_WRITE_FACTOR,
     MaterializationPolicy,
+    SQLiteStatisticsCatalog,
     StatisticsCatalog,
     estimate_plan,
     greedy_order,
@@ -24,12 +28,15 @@ from .stats import (
 )
 
 __all__ = [
+    "DEFAULT_WRITE_FACTOR",
     "DissociationEngine",
     "EvaluationCache",
     "EvaluationResult",
     "MaterializationPolicy",
     "Optimizations",
     "SQLCompiler",
+    "SQLiteStatisticsCatalog",
+    "StatementScope",
     "StatisticsCatalog",
     "deterministic_answers",
     "deterministic_sql",
@@ -39,6 +46,7 @@ __all__ = [
     "greedy_order",
     "lineage_sql",
     "plan_scores",
+    "plan_scores_min_combined",
     "plan_scores_reference",
     "reduce_database",
     "reduced_name",

@@ -28,15 +28,27 @@ from ..db.sqlite_backend import SQLiteBackend
 from ..lineage.build import Lineage, lineage_of
 from ..lineage.exact import ExactEvaluator
 from ..lineage.mc import monte_carlo_many
-from .extensional import EvaluationCache, deterministic_answers, plan_scores
+from .extensional import (
+    EvaluationCache,
+    deterministic_answers,
+    plan_scores,
+    plan_scores_min_combined,
+)
 from .semijoin import reduce_database, semijoin_statements
 from .sql import (
     SQLCompiler,
+    StatementScope,
     deterministic_sql,
     lineage_sql,
     subplan_reference_counts,
 )
-from .stats import DEFAULT_DP_THRESHOLD, MaterializationPolicy, estimate_plan
+from .stats import (
+    DEFAULT_DP_THRESHOLD,
+    DEFAULT_WRITE_FACTOR,
+    MaterializationPolicy,
+    SQLiteStatisticsCatalog,
+    estimate_plan,
+)
 
 __all__ = ["Optimizations", "EvaluationResult", "DissociationEngine"]
 
@@ -84,6 +96,10 @@ class EvaluationResult:
     backend: str
     seconds: float
     sql: str | None = None
+    #: The database version token the evaluation ran under (set by the
+    #: batch entry point; the service layer uses it to prove results
+    #: were never served from a stale cache epoch).
+    epoch: tuple | None = None
 
     def ranking(self) -> list[tuple]:
         """Answers ordered by decreasing score (ties by value order)."""
@@ -119,6 +135,17 @@ class DissociationEngine:
     join_dp_threshold:
         Join arity above which the DP enumerator (exponential in the
         arity) falls back to the greedy heuristic.
+    write_factor:
+        Write-vs-read cost ratio of the Algorithm-3 materialization
+        gate. ``None`` (default) uses
+        :data:`~repro.engine.stats.DEFAULT_WRITE_FACTOR`;
+        :meth:`calibrate_write_factor` replaces it with a value measured
+        on the backend's actual temp-table write throughput.
+    view_namespace:
+        Optional shared temp-view name authority handed through to the
+        SQLite backend's view registry — the service layer passes one
+        per-service object so all worker sessions share a consistent
+        view namespace.
     """
 
     def __init__(
@@ -129,6 +156,8 @@ class DissociationEngine:
         cache_size: int | None = None,
         join_ordering: str = "cost",
         join_dp_threshold: int = DEFAULT_DP_THRESHOLD,
+        write_factor: float | None = None,
+        view_namespace=None,
     ) -> None:
         if backend not in ("memory", "sqlite"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -142,8 +171,11 @@ class DissociationEngine:
         self.cache_size = cache_size
         self.join_ordering = join_ordering
         self.join_dp_threshold = join_dp_threshold
+        self.write_factor = write_factor
+        self.view_namespace = view_namespace
         self._sqlite: SQLiteBackend | None = None
         self._memory_cache: EvaluationCache | None = None
+        self._sqlite_stats: SQLiteStatisticsCatalog | None = None
         # Counters of view registries dropped by rebuilds, so sqlite
         # cache_stats() stays cumulative like the memory cache's.
         self._sqlite_stats_base = {"hits": 0, "misses": 0, "evictions": 0}
@@ -175,7 +207,9 @@ class DissociationEngine:
             self.invalidate_sqlite()
         if self._sqlite is None:
             self._sqlite = SQLiteBackend(
-                self.db, view_cache_size=self.cache_size
+                self.db,
+                view_cache_size=self.cache_size,
+                view_namespace=self.view_namespace,
             )
         return self._sqlite
 
@@ -192,8 +226,13 @@ class DissociationEngine:
                 stats = registry.cache_stats()
                 for key in self._sqlite_stats_base:
                     self._sqlite_stats_base[key] += stats[key]
+                # closing the connection destroys the temp views; tell
+                # the shared namespace so its live-view census stays
+                # exact across snapshot rebuilds
+                registry.detach()
             self._sqlite.close()
             self._sqlite = None
+            self._sqlite_stats = None
 
     def _cache_for(self, db: ProbabilisticDatabase) -> EvaluationCache:
         """The persistent cross-query cache (for the engine's own ``db``).
@@ -289,6 +328,7 @@ class DissociationEngine:
         """Compute the propagation score with full provenance."""
         opts = optimizations or Optimizations()
         started = time.perf_counter()
+        epoch = self.db.version
         plans = self.minimal_plans(query)
         if self.backend == "memory":
             scores = self._evaluate_memory(query, plans, opts)
@@ -303,7 +343,103 @@ class DissociationEngine:
             backend=self.backend,
             seconds=elapsed,
             sql=sql,
+            epoch=epoch,
         )
+
+    def evaluate_batch(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        optimizations: Optimizations | None = None,
+    ) -> list[EvaluationResult]:
+        """Evaluate a batch of queries under one shared cache epoch.
+
+        The batch entry point behind the dissociation service: all
+        queries are canonicalized into their minimal plans, structurally
+        equal queries collapse to a single evaluation (results fan back
+        out position-wise, so duplicates in ``queries`` are free), and
+        — with view reuse enabled — the cross-query subplan DAG is
+        priced *batch-wide*: a subplan referenced by several queries of
+        the batch counts every reference site, so the Algorithm-3
+        policy materializes it once for the whole batch instead of
+        re-deriving it per query. On the memory backend the shared
+        structural cache plays the same role. Per-query results are
+        bit-identical to evaluating the queries one at a time on this
+        engine (sharing changes *when* a subplan is computed, never the
+        floats the memory engine produces; on SQLite, materialization
+        decisions may reorder aggregate inputs, which both paths bound
+        below 1e-12).
+
+        Scores, plan counts, and SQL are reported per query, in request
+        order; every result carries the database version token
+        (``epoch``) the batch ran under. Mutating the database while a
+        batch is in flight is not detected here — the service layer
+        quiesces batches around mutations.
+        """
+        opts = optimizations or Optimizations()
+        started = time.perf_counter()
+        epoch = self.db.version
+        queries = list(queries)
+        # dedupe on (structural equality, declared head order): equal
+        # queries with different head orders need different columns
+        index_of: dict[tuple, int] = {}
+        distinct: list[ConjunctiveQuery] = []
+        positions: list[int] = []
+        for query in queries:
+            key = (query, query.head_order)
+            at = index_of.get(key)
+            if at is None:
+                at = len(distinct)
+                index_of[key] = at
+                distinct.append(query)
+            positions.append(at)
+        plans_per = [self.minimal_plans(q) for q in distinct]
+        if self.backend == "memory":
+            scores_per = self._evaluate_memory_batch(distinct, plans_per, opts)
+            sql_per: list[str | None] = [None] * len(distinct)
+        else:
+            scores_per, sql_per = self._evaluate_sqlite_batch(
+                distinct, plans_per, opts
+            )
+        elapsed = time.perf_counter() - started
+        # per-result seconds carry the batch's amortized wall time (the
+        # batch is the unit of execution, so exact per-query attribution
+        # does not exist); summing over the results recovers the batch
+        share = elapsed / len(queries) if queries else 0.0
+        return [
+            EvaluationResult(
+                scores=dict(scores_per[at]),
+                plan_count=len(plans_per[at]),
+                optimizations=opts,
+                backend=self.backend,
+                seconds=share,
+                sql=sql_per[at],
+                epoch=epoch,
+            )
+            for at in positions
+        ]
+
+    def calibrate_write_factor(
+        self, sample_rows: int = 4096, repeats: int = 3
+    ) -> float:
+        """Replace the materialization gate's write factor with a
+        measured one.
+
+        Times temp-table writes vs. reads on the SQLite backend's own
+        connection (see
+        :meth:`~repro.db.sqlite_backend.SQLiteBackend.measure_write_factor`)
+        and installs the ratio as this engine's ``write_factor`` — the
+        service runs this once at startup so the Algorithm-3 cost gate
+        tracks the machine it is deployed on.
+        """
+        if self.backend != "sqlite":
+            raise ValueError(
+                "write-factor calibration measures the SQLite backend; "
+                "construct the engine with backend='sqlite'"
+            )
+        self.write_factor = self.sqlite.measure_write_factor(
+            sample_rows, repeats
+        )
+        return self.write_factor
 
     def score_per_plan(
         self, query: ConjunctiveQuery, semijoin: bool = False
@@ -405,26 +541,76 @@ class DissociationEngine:
             merged = self.single_plan(query)
             cache = base if opts.reuse_views else base.plan_scope()
             return plan_scores(merged, query, db, cache=cache)
-        combined: dict[tuple, float] = {}
-        for plan in plans:
-            cache = base if opts.reuse_views else base.plan_scope()
-            self._merge_min(
-                combined, plan_scores(plan, query, db, cache=cache)
-            )
-        return combined
+        # all-plans min-combining stays columnar (one decode for the
+        # whole call instead of one per plan — the warm path's cost)
+        caches = (
+            base
+            if opts.reuse_views
+            else [base.plan_scope() for _ in plans]
+        )
+        return plan_scores_min_combined(plans, query, db, caches)
 
-    def _plan_estimator(self):
-        """A memoized ``Plan -> PlanEstimate`` closure over the catalog.
+    def _evaluate_memory_batch(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        plans_per: Sequence[Sequence[Plan]],
+        opts: Optimizations,
+    ) -> list[dict[tuple, float]]:
+        # One validated epoch for the whole batch: the persistent cache
+        # is touched once up front, and every query of the batch then
+        # evaluates against the same encoded tables — cross-query
+        # subplan sharing is the structural plan-result layer itself.
+        # (Semi-join mode reduces per query, so each query keeps its
+        # per-reduction throwaway cache, exactly as in serial mode.)
+        if not opts.semijoin:
+            self._cache_for(self.db)
+        return [
+            self._evaluate_memory(query, plans, opts)
+            for query, plans in zip(queries, plans_per)
+        ]
 
-        Estimates come from the memory cache's statistics catalog (the
-        interned code columns), so both backends price subplans with one
-        cost model.
+    def _plan_estimator(
+        self,
+        table_names: Mapping[str, str] | None = None,
+        stats_token: object = None,
+    ):
+        """A memoized ``Plan -> PlanEstimate`` closure for the SQLite
+        materialization policy.
+
+        Statistics come from SQL aggregates on the backend's own
+        connection (:class:`SQLiteStatisticsCatalog`), so a sqlite-only
+        deployment never builds in-RAM encodings of its tables just to
+        price subplans. ``table_names`` redirects scans to their
+        physical tables — semi-join mode passes the reduced ``_red_*``
+        map together with the reduction's content token
+        (``stats_token``), so reduced instances are priced with the
+        *reduced* tables' statistics instead of the base tables'
+        pessimistic upper bounds.
         """
-        cache = self._cache_for(self.db)
+        backend = self.sqlite
+        if self._sqlite_stats is None or self._sqlite_stats.backend is not backend:
+            self._sqlite_stats = SQLiteStatisticsCatalog(backend)
+        catalog = self._sqlite_stats
+        names = dict(table_names or {})
+        base_token = backend.source_version
+
+        def stats_for(relation: str):
+            physical = names.get(relation, relation)
+            token = stats_token if relation in names else base_token
+            return catalog.table_stats(physical, token)
+
         memo: dict[Plan, object] = {}
         return lambda plan: estimate_plan(
-            plan, cache.table_statistics, cache.code_of, memo
+            plan, stats_for, catalog.code_of, memo
         )
+
+    def _policy(self, estimator) -> MaterializationPolicy:
+        factor = (
+            self.write_factor
+            if self.write_factor is not None
+            else DEFAULT_WRITE_FACTOR
+        )
+        return MaterializationPolicy(estimator=estimator, write_factor=factor)
 
     def _evaluate_sqlite(
         self,
@@ -434,6 +620,7 @@ class DissociationEngine:
     ) -> tuple[dict[tuple, float], str]:
         backend = self.sqlite
         table_names: dict[str, str] = {}
+        statements: list[str] = []
         if opts.semijoin:
             statements, table_names = semijoin_statements(
                 query, self.db.schema
@@ -445,12 +632,12 @@ class DissociationEngine:
             reuse_views=opts.reuse_views,
             native_ior=backend.has_math_functions,
         )
-        executed: list[str] = []
-        scores: dict[tuple, float] = {}
         targets = (
             [self.single_plan(query)] if opts.single_plan else list(plans)
         )
         if not opts.reuse_views:
+            executed: list[str] = []
+            scores: dict[tuple, float] = {}
             for plan in targets:
                 sql = compiler.compile(plan, query)
                 executed.append(sql)
@@ -466,8 +653,8 @@ class DissociationEngine:
         # semi-join mode the views additionally carry a content token of
         # the per-query reduced temp tables, so structurally identical
         # subplans over *differently* reduced inputs can never collide
-        # while repeats of the same reduction reuse their views.
-        registry = backend.view_registry
+        # while repeats of the same reduction reuse their views — and
+        # the policy prices subplans with the *reduced* tables' stats.
         token = (
             backend.reduction_token(statements, table_names.values())
             if opts.semijoin
@@ -476,7 +663,74 @@ class DissociationEngine:
         key_of = (
             (lambda node: (node, token)) if token is not None else (lambda node: node)
         )
-        references = subplan_reference_counts(targets)
+        estimator = self._plan_estimator(
+            table_names=table_names, stats_token=token
+        )
+        [(scores, sql)] = self._run_selective_sqlite(
+            compiler, [(query, targets)], key_of, estimator
+        )
+        return scores, sql
+
+    def _evaluate_sqlite_batch(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        plans_per: Sequence[Sequence[Plan]],
+        opts: Optimizations,
+    ) -> tuple[list[dict[tuple, float]], list[str]]:
+        if opts.semijoin or not opts.reuse_views:
+            # Semi-join reduction rebuilds the per-query temp tables, so
+            # those queries run back to back (their cross-query sharing
+            # happens through the content-token registry keys); without
+            # view reuse there is nothing to share by construction.
+            results = [
+                self._evaluate_sqlite(query, plans, opts)
+                for query, plans in zip(queries, plans_per)
+            ]
+            return [scores for scores, _ in results], [
+                sql for _, sql in results
+            ]
+        backend = self.sqlite
+        compiler = SQLCompiler(
+            self.db.schema,
+            reuse_views=True,
+            native_ior=backend.has_math_functions,
+        )
+        targets_per = [
+            [self.single_plan(query)] if opts.single_plan else list(plans)
+            for query, plans in zip(queries, plans_per)
+        ]
+        batch = list(zip(queries, targets_per))
+        key_of = lambda node: node  # noqa: E731 - trivial default
+        pairs = self._run_selective_sqlite(
+            compiler, batch, key_of, self._plan_estimator()
+        )
+        return [scores for scores, _ in pairs], [sql for _, sql in pairs]
+
+    def _run_selective_sqlite(
+        self,
+        compiler: SQLCompiler,
+        batch: Sequence[tuple[ConjunctiveQuery, Sequence[Plan]]],
+        key_of,
+        estimator,
+    ) -> list[tuple[dict[tuple, float], str]]:
+        """Compile and run a batch of (query, target plans) selectively.
+
+        The Algorithm-3 policy prices the whole batch at once:
+        ``subplan_reference_counts`` spans every target of every query,
+        so a subplan shared by several queries counts all its reference
+        sites and is materialized exactly once for the batch. Each
+        query's targets then combine into per-query statements (the
+        final SELECT, or chunked ``UNION ALL`` + ``MIN``); inline
+        subplans shared *within* one statement — common join prefixes
+        and plan tops the cost gate kept out of the registry — are
+        factored into per-statement CTEs (:class:`StatementScope`), so
+        they are computed once per statement rather than once per union
+        branch.
+        """
+        backend = self.sqlite
+        registry = backend.view_registry
+        all_targets = [t for _, targets in batch for t in targets]
+        references = subplan_reference_counts(all_targets)
         # Request history is keyed by hash, not by structural equality:
         # repeated deep-plan comparisons would dominate the warm path,
         # and a collision merely promotes a subplan early — the *view*
@@ -488,42 +742,50 @@ class DissociationEngine:
         }
         for node in references:
             registry.note_request(hash(key_of(node)))
-        policy = MaterializationPolicy(estimator=self._plan_estimator())
+        policy = self._policy(estimator)
 
         def decide(node: Plan) -> bool:
             return policy.should_materialize(
                 node, references.get(node, 1), prior.get(node, 0)
             )
 
+        out: list[tuple[dict[tuple, float], str]] = []
         # The outer pin scope keeps every view alive until the combining
         # SELECTs have run (pin_scope is re-entrant); the LRU cap is
         # enforced when it exits.
         with registry.pin_scope():
-            compiled: list[str] = []
-            for plan in targets:
-                created, ref = compiler.compile_selective(
-                    plan, registry, decide, key_of=key_of
-                )
-                executed.extend(created)
-                compiled.append(ref)
-            if opts.single_plan:
-                sql = compiler.select_statement(compiled[0], query)
-                executed.append(sql)
-                self._merge_min(
-                    scores, self._collect(backend.execute(sql), query)
-                )
-            else:
-                # min-combine the per-answer scores inside the engine
-                # with UNION ALL + MIN instead of one fetch-and-merge
-                # round trip per plan
-                for start in range(0, len(compiled), _MAX_UNION_BRANCHES):
-                    chunk = compiled[start : start + _MAX_UNION_BRANCHES]
-                    sql = compiler.min_union_sql(chunk, query)
+            for query, targets in batch:
+                executed: list[str] = []
+                scores: dict[tuple, float] = {}
+                for start in range(0, len(targets), _MAX_UNION_BRANCHES):
+                    chunk = list(targets[start : start + _MAX_UNION_BRANCHES])
+                    scope = StatementScope(
+                        subplan_reference_counts(chunk, include_joins=True)
+                    )
+                    compiled: list[str] = []
+                    for plan in chunk:
+                        created, ref = compiler.compile_selective(
+                            plan, registry, decide, key_of=key_of, scope=scope
+                        )
+                        executed.extend(created)
+                        compiled.append(ref)
+                    if len(chunk) == 1:
+                        sql = compiler.select_statement(
+                            compiled[0], query, scope=scope
+                        )
+                    else:
+                        # min-combine the per-answer scores inside the
+                        # engine with UNION ALL + MIN instead of one
+                        # fetch-and-merge round trip per plan
+                        sql = compiler.min_union_sql(
+                            compiled, query, scope=scope
+                        )
                     executed.append(sql)
                     self._merge_min(
                         scores, self._collect(backend.execute(sql), query)
                     )
-        return scores, ";\n\n".join(executed)
+                out.append((scores, ";\n\n".join(executed)))
+        return out
 
     @staticmethod
     def _merge_min(

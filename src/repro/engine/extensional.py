@@ -33,6 +33,7 @@ database mutates.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterable, Sequence
 
@@ -56,6 +57,7 @@ __all__ = [
     "EvaluationCache",
     "evaluate_plan",
     "plan_scores",
+    "plan_scores_min_combined",
     "deterministic_answers",
 ]
 
@@ -145,6 +147,19 @@ class EvaluationCache:
     combine group members in canonical row order, so the schedule can
     only change *when* rows are produced, never the floating-point
     result.
+
+    The cache is **thread-safe** at the entry level: interning, encoded
+    tables, and the plan-result LRU are guarded by one re-entrant lock
+    (scopes share their parent's lock, since they share the underlying
+    dictionaries). Evaluation itself runs outside the lock, so two
+    threads racing on the same uncached subplan may both compute it —
+    the results are bit-identical (evaluation is a pure function of the
+    plan and the encoded tables) and the second store is a no-op
+    overwrite, so correctness never depends on winning the race.
+    Mutating the *database* concurrently with evaluation is not
+    protected here; the service layer serializes mutations against
+    in-flight batches (and direct multi-threaded engine users must do
+    the same, as with any shared store).
     """
 
     __slots__ = (
@@ -158,6 +173,7 @@ class EvaluationCache:
         "_token",
         "_max_plans",
         "_statistics",
+        "_lock",
         "_hits",
         "_misses",
         "_evictions",
@@ -183,11 +199,15 @@ class EvaluationCache:
             self._values: list = []
             self._tables: dict[str, tuple[tuple[np.ndarray, ...], np.ndarray]] = {}
             self._statistics = StatisticsCatalog(db)
+            self._lock = threading.RLock()
         else:
             self._code_of = _share_with._code_of
             self._values = _share_with._values
             self._tables = _share_with._tables
             self._statistics = _share_with._statistics
+            # one lock per shared state: scopes mutate the parent's
+            # dictionaries, so they must serialize against it
+            self._lock = _share_with._lock
             if max_plans is None:
                 max_plans = _share_with._max_plans
             join_ordering = _share_with.join_ordering
@@ -208,11 +228,17 @@ class EvaluationCache:
 
     def validate(self) -> None:
         """Clear cached state if the database changed since it was built."""
-        token = _db_token(self.db)
-        if token != self._token:
-            self._tables.clear()
-            self._plans.clear()
-            self._token = token
+        with self._lock:
+            token = _db_token(self.db)
+            if token != self._token:
+                self._tables.clear()
+                self._plans.clear()
+                self._token = token
+
+    @property
+    def epoch(self):
+        """The database version token this cache's contents belong to."""
+        return self._token
 
     def plan_scope(self) -> "EvaluationCache":
         """A cache sharing encodings but with a fresh plan-result memo."""
@@ -244,70 +270,75 @@ class EvaluationCache:
 
     def lookup_plan(self, plan: Plan) -> "_Columnar | None":
         """The memoized result of ``plan``, marking it most recently used."""
-        entry = self._plans.get(plan)
-        if entry is None:
-            self._misses += 1
-            return None
-        self._hits += 1
-        self._plans.move_to_end(plan)
-        return entry
+        with self._lock:
+            entry = self._plans.get(plan)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._plans.move_to_end(plan)
+            return entry
 
     def store_plan(self, plan: Plan, result: "_Columnar") -> None:
-        if self._max_plans == 0:
-            return
-        self._plans[plan] = result
-        self._plans.move_to_end(plan)
-        if self._max_plans is not None:
-            while len(self._plans) > self._max_plans:
-                self._plans.popitem(last=False)
-                self._evictions += 1
+        with self._lock:
+            if self._max_plans == 0:
+                return
+            self._plans[plan] = result
+            self._plans.move_to_end(plan)
+            if self._max_plans is not None:
+                while len(self._plans) > self._max_plans:
+                    self._plans.popitem(last=False)
+                    self._evictions += 1
 
     def cache_stats(self) -> dict:
         """Cumulative counters (they survive :meth:`validate` clears)."""
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "size": len(self._plans),
-            "max_size": self._max_plans,
-        }
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._plans),
+                "max_size": self._max_plans,
+            }
 
     # ------------------------------------------------------------------
     # value interning
     # ------------------------------------------------------------------
     def encode(self, value) -> int:
-        code = self._code_of.get(value)
-        if code is None:
-            code = len(self._values)
-            self._code_of[value] = code
-            self._values.append(value)
-        return code
+        with self._lock:
+            code = self._code_of.get(value)
+            if code is None:
+                code = len(self._values)
+                self._code_of[value] = code
+                self._values.append(value)
+            return code
 
     def encoded_table(self, name: str) -> tuple[tuple[np.ndarray, ...], np.ndarray]:
         """The relation ``name`` as interned code columns + score column."""
-        entry = self._tables.get(name)
-        if entry is None:
-            table = self.db.table(name)
-            rows = table.rows
-            n = len(rows)
-            scores = np.fromiter(rows.values(), dtype=np.float64, count=n)
-            code_of = self._code_of
-            values = self._values
-            columns: list[np.ndarray] = []
-            for raw in zip(*rows) if n else ((),) * table.arity:
-                codes = []
-                append = codes.append
-                for v in raw:
-                    code = code_of.get(v)
-                    if code is None:
-                        code = len(values)
-                        code_of[v] = code
-                        values.append(v)
-                    append(code)
-                columns.append(np.fromiter(codes, dtype=np.int64, count=n))
-            entry = (tuple(columns), scores)
-            self._tables[name] = entry
-        return entry
+        with self._lock:
+            entry = self._tables.get(name)
+            if entry is None:
+                table = self.db.table(name)
+                rows = table.rows
+                n = len(rows)
+                scores = np.fromiter(rows.values(), dtype=np.float64, count=n)
+                code_of = self._code_of
+                values = self._values
+                columns: list[np.ndarray] = []
+                for raw in zip(*rows) if n else ((),) * table.arity:
+                    codes = []
+                    append = codes.append
+                    for v in raw:
+                        code = code_of.get(v)
+                        if code is None:
+                            code = len(values)
+                            code_of[v] = code
+                            values.append(v)
+                        append(code)
+                    columns.append(np.fromiter(codes, dtype=np.int64, count=n))
+                entry = (tuple(columns), scores)
+                self._tables[name] = entry
+            return entry
 
 
 def _db_token(db: ProbabilisticDatabase):
@@ -348,6 +379,15 @@ def evaluate_plan(
             raise ValueError("evaluation cache was built for a different database")
         cache.validate()
     result = _evaluate(plan, cache, {}, recorder)
+    return _shape_scores(result, cache, output_order)
+
+
+def _shape_scores(
+    result: "_Columnar",
+    cache: EvaluationCache,
+    output_order: Iterable[Variable] | None,
+) -> dict[tuple, float]:
+    """Reorder a columnar result to ``output_order`` and decode it."""
     if output_order is None:
         order = tuple(sorted(result.order))
     else:
@@ -375,6 +415,51 @@ def plan_scores(
     return evaluate_plan(
         plan, db, query.head_order, cache=cache, recorder=recorder
     )
+
+
+def plan_scores_min_combined(
+    plans: Sequence[Plan],
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    caches: "Sequence[EvaluationCache] | EvaluationCache",
+    recorder: "list[dict] | None" = None,
+) -> dict[tuple, float]:
+    """All-plans evaluation with the min-combining kept *columnar*.
+
+    The historical all-plans path decoded every plan's result into a
+    Python dict and min-merged the dicts — per request, even when every
+    plan result was served from the cache; for a chain-7 query that is
+    132 decodes and 131 dict merges per call. Here every plan evaluates
+    to its columnar result, the per-answer minimum is taken in the code
+    domain exactly like the ``min`` operator (align children on their
+    full-row keys, ``np.minimum`` the score columns), and the single
+    combined result is decoded once. Scores are bit-identical to the
+    dict path: ``min`` is associative and exact — no floating-point
+    reassociation is involved.
+
+    ``caches`` is either one shared cache (Opt. 2 across plans) or one
+    cache per plan (the reuse-disabled mode's per-plan scopes); all of
+    them must share their interning dictionary (be scopes of one base
+    cache), since the row keys that align the plans' answer tuples live
+    in that shared code space.
+    """
+    plans = list(plans)
+    if not plans:
+        return {}
+    if isinstance(caches, EvaluationCache):
+        caches = [caches] * len(plans)
+    elif len(caches) != len(plans):
+        raise ValueError("one cache (or one per plan) required")
+    results = []
+    for plan, cache in zip(plans, caches):
+        if cache.db is not db:
+            raise ValueError(
+                "evaluation cache was built for a different database"
+            )
+        cache.validate()
+        results.append(_evaluate(plan, cache, {}, recorder))
+    combined = _aligned_min(results, caches[0])
+    return _shape_scores(combined, caches[0], query.head_order)
 
 
 def _decode(
@@ -656,6 +741,13 @@ def _min(
     recorder: "list[dict] | None" = None,
 ) -> _Columnar:
     results = [_evaluate(part, cache, local, recorder) for part in plan.parts]
+    return _aligned_min(results, cache)
+
+
+def _aligned_min(
+    results: "list[_Columnar]", cache: EvaluationCache
+) -> _Columnar:
+    """Per-tuple minimum over columnar results of the same tuple set."""
     base = results[0]
     n = len(base)
     aligned: list[tuple[tuple[np.ndarray, ...], int]] = []

@@ -30,6 +30,7 @@ probabilistic method outside the engine must pay for).
 
 from __future__ import annotations
 
+import re
 from typing import Mapping, Sequence
 
 from ..core.plans import Join, MinPlan, Plan, Project, Scan
@@ -40,6 +41,7 @@ from ..db.sqlite_backend import PROB_COLUMN, sql_literal
 
 __all__ = [
     "SQLCompiler",
+    "StatementScope",
     "deterministic_sql",
     "lineage_sql",
     "subplan_reference_counts",
@@ -49,6 +51,102 @@ __all__ = [
 def _q(name: str) -> str:
     """Quote an identifier."""
     return '"' + name.replace('"', '""') + '"'
+
+
+class StatementScope:
+    """Shared common-table-expressions of one SQL statement.
+
+    The Algorithm-3 cost gate keeps cheap subplans *inline* — but a
+    subplan referenced from several branches of the same statement (the
+    plan tops of an all-plans ``UNION ALL`` + ``MIN`` combiner, or the
+    shared nodes of one merged Algorithm-2 DAG) would then be pasted —
+    and recomputed — once per branch. A scope factors those shared
+    inline nodes into named CTEs of the statement instead: SQLite
+    materializes a CTE referenced more than once exactly once for the
+    statement's lifetime, so the subplan is computed once *without*
+    paying the durable temp-table write (plus indexing) cost that the
+    cost gate rejected. This is the "share across plan tops" lever: the
+    common join prefixes of the union's branches collapse into one
+    computation per statement.
+
+    One scope spans one statement; passing the same scope to several
+    :meth:`SQLCompiler.compile_selective` calls makes their plans share
+    CTEs (all their references must then be combined into a single
+    statement, e.g. by :meth:`SQLCompiler.min_union_sql`).
+
+    ``references`` maps plan nodes to their statement-wide reference-site
+    counts (:func:`subplan_reference_counts` over every plan of the
+    statement); nodes with at least two sites earn a CTE, single-use
+    nodes stay pasted inline as before.
+    """
+
+    __slots__ = ("references", "names", "defs", "cte_nodes")
+
+    def __init__(self, references: Mapping[Plan, int] | None = None) -> None:
+        self.references: Mapping[Plan, int] = references or {}
+        #: node -> CTE name, shared by all plans of the statement
+        self.names: dict[Plan, str] = {}
+        #: CTE definitions in dependency (bottom-up emission) order
+        self.defs: list[tuple[str, str]] = []
+        #: the nodes that were factored into CTEs (observability/tests)
+        self.cte_nodes: list[Plan] = []
+
+    def wants_cte(self, node: Plan) -> bool:
+        return self.references.get(node, 1) >= 2
+
+    def add_cte(self, node: Plan, sql: str) -> str:
+        name = f"shared_{len(self.defs)}"
+        self.defs.append((name, sql))
+        self.cte_nodes.append(node)
+        self.names[node] = name
+        return name
+
+    def with_clause(self) -> str:
+        """``WITH name AS (...), ...\n`` — empty when nothing was shared."""
+        if not self.defs:
+            return ""
+        ctes = ",\n".join(f"{name} AS (\n{sql}\n)" for name, sql in self.defs)
+        return f"WITH {ctes}\n"
+
+    def defs_for(self, sql: str) -> list[tuple[str, str]]:
+        """The CTE definitions ``sql`` (transitively) references.
+
+        A node the cost gate *does* materialize may have children that
+        were already factored into scope CTEs; its ``CREATE TEMP TABLE``
+        runs as its own statement, where the final statement's ``WITH``
+        clause is not visible — so the registration must inline the
+        referenced definitions itself. Names are ``shared_<n>`` tokens,
+        matched on word boundaries; definitions can reference earlier
+        definitions, hence the fixpoint.
+        """
+        needed: set[str] = set()
+
+        def scan(text: str) -> bool:
+            grew = False
+            for name, _ in self.defs:
+                if name not in needed and re.search(
+                    rf"\b{name}\b", text
+                ):
+                    needed.add(name)
+                    grew = True
+            return grew
+
+        scan(sql)
+        grew = True
+        while grew:
+            grew = False
+            for name, definition in self.defs:
+                if name in needed and scan(definition):
+                    grew = True
+        return [(n, d) for n, d in self.defs if n in needed]
+
+    def inline_into(self, sql: str) -> str:
+        """Prefix ``sql`` with the CTE definitions it references."""
+        needed = self.defs_for(sql)
+        if not needed:
+            return sql
+        ctes = ",\n".join(f"{name} AS (\n{d}\n)" for name, d in needed)
+        return f"WITH {ctes}\n{sql}"
 
 
 class SQLCompiler:
@@ -132,6 +230,7 @@ class SQLCompiler:
         registry,
         decide,
         key_of=None,
+        scope: "StatementScope | None" = None,
     ) -> tuple[list[str], str]:
         """Compile ``plan`` with Algorithm-3 selective materialization.
 
@@ -154,33 +253,66 @@ class SQLCompiler:
         reduced queries — which also makes scan redirection
         (``table_names``) safe here, unlike in :meth:`materialize`.
 
+        ``scope``, when given, factors inline nodes with two or more
+        statement-wide reference sites into shared CTEs of the enclosing
+        statement (see :class:`StatementScope`); it also carries the
+        node → reference memo across the several plans of one statement,
+        so a plan top emitted for one union branch is referenced — not
+        recompiled — by every later branch.
+
         Returns ``(executed DDL statements, reference)`` where the
-        reference is a view name or an inline subquery for the plan's
-        top. Runs inside ``registry.pin_scope()`` so LRU eviction can
-        never drop a view a pending statement references.
+        reference is a view name, CTE name, or an inline subquery for
+        the plan's top. Runs inside ``registry.pin_scope()`` so LRU
+        eviction can never drop a view a pending statement references.
         """
         if not self._reuse_views:
             raise ValueError("compile_selective() requires reuse_views=True")
         if key_of is None:
             key_of = lambda node: node  # noqa: E731 - trivial default
         created: list[str] = []
+        # per-plan memo; the scope's CTE name map spans plans, while
+        # registry views are re-looked-up per plan so the hit counters
+        # keep reporting cross-plan reuse
         emitted: dict[Plan, str] = {}
 
         def reference(node: Plan) -> str:
-            if isinstance(node, Scan):
-                return "(\n" + self._scan_sql(node) + "\n)"
-            if isinstance(node, Join):
-                return "(\n" + self._join_sql(node, reference) + "\n)"
             cached = emitted.get(node)
             if cached is not None:
                 return cached
+            if isinstance(node, Scan):
+                return "(\n" + self._scan_sql(node) + "\n)"
+            if isinstance(node, Join):
+                shared = scope.names.get(node) if scope is not None else None
+                if shared is not None:
+                    emitted[node] = shared
+                    return shared
+                sql = self._join_sql(node, reference)
+                if scope is not None and scope.wants_cte(node):
+                    # a join shared by structurally distinct parents the
+                    # cost gate kept inline: compute it once per statement
+                    name = scope.add_cte(node, sql)
+                else:
+                    name = "(\n" + sql + "\n)"
+                emitted[node] = name
+                return name
+            shared = scope.names.get(node) if scope is not None else None
+            if shared is not None:
+                emitted[node] = shared
+                return shared
             key = key_of(node)
             name = registry.lookup(key)
             if name is None:
                 sql = self._node_sql(node, reference)
                 if decide(node):
+                    # the DDL runs as its own statement: scope CTEs the
+                    # subtree references must be inlined into it (they
+                    # only exist in the final statement's WITH clause)
+                    if scope is not None:
+                        sql = scope.inline_into(sql)
                     name, ddl = registry.register(key, sql)
                     created.append(ddl)
+                elif scope is not None and scope.wants_cte(node):
+                    name = scope.add_cte(node, sql)
                 else:
                     # inline: the parent (or final SELECT) computes it
                     name = "(\n" + sql + "\n)"
@@ -191,9 +323,15 @@ class SQLCompiler:
             top = reference(plan)
         return created, top
 
-    def select_statement(self, reference: str, query: ConjunctiveQuery) -> str:
+    def select_statement(
+        self,
+        reference: str,
+        query: ConjunctiveQuery,
+        scope: "StatementScope | None" = None,
+    ) -> str:
         """The final ``SELECT`` over a compiled reference (view or inline)."""
-        return self._final_select(reference, query)
+        prefix = scope.with_clause() if scope is not None else ""
+        return prefix + self._final_select(reference, query)
 
     def materialize_reference(self, plan: Plan, registry) -> tuple[list[str], str]:
         """Materialize ``plan`` through a registry of shared views.
@@ -259,7 +397,10 @@ class SQLCompiler:
         return created, self._final_select(top, query)
 
     def min_union_sql(
-        self, references: Sequence[str], query: ConjunctiveQuery
+        self,
+        references: Sequence[str],
+        query: ConjunctiveQuery,
+        scope: "StatementScope | None" = None,
     ) -> str:
         """Min-combine per-plan results inside the engine (all-plans mode).
 
@@ -268,6 +409,11 @@ class SQLCompiler:
         the query's answers); the result takes the per-answer minimum
         score, i.e. the tightest upper bound, in one statement instead
         of one fetch-and-merge round-trip per plan.
+
+        ``scope`` must be the :class:`StatementScope` the branches were
+        compiled under (if any): its shared CTEs — the factored common
+        join prefixes and plan tops of the branches — are prepended as
+        the statement's ``WITH`` clause.
         """
         columns = [_q(v.name) for v in query.head_order]
         cols = ", ".join(columns + [PROB_COLUMN])
@@ -278,7 +424,8 @@ class SQLCompiler:
             columns + [f"MIN({PROB_COLUMN}) AS {PROB_COLUMN}"]
         )
         group = f"\nGROUP BY {', '.join(columns)}" if columns else ""
-        return f"SELECT {outer} FROM (\n{branches}\n) u{group}"
+        prefix = scope.with_clause() if scope is not None else ""
+        return f"{prefix}SELECT {outer} FROM (\n{branches}\n) u{group}"
 
     # ------------------------------------------------------------------
     # node compilation
@@ -397,7 +544,9 @@ class SQLCompiler:
 # ----------------------------------------------------------------------
 # Algorithm-3 reference analysis
 # ----------------------------------------------------------------------
-def subplan_reference_counts(plans: Sequence[Plan]) -> dict[Plan, int]:
+def subplan_reference_counts(
+    plans: Sequence[Plan], include_joins: bool = False
+) -> dict[Plan, int]:
     """How often each projection/``min`` subplan is referenced by a batch.
 
     Counts *statement reference sites* across all ``plans`` of one
@@ -412,11 +561,17 @@ def subplan_reference_counts(plans: Sequence[Plan]) -> dict[Plan, int]:
     is materialized; a shared parent the cost gate keeps inline would
     re-reference its children per occurrence, which only errs toward
     materializing them — never toward recomputation.)
+
+    ``include_joins`` additionally counts join nodes — joins are never
+    materialized as registry views, but a join referenced by two
+    structurally distinct projections can still be factored into a
+    shared per-statement CTE (:class:`StatementScope`).
     """
     counts: dict[Plan, int] = {}
     seen: set[Plan] = set()
+    grain = (Project, MinPlan, Join) if include_joins else (Project, MinPlan)
     for plan in plans:
-        if isinstance(plan, (Project, MinPlan)):
+        if isinstance(plan, grain):
             counts[plan] = counts.get(plan, 0) + 1
         stack: list[Plan] = [plan]
         while stack:
@@ -425,7 +580,7 @@ def subplan_reference_counts(plans: Sequence[Plan]) -> dict[Plan, int]:
                 continue
             seen.add(node)
             for child in node.children():
-                if isinstance(child, (Project, MinPlan)):
+                if isinstance(child, grain):
                     counts[child] = counts.get(child, 0) + 1
                 stack.append(child)
     return counts

@@ -45,9 +45,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "DEFAULT_DP_THRESHOLD",
+    "DEFAULT_WRITE_FACTOR",
     "ColumnStats",
     "TableStats",
     "StatisticsCatalog",
+    "SQLiteStatisticsCatalog",
     "JoinProfile",
     "scan_profile",
     "join_profile",
@@ -61,6 +63,12 @@ __all__ = [
 #: Join arity above which the DP enumerator falls back to the greedy
 #: scheduler (the DP is exponential in the number of join inputs).
 DEFAULT_DP_THRESHOLD = 10
+
+#: Default write-vs-read cost ratio of the Algorithm-3 materialization
+#: gate; :meth:`~repro.db.sqlite_backend.SQLiteBackend.measure_write_factor`
+#: replaces it with a measured value (``DissociationEngine.
+#: calibrate_write_factor`` / service startup calibration).
+DEFAULT_WRITE_FACTOR = 2.0
 
 #: Relative cost of *folding* an input (sorting/probing its rows) vs.
 #: producing an intermediate row. Charging folded inputs makes the DP
@@ -180,6 +188,68 @@ class StatisticsCatalog:
                 continue
             if self._stats[name][0] != self.db.table(name).version:
                 del self._stats[name]
+
+    def cached_tables(self) -> frozenset[str]:
+        return frozenset(self._stats)
+
+
+class SQLiteStatisticsCatalog:
+    """Per-table statistics computed with SQL aggregates (sqlite-only).
+
+    The in-memory :class:`StatisticsCatalog` summarizes the columnar
+    engine's interned code columns — which forces a sqlite-only
+    deployment to build in-RAM encodings of every scanned table just to
+    price subplans. This catalog computes the same summaries
+    (``COUNT(*)``, per-column distinct counts, MCV sketches) with SQL
+    aggregates on the backend's existing connection instead, over *raw*
+    values: :meth:`code_of` is the identity, so
+    :func:`scan_profile` prices constants directly against the sketch.
+    Counts and frequencies are value-isomorphic to the in-memory
+    catalog's (interning is a bijection), so both catalogs drive the
+    cost model to the same estimates up to MCV tie-breaking.
+
+    Entries are keyed by an explicit ``token`` — the backend's source
+    version for base tables, the reduction's content token for
+    semi-join-reduced ``_red_*`` temp tables — so repeats of the same
+    reduction reuse their summaries while a different reduction (or a
+    rebuilt snapshot) transparently recomputes.
+    """
+
+    __slots__ = ("backend", "mcv_size", "_stats", "recomputations")
+
+    def __init__(self, backend, mcv_size: int = DEFAULT_MCV_SIZE) -> None:
+        self.backend = backend
+        self.mcv_size = mcv_size
+        self._stats: dict[str, tuple[object, TableStats]] = {}
+        self.recomputations = 0
+
+    @staticmethod
+    def code_of(value):
+        """Raw values are their own codes under the SQL catalog."""
+        return value
+
+    def table_stats(self, physical: str, token: object = None) -> TableStats:
+        """The summary of the physical table ``physical`` under ``token``."""
+        entry = self._stats.get(physical)
+        if entry is not None and entry[0] == token:
+            return entry[1]
+        rows, summaries = self.backend.column_summaries(
+            physical, self.mcv_size
+        )
+        columns = tuple(
+            ColumnStats(
+                count=rows,
+                distinct=summary["distinct"],
+                min_code=0,
+                max_code=0,
+                mcv=tuple(summary["mcv"]),
+            )
+            for summary in summaries
+        )
+        stats = TableStats(name=physical, rows=rows, columns=columns)
+        self._stats[physical] = (token, stats)
+        self.recomputations += 1
+        return stats
 
     def cached_tables(self) -> frozenset[str]:
         return frozenset(self._stats)
@@ -484,7 +554,7 @@ class MaterializationPolicy:
     def __init__(
         self,
         estimator: "Callable[[Plan], PlanEstimate] | None" = None,
-        write_factor: float = 2.0,
+        write_factor: float = DEFAULT_WRITE_FACTOR,
     ) -> None:
         self.estimator = estimator
         self.write_factor = write_factor

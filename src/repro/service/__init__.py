@@ -1,0 +1,21 @@
+"""Dissociation query service: concurrent scheduling + cross-query batching.
+
+See ``README.md`` in this package for the architecture.
+"""
+
+from .batching import MicroBatcher, QueryRequest, ServiceOverloaded
+from .dag import BatchDAGStats, BatchPlanDAG
+from .service import DissociationService
+from .session import EngineSession, SessionPool, SharedViewNamespace
+
+__all__ = [
+    "BatchDAGStats",
+    "BatchPlanDAG",
+    "DissociationService",
+    "EngineSession",
+    "MicroBatcher",
+    "QueryRequest",
+    "ServiceOverloaded",
+    "SessionPool",
+    "SharedViewNamespace",
+]

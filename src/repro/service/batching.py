@@ -1,0 +1,173 @@
+"""Admission control: a bounded queue that forms micro-batches.
+
+Requests enter through :meth:`MicroBatcher.submit` (blocking
+backpressure once ``max_pending`` is reached, or a hard
+:class:`ServiceOverloaded` via ``block=False``); worker threads drain
+them with :meth:`MicroBatcher.next_batch`, which groups compatible
+requests — same :class:`~repro.engine.Optimizations` combination, the
+unit the engine can evaluate as one batch — and waits up to
+``max_batch_delay`` for stragglers so bursts coalesce instead of being
+served one by one. The delay is the classic batching trade: a bounded
+latency tax on the first request of a quiet period buys every busy
+period an admission rate of ``max_batch_size`` queries per dispatch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.query import ConjunctiveQuery
+from ..engine import Optimizations
+
+__all__ = ["QueryRequest", "MicroBatcher", "ServiceOverloaded"]
+
+
+class ServiceOverloaded(RuntimeError):
+    """Raised by non-blocking submission when the queue is full."""
+
+
+def _opts_key(opts: Optimizations) -> tuple[bool, bool, bool]:
+    return (opts.single_plan, opts.reuse_views, opts.semijoin)
+
+
+@dataclass
+class QueryRequest:
+    """One enqueued query plus its delivery plumbing."""
+
+    query: ConjunctiveQuery
+    optimizations: Optimizations
+    future: "object"  # concurrent.futures.Future, untyped to keep imports light
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def group_key(self) -> tuple[bool, bool, bool]:
+        return _opts_key(self.optimizations)
+
+
+class MicroBatcher:
+    """Bounded admission queue forming optimization-compatible batches."""
+
+    def __init__(
+        self,
+        max_batch_size: int = 8,
+        max_batch_delay: float = 0.002,
+        max_pending: int = 1024,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_batch_size = max_batch_size
+        self.max_batch_delay = max_batch_delay
+        self.max_pending = max_pending
+        self._pending: list[QueryRequest] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self.submitted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def close(self) -> None:
+        """Stop accepting requests and wake every waiting worker."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def submit(self, request: QueryRequest, block: bool = True) -> None:
+        """Admit ``request``, blocking for queue space by default.
+
+        ``block=False`` raises :class:`ServiceOverloaded` instead of
+        waiting — the load-shedding mode for latency-sensitive callers.
+        """
+        with self._lock:
+            while len(self._pending) >= self.max_pending and not self._closed:
+                if not block:
+                    self.rejected += 1
+                    raise ServiceOverloaded(
+                        f"{len(self._pending)} requests pending "
+                        f"(max_pending={self.max_pending})"
+                    )
+                self._not_full.wait()
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self._pending.append(request)
+            self.submitted += 1
+            self._not_empty.notify()
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def next_batch(self, timeout: float | None = None) -> list[QueryRequest]:
+        """The next micro-batch; ``[]`` only on timeout or close.
+
+        Takes the *oldest* pending request's optimization group, waits
+        up to ``max_batch_delay`` (while the group is smaller than
+        ``max_batch_size``) for more requests of that group to arrive,
+        then removes and returns the group's first
+        ``max_batch_size`` requests in arrival order.
+
+        Two workers woken by the same burst can race for one group; the
+        loser finds the queue drained and goes back to waiting — an
+        empty return while the batcher is open would read as shutdown
+        to the worker loop.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._lock:
+            while True:
+                while not self._pending and not self._closed:
+                    remaining = (
+                        None
+                        if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        return []
+                    self._not_empty.wait(remaining)
+                if not self._pending:
+                    return []  # closed and drained
+                key = self._pending[0].group_key
+                if self.max_batch_delay > 0:
+                    grace = time.monotonic() + self.max_batch_delay
+                    while (
+                        self._group_size(key) < self.max_batch_size
+                        and not self._closed
+                    ):
+                        remaining = grace - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._not_empty.wait(remaining)
+                taken: list[QueryRequest] = []
+                kept: list[QueryRequest] = []
+                for request in self._pending:
+                    if (
+                        request.group_key == key
+                        and len(taken) < self.max_batch_size
+                    ):
+                        taken.append(request)
+                    else:
+                        kept.append(request)
+                self._pending = kept
+                self._not_full.notify_all()
+                if kept:
+                    # another group (or overflow) is still waiting
+                    self._not_empty.notify()
+                if taken:
+                    return taken
+                # lost the race for this burst (a concurrent worker
+                # drained the group while we grace-waited): keep waiting
+
+    def _group_size(self, key: tuple[bool, bool, bool]) -> int:
+        return sum(1 for r in self._pending if r.group_key == key)

@@ -1,0 +1,147 @@
+"""The cross-query shared-subplan DAG of one micro-batch.
+
+A micro-batch carries several queries; each query canonicalizes into its
+minimal plans (or the Algorithm-2 merged single plan). Because plan
+nodes hash and compare *structurally*, merging all those plan trees
+yields a DAG in which a subplan that occurs in N queries — a common
+join prefix, a shared projection, a whole plan top — is one node with N
+incoming references. :class:`BatchPlanDAG` materializes that DAG
+explicitly: the engine's batch entry point uses the same structural
+identity implicitly (through the evaluation cache / view registry), and
+this module makes the sharing *observable* — how many evaluations the
+batch saves, which subplans are shared by how many queries — for the
+service's scheduling statistics and the dedup tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.plans import Plan
+from ..core.query import ConjunctiveQuery
+from ..engine.sql import subplan_reference_counts
+
+__all__ = ["BatchDAGStats", "BatchPlanDAG"]
+
+
+@dataclass(frozen=True)
+class BatchDAGStats:
+    """Sharing profile of one merged batch DAG.
+
+    ``node_occurrences`` counts every node of every plan tree as if
+    nothing were shared (the work a naive per-query evaluator performs);
+    ``distinct_nodes`` counts the merged DAG's nodes (the work the batch
+    performs — each distinct structural subplan evaluates exactly once);
+    ``shared_nodes`` of them appear in more than one tree position, and
+    ``cross_query_nodes`` appear in more than one *query*.
+    """
+
+    queries: int
+    plans: int
+    node_occurrences: int
+    distinct_nodes: int
+    shared_nodes: int
+    cross_query_nodes: int
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Occurrences per distinct node — 1.0 means nothing shared."""
+        if self.distinct_nodes == 0:
+            return 1.0
+        return self.node_occurrences / self.distinct_nodes
+
+
+class BatchPlanDAG:
+    """Merged plan DAG of one batch, keyed by structural plan identity."""
+
+    __slots__ = ("queries", "roots_per_query", "_queries_of", "_occurrences")
+
+    def __init__(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        roots_per_query: Sequence[Sequence[Plan]],
+    ) -> None:
+        if len(queries) != len(roots_per_query):
+            raise ValueError("one root list per query required")
+        self.queries = tuple(queries)
+        self.roots_per_query = tuple(tuple(r) for r in roots_per_query)
+        # node -> set of query indexes referencing it (structural merge)
+        self._queries_of: dict[Plan, set[int]] = {}
+        # node -> tree occurrences, counting repeats within one plan
+        self._occurrences: dict[Plan, int] = {}
+        for i, roots in enumerate(self.roots_per_query):
+            for root in roots:
+                self._walk(root, i)
+
+    def _walk(self, root: Plan, query_index: int) -> None:
+        stack = [root]
+        # within one tree, a DAG-shared node still occurs once per
+        # parent reference — that is exactly the recomputation a naive
+        # evaluator would pay, which the dedup ratio measures
+        while stack:
+            node = stack.pop()
+            self._occurrences[node] = self._occurrences.get(node, 0) + 1
+            self._queries_of.setdefault(node, set()).add(query_index)
+            stack.extend(node.children())
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._occurrences)
+
+    def __contains__(self, node: Plan) -> bool:
+        return node in self._occurrences
+
+    def nodes(self) -> tuple[Plan, ...]:
+        return tuple(self._occurrences)
+
+    def occurrences(self, node: Plan) -> int:
+        return self._occurrences.get(node, 0)
+
+    def queries_of(self, node: Plan) -> frozenset[int]:
+        """Indexes of the batch queries whose plans contain ``node``."""
+        return frozenset(self._queries_of.get(node, ()))
+
+    def shared_nodes(self) -> tuple[Plan, ...]:
+        """Nodes occurring more than once across the batch's trees."""
+        return tuple(
+            node for node, n in self._occurrences.items() if n > 1
+        )
+
+    def cross_query_nodes(self) -> tuple[Plan, ...]:
+        """Nodes referenced by at least two distinct queries."""
+        return tuple(
+            node
+            for node, queries in self._queries_of.items()
+            if len(queries) > 1
+        )
+
+    def reference_counts(self) -> Mapping[Plan, int]:
+        """Statement reference sites per grouped subplan (Algorithm 3).
+
+        Delegates to :func:`subplan_reference_counts` over every root,
+        i.e. exactly the counts the engine's batch compilation prices —
+        exposed here so tests can assert the service and the engine see
+        one notion of sharing.
+        """
+        return subplan_reference_counts(
+            [root for roots in self.roots_per_query for root in roots]
+        )
+
+    def stats(self) -> BatchDAGStats:
+        distinct = len(self._occurrences)
+        occurrences = sum(self._occurrences.values())
+        return BatchDAGStats(
+            queries=len(self.queries),
+            plans=sum(len(r) for r in self.roots_per_query),
+            node_occurrences=occurrences,
+            distinct_nodes=distinct,
+            shared_nodes=sum(
+                1 for n in self._occurrences.values() if n > 1
+            ),
+            cross_query_nodes=sum(
+                1 for qs in self._queries_of.values() if len(qs) > 1
+            ),
+        )

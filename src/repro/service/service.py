@@ -1,0 +1,377 @@
+"""The dissociation query service: concurrent submissions, micro-batched.
+
+:class:`DissociationService` is the serving layer over
+:class:`~repro.engine.DissociationEngine`: callers submit queries from
+any number of threads (or through the async front end) and receive
+futures; an admission controller coalesces concurrent submissions into
+micro-batches of optimization-compatible queries; each batch is merged
+into one cross-query subplan DAG and handed to a worker session's
+engine, whose batch entry point evaluates every distinct structural
+subplan exactly once for the batch and fans the per-query results back
+out to all requesters. Identical concurrent queries therefore cost one
+evaluation, and overlapping ones share their common join prefixes and
+plan tops.
+
+Mutations of the shared database go through :meth:`mutate`, which
+quiesces in-flight batches first — so every result is computed entirely
+under one database version token (its ``epoch``), and caches can never
+serve half-mutated state to a batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Callable, Iterable, Sequence
+
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from ..engine import DissociationEngine, EvaluationResult, Optimizations
+from .batching import MicroBatcher, QueryRequest, ServiceOverloaded
+from .dag import BatchPlanDAG
+from .session import EngineSession, SessionPool, SharedViewNamespace
+
+__all__ = ["DissociationService", "ServiceOverloaded"]
+
+
+class DissociationService:
+    """Concurrent multi-query front end over the dissociation engine.
+
+    Parameters
+    ----------
+    db:
+        The shared tuple-independent probabilistic database.
+    backend:
+        ``"memory"`` (one shared thread-safe engine for all workers) or
+        ``"sqlite"`` (one engine + connection per worker, with a shared
+        temp-view namespace).
+    workers:
+        Worker threads draining the admission queue. Each batch is
+        executed by exactly one worker, so intra-batch sharing is
+        race-free; parallelism comes from concurrent batches.
+    max_batch_size / max_batch_delay / max_pending:
+        Micro-batching knobs (see
+        :class:`~repro.service.batching.MicroBatcher`): the largest
+        batch one dispatch admits, how long the dispatcher waits for
+        stragglers, and the admission queue's backpressure bound.
+    calibrate:
+        Measure the SQLite temp-table write factor once at startup and
+        install it on every worker engine (replaces the fixed
+        ``write_factor`` constant of the Algorithm-3 cost gate).
+    default_optimizations:
+        The :class:`~repro.engine.Optimizations` used when a submission
+        does not pass its own.
+    collect_dag_stats:
+        Opt in to building the explicit
+        :class:`~repro.service.dag.BatchPlanDAG` per batch for the
+        sharing statistics in :meth:`stats`. Off by default: it costs a
+        second plan enumeration per batch, so the default configuration
+        is the one the throughput benchmarks measure.
+    engine_kwargs:
+        Passed through to every worker's ``DissociationEngine`` (e.g.
+        ``cache_size=``, ``join_ordering=``).
+    """
+
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        backend: str = "memory",
+        workers: int = 2,
+        max_batch_size: int = 8,
+        max_batch_delay: float = 0.002,
+        max_pending: int = 1024,
+        calibrate: bool = False,
+        default_optimizations: Optimizations | None = None,
+        collect_dag_stats: bool = False,
+        **engine_kwargs,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.db = db
+        self.backend = backend
+        self.default_optimizations = (
+            default_optimizations or Optimizations()
+        )
+        self.collect_dag_stats = collect_dag_stats
+        self.namespace = SharedViewNamespace()
+        self._pool = SessionPool(
+            db, backend, namespace=self.namespace, **engine_kwargs
+        )
+        if calibrate:
+            self._pool.calibrate()
+        self._batcher = MicroBatcher(
+            max_batch_size=max_batch_size,
+            max_batch_delay=max_batch_delay,
+            max_pending=max_pending,
+        )
+        # mutation quiescence: batches take the gate as readers, mutate()
+        # as the writer
+        self._state = threading.Condition()
+        self._active_batches = 0
+        self._mutating = False
+        # aggregate scheduling statistics
+        self._stats_lock = threading.Lock()
+        self._batches = 0
+        self._queries = 0
+        self._mutations = 0
+        self._batch_occupancy: dict[int, int] = {}
+        self._dag_occurrences = 0
+        self._dag_distinct = 0
+        self._dag_cross_query = 0
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"dissoc-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Stop admissions, drain pending batches, and join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._pool.close()
+
+    def __enter__(self) -> "DissociationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission front end
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: ConjunctiveQuery,
+        optimizations: Optimizations | None = None,
+        block: bool = True,
+    ) -> "Future[EvaluationResult]":
+        """Enqueue ``query``; the future resolves to its
+        :class:`~repro.engine.EvaluationResult`.
+
+        Blocks for queue space once ``max_pending`` submissions are
+        outstanding; ``block=False`` raises
+        :class:`~repro.service.batching.ServiceOverloaded` instead
+        (load shedding).
+        """
+        future: "Future[EvaluationResult]" = Future()
+        request = QueryRequest(
+            query=query,
+            optimizations=optimizations or self.default_optimizations,
+            future=future,
+        )
+        self._batcher.submit(request, block=block)
+        return future
+
+    async def submit_async(
+        self,
+        query: ConjunctiveQuery,
+        optimizations: Optimizations | None = None,
+    ) -> EvaluationResult:
+        """:meth:`submit` for ``async`` callers.
+
+        Admission runs in the loop's default executor — under
+        backpressure (``max_pending`` reached) the blocking wait for
+        queue space must not stall the event-loop thread — and the
+        result future is awaited as an ``asyncio`` future, so other
+        coroutines keep running while the worker pool evaluates the
+        batch.
+        """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        future = await loop.run_in_executor(
+            None, lambda: self.submit(query, optimizations)
+        )
+        return await asyncio.wrap_future(future)
+
+    def gather(
+        self,
+        futures: Iterable["Future[EvaluationResult]"],
+        timeout: float | None = None,
+    ) -> list[EvaluationResult]:
+        """Resolve submitted futures in order."""
+        return [future.result(timeout) for future in futures]
+
+    def evaluate(
+        self,
+        query: ConjunctiveQuery,
+        optimizations: Optimizations | None = None,
+    ) -> EvaluationResult:
+        """Synchronous single-query convenience over :meth:`submit`."""
+        return self.submit(query, optimizations).result()
+
+    def evaluate_many(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        optimizations: Optimizations | None = None,
+    ) -> list[EvaluationResult]:
+        """Submit ``queries`` together and gather their results.
+
+        Submitting before gathering lets the admission controller pack
+        them into as few micro-batches as the batch size allows.
+        """
+        futures = [self.submit(q, optimizations) for q in queries]
+        return self.gather(futures)
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def mutate(self, fn: Callable[[ProbabilisticDatabase], object]):
+        """Apply ``fn(db)`` with every in-flight batch quiesced.
+
+        New batches wait while the mutation runs; batches already
+        executing finish first. Every result therefore reflects exactly
+        one database version (its ``epoch``) — the service-level
+        guarantee the stress tests pin down. Concurrent mutators
+        serialize: each holds the barrier for its own drain, so a
+        second mutator can never be starved by batches admitted after
+        the first one finished.
+        """
+        with self._state:
+            while self._mutating:
+                self._state.wait()
+            self._mutating = True
+            while self._active_batches:
+                self._state.wait()
+            try:
+                return fn(self.db)
+            finally:
+                self._mutating = False
+                self._mutations += 1
+                self._state.notify_all()
+
+    # ------------------------------------------------------------------
+    # worker internals
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        session = self._pool.session()
+        try:
+            while True:
+                batch = self._batcher.next_batch()
+                if not batch:
+                    break  # closed and drained
+                with self._state:
+                    while self._mutating:
+                        self._state.wait()
+                    self._active_batches += 1
+                try:
+                    self._process(session, batch)
+                finally:
+                    with self._state:
+                        self._active_batches -= 1
+                        self._state.notify_all()
+        finally:
+            session.close()
+
+    def _process(
+        self, session: EngineSession, batch: list[QueryRequest]
+    ) -> None:
+        live = [
+            request
+            for request in batch
+            if request.future.set_running_or_notify_cancel()
+        ]
+        if not live:
+            return
+        queries = [request.query for request in live]
+        opts = live[0].optimizations
+        try:
+            if self.collect_dag_stats:
+                self._record_dag(session.engine, queries, opts)
+            results = session.engine.evaluate_batch(queries, opts)
+        except BaseException as exc:  # noqa: BLE001 - delivered to callers
+            for request in live:
+                request.future.set_exception(exc)
+            return
+        session.record(len(live))
+        with self._stats_lock:
+            self._batches += 1
+            self._queries += len(live)
+            self._batch_occupancy[len(live)] = (
+                self._batch_occupancy.get(len(live), 0) + 1
+            )
+        for request, result in zip(live, results):
+            request.future.set_result(result)
+
+    def _record_dag(
+        self,
+        engine: DissociationEngine,
+        queries: Sequence[ConjunctiveQuery],
+        opts: Optimizations,
+    ) -> None:
+        distinct: list[ConjunctiveQuery] = []
+        seen: set[tuple] = set()
+        for query in queries:
+            key = (query, query.head_order)
+            if key not in seen:
+                seen.add(key)
+                distinct.append(query)
+        roots = [
+            [engine.single_plan(q)]
+            if opts.single_plan
+            else engine.minimal_plans(q)
+            for q in distinct
+        ]
+        stats = BatchPlanDAG(distinct, roots).stats()
+        with self._stats_lock:
+            self._dag_occurrences += stats.node_occurrences
+            self._dag_distinct += stats.distinct_nodes
+            self._dag_cross_query += stats.cross_query_nodes
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Scheduling, sharing, and cache statistics of the service."""
+        with self._stats_lock:
+            batches = self._batches
+            queries = self._queries
+            occupancy = dict(sorted(self._batch_occupancy.items()))
+            dag = {
+                "node_occurrences": self._dag_occurrences,
+                "distinct_nodes": self._dag_distinct,
+                "cross_query_nodes": self._dag_cross_query,
+                "dedup_ratio": (
+                    self._dag_occurrences / self._dag_distinct
+                    if self._dag_distinct
+                    else 1.0
+                ),
+            }
+            mutations = self._mutations
+        sessions = [
+            {
+                "name": session.name,
+                "batches": session.batches,
+                "queries": session.queries,
+                "cache": session.engine.cache_stats(),
+            }
+            for session in self._pool.sessions()
+        ]
+        return {
+            "backend": self.backend,
+            "submitted": self._batcher.submitted,
+            "rejected": self._batcher.rejected,
+            "pending": len(self._batcher),
+            "batches": batches,
+            "queries": queries,
+            "mutations": mutations,
+            "mean_batch_size": (queries / batches) if batches else 0.0,
+            "batch_occupancy": occupancy,
+            "dag": dag,
+            "write_factor": self._pool.calibrated_write_factor,
+            "namespace": self.namespace.stats(),
+            "sessions": sessions,
+        }

@@ -1,0 +1,240 @@
+"""Worker sessions: per-worker engines over one shared database.
+
+SQLite temp tables are connection-local, so every service worker owns a
+connection of its own — yet the service should behave like *one* system:
+the same structural subplan must map to the same view name on every
+connection, and the operator should be able to see, globally, which
+subplans are materialized where. :class:`SharedViewNamespace` provides
+both: a thread-safe name authority (consistent hash → name assignment
+with coordinated collision suffixes across all sessions) plus global
+materialization accounting.
+
+:class:`SessionPool` hands each worker thread an
+:class:`EngineSession`. For the memory backend all sessions share one
+:class:`~repro.engine.DissociationEngine` — its
+:class:`~repro.engine.extensional.EvaluationCache` is thread-safe and
+structural sharing then spans the whole service. For the SQLite backend
+each session lazily builds its own engine (and connection) on first use
+*in its worker thread*, wired to the pool's shared namespace and, when
+calibration is enabled, to the write factor measured once at startup.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, Literal
+
+from ..db.database import ProbabilisticDatabase
+from ..engine import DissociationEngine
+
+__all__ = ["SharedViewNamespace", "EngineSession", "SessionPool"]
+
+
+class SharedViewNamespace:
+    """Thread-safe temp-view name authority shared by all sessions.
+
+    ``name_for`` assigns every registry key (digest, structural key) a
+    name that is identical on every connection that asks — including
+    the collision suffix, which a lone
+    :class:`~repro.db.sqlite_backend.SQLiteViewRegistry` would otherwise
+    assign in local arrival order. ``note_materialized`` /
+    ``note_evicted`` keep a global census of live views per key, giving
+    the service its cross-session dedup statistics: ``sessions_holding``
+    tells how many connections currently store a given subplan.
+
+    The name map is bounded (:data:`MAX_NAME_ENTRIES`): a long-lived
+    service streaming an unbounded variety of queries must not pin
+    every plan tree it has ever named. Entries whose key still has live
+    views are never dropped, so a recycled name can never collide with
+    a view that exists somewhere; collision counters are pruned with
+    their digests.
+    """
+
+    #: Bound on remembered (digest, key) -> name assignments.
+    MAX_NAME_ENTRIES = 65536
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (digest, key) -> assigned name (insertion-ordered for pruning)
+        self._names: dict[tuple[int, Hashable], str] = {}
+        #: digest -> number of distinct keys seen (collision suffixes)
+        self._collisions: dict[int, int] = {}
+        #: key -> live materialization count across sessions
+        self._live: dict[Hashable, int] = {}
+        self.materializations = 0
+        self.evictions = 0
+
+    def name_for(self, digest: int, key: Hashable) -> str:
+        with self._lock:
+            assigned = self._names.get((digest, key))
+            if assigned is not None:
+                return assigned
+            suffix = self._collisions.get(digest, 0)
+            self._collisions[digest] = suffix + 1
+            name = (
+                f"dissoc_{digest:016x}"
+                if suffix == 0
+                else f"dissoc_{digest:016x}_{suffix}"
+            )
+            self._names[(digest, key)] = name
+            self._enforce_cap()
+            return name
+
+    def _enforce_cap(self) -> None:
+        """Drop the oldest dead name assignments (lock held)."""
+        excess = len(self._names) - self.MAX_NAME_ENTRIES
+        if excess <= 0:
+            return
+        for entry in list(self._names):
+            if excess <= 0:
+                break
+            if self._live.get(entry[1], 0):
+                continue  # a view with this name exists somewhere
+            del self._names[entry]
+            excess -= 1
+        retained = {digest for digest, _ in self._names}
+        for digest in list(self._collisions):
+            if digest not in retained:
+                del self._collisions[digest]
+
+    def note_materialized(self, key: Hashable, name: str) -> None:
+        with self._lock:
+            self._live[key] = self._live.get(key, 0) + 1
+            self.materializations += 1
+
+    def note_evicted(self, key: Hashable, name: str) -> None:
+        with self._lock:
+            remaining = self._live.get(key, 0) - 1
+            if remaining > 0:
+                self._live[key] = remaining
+            else:
+                self._live.pop(key, None)
+            self.evictions += 1
+
+    def sessions_holding(self, key: Hashable) -> int:
+        with self._lock:
+            return self._live.get(key, 0)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "known_names": len(self._names),
+                "live_views": sum(self._live.values()),
+                "distinct_live_keys": len(self._live),
+                "materializations": self.materializations,
+                "evictions": self.evictions,
+            }
+
+
+class EngineSession:
+    """One worker's engine handle plus per-session counters."""
+
+    def __init__(
+        self, name: str, engine: DissociationEngine, shared: bool = False
+    ) -> None:
+        self.name = name
+        self.engine = engine
+        #: True when the engine is the pool's shared memory engine —
+        #: then closing the session must not tear the engine down
+        self.shared = shared
+        self.batches = 0
+        self.queries = 0
+
+    def record(self, batch_size: int) -> None:
+        self.batches += 1
+        self.queries += batch_size
+
+    def close(self) -> None:
+        """Release backend resources — called *from the owning thread*.
+
+        SQLite connections must be closed by the thread that created
+        them, so the worker loop calls this in its own ``finally``
+        instead of the pool tearing sessions down from outside.
+        """
+        if not self.shared and self.engine.backend == "sqlite":
+            self.engine.invalidate_sqlite()
+
+
+class SessionPool:
+    """Thread-local :class:`EngineSession` factory for service workers.
+
+    ``session()`` returns the calling thread's session, creating it on
+    first use — which, for SQLite, is what guarantees the connection is
+    born in the thread that will use it (the stdlib ``sqlite3`` default
+    of ``check_same_thread=True`` stays intact).
+    """
+
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        backend: Literal["memory", "sqlite"] = "memory",
+        namespace: SharedViewNamespace | None = None,
+        **engine_kwargs,
+    ) -> None:
+        self.db = db
+        self.backend = backend
+        self.namespace = namespace or SharedViewNamespace()
+        self.engine_kwargs = dict(engine_kwargs)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._sessions: list[EngineSession] = []
+        self._shared_engine: DissociationEngine | None = None
+        #: write factor measured at service startup; installed on every
+        #: sqlite session created afterwards
+        self.calibrated_write_factor: float | None = None
+
+    def _new_engine(self) -> DissociationEngine:
+        kwargs = dict(self.engine_kwargs)
+        if self.backend == "sqlite":
+            kwargs.setdefault("view_namespace", self.namespace)
+            if (
+                self.calibrated_write_factor is not None
+                and kwargs.get("write_factor") is None
+            ):
+                kwargs["write_factor"] = self.calibrated_write_factor
+        return DissociationEngine(self.db, backend=self.backend, **kwargs)
+
+    def calibrate(self, sample_rows: int = 4096) -> float | None:
+        """Measure the write factor once (sqlite only) for all sessions."""
+        if self.backend != "sqlite":
+            return None
+        probe = DissociationEngine(self.db, backend="sqlite")
+        try:
+            self.calibrated_write_factor = probe.calibrate_write_factor(
+                sample_rows
+            )
+        finally:
+            probe.invalidate_sqlite()
+        return self.calibrated_write_factor
+
+    def session(self) -> EngineSession:
+        found = getattr(self._local, "session", None)
+        if found is not None:
+            return found
+        with self._lock:
+            shared = self.backend == "memory"
+            if shared:
+                # one shared engine: the thread-safe EvaluationCache makes
+                # structural sharing span every worker of the service
+                if self._shared_engine is None:
+                    self._shared_engine = self._new_engine()
+                engine = self._shared_engine
+            else:
+                engine = self._new_engine()
+            session = EngineSession(
+                f"worker-{len(self._sessions)}", engine, shared=shared
+            )
+            self._sessions.append(session)
+        self._local.session = session
+        return session
+
+    def sessions(self) -> list[EngineSession]:
+        with self._lock:
+            return list(self._sessions)
+
+    def close(self) -> None:
+        """Forget the sessions (engines are closed by their own workers)."""
+        with self._lock:
+            self._sessions.clear()
+            self._shared_engine = None
+        self._local = threading.local()

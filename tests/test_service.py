@@ -1,0 +1,703 @@
+"""Service-layer tests: micro-batching, the cross-query shared-subplan
+DAG, engine batch entry points, and multi-threaded stress with
+mid-stream database mutations.
+
+The central guarantees pinned down here:
+
+* a batch of overlapping queries evaluates each distinct structural
+  subplan exactly once (asserted through the cache / registry counters);
+* batch results are bit-identical to serial per-query evaluation on the
+  memory backend, and within 1e-12 on SQLite, across every optimization
+  combination;
+* under concurrent submissions interleaved with database mutations,
+  every result matches the serial evaluation of the exact epoch it ran
+  under — caches never serve stale epochs.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.core.query import ConjunctiveQuery
+from repro.core.parser import parse_query
+from repro.engine import DissociationEngine, Optimizations
+from repro.service import (
+    BatchPlanDAG,
+    DissociationService,
+    MicroBatcher,
+    QueryRequest,
+    ServiceOverloaded,
+    SharedViewNamespace,
+)
+from repro.workloads import chain_database, chain_query
+
+from .helpers import ALL_OPTIMIZATION_COMBOS, assert_scores_close
+
+ALL_PLANS = Optimizations(single_plan=False, reuse_views=True)
+
+
+def subchain(full: ConjunctiveQuery, i: int, j: int) -> ConjunctiveQuery:
+    """A Boolean query over a contiguous atom window of ``full``."""
+    return ConjunctiveQuery(full.atoms[i:j], ())
+
+
+def overlapping_mix(k: int = 5) -> tuple:
+    full = chain_query(k)
+    queries = [
+        full,
+        subchain(full, 0, 3),
+        subchain(full, 1, 4),
+        subchain(full, 2, 5),
+        subchain(full, 0, 4),
+    ]
+    return full, queries
+
+
+def distinct_structural_nodes(plans) -> set:
+    seen = set()
+    for plan in plans:
+        for node in plan.walk():
+            seen.add(node)
+    return seen
+
+
+# ----------------------------------------------------------------------
+# the cross-query shared-subplan DAG
+# ----------------------------------------------------------------------
+class TestBatchPlanDAG:
+    def test_dedup_counts_on_overlapping_chains(self):
+        _, queries = overlapping_mix()
+        db = chain_database(5, 30, seed=3, p_max=0.5)
+        engine = DissociationEngine(db)
+        roots = [engine.minimal_plans(q) for q in queries]
+        dag = BatchPlanDAG(queries, roots)
+        stats = dag.stats()
+        assert stats.queries == len(queries)
+        assert stats.plans == sum(len(r) for r in roots)
+        assert stats.distinct_nodes == len(
+            distinct_structural_nodes([p for r in roots for p in r])
+        )
+        # overlapping subchains must actually share subplans
+        assert stats.node_occurrences > stats.distinct_nodes
+        assert stats.shared_nodes > 0
+        assert stats.cross_query_nodes > 0
+        assert stats.dedup_ratio > 1.5
+
+    def test_cross_query_nodes_are_in_multiple_queries(self):
+        _, queries = overlapping_mix()
+        db = chain_database(5, 30, seed=3, p_max=0.5)
+        engine = DissociationEngine(db)
+        roots = [engine.minimal_plans(q) for q in queries]
+        dag = BatchPlanDAG(queries, roots)
+        for node in dag.cross_query_nodes():
+            assert len(dag.queries_of(node)) >= 2
+
+    def test_disjoint_queries_share_nothing(self):
+        q1 = parse_query("q() :- R(x, y)")
+        q2 = parse_query("q() :- S(x, y)")
+        e = DissociationEngine(_tiny_db())
+        dag = BatchPlanDAG(
+            [q1, q2], [e.minimal_plans(q1), e.minimal_plans(q2)]
+        )
+        stats = dag.stats()
+        assert stats.cross_query_nodes == 0
+        assert stats.dedup_ratio == 1.0
+
+    def test_reference_counts_match_engine_notion(self):
+        from repro.engine import subplan_reference_counts
+
+        _, queries = overlapping_mix()
+        db = chain_database(5, 20, seed=4, p_max=0.5)
+        engine = DissociationEngine(db)
+        roots = [engine.minimal_plans(q) for q in queries]
+        dag = BatchPlanDAG(queries, roots)
+        assert dag.reference_counts() == subplan_reference_counts(
+            [p for r in roots for p in r]
+        )
+
+    def test_root_list_mismatch_rejected(self):
+        q = parse_query("q() :- R(x, y)")
+        with pytest.raises(ValueError):
+            BatchPlanDAG([q], [])
+
+
+def _tiny_db():
+    from repro.db import ProbabilisticDatabase
+
+    db = ProbabilisticDatabase()
+    db.add_table("R", [((1, 2), 0.5), ((2, 3), 0.4)])
+    db.add_table("S", [((1, 2), 0.3)])
+    return db
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+def _request(query, opts=None) -> QueryRequest:
+    return QueryRequest(
+        query=query,
+        optimizations=opts or Optimizations(),
+        future=Future(),
+    )
+
+
+class TestMicroBatcher:
+    def test_batches_group_by_optimizations(self):
+        q = parse_query("q() :- R(x, y)")
+        batcher = MicroBatcher(max_batch_size=8, max_batch_delay=0.0)
+        batcher.submit(_request(q, Optimizations()))
+        batcher.submit(_request(q, Optimizations.none()))
+        batcher.submit(_request(q, Optimizations()))
+        first = batcher.next_batch(timeout=1.0)
+        assert [r.optimizations for r in first] == [
+            Optimizations(),
+            Optimizations(),
+        ]
+        second = batcher.next_batch(timeout=1.0)
+        assert [r.optimizations for r in second] == [Optimizations.none()]
+
+    def test_max_batch_size_enforced(self):
+        q = parse_query("q() :- R(x, y)")
+        batcher = MicroBatcher(max_batch_size=3, max_batch_delay=0.0)
+        for _ in range(7):
+            batcher.submit(_request(q))
+        sizes = [
+            len(batcher.next_batch(timeout=1.0)) for _ in range(3)
+        ]
+        assert sizes == [3, 3, 1]
+
+    def test_overload_raises_when_not_blocking(self):
+        q = parse_query("q() :- R(x, y)")
+        batcher = MicroBatcher(max_pending=2)
+        batcher.submit(_request(q))
+        batcher.submit(_request(q))
+        with pytest.raises(ServiceOverloaded):
+            batcher.submit(_request(q), block=False)
+        assert batcher.rejected == 1
+
+    def test_close_wakes_waiters_and_drains(self):
+        q = parse_query("q() :- R(x, y)")
+        batcher = MicroBatcher()
+        batcher.submit(_request(q))
+        batcher.close()
+        assert len(batcher.next_batch()) == 1  # drains what is pending
+        assert batcher.next_batch() == []  # then reports closed
+        with pytest.raises(RuntimeError):
+            batcher.submit(_request(q))
+
+    def test_delay_coalesces_stragglers(self):
+        q = parse_query("q() :- R(x, y)")
+        batcher = MicroBatcher(max_batch_size=2, max_batch_delay=0.5)
+        batcher.submit(_request(q))
+
+        def late():
+            time.sleep(0.05)
+            batcher.submit(_request(q))
+
+        thread = threading.Thread(target=late)
+        thread.start()
+        batch = batcher.next_batch(timeout=2.0)
+        thread.join()
+        assert len(batch) == 2
+
+
+# ----------------------------------------------------------------------
+# engine batch entry points
+# ----------------------------------------------------------------------
+class TestEvaluateBatch:
+    def test_memory_batch_bit_identical_to_serial_all_combos(self):
+        _, queries = overlapping_mix()
+        db = chain_database(5, 40, seed=5, p_max=0.5)
+        for opts in ALL_OPTIMIZATION_COMBOS:
+            batch_engine = DissociationEngine(db)
+            serial_engine = DissociationEngine(db)
+            results = batch_engine.evaluate_batch(queries, opts)
+            for query, result in zip(queries, results):
+                serial = serial_engine.propagation_score(query, opts)
+                assert result.scores == serial, (opts, query)
+                assert result.epoch == db.version
+
+    def test_sqlite_batch_matches_serial_all_combos(self):
+        _, queries = overlapping_mix()
+        db = chain_database(5, 40, seed=6, p_max=0.5)
+        for opts in ALL_OPTIMIZATION_COMBOS:
+            batch_engine = DissociationEngine(db, backend="sqlite")
+            serial_engine = DissociationEngine(db, backend="sqlite")
+            results = batch_engine.evaluate_batch(queries, opts)
+            for query, result in zip(queries, results):
+                serial = serial_engine.propagation_score(query, opts)
+                assert_scores_close(
+                    result.scores, serial, tolerance=1e-12
+                )
+
+    def test_memory_batch_evaluates_each_subplan_exactly_once(self):
+        _, queries = overlapping_mix()
+        db = chain_database(5, 40, seed=7, p_max=0.5)
+        engine = DissociationEngine(db)
+        plans_per = [engine.minimal_plans(q) for q in queries]
+        distinct = distinct_structural_nodes(
+            [p for plans in plans_per for p in plans]
+        )
+        engine.evaluate_batch(queries, ALL_PLANS)
+        stats = engine.cache_stats()
+        # one miss (= one evaluation) per distinct structural node; every
+        # further occurrence across the batch is a cache hit
+        assert stats["misses"] == len(distinct)
+        assert stats["hits"] > 0
+
+    def test_batch_of_8_overlapping_queries_exactly_once(self):
+        # the acceptance shape: >= 8 concurrent overlapping queries
+        full = chain_query(7)
+        queries = [
+            subchain(full, i, j)
+            for i, j in [(0, 7), (0, 4), (1, 5), (2, 6), (3, 7), (0, 5), (2, 7), (1, 6)]
+        ]
+        assert len(queries) == 8
+        db = chain_database(7, 60, seed=8, p_max=0.5)
+        engine = DissociationEngine(db)
+        plans_per = [engine.minimal_plans(q) for q in queries]
+        distinct = distinct_structural_nodes(
+            [p for plans in plans_per for p in plans]
+        )
+        results = engine.evaluate_batch(queries, ALL_PLANS)
+        stats = engine.cache_stats()
+        assert stats["misses"] == len(distinct)
+        # cross-check against serial evaluation, bit for bit
+        serial_engine = DissociationEngine(db)
+        for query, result in zip(queries, results):
+            assert result.scores == serial_engine.propagation_score(
+                query, ALL_PLANS
+            )
+
+    def test_sqlite_batch_materializes_shared_subplans_once(self):
+        from repro.engine import subplan_reference_counts
+
+        _, queries = overlapping_mix()
+        db = chain_database(5, 40, seed=9, p_max=0.5)
+        # write_factor=0: every subplan with >= 2 reference sites passes
+        # the cost gate, so "shared implies materialized exactly once"
+        engine = DissociationEngine(db, backend="sqlite", write_factor=0.0)
+        plans_per = [engine.minimal_plans(q) for q in queries]
+        shared = [
+            node
+            for node, count in subplan_reference_counts(
+                [p for plans in plans_per for p in plans]
+            ).items()
+            if count >= 2
+        ]
+        engine.evaluate_batch(queries, ALL_PLANS)
+        stats = engine.cache_stats()
+        assert stats["misses"] == len(shared)
+        assert stats["hits"] > 0
+        registry = engine.sqlite.view_registry
+        for node in shared:
+            assert node in registry
+
+    def test_duplicate_queries_collapse_to_one_evaluation(self):
+        query = chain_query(4)
+        db = chain_database(4, 30, seed=10, p_max=0.5)
+        engine = DissociationEngine(db)
+        results = engine.evaluate_batch([query] * 6, ALL_PLANS)
+        assert len(results) == 6
+        first = results[0]
+        for result in results[1:]:
+            assert result.scores == first.scores
+            # fanned-out copies are independent dicts
+            assert result.scores is not first.scores
+        stats = engine.cache_stats()
+        plans = engine.minimal_plans(query)
+        assert stats["misses"] == len(distinct_structural_nodes(plans))
+
+    def test_sqlite_union_factors_shared_tops_into_ctes(self):
+        # an enormous write factor keeps everything out of the registry,
+        # so the only sharing left is the per-statement CTE factoring
+        query = chain_query(5)
+        db = chain_database(5, 40, seed=11, p_max=0.5)
+        engine = DissociationEngine(
+            db, backend="sqlite", write_factor=1e12
+        )
+        result = engine.evaluate(query, ALL_PLANS)
+        assert engine.cache_stats()["misses"] == 0  # nothing materialized
+        assert result.sql is not None and "shared_" in result.sql
+        baseline = DissociationEngine(db, backend="sqlite").evaluate(
+            query, ALL_PLANS
+        )
+        assert_scores_close(result.scores, baseline.scores, 1e-12)
+
+    def test_empty_batch(self):
+        db = chain_database(3, 10, seed=12, p_max=0.5)
+        assert DissociationEngine(db).evaluate_batch([]) == []
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+class TestDissociationService:
+    def test_results_match_serial_and_fan_out(self):
+        _, queries = overlapping_mix()
+        db = chain_database(5, 40, seed=13, p_max=0.5)
+        serial = DissociationEngine(db)
+        with DissociationService(db, workers=2) as service:
+            futures = [
+                service.submit(q) for q in queries for _ in range(2)
+            ]
+            results = service.gather(futures)
+        for query, result in zip(
+            [q for q in queries for _ in range(2)], results
+        ):
+            assert result.scores == serial.propagation_score(query)
+
+    def test_sqlite_service_with_calibration(self):
+        _, queries = overlapping_mix()
+        db = chain_database(5, 30, seed=14, p_max=0.5)
+        serial = DissociationEngine(db, backend="sqlite")
+        with DissociationService(
+            db, backend="sqlite", workers=2, calibrate=True
+        ) as service:
+            results = service.evaluate_many(queries, ALL_PLANS)
+            stats = service.stats()
+        assert 0.5 <= stats["write_factor"] <= 16.0
+        for query, result in zip(queries, results):
+            assert_scores_close(
+                result.scores,
+                serial.propagation_score(query, ALL_PLANS),
+                1e-12,
+            )
+
+    def test_stats_report_batching_and_dag_sharing(self):
+        _, queries = overlapping_mix()
+        db = chain_database(5, 30, seed=15, p_max=0.5)
+        with DissociationService(
+            db,
+            workers=1,
+            max_batch_size=16,
+            max_batch_delay=0.05,
+            collect_dag_stats=True,
+        ) as service:
+            service.gather(
+                [service.submit(q) for q in queries for _ in range(2)]
+            )
+            stats = service.stats()
+        assert stats["queries"] == 2 * len(queries)
+        assert stats["batches"] < stats["queries"]  # batching happened
+        assert stats["mean_batch_size"] > 1.0
+        assert stats["dag"]["dedup_ratio"] > 1.0
+        assert stats["sessions"]
+
+    def test_error_propagates_through_future(self):
+        db = chain_database(3, 10, seed=16, p_max=0.5)
+        missing = parse_query("q() :- NoSuchTable(x, y)")
+        with DissociationService(db, workers=1) as service:
+            future = service.submit(missing)
+            with pytest.raises(Exception):
+                future.result(timeout=30)
+            # the worker survives an erroring batch
+            ok = service.evaluate(chain_query(3))
+        assert ok.scores == DissociationEngine(db).propagation_score(
+            chain_query(3)
+        )
+
+    def test_async_front_end(self):
+        import asyncio
+
+        db = chain_database(4, 20, seed=17, p_max=0.5)
+        query = chain_query(4)
+
+        async def main(service):
+            return await asyncio.gather(
+                service.submit_async(query),
+                service.submit_async(query),
+            )
+
+        with DissociationService(db, workers=1) as service:
+            first, second = asyncio.run(main(service))
+        assert first.scores == second.scores
+
+    def test_submit_after_close_rejected(self):
+        db = chain_database(3, 10, seed=18, p_max=0.5)
+        service = DissociationService(db, workers=1)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(chain_query(3))
+
+
+# ----------------------------------------------------------------------
+# concurrency stress: many clients, mutations mid-stream
+# ----------------------------------------------------------------------
+class _Harness:
+    """Drives one service from many client threads while the database
+    mutates, recording every (query, result) pair."""
+
+    def __init__(self, service, queries, requests_per_client, clients, opts):
+        self.service = service
+        self.queries = queries
+        self.requests_per_client = requests_per_client
+        self.clients = clients
+        self.opts = opts
+        self.observed: list = []
+        self._lock = threading.Lock()
+        self.errors: list = []
+
+    def _client(self, seed: int) -> None:
+        rng = random.Random(seed)
+        try:
+            for _ in range(self.requests_per_client):
+                query = rng.choice(self.queries)
+                result = self.service.submit(query, self.opts).result(60)
+                with self._lock:
+                    self.observed.append((query, result))
+        except BaseException as exc:  # noqa: BLE001 - surfaced in the test
+            with self._lock:
+                self.errors.append(exc)
+
+    def run(self, mutate_between=None) -> None:
+        threads = [
+            threading.Thread(target=self._client, args=(seed,))
+            for seed in range(self.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        if mutate_between is not None:
+            mutate_between()
+        for thread in threads:
+            thread.join()
+
+
+def _expected_for_epoch(db, queries, opts, backend="memory"):
+    engine = DissociationEngine(db, backend=backend)
+    return {
+        (q, q.head_order): engine.propagation_score(q, opts)
+        for q in queries
+    }
+
+
+class TestConcurrencyStress:
+    def test_memory_stress_with_mutations_bit_identical_per_epoch(self):
+        _, queries = overlapping_mix()
+        db = chain_database(5, 40, seed=19, p_max=0.5)
+        opts = ALL_PLANS
+        expected = {db.version: _expected_for_epoch(db, queries, opts)}
+        with DissociationService(
+            db, workers=4, max_batch_size=8, max_batch_delay=0.005
+        ) as service:
+            harness = _Harness(service, queries, 15, 6, opts)
+
+            def mutate_twice():
+                for step in range(2):
+                    time.sleep(0.05)
+                    service.mutate(
+                        lambda d: d.table("R1").insert(
+                            (10_000 + step, 10_001 + step), 0.5
+                        )
+                    )
+                    # epoch is stable until the next mutate(); compute
+                    # the new expectation while clients keep running
+                    expected[db.version] = _expected_for_epoch(
+                        db, queries, opts
+                    )
+
+            harness.run(mutate_between=mutate_twice)
+        assert not harness.errors, harness.errors
+        assert len(harness.observed) == 6 * 15
+        seen_epochs = set()
+        for query, result in harness.observed:
+            seen_epochs.add(result.epoch)
+            assert result.epoch in expected, "result from unknown epoch"
+            baseline = expected[result.epoch][(query, query.head_order)]
+            # bit-identical: stale-epoch cache reuse would show up here
+            assert result.scores == baseline
+        assert len(seen_epochs) >= 1
+
+    def test_sqlite_stress_with_mutation_per_epoch(self):
+        _, queries = overlapping_mix()
+        db = chain_database(5, 30, seed=20, p_max=0.5)
+        opts = ALL_PLANS
+        expected = {
+            db.version: _expected_for_epoch(db, queries, opts, "sqlite")
+        }
+        with DissociationService(
+            db,
+            backend="sqlite",
+            workers=3,
+            max_batch_size=8,
+            max_batch_delay=0.005,
+        ) as service:
+            harness = _Harness(service, queries, 8, 4, opts)
+
+            def mutate_once():
+                time.sleep(0.05)
+                service.mutate(
+                    lambda d: d.table("R2").insert((20_000, 20_001), 0.4)
+                )
+                expected[db.version] = _expected_for_epoch(
+                    db, queries, opts, "sqlite"
+                )
+
+            harness.run(mutate_between=mutate_once)
+        assert not harness.errors, harness.errors
+        for query, result in harness.observed:
+            assert result.epoch in expected
+            baseline = expected[result.epoch][(query, query.head_order)]
+            assert_scores_close(result.scores, baseline, 1e-9)
+
+    def test_shared_namespace_consistent_across_sessions(self):
+        namespace = SharedViewNamespace()
+        first = namespace.name_for(42, "key-a")
+        again = namespace.name_for(42, "key-a")
+        other = namespace.name_for(42, "key-b")  # digest collision
+        assert first == again
+        assert other != first
+        namespace.note_materialized("key-a", first)
+        namespace.note_materialized("key-a", first)  # second session
+        assert namespace.sessions_holding("key-a") == 2
+        namespace.note_evicted("key-a", first)
+        assert namespace.sessions_holding("key-a") == 1
+        stats = namespace.stats()
+        assert stats["materializations"] == 2
+        assert stats["evictions"] == 1
+
+
+# ----------------------------------------------------------------------
+# regressions
+# ----------------------------------------------------------------------
+class TestRegressions:
+    def test_workers_survive_burst_races(self):
+        """Two workers racing for one burst: the loser must go back to
+        waiting, not treat the drained queue as shutdown."""
+        db = chain_database(3, 15, seed=25, p_max=0.5)
+        query = chain_query(3)
+        service = DissociationService(
+            db, workers=2, max_batch_size=2, max_batch_delay=0.0
+        )
+        try:
+            for _ in range(12):
+                futures = [service.submit(query) for _ in range(2)]
+                service.gather(futures, timeout=30)
+            assert all(t.is_alive() for t in service._threads)
+        finally:
+            service.close()
+
+    def test_materialized_parent_of_scope_cte_child(self):
+        """A registered view whose subtree references a scope CTE must
+        inline the definition (the DDL runs outside the statement whose
+        WITH clause holds it)."""
+        from repro.core import Variable, parse_query
+        from repro.core.plans import Join, Project, Scan
+        from repro.db import ProbabilisticDatabase, SQLiteBackend
+        from repro.engine import SQLCompiler, StatementScope
+
+        db = ProbabilisticDatabase()
+        db.add_table("R", [((1, 2), 0.5), ((1, 3), 0.6), ((2, 3), 0.7)])
+        db.add_table("S", [((1,), 0.5), ((2,), 0.4)])
+        db.add_table("T", [((1,), 0.3), ((2,), 0.8)])
+        x = Variable("x")
+        shared = Project(
+            [x], Scan(parse_query("q(x, y) :- R(x, y)").atoms[0])
+        )
+        scan_s = Scan(parse_query("q(x) :- S(x)").atoms[0])
+        scan_t = Scan(parse_query("q(x) :- T(x)").atoms[0])
+        parent_a = Project([], Join([shared, scan_s]))
+        parent_b = Project([], Join([shared, scan_t]))
+        backend = SQLiteBackend(db)
+        registry = backend.view_registry
+        compiler = SQLCompiler(db.schema, reuse_views=True)
+        from repro.engine import subplan_reference_counts
+
+        scope = StatementScope(
+            subplan_reference_counts(
+                [parent_a, parent_b], include_joins=True
+            )
+        )
+        materialize_parents = {parent_a, parent_b}
+        refs = []
+        for plan in (parent_a, parent_b):
+            created, ref = compiler.compile_selective(
+                plan,
+                registry,
+                lambda node: node in materialize_parents,
+                scope=scope,
+            )
+            refs.append(ref)
+        # the shared child became a statement CTE, both parents views
+        assert scope.cte_nodes and shared in scope.cte_nodes
+        assert parent_a in registry and parent_b in registry
+        for ref in refs:
+            rows = backend.execute(f"SELECT * FROM {ref}")
+            assert len(rows) == 1  # Boolean aggregate
+        backend.close()
+
+    def test_concurrent_mutators_both_complete(self):
+        db = chain_database(3, 15, seed=26, p_max=0.5)
+        query = chain_query(3)
+        with DissociationService(db, workers=2) as service:
+            stop = threading.Event()
+
+            def load():
+                while not stop.is_set():
+                    service.evaluate(query)
+
+            loader = threading.Thread(target=load)
+            loader.start()
+            try:
+                mutators = [
+                    threading.Thread(
+                        target=lambda i=i: service.mutate(
+                            lambda d: d.table("R1").insert(
+                                (30_000 + i, 30_001 + i), 0.5
+                            )
+                        ),
+                    )
+                    for i in range(4)
+                ]
+                for thread in mutators:
+                    thread.start()
+                for thread in mutators:
+                    thread.join(timeout=30)
+                    assert not thread.is_alive(), "mutator starved"
+            finally:
+                stop.set()
+                loader.join(timeout=30)
+        assert service.stats()["mutations"] == 4
+
+    def test_namespace_census_exact_across_snapshot_rebuilds(self):
+        """Dropping a SQLite snapshot (mutation-triggered rebuild) must
+        release its views from the shared namespace census."""
+        db = chain_database(3, 20, seed=27, p_max=0.5)
+        # Boolean chain: its minimal plans share projections, so the
+        # zero write factor materializes views on the first call
+        query = chain_query(3, boolean=True)
+        with DissociationService(
+            db, backend="sqlite", workers=1, write_factor=0.0
+        ) as service:
+            service.evaluate(query, ALL_PLANS)
+            before = service.namespace.stats()
+            assert before["live_views"] > 0
+            service.mutate(
+                lambda d: d.table("R1").insert((40_000, 40_001), 0.5)
+            )
+            service.evaluate(query, ALL_PLANS)
+            after = service.namespace.stats()
+            sessions = service.stats()["sessions"]
+        # the rebuilt snapshot re-registered the same views once: the
+        # census must equal what the live registries actually hold
+        live_per_registry = sum(s["cache"]["size"] for s in sessions)
+        assert after["live_views"] == live_per_registry
+        assert after["evictions"] >= before["live_views"]
+
+    def test_namespace_name_map_is_bounded(self):
+        namespace = SharedViewNamespace()
+        namespace.MAX_NAME_ENTRIES = 8
+        for i in range(50):
+            namespace.name_for(i, f"key-{i}")
+        assert namespace.stats()["known_names"] <= 8
+        # live entries survive the cap
+        live_name = namespace.name_for(999, "live-key")
+        namespace.note_materialized("live-key", live_name)
+        for i in range(100, 150):
+            namespace.name_for(i, f"key-{i}")
+        assert namespace.name_for(999, "live-key") == live_name

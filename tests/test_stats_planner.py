@@ -381,3 +381,169 @@ class TestEstimatePlan:
         scan = Scan(q.atoms[0])
         estimate = estimate_plan(scan, cache.table_statistics, cache.code_of)
         assert estimate.rows == 4.0
+
+
+class TestSQLiteStatisticsCatalog:
+    """The pure-SQL statistics path: no in-RAM encodings for sqlite-only
+    deployments, token-keyed invalidation, and agreement with the
+    in-memory catalog's counts."""
+
+    def test_counts_agree_with_memory_catalog(self):
+        from repro.db import SQLiteBackend
+        from repro.engine.stats import SQLiteStatisticsCatalog
+        from repro.workloads import chain_database
+
+        db = chain_database(3, 50, seed=21, p_max=0.5)
+        backend = SQLiteBackend(db)
+        sql_catalog = SQLiteStatisticsCatalog(backend)
+        cache = EvaluationCache(db)
+        for name in db.table_names:
+            sql_stats = sql_catalog.table_stats(name)
+            mem_stats = cache.table_statistics(name)
+            assert sql_stats.rows == mem_stats.rows
+            assert len(sql_stats.columns) == len(mem_stats.columns)
+            for sql_col, mem_col in zip(
+                sql_stats.columns, mem_stats.columns
+            ):
+                assert sql_col.count == mem_col.count
+                assert sql_col.distinct == mem_col.distinct
+                # the sketches cover the same total frequency mass
+                assert sum(c for _, c in sql_col.mcv) == sum(
+                    c for _, c in mem_col.mcv
+                )
+        backend.close()
+
+    def test_identity_code_of_prices_constants(self):
+        from repro.db import SQLiteBackend
+        from repro.engine.stats import SQLiteStatisticsCatalog
+
+        db = _db()
+        backend = SQLiteBackend(db)
+        catalog = SQLiteStatisticsCatalog(backend)
+        q = parse_query("q(y) :- R(1, y)")
+        profile = scan_profile(
+            q.atoms[0], catalog.table_stats("R"), catalog.code_of
+        )
+        # value 1 occurs twice among four rows
+        assert profile.rows == pytest.approx(2.0)
+        backend.close()
+
+    def test_token_keyed_invalidation(self):
+        from repro.db import SQLiteBackend
+        from repro.engine.stats import SQLiteStatisticsCatalog
+
+        db = _db()
+        backend = SQLiteBackend(db)
+        catalog = SQLiteStatisticsCatalog(backend)
+        first = catalog.table_stats("R", token="a")
+        assert catalog.table_stats("R", token="a") is first  # cached
+        assert catalog.recomputations == 1
+        second = catalog.table_stats("R", token="b")  # token moved
+        assert catalog.recomputations == 2
+        assert second.rows == first.rows
+        backend.close()
+
+    def test_sqlite_evaluation_builds_no_ram_encodings(self):
+        from repro.workloads import chain_database, chain_query
+
+        q = chain_query(3)
+        db = chain_database(3, 40, seed=22, p_max=0.5)
+        engine = DissociationEngine(db, backend="sqlite")
+        engine.propagation_score(
+            q, Optimizations(single_plan=False, reuse_views=True)
+        )
+        engine.propagation_score(q, Optimizations())
+        # pricing went through SQL aggregates: the memory-side cache
+        # (and with it the encoded copies of every table) was never built
+        assert engine._memory_cache is None
+
+
+class TestReducedTableStatistics:
+    """Satellite: semi-join pricing uses the *reduced* tables' stats."""
+
+    def _selective_db(self):
+        db = ProbabilisticDatabase()
+        # R is large but only one tuple of R survives the semi-join with S
+        db.add_table(
+            "R", [((i, i + 1000), 0.5) for i in range(200)]
+        )
+        db.add_table("S", [((1000, 5), 0.5)])
+        return db
+
+    def test_reduced_stats_shrink_the_estimates(self):
+        from repro.engine.semijoin import semijoin_statements
+        from repro.core.plans import Scan
+
+        db = self._selective_db()
+        q = parse_query("q() :- R(x, y), S(y, z)")
+        engine = DissociationEngine(db, backend="sqlite")
+        backend = engine.sqlite
+        statements, table_names = semijoin_statements(q, db.schema)
+        backend.run_statements(statements)
+        token = backend.reduction_token(statements, table_names.values())
+        reduced = engine._plan_estimator(
+            table_names=table_names, stats_token=token
+        )
+        base = engine._plan_estimator()
+        scan = Scan(q.atoms[0])
+        assert base(scan).rows == pytest.approx(200.0)
+        assert reduced(scan).rows == pytest.approx(1.0)
+
+    def test_semijoin_evaluation_still_correct(self):
+        db = self._selective_db()
+        q = parse_query("q() :- R(x, y), S(y, z)")
+        for opts in (
+            Optimizations.all(),
+            Optimizations(single_plan=False, reuse_views=True, semijoin=True),
+        ):
+            got = DissociationEngine(db, backend="sqlite").propagation_score(
+                q, opts
+            )
+            want = DissociationEngine(db).propagation_score(q, opts)
+            assert set(got) == set(want)
+            for answer in want:
+                assert got[answer] == pytest.approx(want[answer], abs=1e-12)
+
+
+class TestWriteFactorCalibration:
+    """Satellite: the materialization gate's write factor is measured,
+    not baked in."""
+
+    def test_measure_write_factor_in_clamp_range(self):
+        from repro.db import SQLiteBackend
+
+        db = _db()
+        backend = SQLiteBackend(db)
+        factor = backend.measure_write_factor(sample_rows=512, repeats=2)
+        assert 0.5 <= factor <= 16.0
+        backend.close()
+
+    def test_engine_calibration_installs_the_factor(self):
+        from repro.workloads import chain_database
+
+        db = chain_database(3, 20, seed=23, p_max=0.5)
+        engine = DissociationEngine(db, backend="sqlite")
+        assert engine.write_factor is None
+        factor = engine.calibrate_write_factor(sample_rows=512, repeats=2)
+        assert engine.write_factor == factor
+        assert 0.5 <= factor <= 16.0
+
+    def test_memory_backend_cannot_calibrate(self):
+        db = _db()
+        with pytest.raises(ValueError):
+            DissociationEngine(db).calibrate_write_factor()
+
+    def test_write_factor_steers_the_policy(self):
+        from repro.workloads import chain_database, chain_query
+
+        q = chain_query(5)
+        db = chain_database(5, 40, seed=24, p_max=0.5)
+        all_plans = Optimizations(single_plan=False, reuse_views=True)
+        stingy = DissociationEngine(
+            db, backend="sqlite", write_factor=1e12
+        )
+        stingy.propagation_score(q, all_plans)
+        assert stingy.cache_stats()["misses"] == 0  # nothing materialized
+        eager = DissociationEngine(db, backend="sqlite", write_factor=0.0)
+        eager.propagation_score(q, all_plans)
+        assert eager.cache_stats()["misses"] > 0  # every shared subplan
