@@ -2,14 +2,18 @@
 #
 #   make test        — tier-1 verification (full pytest suite)
 #   make bench       — the current PR's perf micro-benchmarks; writes
-#                      BENCH_PR4.json at the repo root (dissociation
-#                      query service: closed-loop traffic replay, N
-#                      clients × skewed query mix with db mutations,
-#                      service vs serial baseline throughput + p50/p95)
-#                      and refreshes the BENCH_LATEST.json copy
+#                      BENCH_PR5.json at the repo root (unified session
+#                      API: Zipf-skewed traffic replayed through
+#                      repro.connect() serial + concurrent, with and
+#                      without the epoch-keyed result cache; repeat-
+#                      traffic speedups + hit rates) and refreshes the
+#                      BENCH_LATEST.json copy
 #   make bench-quick — CI smoke: chain-5 traffic mix only, writes
-#                      BENCH_PR4.quick.json, asserts batched throughput
-#                      >= the serial baseline
+#                      BENCH_PR5.quick.json, asserts result-cache-warm
+#                      throughput >= engine-warm throughput (and the
+#                      concurrent session >= the serial baseline)
+#   make examples    — run every example under the new connect() API
+#                      (the CI smoke job)
 #   make bench-pr1   — re-run the PR 1 benchmarks (BENCH_PR1.json: seed
 #                      row-at-a-time vs columnar memory engine)
 #   make bench-pr2   — re-run the PR 2 benchmarks (BENCH_PR2.json:
@@ -17,20 +21,29 @@
 #   make bench-pr3   — re-run the PR 3 benchmarks (BENCH_PR3.json:
 #                      Algorithm-3 selective materialization + Selinger
 #                      cost-based join ordering)
-#   make bench-pr4   — alias of the current `make bench`
+#   make bench-pr4   — re-run the PR 4 benchmarks (BENCH_PR4.json:
+#                      dissociation query service traffic replay)
+#   make bench-pr5   — alias of the current `make bench`
 
 PYTHON ?= python
 
-.PHONY: test bench bench-quick bench-pr1 bench-pr2 bench-pr3 bench-pr4
+.PHONY: test bench bench-quick examples \
+	bench-pr1 bench-pr2 bench-pr3 bench-pr4 bench-pr5
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr5.py
 
 bench-quick:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4.py --quick
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr5.py --quick
+
+examples:
+	@set -e; for example in examples/*.py; do \
+		echo "== $$example"; \
+		PYTHONPATH=src $(PYTHON) $$example > /dev/null; \
+	done; echo "all examples OK"
 
 bench-pr1:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr1.py
@@ -43,3 +56,6 @@ bench-pr3:
 
 bench-pr4:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4.py
+
+bench-pr5:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr5.py

@@ -34,7 +34,8 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-from repro.db import SQLiteBackend  # noqa: E402 - path bootstrap above
+from repro.api import EngineConfig  # noqa: E402 - path bootstrap above
+from repro.db import SQLiteBackend  # noqa: E402
 from repro.engine import (  # noqa: E402
     DissociationEngine,
     Optimizations,
@@ -97,7 +98,7 @@ def all_plans_workload(name: str, query, db, repeats: int = REPEATS) -> dict:
     plans = DissociationEngine(db).minimal_plans(query)
 
     def after_cold():
-        return DissociationEngine(db, backend="sqlite").propagation_score(
+        return DissociationEngine(db, EngineConfig(backend="sqlite")).propagation_score(
             query, ALL_PLANS
         )
 
@@ -115,7 +116,7 @@ def all_plans_workload(name: str, query, db, repeats: int = REPEATS) -> dict:
 
     before = best_of(lambda: evaluate_before(db, query, plans), repeats)
     cold = best_of(after_cold, repeats)
-    warm_engine = DissociationEngine(db, backend="sqlite")
+    warm_engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
     warm_engine.propagation_score(query, ALL_PLANS)  # warm the registry
     warm = best_of(
         lambda: warm_engine.propagation_score(query, ALL_PLANS), repeats

@@ -41,7 +41,8 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-from repro.db import SQLiteBackend  # noqa: E402 - path bootstrap above
+from repro.api import EngineConfig  # noqa: E402 - path bootstrap above
+from repro.db import SQLiteBackend  # noqa: E402
 from repro.engine import (  # noqa: E402
     DissociationEngine,
     Optimizations,
@@ -113,7 +114,7 @@ def sqlite_workload(name: str, query, db, repeats: int = REPEATS) -> dict:
     plans = DissociationEngine(db).minimal_plans(query)
 
     def after_cold():
-        return DissociationEngine(db, backend="sqlite").propagation_score(
+        return DissociationEngine(db, EngineConfig(backend="sqlite")).propagation_score(
             query, ALL_PLANS
         )
 
@@ -139,7 +140,7 @@ def sqlite_workload(name: str, query, db, repeats: int = REPEATS) -> dict:
         started = time.perf_counter()
         after_cold()
         cold = min(cold, time.perf_counter() - started)
-    warm_engine = DissociationEngine(db, backend="sqlite")
+    warm_engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
     # two warm-up calls: the second promotes the subplans Algorithm 3
     # kept inline on the cold call, reaching the steady state
     warm_engine.propagation_score(query, ALL_PLANS)
@@ -149,7 +150,7 @@ def sqlite_workload(name: str, query, db, repeats: int = REPEATS) -> dict:
     )
     stats = warm_engine.cache_stats()
 
-    cold_engine = DissociationEngine(db, backend="sqlite")
+    cold_engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
     cold_engine.propagation_score(query, ALL_PLANS)
     cold_stats = cold_engine.cache_stats()
 
@@ -194,10 +195,10 @@ def ordering_workload(name: str, query, db, repeats: int = ORDERING_REPEATS) -> 
     ``tests/test_stats_planner.py``.
     """
     greedy_scores = DissociationEngine(
-        db, join_ordering="greedy"
+        db, EngineConfig(join_ordering="greedy")
     ).propagation_score(query, ALL_PLANS)
     cost_scores = DissociationEngine(
-        db, join_ordering="cost"
+        db, EngineConfig(join_ordering="cost")
     ).propagation_score(query, ALL_PLANS)
     assert greedy_scores == cost_scores, (
         f"{name}: orderings must produce bit-identical scores"
@@ -207,12 +208,12 @@ def ordering_workload(name: str, query, db, repeats: int = ORDERING_REPEATS) -> 
     cost = float("inf")
     for _ in range(repeats):
         started = time.perf_counter()
-        DissociationEngine(db, join_ordering="greedy").propagation_score(
+        DissociationEngine(db, EngineConfig(join_ordering="greedy")).propagation_score(
             query, ALL_PLANS
         )
         greedy = min(greedy, time.perf_counter() - started)
         started = time.perf_counter()
-        DissociationEngine(db, join_ordering="cost").propagation_score(
+        DissociationEngine(db, EngineConfig(join_ordering="cost")).propagation_score(
             query, ALL_PLANS
         )
         cost = min(cost, time.perf_counter() - started)

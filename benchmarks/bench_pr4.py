@@ -44,6 +44,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.api import EngineConfig, ServiceConfig  # noqa: E402
 from repro.core.query import ConjunctiveQuery  # noqa: E402
 from repro.engine import DissociationEngine, Optimizations  # noqa: E402
 from repro.service import DissociationService  # noqa: E402
@@ -191,7 +192,7 @@ def replay_serial(
     baseline: bool,
 ) -> dict:
     db = db_factory()
-    engine = DissociationEngine(db, backend=backend)
+    engine = DissociationEngine(db, EngineConfig(backend=backend))
     latencies: list[float] = []
     started = time.perf_counter()
     for i, query in enumerate(requests):
@@ -227,14 +228,15 @@ def replay_service(
 
     with DissociationService(
         db,
-        backend=backend,
-        workers=workers,
-        max_batch_size=max_batch_size,
-        max_batch_delay=max_batch_delay,
-        # timed arm: skip the observability DAG (costs a second plan
-        # enumeration per batch); dedup is still reported from a
-        # separate untimed pass below
-        collect_dag_stats=False,
+        EngineConfig(backend=backend),
+        # timed arm: the default ServiceConfig skips the observability
+        # DAG (costs a second plan enumeration per batch); dedup is
+        # still reported from a separate untimed pass below
+        ServiceConfig(
+            workers=workers,
+            max_batch_size=max_batch_size,
+            max_batch_delay=max_batch_delay,
+        ),
     ) as service:
 
         def client(part: list[ConjunctiveQuery]) -> None:
@@ -304,9 +306,11 @@ def dag_dedup_ratio(db_factory, queries) -> float:
 def check_correctness(db_factory, backend: str, queries, workers: int) -> float:
     """Service results vs serial evaluation (pre-timing sanity)."""
     db = db_factory()
-    serial = DissociationEngine(db, backend=backend)
+    serial = DissociationEngine(db, EngineConfig(backend=backend))
     worst = 0.0
-    with DissociationService(db, backend=backend, workers=workers) as service:
+    with DissociationService(
+        db, EngineConfig(backend=backend), ServiceConfig(workers=workers)
+    ) as service:
         results = service.evaluate_many(queries, OPTS)
     for query, result in zip(queries, results):
         expected = serial.propagation_score(query, OPTS)

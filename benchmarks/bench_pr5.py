@@ -1,0 +1,407 @@
+"""PR 5 benchmarks: the unified session API's epoch-keyed result cache.
+
+Replays the PR-4 closed-loop traffic shapes through ``repro.connect()``
+and measures what the session-level :class:`~repro.api.ResultCache`
+buys on repeat traffic. Requests are drawn Zipf-skewed from a mix of
+overlapping queries — a few hot queries, a tail of variants — so most
+requests are *repeats* of a recently answered query under an unchanged
+database epoch: exactly what the cache serves without touching the
+engine.
+
+Arms (identical request sequences and mutation schedules):
+
+* ``engine_warm`` — the pre-PR-5 serial path: one engine, one request
+  at a time, all engine-level caches warm between mutations. The
+  baseline the result cache must beat.
+* ``session_serial`` — ``connect(db)``: the same serial requests
+  through a session; repeats hit the result cache.
+* ``service_nocache`` — ``connect(db, concurrent=True,
+  result_cache_size=0)``: N client threads over the micro-batching
+  service with the result cache disabled (the PR-4 serving path,
+  driven through the facade).
+* ``session_concurrent`` — ``connect(db, concurrent=True)``: the same
+  concurrent clients with the cache on.
+
+Correctness is asserted before timing (session scores bit-identical to
+direct serial evaluation on the memory backend). Writes
+``BENCH_PR5.json`` + ``BENCH_LATEST.json`` (``make bench`` /
+``make bench-pr5``). ``--quick`` / ``BENCH_QUICK=1`` runs the chain-5
+smoke mix only, writes ``BENCH_PR5.quick.json``, and asserts the CI
+gates: result-cache-warm serial throughput >= engine-warm serial
+throughput, and the concurrent session >= the serial engine baseline.
+The full run additionally gates the chain-7 repeat-traffic speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+from bench_pr4 import (  # noqa: E402 - sibling benchmark module
+    chain_mix,
+    mutate,
+    skewed_requests,
+    summarize,
+)
+
+import repro  # noqa: E402
+from repro import EngineConfig, Optimizations, ServiceConfig  # noqa: E402
+from repro.engine import DissociationEngine  # noqa: E402
+from repro.workloads import chain_database  # noqa: E402
+
+OUTPUT = ROOT / "BENCH_PR5.json"
+QUICK_OUTPUT = ROOT / "BENCH_PR5.quick.json"
+LATEST = ROOT / "BENCH_LATEST.json"
+
+#: Serving mode, as in the PR-4 benchmarks: all-plans + view reuse.
+OPTS = Optimizations(single_plan=False, reuse_views=True)
+
+#: Full-run gate: cached serial throughput vs the engine-warm baseline
+#: on the read-mostly chain-7 mix.
+FULL_GATE_REPEAT_SPEEDUP = 2.0
+
+
+# ----------------------------------------------------------------------
+# replay arms
+# ----------------------------------------------------------------------
+def replay_engine_serial(db_factory, requests, mutation_every) -> dict:
+    """The pre-PR-5 serial path: engine only, no result cache."""
+    db = db_factory()
+    engine = DissociationEngine(db, EngineConfig())
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for i, query in enumerate(requests):
+        if mutation_every and i and i % mutation_every == 0:
+            mutate(db, i)
+        t0 = time.perf_counter()
+        engine.evaluate(query, OPTS)
+        latencies.append(time.perf_counter() - t0)
+    out = summarize(latencies, time.perf_counter() - started)
+    out["engine_evaluations"] = engine.evaluation_count
+    return out
+
+
+def replay_session_serial(db_factory, requests, mutation_every) -> dict:
+    """The same serial replay through ``connect(db)`` (cache on)."""
+    db = db_factory()
+    latencies: list[float] = []
+    with repro.connect(db, EngineConfig(), optimizations=OPTS) as session:
+        started = time.perf_counter()
+        for i, query in enumerate(requests):
+            if mutation_every and i and i % mutation_every == 0:
+                session.mutate(lambda d: mutate(d, i))
+            t0 = time.perf_counter()
+            session.evaluate(query)
+            latencies.append(time.perf_counter() - t0)
+        wall = time.perf_counter() - started
+        stats = session.stats()
+    out = summarize(latencies, wall)
+    cache = stats["result_cache"]
+    out["cache_hits"] = cache["hits"]
+    out["cache_misses"] = cache["misses"]
+    out["hit_rate"] = cache["hits"] / max(1, cache["hits"] + cache["misses"])
+    out["engine_evaluations"] = stats["engine"]["evaluations"]
+    out["plan_memo"] = stats["engine"]["plan_memo"]
+    return out
+
+
+def replay_session_concurrent(
+    db_factory,
+    requests,
+    mutation_every,
+    clients: int,
+    workers: int,
+    result_cache_size: int | None,
+) -> dict:
+    """N client threads over ``connect(db, concurrent=True)``."""
+    db = db_factory()
+    slices: list[list] = [[] for _ in range(clients)]
+    for i, query in enumerate(requests):
+        slices[i % clients].append(query)
+    latencies: list[float] = []
+    lock = threading.Lock()
+    completed = 0
+    done = threading.Event()
+
+    with repro.connect(
+        db,
+        EngineConfig(),
+        concurrent=True,
+        service=ServiceConfig(workers=workers),
+        optimizations=OPTS,
+        result_cache_size=result_cache_size,
+    ) as session:
+
+        def client(part) -> None:
+            nonlocal completed
+            for query in part:
+                t0 = time.perf_counter()
+                session.evaluate(query)
+                elapsed = time.perf_counter() - t0
+                with lock:
+                    latencies.append(elapsed)
+                    completed += 1
+
+        def mutator() -> None:
+            applied = 0
+            while not done.is_set():
+                with lock:
+                    due = (
+                        mutation_every
+                        and completed >= (applied + 1) * mutation_every
+                    )
+                if due:
+                    applied += 1
+                    session.mutate(
+                        lambda d: mutate(d, applied * mutation_every)
+                    )
+                else:
+                    time.sleep(0.0005)
+
+        threads = [
+            threading.Thread(target=client, args=(part,))
+            for part in slices
+            if part
+        ]
+        mutator_thread = (
+            threading.Thread(target=mutator) if mutation_every else None
+        )
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        if mutator_thread:
+            mutator_thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        done.set()
+        if mutator_thread:
+            mutator_thread.join()
+        stats = session.stats()
+    out = summarize(latencies, wall)
+    cache = stats["result_cache"]
+    out["cache_hits"] = cache["hits"]
+    out["cache_misses"] = cache["misses"]
+    out["hit_rate"] = cache["hits"] / max(1, cache["hits"] + cache["misses"])
+    out["service_queries"] = stats["service"]["queries"]
+    out["mean_batch_size"] = stats["service"]["mean_batch_size"]
+    return out
+
+
+def check_correctness(db_factory, queries, workers: int) -> None:
+    """Session results (serial + concurrent, cached repeats included)
+    must be bit-identical to direct serial evaluation."""
+    db = db_factory()
+    engine = DissociationEngine(db, EngineConfig())
+    expected = {q: engine.propagation_score(q, OPTS) for q in queries}
+    with repro.connect(db, EngineConfig(), optimizations=OPTS) as session:
+        for q in queries:
+            assert session.evaluate(q).scores == expected[q]
+            repeat = session.evaluate(q)
+            assert repeat.cached and repeat.scores == expected[q]
+    with repro.connect(
+        db,
+        EngineConfig(),
+        concurrent=True,
+        service=ServiceConfig(workers=workers),
+        optimizations=OPTS,
+    ) as session:
+        for result, q in zip(session.evaluate_many(queries), queries):
+            assert result.scores == expected[q]
+        for q in queries:  # second pass: served from the result cache
+            repeat = session.evaluate(q)
+            assert repeat.cached and repeat.scores == expected[q]
+
+
+def run_mix(
+    name: str,
+    db_factory,
+    queries,
+    request_count: int,
+    mutation_every: int,
+    clients: int,
+    workers: int,
+    seed: int,
+) -> dict:
+    requests = skewed_requests(queries, request_count, seed)
+    check_correctness(db_factory, queries, workers)
+    engine_warm = replay_engine_serial(db_factory, requests, mutation_every)
+    session_serial = replay_session_serial(
+        db_factory, requests, mutation_every
+    )
+    service_nocache = replay_session_concurrent(
+        db_factory, requests, mutation_every, clients, workers,
+        result_cache_size=0,
+    )
+    session_concurrent = replay_session_concurrent(
+        db_factory, requests, mutation_every, clients, workers,
+        result_cache_size=1024,
+    )
+    entry = {
+        "distinct_queries": len(queries),
+        "requests": request_count,
+        "mutation_every": mutation_every,
+        "clients": clients,
+        "workers": workers,
+        "engine_warm": engine_warm,
+        "session_serial": session_serial,
+        "service_nocache": service_nocache,
+        "session_concurrent": session_concurrent,
+        "repeat_speedup_serial": (
+            session_serial["throughput_rps"] / engine_warm["throughput_rps"]
+        ),
+        "repeat_speedup_concurrent": (
+            session_concurrent["throughput_rps"]
+            / service_nocache["throughput_rps"]
+        ),
+        "concurrent_vs_engine_warm": (
+            session_concurrent["throughput_rps"]
+            / engine_warm["throughput_rps"]
+        ),
+    }
+    print(
+        f"{name:<14} engine-warm={engine_warm['throughput_rps']:8.1f} rps  "
+        f"session={session_serial['throughput_rps']:8.1f} rps "
+        f"(hit {session_serial['hit_rate']:.0%}, "
+        f"{session_serial['engine_evaluations']} evals)  "
+        f"service={service_nocache['throughput_rps']:8.1f} rps  "
+        f"session+cc={session_concurrent['throughput_rps']:8.1f} rps "
+        f"(hit {session_concurrent['hit_rate']:.0%})  "
+        f"repeat-speedup={entry['repeat_speedup_serial']:5.2f}x serial / "
+        f"{entry['repeat_speedup_concurrent']:5.2f}x concurrent"
+    )
+    return entry
+
+
+def run_workloads(quick: bool) -> dict:
+    workloads: dict[str, dict] = {}
+    workloads["chain5_quick"] = run_mix(
+        "chain5_quick",
+        lambda: chain_database(5, 500, seed=42, p_max=0.5),
+        chain_mix(5),
+        request_count=160,
+        mutation_every=0,
+        clients=8,
+        workers=2,
+        seed=99,
+    )
+    if quick:
+        return workloads
+    # The acceptance workload: the chain-7 Zipf mix replayed through
+    # connect(concurrent=True), read-mostly (repeat traffic).
+    workloads["chain7_mix"] = run_mix(
+        "chain7_mix",
+        lambda: chain_database(7, 1000, seed=42, p_max=0.5),
+        chain_mix(7),
+        request_count=240,
+        mutation_every=0,
+        clients=8,
+        workers=4,
+        seed=100,
+    )
+    # Same mix with mutations every 24 completed requests: every bump
+    # cold-starts the result cache (epoch key), so this bounds the win
+    # under churn and exercises invalidation under concurrent traffic.
+    workloads["chain7_mix_mutating"] = run_mix(
+        "chain7_mix_mutating",
+        lambda: chain_database(7, 1000, seed=42, p_max=0.5),
+        chain_mix(7),
+        request_count=240,
+        mutation_every=24,
+        clients=8,
+        workers=4,
+        seed=101,
+    )
+    return workloads
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:] or os.environ.get("BENCH_QUICK") == "1"
+    print(
+        "PR 5 benchmark — unified session API: epoch-keyed result cache "
+        "over the serial engine and the batching service\n"
+    )
+    workloads = run_workloads(quick)
+    report = {
+        "pr": 5,
+        "description": (
+            "Closed-loop Zipf-skewed traffic replayed through "
+            "repro.connect(): engine_warm = serial engine without a "
+            "result cache (pre-PR-5 path); session_serial = the same "
+            "requests through connect(db) with the epoch-keyed "
+            "ResultCache; service_nocache = connect(concurrent=True, "
+            "result_cache_size=0) with N client threads (the PR-4 "
+            "serving path via the facade); session_concurrent = the "
+            "same with the cache on. All-plans + reuse_views mode; "
+            "correctness (bit-identity vs direct serial evaluation) "
+            "asserted before timing."
+        ),
+        "optimizations": "all plans + reuse_views",
+        "quick": quick,
+        "workloads": workloads,
+    }
+    if quick:
+        QUICK_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nquick mode: wrote {QUICK_OUTPUT}")
+        entry = workloads["chain5_quick"]
+        failures = []
+        if entry["repeat_speedup_serial"] < 1.0:
+            failures.append(
+                f"result-cache-warm serial throughput "
+                f"({entry['session_serial']['throughput_rps']:.1f} rps) "
+                f"below the engine-warm baseline "
+                f"({entry['engine_warm']['throughput_rps']:.1f} rps)"
+            )
+        if entry["concurrent_vs_engine_warm"] < 1.0:
+            failures.append(
+                f"concurrent session throughput "
+                f"({entry['session_concurrent']['throughput_rps']:.1f} "
+                f"rps) below the engine-warm baseline"
+            )
+        if failures:
+            raise SystemExit(f"smoke gate failed: {failures}")
+        print(
+            f"smoke gate OK: cached "
+            f"{entry['session_serial']['throughput_rps']:.1f} rps >= "
+            f"engine-warm {entry['engine_warm']['throughput_rps']:.1f} rps "
+            f"({entry['repeat_speedup_serial']:.2f}x); concurrent session "
+            f"{entry['concurrent_vs_engine_warm']:.2f}x"
+        )
+        return
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    shutil.copyfile(OUTPUT, LATEST)
+    print(f"\nwrote {OUTPUT} (+ {LATEST.name})")
+    gates = {
+        "chain7_mix repeat speedup (serial)": (
+            workloads["chain7_mix"]["repeat_speedup_serial"],
+            FULL_GATE_REPEAT_SPEEDUP,
+        ),
+        "chain7_mix repeat speedup (concurrent)": (
+            workloads["chain7_mix"]["repeat_speedup_concurrent"],
+            1.0,
+        ),
+        "chain7_mix_mutating cached >= uncached": (
+            workloads["chain7_mix_mutating"]["repeat_speedup_serial"],
+            0.9,  # mutations cold-start the cache; must not regress
+        ),
+    }
+    failed = {k: v for k, (v, t) in gates.items() if v < t}
+    if failed:
+        raise SystemExit(f"repeat-traffic gate failed: {failed}")
+    print(
+        "repeat-traffic gate OK: "
+        f"{ {k: round(v, 2) for k, (v, _) in gates.items()} }"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,7 @@ pure-Python evaluator wins at small scales (no materialization cost);
 SQLite wins once tables grow (C joins beat Python dict joins).
 """
 
+from repro import EngineConfig
 from repro.engine import DissociationEngine, Optimizations
 from repro.experiments import format_table, timed
 from repro.workloads import chain_database, chain_query
@@ -17,8 +18,8 @@ def test_backend_ablation(report, benchmark):
     rows = []
     for n in SIZES:
         db = chain_database(4, n, seed=80, p_max=0.5)
-        memory_engine = DissociationEngine(db, backend="memory")
-        sqlite_engine = DissociationEngine(db, backend="sqlite")
+        memory_engine = DissociationEngine(db, EngineConfig(backend="memory"))
+        sqlite_engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         sqlite_engine.sqlite  # materialize outside the timed region
         mem_s, mem_scores = timed(lambda: memory_engine.propagation_score(q))
         sql_s, sql_scores = timed(lambda: sqlite_engine.propagation_score(q))
@@ -33,7 +34,7 @@ def test_backend_ablation(report, benchmark):
     report("ABLATION — backends", table)
 
     db = chain_database(4, 1000, seed=80, p_max=0.5)
-    engine = DissociationEngine(db, backend="memory")
+    engine = DissociationEngine(db, EngineConfig(backend="memory"))
     benchmark.pedantic(
         lambda: engine.propagation_score(q, Optimizations()),
         rounds=3,

@@ -6,6 +6,7 @@ deterministic, and the runtime effect of evaluating fewer plans.
 """
 
 from repro.core import ColumnFD, minimal_plans
+from repro import EngineConfig
 from repro.engine import DissociationEngine, Optimizations
 from repro.experiments import format_table, timed
 from repro.workloads import chain_database, chain_query
@@ -43,11 +44,11 @@ def test_schema_knowledge_ablation(report, benchmark):
         k, 300, seed=85, p_max=0.5,
         deterministic_tables=frozenset({"R2", "R4", "R6"}),
     )
-    engine = DissociationEngine(db, backend="sqlite")
+    engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
     engine.sqlite
     aware_s, _ = timed(lambda: engine.propagation_score(q, Optimizations()))
     oblivious = DissociationEngine(
-        db, backend="sqlite", use_schema_knowledge=False
+        db, EngineConfig(backend="sqlite", use_schema_knowledge=False)
     )
     oblivious.sqlite
     oblivious_s, _ = timed(

@@ -7,6 +7,7 @@ while evaluating all plans separately grows markedly slower; the semi-join
 reduction has constant overhead that amortizes at scale.
 """
 
+from repro import EngineConfig
 from repro.experiments import dissociation_timings, format_table
 from repro.workloads import chain_database, chain_query
 
@@ -52,7 +53,7 @@ def test_fig5a(report, benchmark):
 
     q = chain_query(4)
     db = chain_database(4, 1000, seed=41, p_max=0.5)
-    engine = DissociationEngine(db, backend="sqlite")
+    engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
     engine.sqlite
     opts = Optimizations(single_plan=True, reuse_views=True)
     benchmark.pedantic(

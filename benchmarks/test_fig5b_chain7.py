@@ -6,6 +6,7 @@ reports the optimized evaluation within a factor 2–3 of deterministic SQL
 at large scales).
 """
 
+from repro import EngineConfig
 from repro.engine import DissociationEngine, Optimizations
 from repro.experiments import OPTIMIZATION_MODES, dissociation_timings, format_table
 from repro.workloads import chain_database, chain_query
@@ -52,7 +53,7 @@ def test_fig5b(report, benchmark):
     assert small.seconds["opt12"] < small.seconds["all_plans"]
 
     db = chain_database(7, 300, seed=42, p_max=0.5)
-    engine = DissociationEngine(db, backend="sqlite")
+    engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
     engine.sqlite
     opts = Optimizations(single_plan=True, reuse_views=True)
     benchmark.pedantic(

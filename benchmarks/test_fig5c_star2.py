@@ -5,6 +5,7 @@ Opt1-2 coincide (no shared subplans to reuse in the 2-star) and everything
 stays close to deterministic SQL.
 """
 
+from repro import EngineConfig
 from repro.engine import DissociationEngine, Optimizations
 from repro.experiments import dissociation_timings, format_table
 from repro.workloads import star_database, star_query
@@ -42,7 +43,7 @@ def test_fig5c(report, benchmark):
     assert last.seconds["opt12"] < last.seconds["opt1"] * 3 + 0.05
 
     db = star_database(2, 1000, seed=43, p_max=0.5)
-    engine = DissociationEngine(db, backend="sqlite")
+    engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
     engine.sqlite
     benchmark.pedantic(
         lambda: engine.propagation_score(q, Optimizations()),

@@ -6,6 +6,7 @@ while the optimized single-plan evaluation grows far slower than the
 all-plans strategy.
 """
 
+from repro import EngineConfig
 from repro.engine import DissociationEngine, Optimizations
 from repro.experiments import OPTIMIZATION_MODES, catalan, dissociation_timings, format_table
 from repro.workloads import chain_database, chain_query
@@ -55,7 +56,7 @@ def test_fig5d(report, benchmark):
 
     q = chain_query(6)
     db = chain_database(6, N_ROWS, seed=44, p_max=0.5)
-    engine = DissociationEngine(db, backend="sqlite")
+    engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
     engine.sqlite
     benchmark.pedantic(
         lambda: engine.propagation_score(

@@ -13,6 +13,7 @@ overhead at low selectivity (``%``).
 
 import math
 
+from repro import EngineConfig
 from repro.engine import DissociationEngine, Optimizations
 from repro.experiments import format_table, tpch_timings
 from repro.workloads import TPCHParameters, filtered_instance, tpch_database, tpch_query
@@ -97,7 +98,7 @@ def test_fig5e_to_5h(report, benchmark):
 
     # benchmarked kernel: dissociation on the big-lineage configuration
     db = filtered_instance(base, TPCHParameters(100, "%"))
-    engine = DissociationEngine(db, backend="sqlite")
+    engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
     engine.sqlite
     benchmark.pedantic(
         lambda: engine.propagation_score(q, Optimizations.none()),

@@ -10,7 +10,7 @@ cannot separate.
 Run:  python examples/certified_topk.py
 """
 
-from repro.engine import DissociationEngine
+import repro
 from repro.ranking import certified_top_k, top_k
 from repro.workloads import chain_database, chain_query
 
@@ -20,7 +20,7 @@ K = 5
 def main() -> None:
     q = chain_query(3)
     db = chain_database(3, 150, seed=42, p_max=0.6)
-    engine = DissociationEngine(db)
+    session = repro.connect(db)
 
     certificate = certified_top_k(q, db, k=K)
     n = len(certificate.bounds)
@@ -35,7 +35,7 @@ def main() -> None:
         f"\nafter exact inference on the {len(certificate.undecided)} "
         f"undecided answers only:"
     )
-    exact = engine.exact(q)
+    exact = session.query(q).exact()
     true_top = top_k(exact, K)
     print(f"{'answer':>12}  {'lower':>8}  {'upper':>8}  in exact top-{K}?")
     for answer in resolved.certain[:K]:

@@ -13,7 +13,7 @@ residual gap proportional to the dissociation multiplicity).
 Run:  python examples/probability_intervals.py
 """
 
-from repro import DissociationEngine, parse_query
+import repro
 from repro.workloads import chain_database, chain_query
 
 
@@ -22,10 +22,10 @@ def main() -> None:
     # a small domain makes lineages overlap heavily — the regime where the
     # bounds genuinely differ from the exact probability
     db = chain_database(4, 100, domain_size=45, seed=3, p_max=0.6)
-    engine = DissociationEngine(db)
+    handle = repro.connect(db).query(q)
 
-    bounds = engine.probability_bounds(q)
-    exact = engine.exact(q)
+    bounds = handle.probability_bounds()
+    exact = handle.exact()
     print(f"query: {q}")
     print(f"{len(bounds)} answers; showing the top 8 by upper bound\n")
     print(f"{'answer':>14}  {'lower':>8}  {'exact':>8}  {'rho':>8}  width")
@@ -44,9 +44,9 @@ def main() -> None:
         "keeps a residual ~(1-1/k) gap per dissociated tuple):"
     )
     for factor in (1.0, 0.2):
-        scaled = DissociationEngine(db.scaled(factor))
-        scaled_bounds = scaled.probability_bounds(q)
-        scaled_exact = scaled.exact(q)
+        scaled = repro.connect(db.scaled(factor)).query(q)
+        scaled_bounds = scaled.probability_bounds()
+        scaled_exact = scaled.exact()
         relative_widths = [
             (high - low) / scaled_exact[a]
             for a, (low, high) in scaled_bounds.items()

@@ -3,17 +3,16 @@
 Builds the paper's running example (Example 17), shows that the query is
 #P-hard, enumerates its minimal plans, and compares the propagation score
 ρ(q) — an upper bound computed purely with joins and group-bys — against
-exact inference and Monte Carlo.
+exact inference and Monte Carlo. Everything goes through the unified
+session API: ``repro.connect(db)`` returns a :class:`~repro.api.Session`
+whose query handles expose scores, plans, baselines, and the generated
+SQL behind one surface (with an epoch-keyed result cache underneath).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    DissociationEngine,
-    ProbabilisticDatabase,
-    is_safe,
-    parse_query,
-)
+import repro
+from repro import EngineConfig, ProbabilisticDatabase, is_safe, parse_query
 
 
 def main() -> None:
@@ -30,32 +29,39 @@ def main() -> None:
     print(f"query:           {q}")
     print(f"safe (PTIME)?    {is_safe(q)}")
 
-    engine = DissociationEngine(db)
+    with repro.connect(db) as session:
+        handle = session.query(q)
 
-    # Algorithm 1: the minimal safe dissociations as query plans.
-    plans = engine.minimal_plans(q)
-    print(f"\nminimal plans ({len(plans)}):")
-    for plan in plans:
-        print(f"  {plan}")
+        # Algorithm 1: the minimal safe dissociations as query plans.
+        plans = handle.plans()
+        print(f"\nminimal plans ({len(plans)}):")
+        for plan in plans:
+            print(f"  {plan}")
 
-    # The propagation score: min over the plans' extensional scores.
-    rho = engine.propagation_score(q)[()]
-    exact = engine.exact(q)[()]
-    mc = engine.monte_carlo(q, samples=100_000, seed=0)[()]
-    print(f"\nP(q) exact:          {exact:.6f}   (= 83/2^9)")
-    print(f"ρ(q) dissociation:   {rho:.6f}   (= 169/2^10, upper bound)")
-    print(f"MC(100k) estimate:   {mc:.6f}")
-    assert rho >= exact
+        # The propagation score: min over the plans' extensional scores.
+        rho = handle.scores()[()]
+        exact = handle.exact()[()]
+        mc = handle.monte_carlo(samples=100_000, seed=0)[()]
+        print(f"\nP(q) exact:          {exact:.6f}   (= 83/2^9)")
+        print(f"ρ(q) dissociation:   {rho:.6f}   (= 169/2^10, upper bound)")
+        print(f"MC(100k) estimate:   {mc:.6f}")
+        assert rho >= exact
+
+        # Identical repeats are served from the session's result cache
+        # without touching the engine.
+        repeat = handle.result()
+        assert repeat.cached and repeat.scores[()] == rho
+        print(f"repeat served from cache: {repeat.cached}")
 
     # The same computation pushed entirely into SQLite (the paper's
-    # "everything in the database engine" mode).
-    sqlite_engine = DissociationEngine(db, backend="sqlite")
-    result = sqlite_engine.evaluate(q)
-    print(f"\nSQLite backend ρ(q): {result.scores[()]:.6f}")
-    print("generated SQL (first lines):")
-    assert result.sql is not None
-    for line in result.sql.splitlines()[:6]:
-        print(f"  {line}")
+    # "everything in the database engine" mode) — one config field away.
+    with repro.connect(db, EngineConfig(backend="sqlite")) as session:
+        result = session.query(q).result()
+        print(f"\nSQLite backend ρ(q): {result.scores[()]:.6f}")
+        print("generated SQL (first lines):")
+        assert result.sql is not None
+        for line in result.sql.splitlines()[:6]:
+            print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -14,12 +14,8 @@ Run:  python examples/schema_knowledge.py
 
 import random
 
-from repro import (
-    ColumnFD,
-    DissociationEngine,
-    ProbabilisticDatabase,
-    parse_query,
-)
+import repro
+from repro import ColumnFD, EngineConfig, ProbabilisticDatabase, parse_query
 
 QUERY = "q() :- R(x), S(x,y), T(y)"
 
@@ -35,10 +31,10 @@ def scenario_plain() -> None:
     db.add_table("T", [((j,), rng.uniform(0.2, 0.8)) for j in range(1, 4)])
 
     q = parse_query(QUERY)
-    engine = DissociationEngine(db)
-    plans = engine.minimal_plans(q)
-    rho = engine.propagation_score(q)[()]
-    exact = engine.exact(q)[()]
+    handle = repro.connect(db).query(q)
+    plans = handle.plans()
+    rho = handle.scores()[()]
+    exact = handle.exact()[()]
     print(f"plain probabilistic:  {len(plans)} plans, "
           f"ρ = {rho:.6f} ≥ P = {exact:.6f}  (upper bound)")
 
@@ -54,10 +50,10 @@ def scenario_deterministic() -> None:
     db.add_table("T", [(j,) for j in range(1, 4)], deterministic=True)
 
     q = parse_query(QUERY)
-    engine = DissociationEngine(db)
-    plans = engine.minimal_plans(q)
-    rho = engine.propagation_score(q)[()]
-    exact = engine.exact(q)[()]
+    handle = repro.connect(db).query(q)
+    plans = handle.plans()
+    rho = handle.scores()[()]
+    exact = handle.exact()[()]
     print(f"T deterministic:      {len(plans)} plan,  "
           f"ρ = {rho:.6f} = P = {exact:.6f}  (exact!)")
     print(f"  the single plan: {plans[0]}")
@@ -77,19 +73,19 @@ def scenario_fd() -> None:
     db.add_table("T", [((j,), rng.uniform(0.2, 0.8)) for j in range(1, 4)])
 
     q = parse_query(QUERY)
-    engine = DissociationEngine(db)
-    plans = engine.minimal_plans(q)
-    rho = engine.propagation_score(q)[()]
-    exact = engine.exact(q)[()]
+    handle = repro.connect(db).query(q)
+    plans = handle.plans()
+    rho = handle.scores()[()]
+    exact = handle.exact()[()]
     print(f"FD  S: x → y:         {len(plans)} plan,  "
           f"ρ = {rho:.6f} = P = {exact:.6f}  (exact!)")
     print(f"  the single plan: {plans[0]}")
     assert abs(rho - exact) < 1e-9
 
-    # the same engine with schema knowledge disabled needs two plans
-    oblivious = DissociationEngine(db, use_schema_knowledge=False)
+    # the same database with schema knowledge disabled needs two plans
+    oblivious = repro.connect(db, EngineConfig(use_schema_knowledge=False))
     print(f"  without schema knowledge: "
-          f"{len(oblivious.minimal_plans(q))} plans")
+          f"{len(oblivious.query(q).plans())} plans")
 
 
 def main() -> None:

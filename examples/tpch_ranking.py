@@ -13,7 +13,8 @@ exact ground truth:
 Run:  python examples/tpch_ranking.py
 """
 
-from repro.engine import DissociationEngine
+import repro
+from repro import EngineConfig
 from repro.experiments import run_quality_trial
 from repro.ranking import random_ranking_ap
 from repro.workloads import (
@@ -51,7 +52,6 @@ def main() -> None:
     print(f"  random:        {random_ranking_ap(len(trial.ground_truth)):.3f}")
 
     print("\ntop 5 nations (exact vs dissociation):")
-    engine = DissociationEngine(db)
     exact = trial.ground_truth
     rho = trial.dissociation
     top = sorted(exact, key=lambda a: -exact[a])[:5]
@@ -63,8 +63,8 @@ def main() -> None:
     assert all(rho[a] >= exact[a] - 1e-9 for a in exact)
 
     # Timing flavour: both minimal plans in one SQLite round trip.
-    sqlite_engine = DissociationEngine(db, backend="sqlite")
-    result = sqlite_engine.evaluate(q)
+    with repro.connect(db, EngineConfig(backend="sqlite")) as session:
+        result = session.query(q).result()
     print(
         f"\nSQLite evaluation: {result.plan_count} plans, "
         f"{result.seconds * 1e3:.1f} ms"

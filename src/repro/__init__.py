@@ -12,15 +12,23 @@ exact plan back (conservativity).
 
 Quickstart
 ----------
->>> from repro import parse_query, ProbabilisticDatabase, DissociationEngine
->>> db = ProbabilisticDatabase()
+>>> import repro
+>>> db = repro.ProbabilisticDatabase()
 >>> db.add_table("R", [((1,), 0.5), ((2,), 0.5)])
 >>> db.add_table("S", [((1, 4), 0.5), ((1, 5), 0.5)])
->>> q = parse_query("q() :- R(x), S(x,y)")
->>> engine = DissociationEngine(db)
->>> scores = engine.propagation_score(q)
->>> scores[()] >= 0  # an upper bound on P(q)
+>>> session = repro.connect(db)
+>>> handle = session.query("q() :- R(x), S(x,y)")
+>>> handle.scores()[()] >= 0  # an upper bound on P(q)
 True
+>>> handle.result().cached, handle.result().cached  # repeats hit the cache
+(False, True)
+
+``repro.connect(db, config=repro.EngineConfig(backend="sqlite"))``
+selects the in-database backend; ``repro.connect(db, concurrent=True)``
+puts the micro-batching service behind the same interface. The
+lower-level entry points (:class:`DissociationEngine`,
+:class:`DissociationService`) remain available and are what the session
+facade drives; construct them with ``config=EngineConfig(...)``.
 """
 
 from .core import (
@@ -56,6 +64,15 @@ from .core import (
 from .db import ProbabilisticDatabase, Schema, TableSchema
 from .engine import DissociationEngine, EvaluationResult, Optimizations
 from .service import DissociationService, ServiceOverloaded
+from .api import (
+    EngineConfig,
+    QueryHandle,
+    ResultCache,
+    ServiceConfig,
+    Session,
+    connect,
+    query_key,
+)
 from .lineage import (
     DNF,
     exact_probability,
@@ -75,6 +92,7 @@ __all__ = [
     "Dissociation",
     "DissociationEngine",
     "DissociationService",
+    "EngineConfig",
     "EvaluationResult",
     "FD",
     "Join",
@@ -83,13 +101,18 @@ __all__ = [
     "Plan",
     "ProbabilisticDatabase",
     "Project",
+    "QueryHandle",
+    "ResultCache",
     "Scan",
     "Schema",
+    "ServiceConfig",
     "ServiceOverloaded",
+    "Session",
     "TableSchema",
     "UnsafeQueryError",
     "Variable",
     "average_precision_at_k",
+    "connect",
     "count_all_plans",
     "count_dissociations",
     "enumerate_all_plans",
@@ -105,6 +128,7 @@ __all__ = [
     "monte_carlo_probability",
     "parse_atom",
     "parse_query",
+    "query_key",
     "safe_plan",
     "safe_plan_with_schema",
     "var",

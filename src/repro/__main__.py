@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .api.config import EngineConfig
 from .core import minimal_plans, parse_query
 from .db.io import load_database
 from .engine import DissociationEngine
@@ -73,7 +74,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     )
     db = load_database(args.data, deterministic=deterministic)
     engine = DissociationEngine(
-        db, backend="sqlite" if args.sqlite else "memory"
+        db, EngineConfig(backend="sqlite" if args.sqlite else "memory")
     )
     scores = engine.propagation_score(query)
     exact = None

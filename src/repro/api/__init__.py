@@ -1,0 +1,60 @@
+"""The unified session API: one clean surface over the dissociation stack.
+
+>>> import repro
+>>> session = repro.connect(db)                      # serial engine
+>>> session = repro.connect(db, concurrent=True)     # batching service
+>>> handle = session.query("q() :- R(x), S(x,y)")
+>>> handle.scores()          # propagation scores (cached by epoch)
+>>> handle.explain()         # planning/materialization report
+>>> handle.exact()           # ground truth baseline
+
+Layout
+------
+* :mod:`~repro.api.config` — frozen, hashable :class:`EngineConfig` /
+  :class:`ServiceConfig` value objects (replace the kwarg sprawl);
+* :mod:`~repro.api.keys` — canonical structural query keys and the
+  composite result-cache key;
+* :mod:`~repro.api.cache` — the epoch-keyed session
+  :class:`ResultCache`;
+* :mod:`~repro.api.session` — :func:`connect`, :class:`Session`,
+  :class:`QueryHandle`.
+
+``config``/``keys``/``cache`` are import-cycle-free (the engine itself
+consumes them); the session facade — which wraps the engine and the
+service — is loaded lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+from .cache import ResultCache
+from .config import EngineConfig, ServiceConfig
+from .keys import canonical_form, query_key, result_key
+
+__all__ = [
+    "EngineConfig",
+    "QueryHandle",
+    "ResultCache",
+    "ServiceConfig",
+    "Session",
+    "canonical_form",
+    "connect",
+    "query_key",
+    "result_key",
+]
+
+#: Facade names resolved lazily (PEP 562) so that importing
+#: ``repro.api.config`` from inside the engine never recurses into the
+#: engine-dependent session module.
+_LAZY = {"Session", "QueryHandle", "connect"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():  # pragma: no cover - introspection aid
+    return sorted(set(globals()) | _LAZY)

@@ -1,0 +1,142 @@
+"""The session-level result cache (epoch-keyed, LRU-bounded).
+
+:class:`ResultCache` serves *repeat traffic without touching the
+engine*: a full :class:`~repro.engine.EvaluationResult` is stored under
+``(query_key, optimizations, config, epoch)`` where
+
+* ``query_key`` is the canonical structural key of the query
+  (:func:`repro.core.query_key` — stable under variable renaming and
+  atom reordering, sensitive to head order and constants),
+* ``optimizations`` / ``config`` are the frozen, hashable
+  :class:`~repro.engine.Optimizations` and
+  :class:`~repro.api.EngineConfig` values the result was computed
+  under, and
+* ``epoch`` is the database version token stamped on every result —
+  the invalidation key. A mutation bumps the token, so stale entries
+  can simply never be *looked up* again; :meth:`evict_stale` reclaims
+  their memory eagerly after a mutation.
+
+Results are snapshotted on the way in and copied on the way out (the
+``scores`` dict is shallow-copied; the floats inside are immutable), so
+no caller can corrupt a cached entry — cache hits are bit-identical to
+the evaluation that populated them by construction. Served copies carry
+``cached=True``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe LRU cache of evaluation results.
+
+    ``max_entries=None`` is unbounded; ``0`` disables caching (every
+    lookup misses, nothing is stored). :meth:`stats` reports cumulative
+    ``hits`` / ``misses`` / ``evictions`` plus the live ``size`` — the
+    counters the acceptance tests use to prove a repeat was served
+    without an engine evaluation.
+    """
+
+    def __init__(self, max_entries: int | None = 1024) -> None:
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(
+                f"max_entries must be None or >= 0, got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @staticmethod
+    def _snapshot(result, cached: bool):
+        return dataclasses.replace(
+            result, scores=dict(result.scores), cached=cached
+        )
+
+    def get(self, key: Hashable):
+        """The cached result for ``key`` (marked ``cached=True``), or
+        ``None`` — counting a hit or a miss either way."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+        # snapshot outside the lock: stored entries are never mutated in
+        # place, and copying a large scores dict under the lock would
+        # convoy concurrent clients on the hot hit path
+        return self._snapshot(entry, cached=True)
+
+    def put(self, key: Hashable, result) -> None:
+        """Store a snapshot of ``result`` under ``key`` (LRU-evicting).
+
+        For :meth:`evict_stale` to work, keys must be tuples whose
+        *last* element is the epoch (the shape
+        :func:`repro.api.keys.result_key` produces); other hashable
+        keys are accepted but are invisible to stale eviction.
+        """
+        if self.max_entries == 0:
+            return
+        snapshot = self._snapshot(result, cached=False)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = snapshot
+            while (
+                self.max_entries is not None
+                and len(self._entries) > self.max_entries
+            ):
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def evict_stale(self, epoch: Hashable) -> int:
+        """Drop every entry whose key's epoch differs from ``epoch``.
+
+        Keys are ``(query_key, optimizations, config, epoch)`` tuples;
+        after a mutation nothing will ever look up the old epoch again,
+        so this merely reclaims memory early. Non-tuple keys (legal for
+        direct ``put`` users) carry no recognizable epoch and are left
+        alone. Returns the eviction count.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[-1] != epoch
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._evictions += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._evictions += len(self._entries)
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._entries),
+                "max_entries": self.max_entries,
+            }

@@ -1,0 +1,191 @@
+"""Frozen, hashable configuration for the unified session API.
+
+:class:`EngineConfig` replaces the loose kwarg sprawl of
+``DissociationEngine(backend=..., cache_size=..., join_ordering=...,
+...)`` with one immutable value object. Because it is frozen and
+hashable it doubles as a *cache key component*: the session-level
+:class:`~repro.api.cache.ResultCache` keys results by
+``(query_key, optimizations, config, epoch)``, so two sessions with
+equal configs can never cross-contaminate and repeats under the same
+config hit.
+
+:class:`ServiceConfig` does the same for the serving-layer knobs of
+:class:`~repro.service.DissociationService` (workers, micro-batching,
+admission control).
+
+This module is import-cycle-free on purpose: it depends on nothing but
+the standard library, so both the engine and the service can consume it
+while the :mod:`repro.api` facade wraps them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+__all__ = ["EngineConfig", "ServiceConfig", "UNSET"]
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from explicit ``None``."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<UNSET>"
+
+
+#: Shared sentinel for the legacy-kwarg deprecation shims.
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything a :class:`~repro.engine.DissociationEngine` is built from.
+
+    Parameters
+    ----------
+    backend:
+        ``"memory"`` (columnar vectorized evaluator) or ``"sqlite"``
+        (plans compiled to SQL, the paper's in-database mode).
+    use_schema_knowledge:
+        Feed deterministic-relation flags and FDs into plan enumeration
+        (Sec. 3.3); disable for the schema-oblivious ablation.
+    cache_size:
+        LRU cap of the Opt.-2 subplan cache (memory plan-result layer /
+        SQLite materialized-view registry). ``None`` is unbounded, ``0``
+        disables cross-statement reuse.
+    join_ordering:
+        ``"cost"`` (Selinger DP over the statistics catalog) or
+        ``"greedy"`` (smallest-connected-input ablation baseline).
+    join_dp_threshold:
+        Join arity above which the DP enumerator falls back to greedy.
+        ``None`` uses the engine default
+        (:data:`repro.engine.stats.DEFAULT_DP_THRESHOLD`).
+    write_factor:
+        Write-vs-read cost ratio of the Algorithm-3 materialization
+        gate; ``None`` uses the engine default (or the service's
+        startup calibration).
+    plan_memo_size:
+        LRU cap of the engine's ``minimal_plans``/``single_plan`` memo
+        (keyed by canonical query key + schema flags). ``0`` disables
+        memoization; ``None`` is unbounded.
+
+    The dataclass is frozen: equality and ``hash()`` are structural, so
+    configs can key dictionaries, sets, and the session result cache.
+    """
+
+    backend: str = "memory"
+    use_schema_knowledge: bool = True
+    cache_size: int | None = None
+    join_ordering: str = "cost"
+    join_dp_threshold: int | None = None
+    write_factor: float | None = None
+    plan_memo_size: int | None = 256
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("memory", "sqlite"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.join_ordering not in ("cost", "greedy"):
+            raise ValueError(
+                "join_ordering must be 'cost' or 'greedy', "
+                f"got {self.join_ordering!r}"
+            )
+        if self.cache_size is not None and self.cache_size < 0:
+            raise ValueError(
+                f"cache_size must be None or >= 0, got {self.cache_size!r}"
+            )
+        if self.join_dp_threshold is not None and self.join_dp_threshold < 0:
+            raise ValueError(
+                "join_dp_threshold must be None or >= 0, "
+                f"got {self.join_dp_threshold!r}"
+            )
+        if self.write_factor is not None and self.write_factor < 0:
+            raise ValueError(
+                f"write_factor must be None or >= 0, got {self.write_factor!r}"
+            )
+        if self.plan_memo_size is not None and self.plan_memo_size < 0:
+            raise ValueError(
+                "plan_memo_size must be None or >= 0, "
+                f"got {self.plan_memo_size!r}"
+            )
+
+    @classmethod
+    def field_names(cls) -> frozenset[str]:
+        """The legal engine-option names (for kwarg validation)."""
+        return frozenset(f.name for f in dataclasses.fields(cls))
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_kwargs(cls, **kwargs) -> "EngineConfig":
+        """Build a config from keyword arguments, rejecting unknown names.
+
+        Unknown names raise ``TypeError`` listing them — the fix for
+        ``**engine_kwargs`` silently swallowing typos like
+        ``cache_sise=``. (Keyword-only on purpose: a positional
+        parameter here would capture a same-named legacy kwarg and
+        bypass the validation.)
+        """
+        known = cls.field_names()
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown engine option(s) {unknown}; "
+                f"valid EngineConfig fields are {sorted(known)}"
+            )
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving-layer knobs of :class:`~repro.service.DissociationService`.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads draining the admission queue (each batch runs on
+        exactly one worker; parallelism comes from concurrent batches).
+    max_batch_size / max_batch_delay / max_pending:
+        Micro-batching: largest batch one dispatch admits, how long the
+        dispatcher waits for stragglers, and the admission queue's
+        backpressure bound.
+    calibrate:
+        Measure the SQLite temp-table write factor once at startup and
+        install it on every worker engine.
+    collect_dag_stats:
+        Build the explicit :class:`~repro.service.dag.BatchPlanDAG` per
+        batch for sharing statistics (costs a second plan enumeration
+        per batch).
+    """
+
+    workers: int = 2
+    max_batch_size: int = 8
+    max_batch_delay: float = 0.002
+    max_pending: int = 1024
+    calibrate: bool = False
+    collect_dag_stats: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_batch_delay < 0:
+            raise ValueError("max_batch_delay must be >= 0")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+
+    @classmethod
+    def field_names(cls) -> frozenset[str]:
+        return frozenset(f.name for f in dataclasses.fields(cls))
+
+    def replace(self, **changes) -> "ServiceConfig":
+        return dataclasses.replace(self, **changes)

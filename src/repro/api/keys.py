@@ -1,0 +1,34 @@
+"""Canonical, hashable cache keys for the session API.
+
+The heavy lifting — canonicalizing a query up to variable renaming and
+atom reordering — lives in :mod:`repro.core.canonical` (it is pure
+query-level machinery the engine also uses for its plan memo). This
+module re-exports it on the API surface and adds the composite
+result-cache key.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..core.canonical import canonical_form, query_key
+
+__all__ = ["canonical_form", "query_key", "result_key"]
+
+
+def result_key(
+    query,
+    optimizations: Hashable,
+    config: Hashable,
+    epoch: Hashable,
+) -> tuple:
+    """The :class:`~repro.api.cache.ResultCache` key of one evaluation.
+
+    ``(canonical query key, optimizations, config, epoch)`` — all four
+    components are frozen/hashable values, and the epoch (the database
+    version token stamped on every result) is the invalidation axis:
+    a mutation moves the token and every stale entry becomes
+    unreachable. The epoch is deliberately **last**, which is what
+    :meth:`ResultCache.evict_stale` relies on.
+    """
+    return (query_key(query), optimizations, config, epoch)

@@ -1,0 +1,448 @@
+"""``repro.connect()`` — the unified session facade.
+
+One entry point over the whole dissociation stack: a :class:`Session`
+wraps either the serial :class:`~repro.engine.DissociationEngine`
+(``concurrent=False``, the default) or the micro-batching
+:class:`~repro.service.DissociationService` (``concurrent=True``)
+behind the *same* interface, fronted by an epoch-keyed
+:class:`~repro.api.cache.ResultCache`:
+
+>>> session = repro.connect(db)
+>>> handle = session.query("q() :- R(x), S(x,y)")
+>>> handle.scores()                      # {answer: rho}
+>>> handle.result()                      # full EvaluationResult
+>>> handle.explain()                     # planning report
+>>> handle.exact()                       # ground-truth baseline
+
+Every method yields the exact objects the underlying engine/service
+produce, so code migrating from the old entry points sees bit-identical
+results; the result cache serves a repeated ``(query, optimizations,
+config, epoch)`` without touching the engine at all (its counters — and
+the engine's ``evaluation_count`` — prove it).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Callable, Mapping, Sequence
+
+from ..core.parser import parse_query
+from ..core.plans import Plan
+from ..core.query import ConjunctiveQuery
+from ..db.database import ProbabilisticDatabase
+from ..engine import DissociationEngine, EvaluationResult, Optimizations
+from ..service import DissociationService
+from .cache import ResultCache
+from .config import EngineConfig, ServiceConfig
+from .keys import result_key
+
+__all__ = ["Session", "QueryHandle", "connect"]
+
+
+def connect(
+    db: ProbabilisticDatabase,
+    config: EngineConfig | None = None,
+    *,
+    concurrent: bool = False,
+    service: ServiceConfig | None = None,
+    optimizations: Optimizations | None = None,
+    result_cache_size: int | None = 1024,
+) -> "Session":
+    """Open a :class:`Session` over ``db``.
+
+    Parameters
+    ----------
+    db:
+        The tuple-independent probabilistic database.
+    config:
+        The frozen :class:`EngineConfig` (backend, caches, join
+        ordering, ...); ``None`` uses the defaults.
+    concurrent:
+        ``False`` (default): queries run on one serial engine in the
+        calling thread. ``True``: queries are submitted to a
+        :class:`~repro.service.DissociationService` — concurrent
+        callers are micro-batched and share subplans across queries.
+    service:
+        Serving-layer knobs (:class:`ServiceConfig`); only meaningful
+        with ``concurrent=True``.
+    optimizations:
+        The session's default :class:`~repro.engine.Optimizations`
+        (individual queries can override).
+    result_cache_size:
+        LRU cap of the session's :class:`ResultCache` (``None``
+        unbounded, ``0`` disables result caching).
+
+    Use the session as a context manager (or call :meth:`Session.close`)
+    to release service workers and SQLite connections.
+    """
+    return Session(
+        db,
+        config,
+        concurrent=concurrent,
+        service=service,
+        optimizations=optimizations,
+        result_cache_size=result_cache_size,
+    )
+
+
+class Session:
+    """A unified handle on the dissociation stack (see :func:`connect`)."""
+
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        config: EngineConfig | None = None,
+        *,
+        concurrent: bool = False,
+        service: ServiceConfig | None = None,
+        optimizations: Optimizations | None = None,
+        result_cache_size: int | None = 1024,
+    ) -> None:
+        if config is None:
+            config = EngineConfig()
+        elif not isinstance(config, EngineConfig):
+            raise TypeError(f"config must be an EngineConfig, got {config!r}")
+        if service is not None and not concurrent:
+            raise ValueError(
+                "service=ServiceConfig(...) only applies to "
+                "connect(..., concurrent=True)"
+            )
+        self.db = db
+        self.config = config
+        self.concurrent = concurrent
+        self.default_optimizations = optimizations or Optimizations()
+        self.results = ResultCache(max_entries=result_cache_size)
+        self._closed = False
+        self._service: DissociationService | None = None
+        self._engine: DissociationEngine | None = None
+        if concurrent:
+            self._service = DissociationService(
+                db, config, service or ServiceConfig()
+            )
+        else:
+            self._engine = DissociationEngine(db, config)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the service (if any) and drop backend resources."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._service is not None:
+            self._service.close()
+        if self._engine is not None and self._engine.backend == "sqlite":
+            self._engine.invalidate_sqlite()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> DissociationEngine:
+        """The serial engine behind the non-result surfaces.
+
+        In serial mode this is *the* engine; in concurrent mode it is a
+        lazily created side engine with the same config — the service's
+        worker engines stay private to their threads, so ``explain()``
+        / ``per_plan()`` / ``lineage()`` / ``exact()`` run here.
+        """
+        self._check_open()
+        if self._engine is None:
+            self._engine = DissociationEngine(self.db, self.config)
+        return self._engine
+
+    @property
+    def service(self) -> DissociationService | None:
+        """The batching service (``None`` unless ``concurrent=True``)."""
+        return self._service
+
+    def _check_open(self) -> None:
+        # the engine property would otherwise lazily resurrect backend
+        # resources (SQLite snapshots, side engines) close() released
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    def _current_epoch(self):
+        # Reading db.version iterates the table dict; a *structural*
+        # mutation (add_table) racing a concurrent client thread can
+        # raise mid-iteration — retry until a stable snapshot is read.
+        # A torn-but-successful read can only produce a token matching
+        # no stored epoch (a miss), never a wrong hit: results are
+        # filed under the epoch stamped by the engine, which runs
+        # inside the service's mutation-quiescence gate.
+        while True:
+            try:
+                return self.db.version
+            except RuntimeError:
+                continue
+
+    def _resolve(
+        self, query: "ConjunctiveQuery | str"
+    ) -> ConjunctiveQuery:
+        self._check_open()
+        if isinstance(query, str):
+            return parse_query(query)
+        if isinstance(query, ConjunctiveQuery):
+            return query
+        raise TypeError(
+            f"query must be a ConjunctiveQuery or a Datalog string, "
+            f"got {query!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # the query surface
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: "ConjunctiveQuery | str",
+        optimizations: Optimizations | None = None,
+    ) -> "QueryHandle":
+        """A :class:`QueryHandle` for ``query`` (str or value object)."""
+        return QueryHandle(
+            self,
+            self._resolve(query),
+            optimizations or self.default_optimizations,
+        )
+
+    def evaluate(
+        self,
+        query: "ConjunctiveQuery | str",
+        optimizations: Optimizations | None = None,
+    ) -> EvaluationResult:
+        """Evaluate through the result cache.
+
+        A repeat of the same canonical query under the same
+        optimizations, config, and database epoch is served from the
+        :class:`ResultCache` (``result.cached`` is ``True``) with zero
+        engine evaluations; otherwise the engine (serial) or the
+        service (concurrent) computes it and the result is stored under
+        the epoch it actually ran under.
+        """
+        resolved = self._resolve(query)
+        opts = optimizations or self.default_optimizations
+        key = result_key(resolved, opts, self.config, self._current_epoch())
+        hit = self.results.get(key)
+        if hit is not None:
+            return hit
+        if self._service is not None:
+            result = self._service.submit(resolved, opts).result()
+        else:
+            result = self.engine.evaluate(resolved, opts)
+        self._store(resolved, opts, result)
+        return result
+
+    def submit(
+        self,
+        query: "ConjunctiveQuery | str",
+        optimizations: Optimizations | None = None,
+    ) -> "Future[EvaluationResult]":
+        """The future-returning flavour of :meth:`evaluate`.
+
+        Cache hits resolve immediately; misses go to the service's
+        admission queue (concurrent mode) or evaluate inline (serial
+        mode), and completed results are stored in the cache either
+        way.
+        """
+        resolved = self._resolve(query)
+        opts = optimizations or self.default_optimizations
+        key = result_key(resolved, opts, self.config, self._current_epoch())
+        hit = self.results.get(key)
+        if hit is not None:
+            done: "Future[EvaluationResult]" = Future()
+            done.set_result(hit)
+            return done
+        if self._service is None:
+            done = Future()
+            try:
+                result = self.engine.evaluate(resolved, opts)
+                self._store(resolved, opts, result)
+                done.set_result(result)
+            except Exception as exc:  # noqa: BLE001 - future protocol
+                # KeyboardInterrupt/SystemExit propagate: the caller's
+                # own thread ran the evaluation, so swallowing them
+                # into a maybe-never-inspected future would lose the
+                # interrupt entirely
+                done.set_exception(exc)
+            return done
+        future = self._service.submit(resolved, opts)
+        future.add_done_callback(
+            lambda f: (
+                self._store(resolved, opts, f.result())
+                if not f.cancelled() and f.exception() is None
+                else None
+            )
+        )
+        return future
+
+    def _store(
+        self,
+        query: ConjunctiveQuery,
+        opts: Optimizations,
+        result: EvaluationResult,
+    ) -> None:
+        # keyed by the epoch the evaluation actually ran under (the
+        # token stamped on the result), not the one observed at submit
+        # time — a mutation racing the evaluation can therefore never
+        # leave a result filed under the wrong epoch
+        self.results.put(
+            result_key(query, opts, self.config, result.epoch), result
+        )
+
+    def scores(
+        self,
+        query: "ConjunctiveQuery | str",
+        optimizations: Optimizations | None = None,
+    ) -> dict[tuple, float]:
+        """``ρ(q)`` per answer tuple (through the result cache)."""
+        return self.evaluate(query, optimizations).scores
+
+    def evaluate_many(
+        self,
+        queries: Sequence["ConjunctiveQuery | str"],
+        optimizations: Optimizations | None = None,
+    ) -> list[EvaluationResult]:
+        """Evaluate several queries, batching the cache misses.
+
+        In concurrent mode all misses are submitted before the first
+        gather, so the admission controller can pack them into shared
+        micro-batches.
+        """
+        futures = [self.submit(q, optimizations) for q in queries]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def mutate(self, fn: Callable[[ProbabilisticDatabase], object]):
+        """Apply ``fn(db)`` safely and invalidate cached results.
+
+        Concurrent sessions quiesce in-flight batches first
+        (:meth:`~repro.service.DissociationService.mutate`); serial
+        sessions apply directly. Either way the database version token
+        moves, so stale result-cache entries become unreachable — they
+        are additionally evicted eagerly to reclaim memory.
+        """
+        self._check_open()
+        try:
+            if self._service is not None:
+                return self._service.mutate(fn)
+            return fn(self.db)
+        finally:
+            self.results.evict_stale(self._current_epoch())
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Result-cache, plan-memo, and backend statistics.
+
+        Serial sessions report their engine under ``"engine"``. In
+        concurrent mode the serving work happens on the service's
+        worker engines (see ``"service"``); the lazily created engine
+        behind ``explain()``/``lineage()``/... is reported as
+        ``"side_engine"`` so its near-zero counters cannot be misread
+        as the serving path's activity.
+        """
+        out: dict = {
+            "concurrent": self.concurrent,
+            "config": self.config,
+            "result_cache": self.results.stats(),
+        }
+        if self._engine is not None:
+            out["side_engine" if self.concurrent else "engine"] = {
+                "evaluations": self._engine.evaluation_count,
+                "cache": self._engine.cache_stats(),
+                "plan_memo": self._engine.plan_memo_stats(),
+            }
+        if self._service is not None:
+            out["service"] = self._service.stats()
+        return out
+
+
+class QueryHandle:
+    """One query bound to a session — every surface in one place.
+
+    The handle is cheap and stateless (evaluation state lives in the
+    session's caches); keep it around and call it repeatedly.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        query: ConjunctiveQuery,
+        optimizations: Optimizations,
+    ) -> None:
+        self.session = session
+        self.query = query
+        self.optimizations = optimizations
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"QueryHandle({self.query!s})"
+
+    # -- evaluation ----------------------------------------------------
+    def result(self) -> EvaluationResult:
+        """The full :class:`~repro.engine.EvaluationResult` (cached)."""
+        return self.session.evaluate(self.query, self.optimizations)
+
+    def scores(self) -> dict[tuple, float]:
+        """``ρ(q)`` per answer tuple."""
+        return self.result().scores
+
+    def ranking(self) -> list[tuple]:
+        """Answers ordered by decreasing propagation score."""
+        return self.result().ranking()
+
+    def submit(self) -> "Future[EvaluationResult]":
+        return self.session.submit(self.query, self.optimizations)
+
+    # -- planning surfaces ---------------------------------------------
+    def plans(self) -> list[Plan]:
+        """The minimal plans (memoized on the engine)."""
+        return self.session.engine.minimal_plans(self.query)
+
+    def is_safe(self) -> bool:
+        return self.session.engine.is_safe(self.query)
+
+    def explain(self) -> dict:
+        """Planning/materialization report
+        (:meth:`~repro.engine.DissociationEngine.explain`)."""
+        return self.session.engine.explain(self.query, self.optimizations)
+
+    def per_plan(
+        self, semijoin: bool | None = None
+    ) -> dict[Plan, dict[tuple, float]]:
+        """Each minimal plan's scores separately
+        (:meth:`~repro.engine.DissociationEngine.score_per_plan`).
+
+        ``semijoin`` defaults to this handle's optimizations.
+        """
+        if semijoin is None:
+            semijoin = self.optimizations.semijoin
+        return self.session.engine.score_per_plan(
+            self.query, semijoin=semijoin
+        )
+
+    # -- baselines ------------------------------------------------------
+    def lineage(self):
+        """The query's lineage
+        (:meth:`~repro.engine.DissociationEngine.lineage`)."""
+        return self.session.engine.lineage(self.query)
+
+    def exact(self) -> dict[tuple, float]:
+        """Ground-truth probabilities by exact model counting."""
+        return self.session.engine.exact(self.query)
+
+    def monte_carlo(
+        self, samples: int, seed: int | None = None
+    ) -> dict[tuple, float]:
+        return self.session.engine.monte_carlo(self.query, samples, seed)
+
+    def probability_bounds(self) -> Mapping[tuple, tuple[float, float]]:
+        return self.session.engine.probability_bounds(self.query)

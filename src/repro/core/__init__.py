@@ -1,6 +1,13 @@
 """Core query-level machinery: queries, plans, dissociations, Algorithm 1."""
 
 from .atoms import Atom
+from .canonical import (
+    canonical_form,
+    query_key,
+    rename_plan,
+    rename_query,
+    schema_flags,
+)
 from .cuts import all_cutsets, is_cutset, min_cutsets, min_p_cutsets
 from .dissociation import (
     Dissociation,
@@ -50,6 +57,7 @@ __all__ = [
     "Variable",
     "all_cutsets",
     "apply_dissociation_closure",
+    "canonical_form",
     "closure",
     "collapsed_plan",
     "const",
@@ -77,8 +85,12 @@ __all__ = [
     "parse_query",
     "plan_for",
     "plan_signature",
+    "query_key",
+    "rename_plan",
+    "rename_query",
     "safe_plan",
     "safe_plan_with_schema",
+    "schema_flags",
     "var",
     "vars_",
 ]

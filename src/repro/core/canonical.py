@@ -1,0 +1,174 @@
+"""Canonical structural keys for conjunctive queries.
+
+Two queries that differ only by a bijective variable renaming and/or a
+reordering of their body atoms compute the same answers over the same
+database. :func:`query_key` maps both to one hashable value — the
+*canonical structural key* — by sorting the atoms on their (unique,
+self-join-free) relation names and numbering variables by first
+occurrence in that canonical scan order. The key is what the unified
+session API caches on: the service/session-level result cache is keyed
+by ``(query_key, optimizations, config, epoch)`` and the engine's
+``minimal_plans`` memo by ``(query_key, schema flags)``.
+
+The key deliberately *does* distinguish the declared head order
+(``q(x, y)`` vs ``q(y, x)`` produce differently ordered answer tuples)
+and ignores the query's display name.
+
+:func:`canonical_form` additionally returns the variable numbering it
+assigned, which makes the key *constructive*: when two queries share a
+key, composing one numbering with the inverse of the other is a
+variable bijection between them. :func:`rename_plan` applies such a
+bijection to a plan DAG — the engine uses it to serve a renamed repeat
+of a memoized query with renamed (not re-enumerated) plans.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .atoms import Atom
+from .plans import Join, MinPlan, Plan, Project, Scan
+from .query import ConjunctiveQuery
+from .symbols import Variable
+
+__all__ = [
+    "canonical_form",
+    "query_key",
+    "rename_query",
+    "rename_plan",
+    "schema_flags",
+]
+
+
+def canonical_form(
+    query: ConjunctiveQuery,
+) -> tuple[tuple, dict[Variable, int]]:
+    """The canonical key of ``query`` plus the variable numbering behind it.
+
+    Returns ``(key, numbering)`` where ``numbering`` maps every variable
+    of the query to its canonical index. The numbering is injective, and
+    it is *rename-invariant by construction*: indices are assigned by
+    first occurrence while scanning the atoms in relation-name order
+    (relation names are unique — the queries are self-join-free — so the
+    scan order itself never depends on variable names). Variables that
+    occur only in dissociation sets are numbered afterwards, ordered by
+    their occurrence signature; variables with equal signatures are
+    mutually interchangeable (dissociation sets carry no positions), so
+    the name tie-break below cannot make the key depend on names.
+    """
+    atoms = sorted(query.atoms, key=lambda a: a.relation)
+    numbering: dict[Variable, int] = {}
+    for atom in atoms:
+        for term in atom.terms:
+            if isinstance(term, Variable) and term not in numbering:
+                numbering[term] = len(numbering)
+    pending = {
+        v for atom in atoms for v in atom.dissociated if v not in numbering
+    }
+    if pending:
+
+        def signature(v: Variable) -> tuple:
+            return tuple(a.relation for a in atoms if v in a.dissociated)
+
+        for v in sorted(pending, key=lambda v: (signature(v), v.name)):
+            numbering[v] = len(numbering)
+    key = (
+        tuple(
+            (
+                atom.relation,
+                tuple(
+                    ("v", numbering[t])
+                    if isinstance(t, Variable)
+                    else ("c", t.value)
+                    for t in atom.terms
+                ),
+                tuple(sorted(numbering[v] for v in atom.dissociated)),
+            )
+            for atom in atoms
+        ),
+        tuple(numbering[v] for v in query.head_order),
+    )
+    return key, numbering
+
+
+def query_key(query: ConjunctiveQuery) -> tuple:
+    """The canonical structural key of ``query`` (hashable).
+
+    Stable under variable renaming and atom reordering; sensitive to the
+    declared head order (answer-column order) and to constants.
+    """
+    return canonical_form(query)[0]
+
+
+def _rename_atom(atom: Atom, mapping: Mapping[Variable, Variable]) -> Atom:
+    terms = tuple(
+        mapping[t] if isinstance(t, Variable) else t for t in atom.terms
+    )
+    dissociated = frozenset(mapping[v] for v in atom.dissociated)
+    return Atom(atom.relation, terms, dissociated)
+
+
+def rename_query(
+    query: ConjunctiveQuery, mapping: Mapping[Variable, Variable]
+) -> ConjunctiveQuery:
+    """Apply a variable bijection to a query (atom order preserved)."""
+    return ConjunctiveQuery(
+        tuple(_rename_atom(a, mapping) for a in query.atoms),
+        tuple(mapping[v] for v in query.head_order),
+        query.name,
+    )
+
+
+def rename_plan(plan: Plan, mapping: Mapping[Variable, Variable]) -> Plan:
+    """Apply a variable bijection to a plan DAG.
+
+    Shared nodes stay shared (memo on identity), and every tuple order
+    inside the plan — join part order, min branch order — is preserved,
+    so the renamed plan evaluates in exactly the same schedule as the
+    original.
+    """
+    memo: dict[int, Plan] = {}
+
+    def rebuild(node: Plan) -> Plan:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, Scan):
+            out: Plan = Scan(_rename_atom(node.atom, mapping))
+        elif isinstance(node, Project):
+            out = Project(
+                frozenset(mapping[v] for v in node.head),
+                rebuild(node.child),
+            )
+        elif isinstance(node, Join):
+            out = Join([rebuild(p) for p in node.parts])
+        elif isinstance(node, MinPlan):
+            out = MinPlan([rebuild(p) for p in node.parts])
+        else:  # pragma: no cover - sealed hierarchy
+            raise TypeError(f"unknown plan node {node!r}")
+        memo[id(node)] = out
+        return out
+
+    return rebuild(plan)
+
+
+def schema_flags(
+    query: ConjunctiveQuery,
+    deterministic: frozenset[str] | frozenset,
+    fds: Mapping,
+) -> tuple:
+    """A hashable digest of the schema knowledge *relevant to* ``query``.
+
+    Plan enumeration depends only on which of the query's relations are
+    deterministic and on their FDs; restricting the memo key to those
+    keeps unrelated schema growth from invalidating memoized plans.
+    """
+    relations = frozenset(a.relation for a in query.atoms)
+    return (
+        frozenset(relations & frozenset(deterministic)),
+        tuple(
+            (name, tuple(fds[name]))
+            for name in sorted(relations)
+            if name in fds and fds[name]
+        ),
+    )

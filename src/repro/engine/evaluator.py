@@ -15,10 +15,14 @@ Its central entry point is :meth:`propagation_score`, computing
 
 from __future__ import annotations
 
+import threading
 import time
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Literal, Mapping, Sequence
 
+from ..core.canonical import canonical_form, rename_plan, schema_flags
 from ..core.minplans import minimal_plans
 from ..core.plans import Plan
 from ..core.query import ConjunctiveQuery
@@ -49,6 +53,7 @@ from .stats import (
     SQLiteStatisticsCatalog,
     estimate_plan,
 )
+from ..api.config import UNSET, EngineConfig
 
 __all__ = ["Optimizations", "EvaluationResult", "DissociationEngine"]
 
@@ -100,6 +105,10 @@ class EvaluationResult:
     #: batch entry point; the service layer uses it to prove results
     #: were never served from a stale cache epoch).
     epoch: tuple | None = None
+    #: True when this result was served from a session-level
+    #: :class:`~repro.api.cache.ResultCache` instead of an engine
+    #: evaluation (the scores are a snapshot of the original run).
+    cached: bool = False
 
     def ranking(self) -> list[tuple]:
         """Answers ordered by decreasing score (ties by value order)."""
@@ -113,72 +122,114 @@ class DissociationEngine:
     ----------
     db:
         The tuple-independent probabilistic database.
-    backend:
-        ``"memory"`` (default) or ``"sqlite"``.
-    use_schema_knowledge:
-        Feed the database's deterministic flags and FDs into plan
-        enumeration (Sec. 3.3). Disable to reproduce the schema-oblivious
-        behaviour.
-    cache_size:
-        LRU cap of the Opt.-2 subplan cache — the memory backend's
-        :class:`EvaluationCache` plan-result layer and the SQLite
-        backend's materialized-view registry. ``None`` (default) is
-        unbounded; ``0`` disables cross-statement reuse.
-    join_ordering:
-        ``"cost"`` (default) schedules k-ary joins with the Selinger
-        dynamic-programming enumerator over the statistics catalog;
-        ``"greedy"`` keeps the smallest-connected-input heuristic — the
-        ablation baseline. Both produce bit-identical scores; only the
-        evaluation order (and therefore the runtime) differs. The same
-        setting drives ``evaluate``, ``score_per_plan``, and
-        ``explain``, so every mode shares one ordering decision.
-    join_dp_threshold:
-        Join arity above which the DP enumerator (exponential in the
-        arity) falls back to the greedy heuristic.
-    write_factor:
-        Write-vs-read cost ratio of the Algorithm-3 materialization
-        gate. ``None`` (default) uses
-        :data:`~repro.engine.stats.DEFAULT_WRITE_FACTOR`;
-        :meth:`calibrate_write_factor` replaces it with a value measured
-        on the backend's actual temp-table write throughput.
+    config:
+        A frozen :class:`~repro.api.EngineConfig` — the canonical way to
+        configure the engine (backend, schema knowledge, cache sizes,
+        join ordering, write factor). ``None`` uses the defaults.
     view_namespace:
         Optional shared temp-view name authority handed through to the
         SQLite backend's view registry — the service layer passes one
         per-service object so all worker sessions share a consistent
-        view namespace.
+        view namespace. (Runtime wiring, deliberately not part of the
+        hashable config.)
+    backend, use_schema_knowledge, cache_size, join_ordering, \
+    join_dp_threshold, write_factor:
+        **Deprecated** keyword shims for the pre-``EngineConfig`` API;
+        they validate exactly like the matching config fields and emit
+        a :class:`DeprecationWarning`. Mixing them with ``config=``
+        raises ``TypeError``. See the migration table in
+        ``src/repro/engine/README.md``.
+
+    The resolved configuration is exposed as :attr:`config`; the
+    individual fields stay readable as instance attributes
+    (``engine.backend``, ``engine.cache_size``, ...) for
+    compatibility. ``write_factor`` alone may diverge from the config
+    at runtime: :meth:`calibrate_write_factor` installs a measured
+    value.
     """
 
     def __init__(
         self,
         db: ProbabilisticDatabase,
-        backend: Backend = "memory",
-        use_schema_knowledge: bool = True,
-        cache_size: int | None = None,
-        join_ordering: str = "cost",
-        join_dp_threshold: int = DEFAULT_DP_THRESHOLD,
-        write_factor: float | None = None,
+        config: EngineConfig | None = None,
+        *,
         view_namespace=None,
+        backend=UNSET,
+        use_schema_knowledge=UNSET,
+        cache_size=UNSET,
+        join_ordering=UNSET,
+        join_dp_threshold=UNSET,
+        write_factor=UNSET,
     ) -> None:
-        if backend not in ("memory", "sqlite"):
-            raise ValueError(f"unknown backend {backend!r}")
-        if join_ordering not in ("cost", "greedy"):
-            raise ValueError(
-                f"join_ordering must be 'cost' or 'greedy', got {join_ordering!r}"
+        legacy = {
+            name: value
+            for name, value in (
+                ("backend", backend),
+                ("use_schema_knowledge", use_schema_knowledge),
+                ("cache_size", cache_size),
+                ("join_ordering", join_ordering),
+                ("join_dp_threshold", join_dp_threshold),
+                ("write_factor", write_factor),
+            )
+            if value is not UNSET
+        }
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass either config=EngineConfig(...) or the legacy "
+                    f"keyword arguments, not both (got config= and "
+                    f"{sorted(legacy)})"
+                )
+            warnings.warn(
+                f"DissociationEngine({', '.join(sorted(legacy))}=...) is "
+                "deprecated; pass config=EngineConfig(...) instead (see "
+                "the migration table in src/repro/engine/README.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = EngineConfig(**legacy)
+        elif config is None:
+            config = EngineConfig()
+        elif not isinstance(config, EngineConfig):
+            raise TypeError(
+                "config must be an EngineConfig (the old positional "
+                f"backend argument is gone), got {config!r}"
             )
         self.db = db
-        self.backend: Backend = backend
-        self.use_schema_knowledge = use_schema_knowledge
-        self.cache_size = cache_size
-        self.join_ordering = join_ordering
-        self.join_dp_threshold = join_dp_threshold
-        self.write_factor = write_factor
+        self.config = config
+        self.backend: Backend = config.backend  # type: ignore[assignment]
+        self.use_schema_knowledge = config.use_schema_knowledge
+        self.cache_size = config.cache_size
+        self.join_ordering = config.join_ordering
+        self.join_dp_threshold = (
+            config.join_dp_threshold
+            if config.join_dp_threshold is not None
+            else DEFAULT_DP_THRESHOLD
+        )
+        self.write_factor = config.write_factor
         self.view_namespace = view_namespace
+        #: Queries actually evaluated by this engine (``evaluate`` adds
+        #: one, ``evaluate_batch`` adds the batch size). The session
+        #: result cache's acceptance tests assert this stays flat on a
+        #: cache hit. Incremented under a lock: the service shares one
+        #: memory engine across all worker threads.
+        self.evaluation_count = 0
+        self._count_lock = threading.Lock()
         self._sqlite: SQLiteBackend | None = None
         self._memory_cache: EvaluationCache | None = None
         self._sqlite_stats: SQLiteStatisticsCatalog | None = None
         # Counters of view registries dropped by rebuilds, so sqlite
         # cache_stats() stays cumulative like the memory cache's.
         self._sqlite_stats_base = {"hits": 0, "misses": 0, "evictions": 0}
+        # minimal_plans/single_plan memo keyed by (flavor, canonical
+        # query key, schema flags) — plans depend on query structure and
+        # schema knowledge only, so the memo survives data mutations.
+        self._plan_memo: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._plan_memo_lock = threading.RLock()
+        self._plan_memo_hits = 0
+        self._plan_memo_misses = 0
+        self._plan_memo_renamed = 0
+        self._plan_memo_evictions = 0
 
     # ------------------------------------------------------------------
     # schema plumbing
@@ -295,15 +346,93 @@ class DissociationEngine:
     # ------------------------------------------------------------------
     # plan-level API
     # ------------------------------------------------------------------
+    def _memoized_plans(
+        self, query: ConjunctiveQuery, flavor: str
+    ) -> list[Plan]:
+        """Enumerate (or recall) plans for ``query``.
+
+        The memo key is ``(flavor, canonical query key, schema flags)``:
+        the canonical key (:func:`repro.core.canonical.query_key`) makes
+        repeats hit regardless of atom order, and the flags restrict
+        schema sensitivity to the query's own relations. Plans depend
+        only on query structure and schema knowledge, never on the data,
+        so the memo survives database mutations — this kills the
+        per-request enumeration cost that dominated the warm serial
+        path (~16ms on chain-7).
+
+        An *identical* repeat gets the very plan objects of the first
+        call (bit-identical evaluation, shared structural cache keys); a
+        repeat that differs only by a variable renaming gets the
+        memoized plans renamed through the canonical numbering instead
+        of a fresh enumeration.
+        """
+        deterministic, fds = self._schema_args()
+        memo_size = self.config.plan_memo_size
+        if memo_size == 0:
+            return self._enumerate(query, flavor, deterministic, fds)
+        key0, numbering = canonical_form(query)
+        key = (flavor, key0, schema_flags(query, deterministic, fds))
+        with self._plan_memo_lock:
+            entry = self._plan_memo.get(key)
+            if entry is not None:
+                self._plan_memo.move_to_end(key)
+                self._plan_memo_hits += 1
+        if entry is not None:
+            stored_query, stored_numbering, plans = entry
+            if stored_query == query:
+                return list(plans)
+            # same canonical structure, different variable names: the
+            # two numberings compose into a bijection stored -> ours
+            with self._plan_memo_lock:
+                self._plan_memo_renamed += 1
+            inverse = {index: v for v, index in numbering.items()}
+            mapping = {
+                stored_var: inverse[index]
+                for stored_var, index in stored_numbering.items()
+            }
+            return [rename_plan(plan, mapping) for plan in plans]
+        plans = self._enumerate(query, flavor, deterministic, fds)
+        with self._plan_memo_lock:
+            self._plan_memo_misses += 1
+            self._plan_memo[key] = (query, numbering, tuple(plans))
+            self._plan_memo.move_to_end(key)
+            while memo_size is not None and len(self._plan_memo) > memo_size:
+                self._plan_memo.popitem(last=False)
+                self._plan_memo_evictions += 1
+        return plans
+
+    @staticmethod
+    def _enumerate(
+        query: ConjunctiveQuery, flavor: str, deterministic, fds
+    ) -> list[Plan]:
+        if flavor == "single":
+            return [single_plan(query, deterministic=deterministic, fds=fds)]
+        return minimal_plans(query, deterministic=deterministic, fds=fds)
+
+    def plan_memo_stats(self) -> dict:
+        """Hit/miss counters of the plan-enumeration memo.
+
+        ``renamed_hits`` counts hits served by renaming the memoized
+        plans of a structurally identical query with different variable
+        names (a subset of ``hits``).
+        """
+        with self._plan_memo_lock:
+            return {
+                "hits": self._plan_memo_hits,
+                "misses": self._plan_memo_misses,
+                "renamed_hits": self._plan_memo_renamed,
+                "evictions": self._plan_memo_evictions,
+                "size": len(self._plan_memo),
+                "max_size": self.config.plan_memo_size,
+            }
+
     def minimal_plans(self, query: ConjunctiveQuery) -> list[Plan]:
         """All minimal plans of ``query`` under the schema knowledge."""
-        deterministic, fds = self._schema_args()
-        return minimal_plans(query, deterministic=deterministic, fds=fds)
+        return self._memoized_plans(query, "minimal")
 
     def single_plan(self, query: ConjunctiveQuery) -> Plan:
         """The Opt. 1 merged plan (a DAG with shared subplans)."""
-        deterministic, fds = self._schema_args()
-        return single_plan(query, deterministic=deterministic, fds=fds)
+        return self._memoized_plans(query, "single")[0]
 
     def is_safe(self, query: ConjunctiveQuery) -> bool:
         """True iff the query has a single (exact) plan under the schema."""
@@ -328,6 +457,8 @@ class DissociationEngine:
         """Compute the propagation score with full provenance."""
         opts = optimizations or Optimizations()
         started = time.perf_counter()
+        with self._count_lock:
+            self.evaluation_count += 1
         epoch = self.db.version
         plans = self.minimal_plans(query)
         if self.backend == "memory":
@@ -379,6 +510,8 @@ class DissociationEngine:
         started = time.perf_counter()
         epoch = self.db.version
         queries = list(queries)
+        with self._count_lock:
+            self.evaluation_count += len(queries)
         # dedupe on (structural equality, declared head order): equal
         # queries with different head orders need different columns
         index_of: dict[tuple, int] = {}

@@ -23,7 +23,7 @@ from ..core.dissociation import dissociation_of_plan
 from ..core.plans import Plan
 from ..core.query import ConjunctiveQuery
 from ..db.database import ProbabilisticDatabase
-from ..engine.evaluator import DissociationEngine
+from ..api.session import Session
 from ..lineage.build import Lineage
 from ..lineage.exact import ExactEvaluator
 from ..lineage.mc import monte_carlo_many
@@ -120,10 +120,10 @@ def run_quality_trial(
     k: int = 10,
 ) -> QualityTrial:
     """Run all rankers on one instance and collect covariates."""
-    engine = DissociationEngine(db)
-    lineage = engine.lineage(query)
+    handle = Session(db).query(query)
+    lineage = handle.lineage()
     ground_truth = _exact_scores(lineage)
-    dissociation = engine.propagation_score(query)
+    dissociation = handle.scores()
     lineage_sizes = {a: float(len(f)) for a, f in lineage.by_answer.items()}
 
     trial = QualityTrial(
@@ -137,7 +137,7 @@ def run_quality_trial(
         top = top_k(ground_truth, k)
         trial.avg_pa = fmean(ground_truth[a] for a in top)
         trial.max_pa = max(ground_truth.values())
-        per_plan = engine.score_per_plan(query)
+        per_plan = handle.per_plan()
         ds = []
         for answer in top:
             best_plan = min(
@@ -178,11 +178,11 @@ def per_plan_rankings(
     db: ProbabilisticDatabase,
     k: int = 10,
 ) -> list[PlanRanking]:
-    engine = DissociationEngine(db)
-    lineage = engine.lineage(query)
+    handle = Session(db).query(query)
+    lineage = handle.lineage()
     ground_truth = _exact_scores(lineage)
     out = []
-    for plan, scores in engine.score_per_plan(query).items():
+    for plan, scores in handle.per_plan().items():
         top = top_k(ground_truth, k)
         ds = [_avg_d_of_answer(lineage, a, plan) for a in top]
         out.append(
@@ -213,15 +213,15 @@ def run_scaling_trial(
     factor: float,
     k: int = 10,
 ) -> ScalingTrial:
-    engine = DissociationEngine(db)
-    lineage = engine.lineage(query)
+    handle = Session(db).query(query)
+    lineage = handle.lineage()
     ground_truth = _exact_scores(lineage)
 
     scaled_db = db.scaled(factor, include_deterministic=True)
-    scaled_engine = DissociationEngine(scaled_db)
-    scaled_lineage = scaled_engine.lineage(query)
+    scaled_handle = Session(scaled_db).query(query)
+    scaled_lineage = scaled_handle.lineage()
     scaled_gt = _exact_scores(scaled_lineage)
-    scaled_diss = scaled_engine.propagation_score(query)
+    scaled_diss = scaled_handle.scores()
     sizes = {a: float(len(f)) for a, f in lineage.by_answer.items()}
 
     return ScalingTrial(

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..api.config import EngineConfig
 from ..core.query import ConjunctiveQuery
 from ..db.database import ProbabilisticDatabase
 from ..engine.evaluator import DissociationEngine, Optimizations
@@ -69,7 +70,7 @@ def dissociation_timings(
     All strategies run on the SQLite backend (the paper's setting); the
     backend is materialized once, outside the timed regions.
     """
-    engine = DissociationEngine(db, backend="sqlite")
+    engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
     engine.sqlite  # materialize before timing
     row = RuntimeRow(
         label=label,
@@ -100,7 +101,7 @@ def tpch_timings(
     limits, mirroring how the paper could not obtain ground truth for its
     largest parameters.
     """
-    engine = DissociationEngine(db, backend="sqlite")
+    engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
     engine.sqlite
     row = RuntimeRow(
         label=label,

@@ -21,9 +21,11 @@ serve half-mutated state to a batch.
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import Future
 from typing import Callable, Iterable, Sequence
 
+from ..api.config import UNSET, EngineConfig, ServiceConfig
 from ..core.query import ConjunctiveQuery
 from ..db.database import ProbabilisticDatabase
 from ..engine import DissociationEngine, EvaluationResult, Optimizations
@@ -41,68 +43,89 @@ class DissociationService:
     ----------
     db:
         The shared tuple-independent probabilistic database.
-    backend:
-        ``"memory"`` (one shared thread-safe engine for all workers) or
-        ``"sqlite"`` (one engine + connection per worker, with a shared
-        temp-view namespace).
-    workers:
-        Worker threads draining the admission queue. Each batch is
-        executed by exactly one worker, so intra-batch sharing is
-        race-free; parallelism comes from concurrent batches.
-    max_batch_size / max_batch_delay / max_pending:
-        Micro-batching knobs (see
-        :class:`~repro.service.batching.MicroBatcher`): the largest
-        batch one dispatch admits, how long the dispatcher waits for
-        stragglers, and the admission queue's backpressure bound.
-    calibrate:
-        Measure the SQLite temp-table write factor once at startup and
-        install it on every worker engine (replaces the fixed
-        ``write_factor`` constant of the Algorithm-3 cost gate).
+    config:
+        The worker engines' frozen :class:`~repro.api.EngineConfig`
+        (backend, cache sizes, join ordering, ...). ``None`` uses the
+        defaults. ``config.backend == "memory"`` shares one thread-safe
+        engine across all workers; ``"sqlite"`` gives each worker its
+        own engine + connection over a shared temp-view namespace.
+    service:
+        The serving-layer knobs as a frozen
+        :class:`~repro.api.ServiceConfig` — worker count,
+        micro-batching (``max_batch_size`` / ``max_batch_delay`` /
+        ``max_pending``), startup write-factor calibration, and DAG
+        statistics collection. ``None`` uses the defaults.
     default_optimizations:
         The :class:`~repro.engine.Optimizations` used when a submission
         does not pass its own.
-    collect_dag_stats:
-        Opt in to building the explicit
-        :class:`~repro.service.dag.BatchPlanDAG` per batch for the
-        sharing statistics in :meth:`stats`. Off by default: it costs a
-        second plan enumeration per batch, so the default configuration
-        is the one the throughput benchmarks measure.
+    backend, workers, max_batch_size, max_batch_delay, max_pending, \
+    calibrate, collect_dag_stats:
+        **Deprecated** keyword shims for the pre-config API; they emit
+        a :class:`DeprecationWarning` and resolve into the two config
+        objects. Mixing a shim with the config object that covers it
+        raises ``TypeError``.
     engine_kwargs:
-        Passed through to every worker's ``DissociationEngine`` (e.g.
-        ``cache_size=``, ``join_ordering=``).
+        **Deprecated** engine options passed through to every worker's
+        engine (e.g. ``cache_size=``). Names are validated against
+        :class:`~repro.api.EngineConfig`'s fields — an unknown name
+        (``cache_sise=``...) raises ``TypeError`` immediately instead
+        of stranding the first batch in a dead worker thread.
     """
 
     def __init__(
         self,
         db: ProbabilisticDatabase,
-        backend: str = "memory",
-        workers: int = 2,
-        max_batch_size: int = 8,
-        max_batch_delay: float = 0.002,
-        max_pending: int = 1024,
-        calibrate: bool = False,
+        config: EngineConfig | None = None,
+        service: ServiceConfig | None = None,
+        *,
         default_optimizations: Optimizations | None = None,
-        collect_dag_stats: bool = False,
+        backend=UNSET,
+        workers=UNSET,
+        max_batch_size=UNSET,
+        max_batch_delay=UNSET,
+        max_pending=UNSET,
+        calibrate=UNSET,
+        collect_dag_stats=UNSET,
         **engine_kwargs,
     ) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+        config, service = self._resolve_configs(
+            config,
+            service,
+            engine_legacy={
+                name: value
+                for name, value in [("backend", backend)]
+                if value is not UNSET
+            },
+            engine_kwargs=engine_kwargs,
+            service_legacy={
+                name: value
+                for name, value in (
+                    ("workers", workers),
+                    ("max_batch_size", max_batch_size),
+                    ("max_batch_delay", max_batch_delay),
+                    ("max_pending", max_pending),
+                    ("calibrate", calibrate),
+                    ("collect_dag_stats", collect_dag_stats),
+                )
+                if value is not UNSET
+            },
+        )
         self.db = db
-        self.backend = backend
+        self.config = config
+        self.service_config = service
+        self.backend = config.backend
         self.default_optimizations = (
             default_optimizations or Optimizations()
         )
-        self.collect_dag_stats = collect_dag_stats
+        self.collect_dag_stats = service.collect_dag_stats
         self.namespace = SharedViewNamespace()
-        self._pool = SessionPool(
-            db, backend, namespace=self.namespace, **engine_kwargs
-        )
-        if calibrate:
+        self._pool = SessionPool(db, config, namespace=self.namespace)
+        if service.calibrate:
             self._pool.calibrate()
         self._batcher = MicroBatcher(
-            max_batch_size=max_batch_size,
-            max_batch_delay=max_batch_delay,
-            max_pending=max_pending,
+            max_batch_size=service.max_batch_size,
+            max_batch_delay=service.max_batch_delay,
+            max_pending=service.max_pending,
         )
         # mutation quiescence: batches take the gate as readers, mutate()
         # as the writer
@@ -125,10 +148,74 @@ class DissociationService:
                 name=f"dissoc-worker-{i}",
                 daemon=True,
             )
-            for i in range(workers)
+            for i in range(service.workers)
         ]
         for thread in self._threads:
             thread.start()
+
+    @staticmethod
+    def _resolve_configs(
+        config: EngineConfig | None,
+        service: ServiceConfig | None,
+        engine_legacy: dict,
+        engine_kwargs: dict,
+        service_legacy: dict,
+    ) -> tuple[EngineConfig, ServiceConfig]:
+        """Fold the deprecated kwargs into the two frozen configs.
+
+        ``engine_kwargs`` names are validated (by
+        :meth:`EngineConfig.from_kwargs`) *before* any worker starts,
+        so a typo raises ``TypeError`` at construction instead of
+        killing the first worker thread.
+        """
+        engine_legacy = {**engine_legacy, **engine_kwargs}
+        if engine_legacy:
+            # raises TypeError listing any unknown option names
+            candidate = EngineConfig.from_kwargs(**engine_legacy)
+            if config is not None:
+                raise TypeError(
+                    "pass either config=EngineConfig(...) or the legacy "
+                    "engine keyword arguments, not both (got config= and "
+                    f"{sorted(engine_legacy)})"
+                )
+            warnings.warn(
+                "DissociationService("
+                f"{', '.join(sorted(engine_legacy))}=...) is deprecated; "
+                "pass config=EngineConfig(...) instead (see the migration "
+                "table in src/repro/engine/README.md)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            config = candidate
+        elif config is None:
+            config = EngineConfig()
+        elif not isinstance(config, EngineConfig):
+            raise TypeError(
+                f"config must be an EngineConfig, got {config!r}"
+            )
+        if service_legacy:
+            if service is not None:
+                raise TypeError(
+                    "pass either service=ServiceConfig(...) or the legacy "
+                    "service keyword arguments, not both (got service= "
+                    f"and {sorted(service_legacy)})"
+                )
+            warnings.warn(
+                "DissociationService("
+                f"{', '.join(sorted(service_legacy))}=...) is deprecated; "
+                "pass service=ServiceConfig(...) instead (see the "
+                "migration table in src/repro/engine/README.md)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            service = ServiceConfig(**service_legacy)
+        elif service is None:
+            service = ServiceConfig()
+        elif not isinstance(service, ServiceConfig):
+            raise TypeError(
+                f"service must be a ServiceConfig, got {service!r}"
+            )
+        return config, service
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -22,8 +22,9 @@ calibration is enabled, to the write factor measured once at startup.
 from __future__ import annotations
 
 import threading
-from typing import Hashable, Literal
+from typing import Hashable
 
+from ..api.config import EngineConfig
 from ..db.database import ProbabilisticDatabase
 from ..engine import DissociationEngine
 
@@ -167,14 +168,13 @@ class SessionPool:
     def __init__(
         self,
         db: ProbabilisticDatabase,
-        backend: Literal["memory", "sqlite"] = "memory",
+        config: EngineConfig | None = None,
         namespace: SharedViewNamespace | None = None,
-        **engine_kwargs,
     ) -> None:
         self.db = db
-        self.backend = backend
+        self.config = config or EngineConfig()
+        self.backend = self.config.backend
         self.namespace = namespace or SharedViewNamespace()
-        self.engine_kwargs = dict(engine_kwargs)
         self._local = threading.local()
         self._lock = threading.Lock()
         self._sessions: list[EngineSession] = []
@@ -184,21 +184,28 @@ class SessionPool:
         self.calibrated_write_factor: float | None = None
 
     def _new_engine(self) -> DissociationEngine:
-        kwargs = dict(self.engine_kwargs)
+        config = self.config
+        namespace = None
         if self.backend == "sqlite":
-            kwargs.setdefault("view_namespace", self.namespace)
+            namespace = self.namespace
             if (
                 self.calibrated_write_factor is not None
-                and kwargs.get("write_factor") is None
+                and config.write_factor is None
             ):
-                kwargs["write_factor"] = self.calibrated_write_factor
-        return DissociationEngine(self.db, backend=self.backend, **kwargs)
+                config = config.replace(
+                    write_factor=self.calibrated_write_factor
+                )
+        return DissociationEngine(
+            self.db, config, view_namespace=namespace
+        )
 
     def calibrate(self, sample_rows: int = 4096) -> float | None:
         """Measure the write factor once (sqlite only) for all sessions."""
         if self.backend != "sqlite":
             return None
-        probe = DissociationEngine(self.db, backend="sqlite")
+        probe = DissociationEngine(
+            self.db, EngineConfig(backend="sqlite")
+        )
         try:
             self.calibrated_write_factor = probe.calibrate_write_factor(
                 sample_rows

@@ -10,6 +10,7 @@ from __future__ import annotations
 import itertools
 import random
 
+from repro.api import EngineConfig, Session
 from repro.core import Atom, ConjunctiveQuery, Variable
 from repro.core.minplans import minimal_plans
 from repro.core.singleplan import single_plan
@@ -157,6 +158,7 @@ def assert_backends_agree(
     cache_size: int | None = None,
     join_ordering: str = "cost",
     compare_orderings: bool = False,
+    compare_facade: bool = False,
 ) -> dict[tuple, float]:
     """Differential harness: reference vs columnar vs SQLite.
 
@@ -172,52 +174,84 @@ def assert_backends_agree(
     scheduler on every combination and its scores must be **bit
     identical** (the canonical combine-order guarantee — the schedule
     may change the work, never the floats).
+
+    With ``compare_facade`` a ``repro.connect()`` :class:`Session` per
+    backend (same config) evaluates every combination too, and its
+    scores must be **bit identical** to the direct engine's — the
+    facade adds routing and a result cache, never arithmetic. Each
+    combo is queried twice, so the second call exercises the result
+    cache's snapshot path as well.
     """
-    memory = DissociationEngine(
-        db,
+    memory_config = EngineConfig(
         use_schema_knowledge=use_schema_knowledge,
         cache_size=cache_size,
         join_ordering=join_ordering,
     )
-    sqlite = DissociationEngine(
-        db,
+    sqlite_config = EngineConfig(
         backend="sqlite",
         use_schema_knowledge=use_schema_knowledge,
         cache_size=cache_size,
     )
+    memory = DissociationEngine(db, memory_config)
+    sqlite = DissociationEngine(db, sqlite_config)
     other = None
     if compare_orderings:
         other = DissociationEngine(
             db,
-            use_schema_knowledge=use_schema_knowledge,
-            cache_size=cache_size,
-            join_ordering="greedy" if join_ordering == "cost" else "cost",
+            memory_config.replace(
+                join_ordering="greedy" if join_ordering == "cost" else "cost"
+            ),
         )
+    sessions: list[Session] = []
+    if compare_facade:
+        sessions = [
+            Session(db, memory_config),
+            Session(db, sqlite_config),
+        ]
     reference: dict[tuple, float] = {}
-    for opts in combos:
-        reference = reference_scores(
-            query, db, opts, use_schema_knowledge=use_schema_knowledge
-        )
-        for engine in (memory, sqlite):
-            got = engine.propagation_score(query, opts)
-            context = f"{engine.backend} backend, {opts}, {query}"
-            assert set(got) == set(reference), (
-                f"{context}: answer sets differ: {set(got) ^ set(reference)}"
+    try:
+        for opts in combos:
+            reference = reference_scores(
+                query, db, opts, use_schema_knowledge=use_schema_knowledge
             )
-            for answer in reference:
-                assert close(got[answer], reference[answer], tolerance), (
-                    f"{context}: {answer}: "
-                    f"{got[answer]} != {reference[answer]}"
+            direct_scores: dict[str, dict[tuple, float]] = {}
+            for engine in (memory, sqlite):
+                got = engine.propagation_score(query, opts)
+                direct_scores[engine.backend] = got
+                context = f"{engine.backend} backend, {opts}, {query}"
+                assert set(got) == set(reference), (
+                    f"{context}: answer sets differ: "
+                    f"{set(got) ^ set(reference)}"
                 )
-        if other is not None:
-            mine = memory.propagation_score(query, opts)
-            theirs = other.propagation_score(query, opts)
-            context = f"{opts}, {query}"
-            assert mine == theirs, (
-                f"join orderings disagree (must be bit-identical): "
-                f"{context}: "
-                f"{ {k: (mine[k], theirs.get(k)) for k in mine if mine.get(k) != theirs.get(k)} }"
-            )
+                for answer in reference:
+                    assert close(got[answer], reference[answer], tolerance), (
+                        f"{context}: {answer}: "
+                        f"{got[answer]} != {reference[answer]}"
+                    )
+            if other is not None:
+                mine = memory.propagation_score(query, opts)
+                theirs = other.propagation_score(query, opts)
+                context = f"{opts}, {query}"
+                assert mine == theirs, (
+                    f"join orderings disagree (must be bit-identical): "
+                    f"{context}: "
+                    f"{ {k: (mine[k], theirs.get(k)) for k in mine if mine.get(k) != theirs.get(k)} }"
+                )
+            for engine, session in zip((memory, sqlite), sessions):
+                direct = direct_scores[engine.backend]
+                context = f"{engine.backend} facade, {opts}, {query}"
+                for via in (
+                    session.query(query, opts).scores(),  # cache miss
+                    session.query(query, opts).scores(),  # cache hit
+                ):
+                    assert via == direct, (
+                        f"facade diverges from the direct engine "
+                        f"(must be bit-identical): {context}: "
+                        f"{ {k: (via.get(k), direct.get(k)) for k in set(via) | set(direct) if via.get(k) != direct.get(k)} }"
+                    )
+    finally:
+        for session in sessions:
+            session.close()
     return reference
 
 

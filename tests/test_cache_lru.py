@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import EngineConfig
 from repro.core import Atom, Scan, Variable, parse_query
 from repro.db import ProbabilisticDatabase
 from repro.engine import DissociationEngine, EvaluationCache, evaluate_plan
@@ -101,7 +102,7 @@ class TestLRUCap:
 
         db = _db()
         q = parse_query("q() :- R0(x,y), R1(y,z), R2(z,w)")
-        engine = DissociationEngine(db, cache_size=0)
+        engine = DissociationEngine(db, EngineConfig(cache_size=0))
         merged = engine.single_plan(q)
         distinct_scans = len({n for n in merged.walk() if isinstance(n, Scan)})
         calls = []
@@ -131,7 +132,7 @@ class TestEngineIntegration:
         q = parse_query("q(x) :- R0(x,y), R1(y,z)")
         want = DissociationEngine(db).propagation_score(q)
         for cap in (0, 1, 2):
-            engine = DissociationEngine(db, cache_size=cap)
+            engine = DissociationEngine(db, EngineConfig(cache_size=cap))
             assert engine.propagation_score(q) == want
             assert engine.cache_stats()["max_size"] == cap
 

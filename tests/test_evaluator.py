@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.api import EngineConfig
 from repro.core import parse_query
 from repro.db import ProbabilisticDatabase
 from repro.engine import DissociationEngine, Optimizations
@@ -64,7 +65,7 @@ class TestEvaluate:
         assert result.sql is None
 
     def test_sqlite_result_has_sql(self):
-        engine = DissociationEngine(example_17_db(), backend="sqlite")
+        engine = DissociationEngine(example_17_db(), EngineConfig(backend="sqlite"))
         result = engine.evaluate(parse_query(EXAMPLE_17))
         assert result.sql and "SELECT" in result.sql
 
@@ -81,7 +82,7 @@ class TestEvaluate:
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):
-            DissociationEngine(example_17_db(), backend="duckdb")
+            DissociationEngine(example_17_db(), EngineConfig(backend="duckdb"))
 
 
 class TestBackendAgreement:
@@ -101,7 +102,7 @@ class TestBackendAgreement:
             q = random_query(rng, head_vars=rng.randint(0, 2))
             db = random_database_for(q, rng, domain_size=2)
             memory = DissociationEngine(db).propagation_score(q, opts)
-            sqlite = DissociationEngine(db, backend="sqlite").propagation_score(
+            sqlite = DissociationEngine(db, EngineConfig(backend="sqlite")).propagation_score(
                 q, opts
             )
             assert_scores_close(memory, sqlite, tolerance=1e-9)
@@ -133,7 +134,7 @@ class TestBaselines:
     def test_sqlite_invalidate(self):
         db = ProbabilisticDatabase()
         db.add_table("R", [((1,), 0.5)])
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         _ = engine.sqlite
         engine.invalidate_sqlite()
         assert engine._sqlite is None

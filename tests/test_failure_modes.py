@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import EngineConfig
 from repro.core import (
     Atom,
     ConjunctiveQuery,
@@ -103,7 +104,7 @@ class TestClosedBackend:
         db.add_table("R", [((1,), 0.5)])
         db.add_table("S", [((1, 2), 0.5)])
         q = parse_query("q() :- R(x), S(x,y)")
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         first = engine.propagation_score(q)
         engine.invalidate_sqlite()
         second = engine.propagation_score(q)

@@ -10,6 +10,7 @@ import random
 
 import pytest
 
+from repro.api import EngineConfig
 from repro import (
     DissociationEngine,
     Optimizations,
@@ -42,7 +43,7 @@ class TestChainPipeline:
     def test_all_strategies_agree_on_answers(self, setup):
         q, db = setup
         engine = DissociationEngine(db)
-        sqlite_engine = DissociationEngine(db, backend="sqlite")
+        sqlite_engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         answers = engine.answers(q)
         for opts in (
             Optimizations.none(),
@@ -64,7 +65,7 @@ class TestChainPipeline:
     def test_backends_bitwise_close(self, setup):
         q, db = setup
         memory = DissociationEngine(db).propagation_score(q)
-        sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
+        sqlite = DissociationEngine(db, EngineConfig(backend="sqlite")).propagation_score(q)
         assert_scores_close(memory, sqlite, tolerance=1e-9)
 
 
@@ -113,7 +114,7 @@ class TestTPCHPipeline:
 
     def test_sqlite_evaluation(self, setup):
         q, db = setup
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         result = engine.evaluate(q, Optimizations.all())
         assert result.plan_count == 2
         assert result.sql is not None
@@ -129,7 +130,7 @@ class TestSchemaPipeline:
         )
         engine = DissociationEngine(db)
         plans = engine.minimal_plans(q)
-        oblivious = DissociationEngine(db, use_schema_knowledge=False)
+        oblivious = DissociationEngine(db, EngineConfig(use_schema_knowledge=False))
         assert len(plans) <= len(oblivious.minimal_plans(q))
         rho = engine.propagation_score(q).get((), 0.0)
         exact = engine.exact(q).get((), 0.0)

@@ -2,6 +2,7 @@
 
 import random
 
+from repro.api import EngineConfig
 from repro.core import DissociationLattice, parse_query
 from repro.engine import DissociationEngine
 from repro.workloads import like_match
@@ -94,5 +95,5 @@ class TestBackendDataTypes:
         db.add_table("S", [((1, "a"), 0.5), (("1", "b"), 0.5)])
         q = parse_query("q(y) :- R(x), S(x, y)")
         memory = DissociationEngine(db).propagation_score(q)
-        sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
+        sqlite = DissociationEngine(db, EngineConfig(backend="sqlite")).propagation_score(q)
         assert set(memory) == set(sqlite) == {("a",), ("b",)}

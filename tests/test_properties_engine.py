@@ -17,6 +17,7 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
+from repro.api import EngineConfig
 from repro.core import is_hierarchical, minimal_plans
 from repro.db import ProbabilisticDatabase
 from repro.engine import (
@@ -70,7 +71,7 @@ def test_safe_queries_computed_exactly(pair):
 def test_backends_agree(pair):
     q, db = pair
     memory = DissociationEngine(db).propagation_score(q)
-    sqlite = DissociationEngine(db, backend="sqlite").propagation_score(q)
+    sqlite = DissociationEngine(db, EngineConfig(backend="sqlite")).propagation_score(q)
     assert set(memory) == set(sqlite)
     for answer in memory:
         assert abs(memory[answer] - sqlite[answer]) < 1e-9

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.api import EngineConfig
 from repro.core import (
     ColumnFD,
     UnsafeQueryError,
@@ -128,8 +129,8 @@ class TestConservativity:
         db = random_database_for(
             q, random.Random(25), deterministic=frozenset({"T"})
         )
-        aware = DissociationEngine(db, use_schema_knowledge=True)
-        oblivious = DissociationEngine(db, use_schema_knowledge=False)
+        aware = DissociationEngine(db, EngineConfig(use_schema_knowledge=True))
+        oblivious = DissociationEngine(db, EngineConfig(use_schema_knowledge=False))
         assert len(aware.minimal_plans(q)) == 1
         assert len(oblivious.minimal_plans(q)) == 2
         # both still compute the same (exact) value on this instance

@@ -2,6 +2,7 @@
 
 import random
 
+from repro.api import EngineConfig
 from repro.core import minimal_plans, parse_query
 from repro.db import ProbabilisticDatabase
 from repro.engine import (
@@ -83,7 +84,7 @@ class TestSQLReducer:
         db.add_table("R", [((1,), 0.5), ((9,), 0.5)])
         db.add_table("S", [((1, 2), 0.5)])
         q = parse_query("q() :- R(x), S(x,y)")
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         statements, names = semijoin_statements(q, db.schema)
         engine.sqlite.run_statements(statements)
         assert engine.sqlite.table_count(names["R"]) == 1
@@ -94,7 +95,7 @@ class TestSQLReducer:
         for _ in range(15):
             q = random_query(rng, head_vars=rng.randint(0, 2))
             db = random_database_for(q, rng, domain_size=2, fill=0.5)
-            engine = DissociationEngine(db, backend="sqlite")
+            engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
             plain = engine.propagation_score(
                 q, Optimizations(semijoin=False)
             )
@@ -107,7 +108,7 @@ class TestSQLReducer:
         rng = random.Random(64)
         q = parse_query("q(z) :- R(z,x), S(x,y), T(y)")
         db = random_database_for(q, rng, fill=0.5)
-        engine = DissociationEngine(db, backend="memory")
+        engine = DissociationEngine(db, EngineConfig(backend="memory"))
         plain = engine.propagation_score(q, Optimizations(semijoin=False))
         reduced = engine.propagation_score(q, Optimizations(semijoin=True))
         assert_scores_close(plain, reduced, tolerance=1e-9)

@@ -23,6 +23,7 @@ from concurrent.futures import Future
 
 import pytest
 
+from repro.api import EngineConfig, ServiceConfig
 from repro.core.query import ConjunctiveQuery
 from repro.core.parser import parse_query
 from repro.engine import DissociationEngine, Optimizations
@@ -226,8 +227,8 @@ class TestEvaluateBatch:
         _, queries = overlapping_mix()
         db = chain_database(5, 40, seed=6, p_max=0.5)
         for opts in ALL_OPTIMIZATION_COMBOS:
-            batch_engine = DissociationEngine(db, backend="sqlite")
-            serial_engine = DissociationEngine(db, backend="sqlite")
+            batch_engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
+            serial_engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
             results = batch_engine.evaluate_batch(queries, opts)
             for query, result in zip(queries, results):
                 serial = serial_engine.propagation_score(query, opts)
@@ -281,7 +282,7 @@ class TestEvaluateBatch:
         db = chain_database(5, 40, seed=9, p_max=0.5)
         # write_factor=0: every subplan with >= 2 reference sites passes
         # the cost gate, so "shared implies materialized exactly once"
-        engine = DissociationEngine(db, backend="sqlite", write_factor=0.0)
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite", write_factor=0.0))
         plans_per = [engine.minimal_plans(q) for q in queries]
         shared = [
             node
@@ -319,12 +320,12 @@ class TestEvaluateBatch:
         query = chain_query(5)
         db = chain_database(5, 40, seed=11, p_max=0.5)
         engine = DissociationEngine(
-            db, backend="sqlite", write_factor=1e12
+            db, EngineConfig(backend="sqlite", write_factor=1e12)
         )
         result = engine.evaluate(query, ALL_PLANS)
         assert engine.cache_stats()["misses"] == 0  # nothing materialized
         assert result.sql is not None and "shared_" in result.sql
-        baseline = DissociationEngine(db, backend="sqlite").evaluate(
+        baseline = DissociationEngine(db, EngineConfig(backend="sqlite")).evaluate(
             query, ALL_PLANS
         )
         assert_scores_close(result.scores, baseline.scores, 1e-12)
@@ -342,7 +343,7 @@ class TestDissociationService:
         _, queries = overlapping_mix()
         db = chain_database(5, 40, seed=13, p_max=0.5)
         serial = DissociationEngine(db)
-        with DissociationService(db, workers=2) as service:
+        with DissociationService(db, service=ServiceConfig(workers=2)) as service:
             futures = [
                 service.submit(q) for q in queries for _ in range(2)
             ]
@@ -355,9 +356,11 @@ class TestDissociationService:
     def test_sqlite_service_with_calibration(self):
         _, queries = overlapping_mix()
         db = chain_database(5, 30, seed=14, p_max=0.5)
-        serial = DissociationEngine(db, backend="sqlite")
+        serial = DissociationEngine(db, EngineConfig(backend="sqlite"))
         with DissociationService(
-            db, backend="sqlite", workers=2, calibrate=True
+            db,
+            EngineConfig(backend="sqlite"),
+            ServiceConfig(workers=2, calibrate=True),
         ) as service:
             results = service.evaluate_many(queries, ALL_PLANS)
             stats = service.stats()
@@ -374,10 +377,12 @@ class TestDissociationService:
         db = chain_database(5, 30, seed=15, p_max=0.5)
         with DissociationService(
             db,
-            workers=1,
-            max_batch_size=16,
-            max_batch_delay=0.05,
-            collect_dag_stats=True,
+            service=ServiceConfig(
+                workers=1,
+                max_batch_size=16,
+                max_batch_delay=0.05,
+                collect_dag_stats=True,
+            ),
         ) as service:
             service.gather(
                 [service.submit(q) for q in queries for _ in range(2)]
@@ -392,7 +397,7 @@ class TestDissociationService:
     def test_error_propagates_through_future(self):
         db = chain_database(3, 10, seed=16, p_max=0.5)
         missing = parse_query("q() :- NoSuchTable(x, y)")
-        with DissociationService(db, workers=1) as service:
+        with DissociationService(db, service=ServiceConfig(workers=1)) as service:
             future = service.submit(missing)
             with pytest.raises(Exception):
                 future.result(timeout=30)
@@ -414,13 +419,13 @@ class TestDissociationService:
                 service.submit_async(query),
             )
 
-        with DissociationService(db, workers=1) as service:
+        with DissociationService(db, service=ServiceConfig(workers=1)) as service:
             first, second = asyncio.run(main(service))
         assert first.scores == second.scores
 
     def test_submit_after_close_rejected(self):
         db = chain_database(3, 10, seed=18, p_max=0.5)
-        service = DissociationService(db, workers=1)
+        service = DissociationService(db, service=ServiceConfig(workers=1))
         service.close()
         with pytest.raises(RuntimeError):
             service.submit(chain_query(3))
@@ -469,7 +474,7 @@ class _Harness:
 
 
 def _expected_for_epoch(db, queries, opts, backend="memory"):
-    engine = DissociationEngine(db, backend=backend)
+    engine = DissociationEngine(db, EngineConfig(backend=backend))
     return {
         (q, q.head_order): engine.propagation_score(q, opts)
         for q in queries
@@ -483,7 +488,10 @@ class TestConcurrencyStress:
         opts = ALL_PLANS
         expected = {db.version: _expected_for_epoch(db, queries, opts)}
         with DissociationService(
-            db, workers=4, max_batch_size=8, max_batch_delay=0.005
+            db,
+            service=ServiceConfig(
+                workers=4, max_batch_size=8, max_batch_delay=0.005
+            ),
         ) as service:
             harness = _Harness(service, queries, 15, 6, opts)
 
@@ -522,10 +530,8 @@ class TestConcurrencyStress:
         }
         with DissociationService(
             db,
-            backend="sqlite",
-            workers=3,
-            max_batch_size=8,
-            max_batch_delay=0.005,
+            EngineConfig(backend="sqlite"),
+            ServiceConfig(workers=3, max_batch_size=8, max_batch_delay=0.005),
         ) as service:
             harness = _Harness(service, queries, 8, 4, opts)
 
@@ -572,7 +578,10 @@ class TestRegressions:
         db = chain_database(3, 15, seed=25, p_max=0.5)
         query = chain_query(3)
         service = DissociationService(
-            db, workers=2, max_batch_size=2, max_batch_delay=0.0
+            db,
+            service=ServiceConfig(
+                workers=2, max_batch_size=2, max_batch_delay=0.0
+            ),
         )
         try:
             for _ in range(12):
@@ -634,7 +643,7 @@ class TestRegressions:
     def test_concurrent_mutators_both_complete(self):
         db = chain_database(3, 15, seed=26, p_max=0.5)
         query = chain_query(3)
-        with DissociationService(db, workers=2) as service:
+        with DissociationService(db, service=ServiceConfig(workers=2)) as service:
             stop = threading.Event()
 
             def load():
@@ -672,7 +681,9 @@ class TestRegressions:
         # zero write factor materializes views on the first call
         query = chain_query(3, boolean=True)
         with DissociationService(
-            db, backend="sqlite", workers=1, write_factor=0.0
+            db,
+            EngineConfig(backend="sqlite", write_factor=0.0),
+            ServiceConfig(workers=1),
         ) as service:
             service.evaluate(query, ALL_PLANS)
             before = service.namespace.stats()

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.api import EngineConfig
 from repro.core import minimal_plans, parse_query
 from repro.core.singleplan import single_plan
 from repro.db import IorAggregate, ProbabilisticDatabase, SQLiteBackend, sql_literal
@@ -136,8 +137,8 @@ class TestCompiledPlans:
         for _ in range(25):
             q = random_query(rng, head_vars=rng.randint(0, 2))
             db = random_database_for(q, rng, domain_size=2)
-            memory = DissociationEngine(db, backend="memory")
-            sqlite = DissociationEngine(db, backend="sqlite")
+            memory = DissociationEngine(db, EngineConfig(backend="memory"))
+            sqlite = DissociationEngine(db, EngineConfig(backend="sqlite"))
             assert_scores_close(
                 memory.propagation_score(q),
                 sqlite.propagation_score(q),
@@ -150,7 +151,7 @@ class TestBaselineSQL:
         rng = random.Random(7)
         q = parse_query("q(z) :- R(z,x), S(x,y), T(y)")
         db = random_database_for(q, rng)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         rows = engine.sqlite.execute(deterministic_sql(q, db.schema))
         assert {tuple(r) for r in rows} == engine.answers(q)
 
@@ -158,7 +159,7 @@ class TestBaselineSQL:
         rng = random.Random(8)
         q = parse_query("q() :- R(x), S(x,y)")
         db = random_database_for(q, rng)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         rows = engine.sqlite.execute(deterministic_sql(q, db.schema))
         assert (len(rows) == 1) == (() in engine.answers(q))
 
@@ -166,7 +167,7 @@ class TestBaselineSQL:
         rng = random.Random(9)
         q = parse_query("q() :- R(x), S(x,y), T(y)")
         db = random_database_for(q, rng)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         rows = engine.sqlite.execute(lineage_sql(q, db.schema))
         lineage = engine.lineage(q)
         total = sum(len(f) for f in lineage.by_answer.values())

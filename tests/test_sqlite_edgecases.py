@@ -2,6 +2,7 @@
 
 import random
 
+from repro.api import EngineConfig
 from repro.core import minimal_plans, parse_query
 from repro.db import ProbabilisticDatabase, SQLiteBackend
 from repro.engine import DissociationEngine, SQLCompiler, plan_scores
@@ -59,7 +60,7 @@ class TestEmptyInputs:
         db.add_table("S", [((1, 2), 0.5)])
         q = parse_query("q() :- R(x), S(x,y)")
         for backend in ("memory", "sqlite"):
-            engine = DissociationEngine(db, backend=backend)
+            engine = DissociationEngine(db, EngineConfig(backend=backend))
             assert engine.propagation_score(q) == {}
 
     def test_boolean_no_answer(self):
@@ -67,7 +68,7 @@ class TestEmptyInputs:
         db.add_table("R", [((1,), 0.5)])
         db.add_table("S", [((2, 3), 0.5)])
         q = parse_query("q() :- R(x), S(x,y)")
-        sqlite = DissociationEngine(db, backend="sqlite")
+        sqlite = DissociationEngine(db, EngineConfig(backend="sqlite"))
         scores = sqlite.propagation_score(q)
         # the Boolean aggregate returns 0 probability (false), or no row —
         # either way nothing above 0
@@ -121,7 +122,7 @@ class TestCompilerDetails:
         q = parse_query("q() :- R(x), S(x,y)")
         from repro.engine import Optimizations
 
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         first = engine.propagation_score(q, Optimizations.all())
         second = engine.propagation_score(q, Optimizations.all())
         assert_scores_close(first, second)

@@ -15,6 +15,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.api import EngineConfig
 from repro.core import parse_query
 from repro.db import ProbabilisticDatabase, SQLiteBackend, SQLiteViewRegistry
 from repro.engine import DissociationEngine, Optimizations, SQLCompiler
@@ -121,7 +122,7 @@ class TestEngineViewReuse:
     def test_views_reused_across_plans_of_all_plans_mode(self):
         q = parse_query("q() :- R1(x0,x1), R2(x1,x2), R3(x2,x3)")
         db = _chain_db(3, 40, seed=7)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         engine.propagation_score(q, ALL_PLANS_REUSE)
         stats = engine.cache_stats()
         assert stats["hits"] > 0, "plans of a chain query share subplans"
@@ -130,7 +131,7 @@ class TestEngineViewReuse:
     def test_views_reused_across_queries(self):
         q = parse_query("q() :- R1(x0,x1), R2(x1,x2), R3(x2,x3)")
         db = _chain_db(3, 40, seed=8)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         first = engine.propagation_score(q, ALL_PLANS_REUSE)
         after_first = engine.cache_stats()
         second = engine.propagation_score(q, ALL_PLANS_REUSE)
@@ -150,7 +151,7 @@ class TestEngineViewReuse:
     def test_single_plan_mode_also_registers_views(self):
         q = parse_query("q() :- R1(x0,x1), R2(x1,x2)")
         db = _chain_db(2, 30, seed=9)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         # Algorithm 3: a first call may keep every one-shot subplan
         # inline; the repeat is the reuse signal that promotes them.
         engine.propagation_score(q, Optimizations())
@@ -160,7 +161,7 @@ class TestEngineViewReuse:
     def test_reuse_views_off_bypasses_registry(self):
         q = parse_query("q() :- R1(x0,x1), R2(x1,x2)")
         db = _chain_db(2, 30, seed=10)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         engine.propagation_score(q, Optimizations.none())
         assert engine.cache_stats() == {
             "hits": 0,
@@ -176,7 +177,7 @@ class TestEngineViewReuse:
         # reuses them instead of bypassing the registry
         q = parse_query("q(x0) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)")
         db = _chain_db(3, 40, seed=11)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         want = DissociationEngine(db).propagation_score(q, Optimizations.all())
         first = engine.propagation_score(q, Optimizations.all())
         assert_scores_close(first, want)
@@ -195,7 +196,7 @@ class TestEngineViewReuse:
         db = ProbabilisticDatabase()
         db.add_table("R1", [((1, 1), 0.5), ((2, 2), 0.5)])
         db.add_table("R2", [((1, 10), 0.5), ((2, 20), 0.5)])
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         reference = DissociationEngine(db)
         for constant in (1, 2, 1, 2):
             q = parse_query(f"q(y) :- R1({constant},x), R2(x,y)")
@@ -209,7 +210,7 @@ class TestEngineViewReuse:
         want = DissociationEngine(db).propagation_score(q, ALL_PLANS_REUSE)
         for cap in (0, 1, 2):
             engine = DissociationEngine(
-                db, backend="sqlite", cache_size=cap
+                db, EngineConfig(backend="sqlite", cache_size=cap)
             )
             got = engine.propagation_score(q, ALL_PLANS_REUSE)
             assert_scores_close(want, got)
@@ -226,7 +227,7 @@ class TestSQLiteLifecycle:
         db.add_table("R", [((1,), 0.5)])
         db.add_table("S", [((1, 2), 0.5)])
         q = parse_query("q(x) :- R(x), S(x,y)")
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         assert engine.propagation_score(q, ALL_PLANS_REUSE) == {(1,): 0.25}
         db.table("S").insert((1, 3), 0.5)
         want = DissociationEngine(db).propagation_score(q, ALL_PLANS_REUSE)
@@ -238,7 +239,7 @@ class TestSQLiteLifecycle:
         db = ProbabilisticDatabase()
         db.add_table("R", [((1,), 0.5)])
         q = parse_query("q(x) :- R(x)")
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         assert engine.propagation_score(q) == {(1,): 0.5}
         db.table("R").insert((1,), 0.9)  # overwrite the marginal
         assert engine.propagation_score(q) == {(1,): 0.9}
@@ -246,7 +247,7 @@ class TestSQLiteLifecycle:
     def test_added_table_visible_to_later_queries(self):
         db = ProbabilisticDatabase()
         db.add_table("R", [((1,), 0.5)])
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         engine.propagation_score(parse_query("q(x) :- R(x)"))
         db.add_table("T", [((1,), 0.25)])
         scores = engine.propagation_score(parse_query("q(x) :- R(x), T(x)"))
@@ -257,7 +258,7 @@ class TestSQLiteLifecycle:
         # must not reset the engine-level hit/miss/eviction counters
         q = parse_query("q() :- R1(x0,x1), R2(x1,x2)")
         db = _chain_db(2, 20, seed=13)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         # two calls: the repeat promotes any subplans Algorithm 3 kept
         # inline on the cold call, guaranteeing registered views
         engine.propagation_score(q, ALL_PLANS_REUSE)
@@ -275,7 +276,7 @@ class TestSQLiteLifecycle:
     def test_backend_object_replaced_on_mutation(self):
         db = ProbabilisticDatabase()
         db.add_table("R", [((1,), 0.5)])
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         q = parse_query("q(x) :- R(x)")
         engine.propagation_score(q)
         first = engine._sqlite
@@ -342,11 +343,11 @@ class TestRandomizedTempViewPath:
 
         q = chain_query(k)
         db = _chain_db(k, n, seed=seed)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         engine.propagation_score(q, ALL_PLANS_REUSE)
         db.table("R1").insert(new_row, p)
         got = engine.propagation_score(q, ALL_PLANS_REUSE)
-        want = DissociationEngine(db, backend="sqlite").propagation_score(
+        want = DissociationEngine(db, EngineConfig(backend="sqlite")).propagation_score(
             q, ALL_PLANS_REUSE
         )
         assert_scores_close(got, want)
@@ -361,8 +362,8 @@ class TestRandomizedTempViewPath:
         from repro.workloads import chain_query
 
         db = _chain_db(k, n, seed=seed)
-        engine = DissociationEngine(db, backend="sqlite")
-        fresh = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
+        fresh = DissociationEngine(db, EngineConfig(backend="sqlite"))
         # evaluate the full chain, then its prefix sub-chains: shared
         # subplans must come from the registry and stay correct
         for length in range(k, 0, -1):

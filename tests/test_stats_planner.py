@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.api import EngineConfig
 from repro.core import Variable, parse_query
 from repro.core.plans import Join, Project, Scan
 from repro.db import ProbabilisticDatabase
@@ -171,8 +172,8 @@ class TestSelingerEnumerator:
         db = ProbabilisticDatabase()
         for i in range(k):
             db.add_table(f"R{i}", [((v, v + i), 0.5) for v in range(3)])
-        low = DissociationEngine(db, join_dp_threshold=2)
-        high = DissociationEngine(db, join_dp_threshold=DEFAULT_DP_THRESHOLD)
+        low = DissociationEngine(db, EngineConfig(join_dp_threshold=2))
+        high = DissociationEngine(db, EngineConfig(join_dp_threshold=DEFAULT_DP_THRESHOLD))
         methods_low = {
             j["method"]
             for entry in low.explain(q)["plans"]
@@ -191,7 +192,7 @@ class TestSelingerEnumerator:
         db = ProbabilisticDatabase()
         db.add_table("R1", [((1, 2), 0.5)])
         db.add_table("R2", [((2, 3), 0.5)])
-        engine = DissociationEngine(db, join_ordering="greedy")
+        engine = DissociationEngine(db, EngineConfig(join_ordering="greedy"))
         methods = {
             j["method"]
             for entry in engine.explain(q)["plans"]
@@ -202,7 +203,7 @@ class TestSelingerEnumerator:
     def test_invalid_join_ordering_rejected(self):
         db = _db()
         with pytest.raises(ValueError):
-            DissociationEngine(db, join_ordering="random")
+            DissociationEngine(db, EngineConfig(join_ordering="random"))
         with pytest.raises(ValueError):
             EvaluationCache(db, join_ordering="selinger")
 
@@ -272,7 +273,7 @@ class TestExplain:
 
         q = chain_query(4)
         db = chain_database(4, 30, seed=3, p_max=0.5)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         report = engine.explain(
             q, Optimizations(single_plan=False, reuse_views=True)
         )
@@ -348,8 +349,8 @@ class TestDifferentialOrdering:
 
         q = chain_query(3)
         db = chain_database(3, 20, seed=seed, p_max=0.6)
-        cost = DissociationEngine(db, join_ordering="cost")
-        greedy = DissociationEngine(db, join_ordering="greedy")
+        cost = DissociationEngine(db, EngineConfig(join_ordering="cost"))
+        greedy = DissociationEngine(db, EngineConfig(join_ordering="greedy"))
         per_plan_cost = cost.score_per_plan(q)
         per_plan_greedy = greedy.score_per_plan(q)
         assert per_plan_cost == per_plan_greedy  # bit-identical
@@ -448,7 +449,7 @@ class TestSQLiteStatisticsCatalog:
 
         q = chain_query(3)
         db = chain_database(3, 40, seed=22, p_max=0.5)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         engine.propagation_score(
             q, Optimizations(single_plan=False, reuse_views=True)
         )
@@ -476,7 +477,7 @@ class TestReducedTableStatistics:
 
         db = self._selective_db()
         q = parse_query("q() :- R(x, y), S(y, z)")
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         backend = engine.sqlite
         statements, table_names = semijoin_statements(q, db.schema)
         backend.run_statements(statements)
@@ -496,7 +497,7 @@ class TestReducedTableStatistics:
             Optimizations.all(),
             Optimizations(single_plan=False, reuse_views=True, semijoin=True),
         ):
-            got = DissociationEngine(db, backend="sqlite").propagation_score(
+            got = DissociationEngine(db, EngineConfig(backend="sqlite")).propagation_score(
                 q, opts
             )
             want = DissociationEngine(db).propagation_score(q, opts)
@@ -522,7 +523,7 @@ class TestWriteFactorCalibration:
         from repro.workloads import chain_database
 
         db = chain_database(3, 20, seed=23, p_max=0.5)
-        engine = DissociationEngine(db, backend="sqlite")
+        engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
         assert engine.write_factor is None
         factor = engine.calibrate_write_factor(sample_rows=512, repeats=2)
         assert engine.write_factor == factor
@@ -540,10 +541,10 @@ class TestWriteFactorCalibration:
         db = chain_database(5, 40, seed=24, p_max=0.5)
         all_plans = Optimizations(single_plan=False, reuse_views=True)
         stingy = DissociationEngine(
-            db, backend="sqlite", write_factor=1e12
+            db, EngineConfig(backend="sqlite", write_factor=1e12)
         )
         stingy.propagation_score(q, all_plans)
         assert stingy.cache_stats()["misses"] == 0  # nothing materialized
-        eager = DissociationEngine(db, backend="sqlite", write_factor=0.0)
+        eager = DissociationEngine(db, EngineConfig(backend="sqlite", write_factor=0.0))
         eager.propagation_score(q, all_plans)
         assert eager.cache_stats()["misses"] > 0  # every shared subplan
