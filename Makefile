@@ -1,17 +1,21 @@
 # Repro toolchain entry points.
 #
-#   make test        — tier-1 verification (full pytest suite)
+#   make test        — tier-1 verification (full pytest suite). Every
+#                      test runs under a faulthandler watchdog
+#                      (REPRO_TEST_TIMEOUT seconds, default 300;
+#                      0 disables) so a hung worker/shutdown regression
+#                      fails with thread tracebacks instead of wedging
+#                      the job — see tests/conftest.py
 #   make bench       — the current PR's perf micro-benchmarks; writes
-#                      BENCH_PR5.json at the repo root (unified session
-#                      API: Zipf-skewed traffic replayed through
-#                      repro.connect() serial + concurrent, with and
-#                      without the epoch-keyed result cache; repeat-
-#                      traffic speedups + hit rates) and refreshes the
-#                      BENCH_LATEST.json copy
-#   make bench-quick — CI smoke: chain-5 traffic mix only, writes
-#                      BENCH_PR5.quick.json, asserts result-cache-warm
-#                      throughput >= engine-warm throughput (and the
-#                      concurrent session >= the serial baseline)
+#                      BENCH_PR6.json at the repo root (fault-tolerant
+#                      serving: clean vs chaos vs deadline arms over the
+#                      chain-7 Zipf mix; the chaos arm kills a worker
+#                      mid-run and poisons every 20th request, asserting
+#                      zero hangs, exact blast radius, results matching
+#                      the fault-free run, and graceful throughput
+#                      degradation) and refreshes BENCH_LATEST.json
+#   make bench-quick — CI smoke: chain-5 chaos replay only, writes
+#                      BENCH_PR6.quick.json, same assertions
 #   make examples    — run every example under the new connect() API
 #                      (the CI smoke job)
 #   make bench-pr1   — re-run the PR 1 benchmarks (BENCH_PR1.json: seed
@@ -23,21 +27,23 @@
 #                      cost-based join ordering)
 #   make bench-pr4   — re-run the PR 4 benchmarks (BENCH_PR4.json:
 #                      dissociation query service traffic replay)
-#   make bench-pr5   — alias of the current `make bench`
+#   make bench-pr5   — re-run the PR 5 benchmarks (BENCH_PR5.json:
+#                      unified session API + epoch-keyed result cache)
+#   make bench-pr6   — alias of the current `make bench`
 
 PYTHON ?= python
 
 .PHONY: test bench bench-quick examples \
-	bench-pr1 bench-pr2 bench-pr3 bench-pr4 bench-pr5
+	bench-pr1 bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr5.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6.py
 
 bench-quick:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr5.py --quick
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6.py --quick
 
 examples:
 	@set -e; for example in examples/*.py; do \
@@ -59,3 +65,6 @@ bench-pr4:
 
 bench-pr5:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr5.py
+
+bench-pr6:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6.py

@@ -1,0 +1,460 @@
+"""PR 6 benchmarks: fault-tolerant serving under injected chaos.
+
+Closed-loop traffic replay over the chain mixes (as in PR 4/5), three
+arms on identical Zipf-skewed request sequences:
+
+* **clean** — the service with no faults: the baseline throughput and
+  latency profile.
+* **chaos** — the same sequence with a deterministic
+  :class:`~repro.service.FaultInjector` scripted to (a) kill a worker
+  thread mid-run (the supervisor must requeue its batch and restart the
+  thread) and (b) poison every 20th request (the isolation layer must
+  fail exactly that future and nobody else's).
+* **deadline** — the same sequence with a tight ``default_timeout``
+  while a scripted stall wedges a worker briefly: requests that expire
+  while queued must fail fast with ``RequestTimeout`` instead of being
+  evaluated late.
+
+The chaos arm is *asserted*, not just timed: every submitted future
+must resolve (zero hangs), the error count must equal the poison count
+exactly, every non-poisoned result must match a fault-free serial
+evaluation to within ``MAX_ABS_DIVERGENCE`` (the test suite's chaos
+test pins bit-identical results at a deterministic scale), and
+``health()`` must account for the injected crash and restart. Throughput must degrade gracefully — the
+chaos arm has to keep at least ``MIN_CHAOS_RETENTION`` of the clean
+arm's throughput.
+
+Writes ``BENCH_PR6.json`` + ``BENCH_LATEST.json`` (``make bench``).
+``--quick`` / ``BENCH_QUICK=1`` replays the chain-5 mix only and writes
+``BENCH_PR6.quick.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import sys
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.api import EngineConfig, ServiceConfig  # noqa: E402
+from repro.core.query import ConjunctiveQuery  # noqa: E402
+from repro.engine import DissociationEngine, Optimizations  # noqa: E402
+from repro.service import (  # noqa: E402
+    DissociationService,
+    FaultInjector,
+    RequestTimeout,
+)
+from repro.workloads import chain_database, chain_query  # noqa: E402
+
+OUTPUT = ROOT / "BENCH_PR6.json"
+QUICK_OUTPUT = ROOT / "BENCH_PR6.quick.json"
+LATEST = ROOT / "BENCH_LATEST.json"
+
+OPTS = Optimizations(single_plan=False, reuse_views=True)
+
+#: Poison cadence: every POISON_EVERY-th request fails by injection.
+POISON_EVERY = 20
+
+#: Graceful-degradation gate: chaos throughput / clean throughput.
+MIN_CHAOS_RETENTION = 0.3
+
+#: Ceiling on |service score - serial score| for non-poisoned results.
+#: Cross-query shared subplans (PR 5) may aggregate floats in a
+#: different order than serial evaluation, so at large scale a result
+#: can differ by an ULP; anything beyond this is a real divergence.
+#: (The test suite's chaos test pins *bit-identical* results at a
+#: deterministic scale.)
+MAX_ABS_DIVERGENCE = 1e-12
+
+
+class PoisonPill(Exception):
+    """The scripted per-request failure of the chaos arm."""
+
+
+# ----------------------------------------------------------------------
+# traffic (same shapes as bench_pr4)
+# ----------------------------------------------------------------------
+def subchain(
+    full: ConjunctiveQuery, i: int, j: int, boolean: bool = False
+) -> ConjunctiveQuery:
+    from repro.core import Variable
+
+    atoms = full.atoms[i:j]
+    head = () if boolean else (Variable(f"x{i}"), Variable(f"x{j}"))
+    return ConjunctiveQuery(atoms, head)
+
+
+def chain_mix(k: int) -> list[ConjunctiveQuery]:
+    full = chain_query(k)
+    mix = [full]
+    windows = [
+        (i, i + span)
+        for span in (k - 2, k - 3)
+        if span >= 2
+        for i in range(0, k - span + 1)
+    ]
+    for position, (i, j) in enumerate(windows):
+        mix.append(subchain(full, i, j, boolean=position % 2 == 1))
+    return mix
+
+
+def skewed_requests(
+    queries: list[ConjunctiveQuery], count: int, seed: int
+) -> list[ConjunctiveQuery]:
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(len(queries))]
+    return rng.choices(queries, weights=weights, k=count)
+
+
+def poisoned_sequence(
+    queries: list[ConjunctiveQuery], count: int, seed: int
+) -> tuple[list[ConjunctiveQuery], ConjunctiveQuery, int]:
+    """A skewed sequence with a designated poison query every 20th slot.
+
+    The poison query is a *valid* member of the mix — it evaluates fine
+    without faults, so the clean arm can replay the identical sequence.
+    """
+    requests = skewed_requests(queries, count, seed)
+    poison = queries[-1]  # a cold-tail query: realistic poison profile
+    for i in range(0, count, POISON_EVERY):
+        requests[i] = poison
+    n_poison = sum(1 for r in requests if r == poison)
+    return requests, poison, n_poison
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(int(fraction * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+def summarize(latencies: list[float], wall: float) -> dict:
+    return {
+        "requests": len(latencies),
+        "wall_seconds": wall,
+        "throughput_rps": len(latencies) / wall if wall else 0.0,
+        "p50_ms": percentile(latencies, 0.50) * 1e3,
+        "p95_ms": percentile(latencies, 0.95) * 1e3,
+    }
+
+
+def replay(
+    db_factory,
+    requests: list[ConjunctiveQuery],
+    clients: int,
+    service_config: ServiceConfig,
+    faults: FaultInjector | None = None,
+) -> tuple[dict, list, dict, dict]:
+    """Replay ``requests`` through a service; every future is resolved.
+
+    Returns ``(summary, outcomes, stats, health)`` where ``outcomes``
+    is ``[(query, result_or_None, exception_or_None), ...]`` in request
+    order — the chaos arm asserts over it.
+    """
+    db = db_factory()
+    slices: list[list[tuple[int, ConjunctiveQuery]]] = [
+        [] for _ in range(clients)
+    ]
+    for i, query in enumerate(requests):
+        slices[i % clients].append((i, query))
+    latencies: list[float] = []
+    outcomes: list = [None] * len(requests)
+    lock = threading.Lock()
+
+    with DissociationService(
+        db, EngineConfig(backend="memory"), service_config, faults=faults
+    ) as service:
+
+        def client(part: list[tuple[int, ConjunctiveQuery]]) -> None:
+            for index, query in part:
+                t0 = time.perf_counter()
+                result = exc = None
+                try:
+                    result = service.submit(query, OPTS).result(timeout=120.0)
+                except Exception as caught:  # noqa: BLE001 - recorded
+                    exc = caught
+                elapsed = time.perf_counter() - t0
+                with lock:
+                    latencies.append(elapsed)
+                    outcomes[index] = (query, result, exc)
+
+        threads = [
+            threading.Thread(target=client, args=(part,))
+            for part in slices
+            if part
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        stats = service.stats()
+        health = service.health()
+    return summarize(latencies, wall), outcomes, stats, health
+
+
+def score_divergence(result, baseline: dict) -> float:
+    """Worst |score - baseline| over answers; inf on answer-set drift."""
+    if set(result.scores) != set(baseline):
+        return float("inf")
+    return max(
+        (abs(result.scores[k] - baseline[k]) for k in baseline),
+        default=0.0,
+    )
+
+
+def assert_chaos_contract(
+    outcomes: list,
+    poison: ConjunctiveQuery,
+    n_poison: int,
+    baselines: dict,
+    stats: dict,
+    health: dict,
+) -> dict:
+    """The chaos arm's acceptance contract (see module docstring)."""
+    unresolved = sum(
+        1 for entry in outcomes if entry is None
+    )
+    assert unresolved == 0, f"{unresolved} futures never resolved (hang)"
+    errors = 0
+    worst = 0.0
+    for query, result, exc in outcomes:
+        if exc is not None:
+            errors += 1
+            assert isinstance(exc, PoisonPill), (
+                f"non-poison failure leaked to a caller: {exc!r}"
+            )
+            assert query == poison, (
+                f"innocent query failed (blast radius > 1): {query}"
+            )
+        else:
+            worst = max(worst, score_divergence(result, baselines[query]))
+    assert worst <= MAX_ABS_DIVERGENCE, (
+        f"non-poisoned result diverged from fault-free run ({worst:.2e})"
+    )
+    assert errors == n_poison, (
+        f"error count {errors} != injected poison count {n_poison}"
+    )
+    assert stats["poison_queries"] == n_poison
+    assert health["worker_crashes"] == 1
+    assert health["worker_restarts"] == 1
+    assert not health["failed"]
+    return {
+        "resolved": len(outcomes),
+        "errors": errors,
+        "poison_requests": n_poison,
+        "poison_queries_counter": stats["poison_queries"],
+        "batch_retries": stats["batch_retries"],
+        "worker_crashes": health["worker_crashes"],
+        "worker_restarts": health["worker_restarts"],
+        "worst_abs_divergence": worst,
+    }
+
+
+def replay_deadline_arm(
+    db_factory,
+    requests: list[ConjunctiveQuery],
+    clients: int,
+    workers: int,
+) -> dict:
+    """Tight deadlines + a scripted worker stall: queue-expired requests
+    must fail fast with RequestTimeout, everything else must succeed."""
+    faults = FaultInjector()
+    # stall one early batch long enough for queued deadlines to expire
+    faults.on_call("worker", 2, action=lambda _batch: time.sleep(0.25))
+    summary, outcomes, stats, _health = replay(
+        db_factory,
+        requests,
+        clients,
+        ServiceConfig(
+            workers=workers, max_batch_size=4, default_timeout=0.2
+        ),
+        faults=faults,
+    )
+    timeouts = sum(
+        1
+        for entry in outcomes
+        if entry is not None and isinstance(entry[2], RequestTimeout)
+    )
+    other_failures = sum(
+        1
+        for entry in outcomes
+        if entry is not None
+        and entry[2] is not None
+        and not isinstance(entry[2], RequestTimeout)
+    )
+    assert other_failures == 0, "deadline arm saw non-timeout failures"
+    assert stats["timeouts"] == timeouts
+    summary["request_timeouts"] = timeouts
+    summary["timeouts_counter"] = stats["timeouts"]
+    return summary
+
+
+def run_mix(
+    name: str,
+    db_factory,
+    queries: list[ConjunctiveQuery],
+    request_count: int,
+    clients: int,
+    workers: int,
+    seed: int,
+    kill_worker_on_batch: int,
+) -> dict:
+    requests, poison, n_poison = poisoned_sequence(
+        queries, request_count, seed
+    )
+    engine = DissociationEngine(db_factory(), EngineConfig())
+    baselines = {q: engine.evaluate(q, OPTS).scores for q in set(requests)}
+
+    clean, clean_outcomes, _stats, _health = replay(
+        db_factory,
+        requests,
+        clients,
+        ServiceConfig(workers=workers),
+    )
+    for query, result, exc in clean_outcomes:
+        assert exc is None, f"clean arm failed: {exc!r}"
+        divergence = score_divergence(result, baselines[query])
+        assert divergence <= MAX_ABS_DIVERGENCE, (
+            f"clean arm diverged from serial ({divergence:.2e}): {query}"
+        )
+
+    faults = FaultInjector()
+    faults.on_call(
+        "worker", kill_worker_on_batch, RuntimeError("chaos: worker killed")
+    )
+    faults.when("evaluate", lambda c: c == poison, PoisonPill)
+    chaos, chaos_outcomes, chaos_stats, chaos_health = replay(
+        db_factory,
+        requests,
+        clients,
+        ServiceConfig(workers=workers),
+        faults=faults,
+    )
+    contract = assert_chaos_contract(
+        chaos_outcomes, poison, n_poison, baselines, chaos_stats, chaos_health
+    )
+
+    deadline = replay_deadline_arm(db_factory, requests, clients, workers)
+
+    retention = (
+        chaos["throughput_rps"] / clean["throughput_rps"]
+        if clean["throughput_rps"]
+        else 0.0
+    )
+    entry = {
+        "distinct_queries": len(queries),
+        "requests": request_count,
+        "clients": clients,
+        "workers": workers,
+        "poison_every": POISON_EVERY,
+        "clean": clean,
+        "chaos": chaos,
+        "deadline": deadline,
+        "chaos_contract": contract,
+        "chaos_throughput_retention": retention,
+    }
+    print(
+        f"{name:<14} clean={clean['throughput_rps']:7.1f} rps "
+        f"(p95 {clean['p95_ms']:6.1f}ms)  "
+        f"chaos={chaos['throughput_rps']:7.1f} rps "
+        f"(p95 {chaos['p95_ms']:6.1f}ms, retention {retention:4.2f})  "
+        f"poison={contract['errors']}/{contract['poison_requests']}  "
+        f"restarts={contract['worker_restarts']}  "
+        f"deadline-timeouts={deadline['request_timeouts']}"
+    )
+    return entry
+
+
+def run_workloads(quick: bool) -> dict:
+    workloads: dict[str, dict] = {}
+    workloads["chain5_quick"] = run_mix(
+        "chain5_quick",
+        lambda: chain_database(5, 500, seed=42, p_max=0.5),
+        chain_mix(5),
+        request_count=120,
+        clients=6,
+        workers=2,
+        seed=99,
+        kill_worker_on_batch=4,
+    )
+    if quick:
+        return workloads
+    workloads["chain7_mix"] = run_mix(
+        "chain7_mix",
+        lambda: chain_database(7, 1000, seed=42, p_max=0.5),
+        chain_mix(7),
+        request_count=240,
+        clients=8,
+        workers=4,
+        seed=100,
+        kill_worker_on_batch=8,
+    )
+    return workloads
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:] or os.environ.get("BENCH_QUICK") == "1"
+    print(
+        "PR 6 benchmark — fault-tolerant serving: worker supervision, "
+        "poison-query isolation, and deadlines under injected chaos\n"
+    )
+    workloads = run_workloads(quick)
+
+    report = {
+        "pr": 6,
+        "description": (
+            "Closed-loop traffic replay with deterministic fault "
+            "injection: the clean arm replays a Zipf-skewed chain mix "
+            "through the service; the chaos arm replays the identical "
+            "sequence while a FaultInjector kills a worker mid-run and "
+            "poisons every 20th request; the deadline arm adds a tight "
+            "default_timeout under a scripted worker stall. Asserted: "
+            "every future resolves (zero hangs), errors == poison count "
+            "exactly, non-poisoned results within 1e-12 of a "
+            "fault-free run, health() accounts for the crash/restart, "
+            "and chaos throughput retains >= "
+            f"{MIN_CHAOS_RETENTION} of clean."
+        ),
+        "optimizations": "all plans + reuse_views",
+        "quick": quick,
+        "workloads": workloads,
+    }
+    gates = {
+        f"{name} chaos retention": (
+            entry["chaos_throughput_retention"],
+            MIN_CHAOS_RETENTION,
+        )
+        for name, entry in workloads.items()
+    }
+    if quick:
+        QUICK_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nquick mode: wrote {QUICK_OUTPUT}")
+    else:
+        OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+        shutil.copyfile(OUTPUT, LATEST)
+        print(f"\nwrote {OUTPUT} (+ {LATEST.name})")
+    failed = {k: v for k, (v, t) in gates.items() if v < t}
+    if failed:
+        raise SystemExit(f"chaos degradation gate failed: {failed}")
+    print(
+        "chaos gate OK: "
+        f"{ {k: round(v, 2) for k, (v, _) in gates.items()} }"
+    )
+
+
+if __name__ == "__main__":
+    main()

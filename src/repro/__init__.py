@@ -63,7 +63,16 @@ from .core import (
 )
 from .db import ProbabilisticDatabase, Schema, TableSchema
 from .engine import DissociationEngine, EvaluationResult, Optimizations
-from .service import DissociationService, ServiceOverloaded
+from .service import (
+    Deadline,
+    DissociationService,
+    FaultInjector,
+    RequestTimeout,
+    RetryPolicy,
+    ServiceClosed,
+    ServiceOverloaded,
+    WorkerCrashed,
+)
 from .api import (
     EngineConfig,
     QueryHandle,
@@ -89,12 +98,14 @@ __all__ = [
     "ConjunctiveQuery",
     "Constant",
     "DNF",
+    "Deadline",
     "Dissociation",
     "DissociationEngine",
     "DissociationService",
     "EngineConfig",
     "EvaluationResult",
     "FD",
+    "FaultInjector",
     "Join",
     "MinPlan",
     "Optimizations",
@@ -102,15 +113,19 @@ __all__ = [
     "ProbabilisticDatabase",
     "Project",
     "QueryHandle",
+    "RequestTimeout",
     "ResultCache",
+    "RetryPolicy",
     "Scan",
     "Schema",
+    "ServiceClosed",
     "ServiceConfig",
     "ServiceOverloaded",
     "Session",
     "TableSchema",
     "UnsafeQueryError",
     "Variable",
+    "WorkerCrashed",
     "average_precision_at_k",
     "connect",
     "count_all_plans",

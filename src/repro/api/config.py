@@ -164,6 +164,23 @@ class ServiceConfig:
         Build the explicit :class:`~repro.service.dag.BatchPlanDAG` per
         batch for sharing statistics (costs a second plan enumeration
         per batch).
+    default_timeout:
+        Deadline (seconds) applied to submissions that do not pass
+        their own ``timeout=``. A request whose deadline expires while
+        queued is failed fast at dequeue with
+        :class:`~repro.service.RequestTimeout` instead of evaluated.
+        ``None`` (the default) means no deadline.
+    max_retries / retry_backoff:
+        The worker-side :class:`~repro.service.RetryPolicy`: how many
+        times a *transient* failure (SQLite lock/busy contention) is
+        retried per query during poison-isolation re-evaluation, and
+        the base of its deterministic exponential backoff. Permanent
+        errors are never retried.
+    max_worker_restarts:
+        Supervision budget: how many crashed worker threads the service
+        will replace over its lifetime before declaring the pool dead
+        (pending futures then fail with
+        :class:`~repro.service.WorkerCrashed`).
     """
 
     workers: int = 2
@@ -172,6 +189,10 @@ class ServiceConfig:
     max_pending: int = 1024
     calibrate: bool = False
     collect_dag_stats: bool = False
+    default_timeout: float | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.01
+    max_worker_restarts: int = 3
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -182,6 +203,17 @@ class ServiceConfig:
             raise ValueError("max_batch_delay must be >= 0")
         if self.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ValueError(
+                "default_timeout must be None or > 0, "
+                f"got {self.default_timeout!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
 
     @classmethod
     def field_names(cls) -> frozenset[str]:

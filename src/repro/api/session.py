@@ -33,7 +33,7 @@ from ..db.database import ProbabilisticDatabase
 from ..engine import DissociationEngine, EvaluationResult, Optimizations
 from ..service import DissociationService
 from .cache import ResultCache
-from .config import EngineConfig, ServiceConfig
+from .config import UNSET, EngineConfig, ServiceConfig
 from .keys import result_key
 
 __all__ = ["Session", "QueryHandle", "connect"]
@@ -215,6 +215,7 @@ class Session:
         self,
         query: "ConjunctiveQuery | str",
         optimizations: Optimizations | None = None,
+        timeout=UNSET,
     ) -> EvaluationResult:
         """Evaluate through the result cache.
 
@@ -224,6 +225,12 @@ class Session:
         engine evaluations; otherwise the engine (serial) or the
         service (concurrent) computes it and the result is stored under
         the epoch it actually ran under.
+
+        ``timeout`` (concurrent mode) bounds how long the request may
+        wait in the admission queue — see
+        :meth:`~repro.service.DissociationService.submit`. Serial
+        sessions evaluate inline in the calling thread, so there is no
+        queue for a deadline to bound and the value is ignored.
         """
         resolved = self._resolve(query)
         opts = optimizations or self.default_optimizations
@@ -232,7 +239,9 @@ class Session:
         if hit is not None:
             return hit
         if self._service is not None:
-            result = self._service.submit(resolved, opts).result()
+            result = self._service.submit(
+                resolved, opts, timeout=timeout
+            ).result()
         else:
             result = self.engine.evaluate(resolved, opts)
         self._store(resolved, opts, result)
@@ -242,12 +251,14 @@ class Session:
         self,
         query: "ConjunctiveQuery | str",
         optimizations: Optimizations | None = None,
+        timeout=UNSET,
     ) -> "Future[EvaluationResult]":
         """The future-returning flavour of :meth:`evaluate`.
 
         Cache hits resolve immediately; misses go to the service's
-        admission queue (concurrent mode) or evaluate inline (serial
-        mode), and completed results are stored in the cache either
+        admission queue (concurrent mode, where ``timeout`` bounds the
+        queue wait) or evaluate inline (serial mode, ``timeout``
+        ignored), and completed results are stored in the cache either
         way.
         """
         resolved = self._resolve(query)
@@ -271,7 +282,7 @@ class Session:
                 # interrupt entirely
                 done.set_exception(exc)
             return done
-        future = self._service.submit(resolved, opts)
+        future = self._service.submit(resolved, opts, timeout=timeout)
         future.add_done_callback(
             lambda f: (
                 self._store(resolved, opts, f.result())
@@ -307,6 +318,7 @@ class Session:
         self,
         queries: Sequence["ConjunctiveQuery | str"],
         optimizations: Optimizations | None = None,
+        timeout=UNSET,
     ) -> list[EvaluationResult]:
         """Evaluate several queries, batching the cache misses.
 
@@ -314,7 +326,9 @@ class Session:
         gather, so the admission controller can pack them into shared
         micro-batches.
         """
-        futures = [self.submit(q, optimizations) for q in queries]
+        futures = [
+            self.submit(q, optimizations, timeout=timeout) for q in queries
+        ]
         return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
@@ -328,12 +342,21 @@ class Session:
         sessions apply directly. Either way the database version token
         moves, so stale result-cache entries become unreachable — they
         are additionally evicted eagerly to reclaim memory.
+
+        If ``fn`` raises, the version token is bumped regardless
+        (:meth:`~repro.db.database.ProbabilisticDatabase.touch`):
+        half-applied writes must read as a new epoch, never as the
+        pre-mutation state.
         """
         self._check_open()
         try:
             if self._service is not None:
                 return self._service.mutate(fn)
-            return fn(self.db)
+            try:
+                return fn(self.db)
+            except BaseException:
+                self.db.touch()
+                raise
         finally:
             self.results.evict_stale(self._current_epoch())
 

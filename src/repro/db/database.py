@@ -148,6 +148,18 @@ class ProbabilisticDatabase:
         del self._tables[name]
         self._version += 1
 
+    def touch(self) -> None:
+        """Advance the version token without changing any data.
+
+        The poison pill for epoch-keyed caches: after a mutation
+        function raises partway through, the database may hold
+        half-applied state that is neither the old epoch nor a clean
+        new one. Bumping the token forces every cache keyed on
+        :attr:`version` to treat the current contents as a fresh epoch
+        instead of serving them as the pre-mutation state.
+        """
+        self._version += 1
+
     @property
     def version(self) -> tuple:
         """A hashable token identifying the database's current state.

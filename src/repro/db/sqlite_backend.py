@@ -330,9 +330,14 @@ class SQLiteBackend:
         index_columns: bool = True,
         view_cache_size: int | None = None,
         view_namespace=None,
+        fault_injector=None,
     ) -> None:
         self.source = db
         self.source_version = getattr(db, "version", None)
+        #: Optional :class:`~repro.service.faults.FaultInjector`; when
+        #: set, :meth:`execute` fires the ``"statement"`` hook with the
+        #: SQL text — the place to script transient lock contention.
+        self.fault_injector = fault_injector
         self.connection = sqlite3.connect(path)
         # Temp objects (semi-join reductions, materialized subplan views)
         # otherwise spill to a file-backed temp database even for
@@ -411,6 +416,8 @@ class SQLiteBackend:
 
     def execute(self, sql: str, parameters: Sequence = ()) -> list[tuple]:
         """Run a query and fetch all rows."""
+        if self.fault_injector is not None:
+            self.fault_injector.fire("statement", sql)
         cur = self.connection.execute(sql, parameters)
         return cur.fetchall()
 

@@ -132,6 +132,15 @@ class DissociationEngine:
         per-service object so all worker sessions share a consistent
         view namespace. (Runtime wiring, deliberately not part of the
         hashable config.)
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector`. When set,
+        the engine fires the ``"evaluate"`` hook once per query (in
+        :meth:`evaluate` and per distinct query of
+        :meth:`evaluate_batch`), the ``"batch"`` hook once per
+        :meth:`evaluate_batch` call, and threads the injector into the
+        SQLite backend's ``"statement"`` hook. ``None`` (the default)
+        costs a single ``is not None`` check. Runtime wiring like
+        ``view_namespace`` — not part of the hashable config.
     backend, use_schema_knowledge, cache_size, join_ordering, \
     join_dp_threshold, write_factor:
         **Deprecated** keyword shims for the pre-``EngineConfig`` API;
@@ -154,6 +163,7 @@ class DissociationEngine:
         config: EngineConfig | None = None,
         *,
         view_namespace=None,
+        faults=None,
         backend=UNSET,
         use_schema_knowledge=UNSET,
         cache_size=UNSET,
@@ -208,6 +218,7 @@ class DissociationEngine:
         )
         self.write_factor = config.write_factor
         self.view_namespace = view_namespace
+        self.faults = faults
         #: Queries actually evaluated by this engine (``evaluate`` adds
         #: one, ``evaluate_batch`` adds the batch size). The session
         #: result cache's acceptance tests assert this stays flat on a
@@ -261,6 +272,7 @@ class DissociationEngine:
                 self.db,
                 view_cache_size=self.cache_size,
                 view_namespace=self.view_namespace,
+                fault_injector=self.faults,
             )
         return self._sqlite
 
@@ -456,6 +468,8 @@ class DissociationEngine:
     ) -> EvaluationResult:
         """Compute the propagation score with full provenance."""
         opts = optimizations or Optimizations()
+        if self.faults is not None:
+            self.faults.fire("evaluate", query)
         started = time.perf_counter()
         with self._count_lock:
             self.evaluation_count += 1
@@ -525,6 +539,13 @@ class DissociationEngine:
                 index_of[key] = at
                 distinct.append(query)
             positions.append(at)
+        if self.faults is not None:
+            # one "batch" firing per call, one "evaluate" per *distinct*
+            # query — so a poison rule keyed on a query fails both the
+            # batch containing it and its individual re-evaluation
+            self.faults.fire("batch", tuple(distinct))
+            for query in distinct:
+                self.faults.fire("evaluate", query)
         plans_per = [self.minimal_plans(q) for q in distinct]
         if self.backend == "memory":
             scores_per = self._evaluate_memory_batch(distinct, plans_per, opts)

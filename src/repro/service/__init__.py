@@ -5,17 +5,34 @@ See ``README.md`` in this package for the architecture.
 
 from .batching import MicroBatcher, QueryRequest, ServiceOverloaded
 from .dag import BatchDAGStats, BatchPlanDAG
+from .faults import FaultInjector, FaultRule
+from .resilience import (
+    Deadline,
+    RequestTimeout,
+    RetryPolicy,
+    ServiceClosed,
+    WorkerCrashed,
+    is_transient_error,
+)
 from .service import DissociationService
 from .session import EngineSession, SessionPool, SharedViewNamespace
 
 __all__ = [
     "BatchDAGStats",
     "BatchPlanDAG",
+    "Deadline",
     "DissociationService",
     "EngineSession",
+    "FaultInjector",
+    "FaultRule",
     "MicroBatcher",
     "QueryRequest",
+    "RequestTimeout",
+    "RetryPolicy",
+    "ServiceClosed",
     "ServiceOverloaded",
     "SessionPool",
     "SharedViewNamespace",
+    "WorkerCrashed",
+    "is_transient_error",
 ]

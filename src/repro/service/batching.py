@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from ..core.query import ConjunctiveQuery
 from ..engine import Optimizations
+from .resilience import Deadline, ServiceClosed
 
 __all__ = ["QueryRequest", "MicroBatcher", "ServiceOverloaded"]
 
@@ -40,6 +41,8 @@ class QueryRequest:
     optimizations: Optimizations
     future: "object"  # concurrent.futures.Future, untyped to keep imports light
     submitted_at: float = field(default_factory=time.perf_counter)
+    #: Optional latency budget; expired requests fail fast at dequeue.
+    deadline: Deadline | None = None
 
     @property
     def group_key(self) -> tuple[bool, bool, bool]:
@@ -100,7 +103,7 @@ class MicroBatcher:
                     )
                 self._not_full.wait()
             if self._closed:
-                raise RuntimeError("batcher is closed")
+                raise ServiceClosed("batcher is closed")
             self._pending.append(request)
             self.submitted += 1
             self._not_empty.notify()
@@ -168,6 +171,18 @@ class MicroBatcher:
                     return taken
                 # lost the race for this burst (a concurrent worker
                 # drained the group while we grace-waited): keep waiting
+
+    def drain(self) -> list[QueryRequest]:
+        """Remove and return every pending request (shutdown cleanup).
+
+        Called by the service after :meth:`close` so leftover requests
+        can be failed with a typed error instead of silently dropped.
+        """
+        with self._lock:
+            leftover = self._pending
+            self._pending = []
+            self._not_full.notify_all()
+            return leftover
 
     def _group_size(self, key: tuple[bool, bool, bool]) -> int:
         return sum(1 for r in self._pending if r.group_key == key)

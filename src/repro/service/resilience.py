@@ -1,0 +1,176 @@
+"""Typed failures, deadlines, and retries for the serving layer.
+
+The PR-4/PR-5 serving stack was correct under happy-path concurrency
+but brittle under failure: a dead worker thread stranded every future
+it would have served, and one poison query failed the futures of every
+innocent query co-batched with it. This module is the failure-handling
+substrate the service builds on:
+
+* **Typed errors** — callers can distinguish *why* a future failed:
+  :class:`ServiceClosed` (the service shut down before serving the
+  request), :class:`RequestTimeout` (the request's :class:`Deadline`
+  expired while queued), and :class:`WorkerCrashed` (the worker pool
+  died with the restart budget exhausted).
+* **Deadlines** — a :class:`Deadline` carried on each queued request;
+  the worker fails expired requests fast at dequeue instead of spending
+  evaluation time on an answer nobody is waiting for anymore.
+* **Retries** — a deterministic :class:`RetryPolicy` with bounded
+  exponential backoff and a transient-vs-permanent classification:
+  SQLite ``database is locked`` / ``database is busy`` contention is
+  worth retrying, a ``KeyError`` for a missing table never is.
+
+Everything here is standard-library only and import-cycle-free, so the
+batcher, the service, and the session facade can all consume it.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+__all__ = [
+    "Deadline",
+    "RequestTimeout",
+    "RetryPolicy",
+    "ServiceClosed",
+    "WorkerCrashed",
+    "is_transient_error",
+]
+
+T = TypeVar("T")
+
+
+class ServiceClosed(RuntimeError):
+    """The service was closed before (or while) the request was served.
+
+    Raised by ``submit()`` on a closed service, and set on every future
+    still pending when ``close()`` gives up waiting — ``gather()``
+    callers see this instead of blocking forever.
+    """
+
+
+class WorkerCrashed(RuntimeError):
+    """The worker pool died and the restart budget is exhausted.
+
+    Set on pending futures when the last live worker crashes, and raised
+    by ``submit()`` once the service is in this terminal state.
+    """
+
+
+class RequestTimeout(TimeoutError):
+    """A request's deadline expired before it was evaluated.
+
+    Subclasses :class:`TimeoutError` so existing ``except TimeoutError``
+    handlers keep working.
+    """
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point on the monotonic clock a request must meet.
+
+    Built once at submission (:meth:`after`) and carried with the
+    request, so queueing time counts against the budget — the service
+    fails expired requests fast at dequeue instead of evaluating them.
+    """
+
+    #: Absolute expiry on :func:`time.monotonic`'s clock.
+    expires_at: float
+    #: The original budget in seconds (for error messages).
+    timeout: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(expires_at=time.monotonic() + seconds, timeout=seconds)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+
+def is_transient_error(exc: BaseException) -> bool:
+    """Whether ``exc`` is worth retrying.
+
+    Transient: SQLite lock/busy contention (``sqlite3.OperationalError``
+    with ``database is locked`` / ``database is busy`` — another
+    connection holds the file, backing off helps). Permanent: everything
+    else — programming errors (``sqlite3.ProgrammingError``, ``KeyError``
+    for a missing table, arity mismatches) fail the same way every time,
+    so retrying them only multiplies the damage.
+    """
+    if isinstance(exc, sqlite3.OperationalError):
+        message = str(exc).lower()
+        return "locked" in message or "busy" in message
+    return False
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic bounded-exponential-backoff retries.
+
+    ``run(fn)`` calls ``fn`` up to ``1 + max_retries`` times, sleeping
+    ``min(backoff * 2**attempt, max_backoff)`` between attempts. Only
+    exceptions the ``classify`` predicate marks transient are retried;
+    permanent errors propagate immediately. The schedule is a pure
+    function of the attempt number — no jitter — so fault-injection
+    tests replay bit-identically.
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.01
+    max_backoff: float = 1.0
+    classify: Callable[[BaseException], bool] = field(
+        default=is_transient_error
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.max_backoff < 0:
+            raise ValueError("max_backoff must be >= 0")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.backoff * (2.0**attempt), self.max_backoff)
+
+    def schedule(self) -> list[float]:
+        """The full deterministic backoff schedule."""
+        return [self.delay(i) for i in range(self.max_retries)]
+
+    def run(
+        self,
+        fn: Callable[[], T],
+        deadline: Deadline | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> T:
+        """``fn()`` with retries; the last failure propagates.
+
+        A ``deadline`` caps the total time spent: no retry starts after
+        it expires, and individual backoffs are clipped to the remaining
+        budget. ``sleep`` is injectable so tests can record the schedule
+        instead of waiting it out.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except Exception as exc:
+                if not self.classify(exc) or attempt >= self.max_retries:
+                    raise
+                if deadline is not None and deadline.expired:
+                    raise
+                pause = self.delay(attempt)
+                if deadline is not None:
+                    pause = min(pause, max(deadline.remaining(), 0.0))
+                if pause > 0:
+                    sleep(pause)
+                attempt += 1

@@ -16,13 +16,25 @@ Mutations of the shared database go through :meth:`mutate`, which
 quiesces in-flight batches first — so every result is computed entirely
 under one database version token (its ``epoch``), and caches can never
 serve half-mutated state to a batch.
+
+The service is *supervised*: worker loops are crash-wrapped, a dead
+worker's in-flight batch is requeued (innocent futures migrate to a
+healthy worker) and the thread is replaced up to
+``ServiceConfig.max_worker_restarts`` times; when a batch evaluation
+fails, members are re-evaluated individually under a deterministic
+:class:`~repro.service.resilience.RetryPolicy` so only the truly
+poisonous query's future sees the exception; and every failure a caller
+can observe is typed (:class:`~repro.service.ServiceClosed`,
+:class:`~repro.service.RequestTimeout`,
+:class:`~repro.service.WorkerCrashed`). See :meth:`health` and the
+failure-modes table in ``src/repro/service/README.md``.
 """
 
 from __future__ import annotations
 
 import threading
 import warnings
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from typing import Callable, Iterable, Sequence
 
 from ..api.config import UNSET, EngineConfig, ServiceConfig
@@ -31,6 +43,13 @@ from ..db.database import ProbabilisticDatabase
 from ..engine import DissociationEngine, EvaluationResult, Optimizations
 from .batching import MicroBatcher, QueryRequest, ServiceOverloaded
 from .dag import BatchPlanDAG
+from .resilience import (
+    Deadline,
+    RequestTimeout,
+    RetryPolicy,
+    ServiceClosed,
+    WorkerCrashed,
+)
 from .session import EngineSession, SessionPool, SharedViewNamespace
 
 __all__ = ["DissociationService", "ServiceOverloaded"]
@@ -58,6 +77,11 @@ class DissociationService:
     default_optimizations:
         The :class:`~repro.engine.Optimizations` used when a submission
         does not pass its own.
+    faults:
+        Optional :class:`~repro.service.faults.FaultInjector` threaded
+        through the session pool, the worker engines, and the SQLite
+        backend — the deterministic chaos-testing hook. ``None`` (the
+        default) is a no-op.
     backend, workers, max_batch_size, max_batch_delay, max_pending, \
     calibrate, collect_dag_stats:
         **Deprecated** keyword shims for the pre-config API; they emit
@@ -79,6 +103,7 @@ class DissociationService:
         service: ServiceConfig | None = None,
         *,
         default_optimizations: Optimizations | None = None,
+        faults=None,
         backend=UNSET,
         workers=UNSET,
         max_batch_size=UNSET,
@@ -118,8 +143,11 @@ class DissociationService:
             default_optimizations or Optimizations()
         )
         self.collect_dag_stats = service.collect_dag_stats
+        self.faults = faults
         self.namespace = SharedViewNamespace()
-        self._pool = SessionPool(db, config, namespace=self.namespace)
+        self._pool = SessionPool(
+            db, config, namespace=self.namespace, faults=faults
+        )
         if service.calibrate:
             self._pool.calibrate()
         self._batcher = MicroBatcher(
@@ -137,21 +165,33 @@ class DissociationService:
         self._batches = 0
         self._queries = 0
         self._mutations = 0
+        self._failed_mutations = 0
         self._batch_occupancy: dict[int, int] = {}
         self._dag_occurrences = 0
         self._dag_distinct = 0
         self._dag_cross_query = 0
+        self._poison_queries = 0
+        self._batch_retries = 0
+        self._timeouts = 0
         self._closed = False
-        self._threads = [
-            threading.Thread(
-                target=self._worker_loop,
-                name=f"dissoc-worker-{i}",
-                daemon=True,
-            )
-            for i in range(service.workers)
-        ]
-        for thread in self._threads:
-            thread.start()
+        # resilience: the per-query retry policy and the supervisor's
+        # bookkeeping (live workers, restart budget, in-flight batches)
+        self._retry_policy = RetryPolicy(
+            max_retries=service.max_retries, backoff=service.retry_backoff
+        )
+        self._supervisor = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._live_workers: set[threading.Thread] = set()
+        self._in_flight: dict[threading.Thread, list[QueryRequest]] = {}
+        self._wedged: list[str] = []
+        self._worker_seq = 0
+        self._worker_restarts = 0
+        self._worker_crashes = 0
+        self._last_worker_error: BaseException | None = None
+        self._failed = False
+        with self._supervisor:
+            for _ in range(service.workers):
+                self._start_worker()
 
     @staticmethod
     def _resolve_configs(
@@ -221,13 +261,39 @@ class DissociationService:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self, timeout: float | None = 30.0) -> None:
-        """Stop admissions, drain pending batches, and join the workers."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop admissions, join the workers, and fail leftover futures.
+
+        ``timeout`` is one *overall* monotonic budget shared across all
+        worker joins, not a per-thread allowance. Threads still alive
+        when it runs out are reported via :meth:`health` (``"wedged"``)
+        rather than silently ignored, and every future the service can
+        still reach — requests left in the admission queue plus the
+        in-flight batches of wedged workers — is failed with
+        :class:`~repro.service.ServiceClosed`, so ``gather()`` callers
+        are never left blocked on a future nobody will ever resolve.
+        """
+        with self._supervisor:
+            if self._closed:
+                return
+            self._closed = True
+            threads = list(self._threads)
         self._batcher.close()
-        for thread in self._threads:
-            thread.join(timeout)
+        deadline = Deadline.after(timeout) if timeout is not None else None
+        for thread in threads:
+            thread.join(
+                None if deadline is None else max(deadline.remaining(), 0.0)
+            )
+        wedged = [t for t in threads if t.is_alive()]
+        with self._supervisor:
+            self._wedged = [t.name for t in wedged]
+        closed_exc = ServiceClosed(
+            "service closed before the request was served"
+        )
+        for request in self._batcher.drain():
+            self._deliver(request.future, exception=closed_exc)
+        for thread in wedged:
+            for request in self._take_in_flight(thread):
+                self._deliver(request.future, exception=closed_exc)
         self._pool.close()
 
     def __enter__(self) -> "DissociationService":
@@ -244,6 +310,7 @@ class DissociationService:
         query: ConjunctiveQuery,
         optimizations: Optimizations | None = None,
         block: bool = True,
+        timeout=UNSET,
     ) -> "Future[EvaluationResult]":
         """Enqueue ``query``; the future resolves to its
         :class:`~repro.engine.EvaluationResult`.
@@ -252,20 +319,48 @@ class DissociationService:
         outstanding; ``block=False`` raises
         :class:`~repro.service.batching.ServiceOverloaded` instead
         (load shedding).
+
+        ``timeout`` (seconds) attaches a :class:`Deadline` to the
+        request: queueing time counts against it, and a request whose
+        deadline expires before a worker reaches it fails fast with
+        :class:`~repro.service.RequestTimeout` instead of being
+        evaluated. Not passing it uses
+        ``ServiceConfig.default_timeout``; explicit ``None`` disables
+        the deadline. A deadline does *not* preempt an evaluation that
+        already started — it bounds time-to-dequeue, not time-to-result
+        (pair it with ``gather(timeout=...)`` for the latter).
+
+        Raises :class:`~repro.service.ServiceClosed` once the service
+        is closed and :class:`~repro.service.WorkerCrashed` once the
+        worker pool is dead (restart budget exhausted).
         """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        if self._failed:
+            raise self._pool_dead_error()
+        if timeout is UNSET:
+            timeout = self.service_config.default_timeout
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be None or > 0, got {timeout!r}")
         future: "Future[EvaluationResult]" = Future()
         request = QueryRequest(
             query=query,
             optimizations=optimizations or self.default_optimizations,
             future=future,
+            deadline=Deadline.after(timeout) if timeout is not None else None,
         )
         self._batcher.submit(request, block=block)
+        if self._failed:
+            # the last worker died while we were enqueueing: nobody will
+            # ever drain the queue, so fail the stranded requests now
+            self._fail_pending(self._pool_dead_error())
         return future
 
     async def submit_async(
         self,
         query: ConjunctiveQuery,
         optimizations: Optimizations | None = None,
+        timeout=UNSET,
     ) -> EvaluationResult:
         """:meth:`submit` for ``async`` callers.
 
@@ -274,13 +369,14 @@ class DissociationService:
         queue space must not stall the event-loop thread — and the
         result future is awaited as an ``asyncio`` future, so other
         coroutines keep running while the worker pool evaluates the
-        batch.
+        batch. ``timeout`` attaches a deadline exactly like
+        :meth:`submit`.
         """
         import asyncio
 
         loop = asyncio.get_running_loop()
         future = await loop.run_in_executor(
-            None, lambda: self.submit(query, optimizations)
+            None, lambda: self.submit(query, optimizations, timeout=timeout)
         )
         return await asyncio.wrap_future(future)
 
@@ -289,28 +385,44 @@ class DissociationService:
         futures: Iterable["Future[EvaluationResult]"],
         timeout: float | None = None,
     ) -> list[EvaluationResult]:
-        """Resolve submitted futures in order."""
-        return [future.result(timeout) for future in futures]
+        """Resolve submitted futures in order.
+
+        ``timeout`` is one *overall* budget for the whole gather on the
+        monotonic clock — N futures share it rather than each getting
+        its own ``timeout`` (which would let a stuck batch stretch the
+        wait to N × timeout).
+        """
+        if timeout is None:
+            return [future.result() for future in futures]
+        deadline = Deadline.after(timeout)
+        return [
+            future.result(max(deadline.remaining(), 0.0))
+            for future in futures
+        ]
 
     def evaluate(
         self,
         query: ConjunctiveQuery,
         optimizations: Optimizations | None = None,
+        timeout=UNSET,
     ) -> EvaluationResult:
         """Synchronous single-query convenience over :meth:`submit`."""
-        return self.submit(query, optimizations).result()
+        return self.submit(query, optimizations, timeout=timeout).result()
 
     def evaluate_many(
         self,
         queries: Sequence[ConjunctiveQuery],
         optimizations: Optimizations | None = None,
+        timeout=UNSET,
     ) -> list[EvaluationResult]:
         """Submit ``queries`` together and gather their results.
 
         Submitting before gathering lets the admission controller pack
         them into as few micro-batches as the batch size allows.
         """
-        futures = [self.submit(q, optimizations) for q in queries]
+        futures = [
+            self.submit(q, optimizations, timeout=timeout) for q in queries
+        ]
         return self.gather(futures)
 
     # ------------------------------------------------------------------
@@ -326,6 +438,14 @@ class DissociationService:
         serialize: each holds the barrier for its own drain, so a
         second mutator can never be starved by batches admitted after
         the first one finished.
+
+        If ``fn`` raises, the exception propagates, the quiescence
+        barrier is released (readers and later mutators never
+        deadlock), and the database's version token is bumped anyway
+        (:meth:`~repro.db.database.ProbabilisticDatabase.touch`): a
+        failed mutation may have half-applied its writes, and
+        epoch-keyed caches must treat that state as a *new* epoch —
+        never serve results computed over it as if pre-mutation.
         """
         with self._state:
             while self._mutating:
@@ -335,6 +455,10 @@ class DissociationService:
                 self._state.wait()
             try:
                 return fn(self.db)
+            except BaseException:
+                self._failed_mutations += 1
+                self.db.touch()
+                raise
             finally:
                 self._mutating = False
                 self._mutations += 1
@@ -343,13 +467,44 @@ class DissociationService:
     # ------------------------------------------------------------------
     # worker internals
     # ------------------------------------------------------------------
-    def _worker_loop(self) -> None:
+    def _start_worker(self) -> threading.Thread:
+        """Spawn one supervised worker (``_supervisor`` lock held)."""
+        index = self._worker_seq
+        self._worker_seq += 1
+        thread = threading.Thread(
+            target=self._worker_main,
+            name=f"dissoc-worker-{index}",
+            daemon=True,
+        )
+        self._threads.append(thread)
+        self._live_workers.add(thread)
+        thread.start()
+        return thread
+
+    def _worker_main(self) -> None:
+        """Crash wrapper around :meth:`_worker_loop` (supervision)."""
+        thread = threading.current_thread()
+        try:
+            self._worker_loop(thread)
+        except BaseException as exc:  # noqa: BLE001 - supervised
+            self._on_worker_crash(thread, exc)
+        else:
+            with self._supervisor:
+                self._live_workers.discard(thread)
+
+    def _worker_loop(self, thread: threading.Thread) -> None:
         session = self._pool.session()
         try:
             while True:
                 batch = self._batcher.next_batch()
                 if not batch:
                     break  # closed and drained
+                # record the batch BEFORE any crash point so the
+                # supervisor can requeue it (crash) or close() can fail
+                # its futures (wedged worker)
+                self._set_in_flight(thread, batch)
+                if self.faults is not None:
+                    self.faults.fire("worker", batch)
                 with self._state:
                     while self._mutating:
                         self._state.wait()
@@ -360,17 +515,126 @@ class DissociationService:
                     with self._state:
                         self._active_batches -= 1
                         self._state.notify_all()
+                self._set_in_flight(thread, None)
         finally:
             session.close()
+
+    def _on_worker_crash(
+        self, thread: threading.Thread, exc: BaseException
+    ) -> None:
+        """Supervise a crashed worker: requeue its batch, restart it.
+
+        The in-flight batch is handed back to the admission queue
+        (skipping already-resolved futures), so innocent requests
+        migrate to a healthy worker instead of inheriting the crash.
+        The dead thread is replaced while the lifetime restart budget
+        (``max_worker_restarts``) lasts; past it, once no live worker
+        remains, the pool is declared dead: pending futures fail with
+        :class:`WorkerCrashed` and so does every later ``submit()``.
+        """
+        batch = self._take_in_flight(thread)
+        with self._supervisor:
+            self._live_workers.discard(thread)
+            self._worker_crashes += 1
+            self._last_worker_error = exc
+            closed = self._closed
+            restart = (
+                not closed
+                and self._worker_restarts
+                < self.service_config.max_worker_restarts
+            )
+            if restart:
+                self._worker_restarts += 1
+            failed = not restart and not closed and not self._live_workers
+            if failed:
+                self._failed = True
+        crash = WorkerCrashed(f"worker {thread.name} crashed: {exc!r}")
+        crash.__cause__ = exc
+        for request in batch:
+            if request.future.done():
+                continue
+            if restart:
+                try:
+                    self._batcher.submit(request, block=False)
+                    continue
+                except (ServiceClosed, ServiceOverloaded):
+                    pass  # no healthy home for it: fail it below
+            self._deliver(request.future, exception=crash)
+        if restart:
+            with self._supervisor:
+                if not self._closed:
+                    self._start_worker()
+        if failed:
+            self._fail_pending(crash)
+
+    def _pool_dead_error(self) -> WorkerCrashed:
+        last = self._last_worker_error
+        return WorkerCrashed(
+            "worker pool is dead (restart budget "
+            f"max_worker_restarts={self.service_config.max_worker_restarts} "
+            f"exhausted); last worker error: {last!r}"
+        )
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        """Fail every request still sitting in the admission queue."""
+        for request in self._batcher.drain():
+            self._deliver(request.future, exception=exc)
+
+    def _set_in_flight(
+        self, thread: threading.Thread, batch: list[QueryRequest] | None
+    ) -> None:
+        with self._supervisor:
+            if batch is None:
+                self._in_flight.pop(thread, None)
+            else:
+                self._in_flight[thread] = batch
+
+    def _take_in_flight(
+        self, thread: threading.Thread
+    ) -> list[QueryRequest]:
+        with self._supervisor:
+            return self._in_flight.pop(thread, [])
+
+    @staticmethod
+    def _mark_running(future: "Future") -> bool:
+        """``set_running_or_notify_cancel`` tolerant of requeued futures.
+
+        A future requeued after a worker crash is already RUNNING, which
+        makes the stdlib call raise ``RuntimeError`` — for our purposes
+        it is simply still live.
+        """
+        try:
+            return future.set_running_or_notify_cancel()
+        except RuntimeError:
+            return not future.done()
+
+    @staticmethod
+    def _deliver(future: "Future", result=None, exception=None) -> None:
+        """Resolve ``future``, tolerating already-resolved ones.
+
+        After ``close()`` fails the futures of a wedged worker, the
+        worker may still come back and try to deliver the real result;
+        whoever resolves first wins and the loser is a no-op.
+        """
+        try:
+            if exception is not None:
+                future.set_exception(exception)
+            else:
+                future.set_result(result)
+        except InvalidStateError:
+            pass
 
     def _process(
         self, session: EngineSession, batch: list[QueryRequest]
     ) -> None:
-        live = [
-            request
-            for request in batch
-            if request.future.set_running_or_notify_cancel()
-        ]
+        live: list[QueryRequest] = []
+        for request in batch:
+            if not self._mark_running(request.future):
+                continue
+            if request.deadline is not None and request.deadline.expired:
+                self._fail_expired(request)
+                continue
+            live.append(request)
         if not live:
             return
         queries = [request.query for request in live]
@@ -380,8 +644,7 @@ class DissociationService:
                 self._record_dag(session.engine, queries, opts)
             results = session.engine.evaluate_batch(queries, opts)
         except BaseException as exc:  # noqa: BLE001 - delivered to callers
-            for request in live:
-                request.future.set_exception(exc)
+            self._isolate(session, live, opts, exc)
             return
         session.record(len(live))
         with self._stats_lock:
@@ -391,7 +654,68 @@ class DissociationService:
                 self._batch_occupancy.get(len(live), 0) + 1
             )
         for request, result in zip(live, results):
-            request.future.set_result(result)
+            self._deliver(request.future, result=result)
+
+    def _fail_expired(self, request: QueryRequest) -> None:
+        with self._stats_lock:
+            self._timeouts += 1
+        self._deliver(
+            request.future,
+            exception=RequestTimeout(
+                f"deadline of {request.deadline.timeout:g}s expired "
+                "before the query was evaluated"
+            ),
+        )
+
+    def _isolate(
+        self,
+        session: EngineSession,
+        live: list[QueryRequest],
+        opts: Optimizations,
+        batch_exc: BaseException,
+    ) -> None:
+        """Poison-query isolation: blast radius 1.
+
+        The batch failed as a unit, but usually only one member is to
+        blame — fanning ``batch_exc`` out to every future would punish
+        up to ``max_batch_size - 1`` innocent queries. Instead each
+        member is re-evaluated individually under the retry policy
+        (transient SQLite contention gets its backoff schedule), so
+        exactly the queries that fail on their own see an exception.
+        """
+        if len(live) == 1 and not self._retry_policy.classify(batch_exc):
+            # the lone member IS the poison and the error is permanent:
+            # re-evaluating it would just fail identically again
+            with self._stats_lock:
+                self._batch_retries += 1
+                self._poison_queries += 1
+            self._deliver(live[0].future, exception=batch_exc)
+            return
+        with self._stats_lock:
+            self._batch_retries += 1
+        served = 0
+        for request in live:
+            if request.future.done():
+                continue
+            if request.deadline is not None and request.deadline.expired:
+                self._fail_expired(request)
+                continue
+            try:
+                result = self._retry_policy.run(
+                    lambda: session.engine.evaluate(request.query, opts),
+                    deadline=request.deadline,
+                )
+            except BaseException as exc:  # noqa: BLE001 - delivered
+                with self._stats_lock:
+                    self._poison_queries += 1
+                self._deliver(request.future, exception=exc)
+            else:
+                served += 1
+                self._deliver(request.future, result=result)
+        if served:
+            session.record(served)
+            with self._stats_lock:
+                self._queries += served
 
     def _record_dag(
         self,
@@ -421,12 +745,43 @@ class DissociationService:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness of the worker pool, for operators and chaos tests.
+
+        ``wedged`` lists threads that were still alive when ``close()``
+        gave up joining them — a worker stuck inside an evaluation that
+        never returned. ``failed`` means the restart budget is exhausted
+        and no live worker remains; the service is terminally dead.
+        """
+        with self._supervisor:
+            live = sorted(
+                t.name for t in self._live_workers if t.is_alive()
+            )
+            last = self._last_worker_error
+            return {
+                "live_workers": len(live),
+                "workers": live,
+                "configured_workers": self.service_config.workers,
+                "worker_restarts": self._worker_restarts,
+                "worker_crashes": self._worker_crashes,
+                "max_worker_restarts": (
+                    self.service_config.max_worker_restarts
+                ),
+                "last_worker_error": repr(last) if last is not None else None,
+                "failed": self._failed,
+                "closed": self._closed,
+                "wedged": list(self._wedged),
+            }
+
     def stats(self) -> dict:
         """Scheduling, sharing, and cache statistics of the service."""
         with self._stats_lock:
             batches = self._batches
             queries = self._queries
             occupancy = dict(sorted(self._batch_occupancy.items()))
+            poison_queries = self._poison_queries
+            batch_retries = self._batch_retries
+            timeouts = self._timeouts
             dag = {
                 "node_occurrences": self._dag_occurrences,
                 "distinct_nodes": self._dag_distinct,
@@ -447,7 +802,10 @@ class DissociationService:
             }
             for session in self._pool.sessions()
         ]
-        return {
+        with self._supervisor:
+            worker_restarts = self._worker_restarts
+            worker_crashes = self._worker_crashes
+        report = {
             "backend": self.backend,
             "submitted": self._batcher.submitted,
             "rejected": self._batcher.rejected,
@@ -455,10 +813,19 @@ class DissociationService:
             "batches": batches,
             "queries": queries,
             "mutations": mutations,
+            "failed_mutations": self._failed_mutations,
             "mean_batch_size": (queries / batches) if batches else 0.0,
             "batch_occupancy": occupancy,
+            "poison_queries": poison_queries,
+            "batch_retries": batch_retries,
+            "timeouts": timeouts,
+            "worker_restarts": worker_restarts,
+            "worker_crashes": worker_crashes,
             "dag": dag,
             "write_factor": self._pool.calibrated_write_factor,
             "namespace": self.namespace.stats(),
             "sessions": sessions,
         }
+        if self.faults is not None:
+            report["faults"] = self.faults.stats()
+        return report

@@ -170,11 +170,15 @@ class SessionPool:
         db: ProbabilisticDatabase,
         config: EngineConfig | None = None,
         namespace: SharedViewNamespace | None = None,
+        faults=None,
     ) -> None:
         self.db = db
         self.config = config or EngineConfig()
         self.backend = self.config.backend
         self.namespace = namespace or SharedViewNamespace()
+        #: Optional :class:`~repro.service.faults.FaultInjector` threaded
+        #: into every engine this pool builds (``"session"`` hook here).
+        self.faults = faults
         self._local = threading.local()
         self._lock = threading.Lock()
         self._sessions: list[EngineSession] = []
@@ -184,6 +188,8 @@ class SessionPool:
         self.calibrated_write_factor: float | None = None
 
     def _new_engine(self) -> DissociationEngine:
+        if self.faults is not None:
+            self.faults.fire("session", threading.current_thread().name)
         config = self.config
         namespace = None
         if self.backend == "sqlite":
@@ -196,7 +202,7 @@ class SessionPool:
                     write_factor=self.calibrated_write_factor
                 )
         return DissociationEngine(
-            self.db, config, view_namespace=namespace
+            self.db, config, view_namespace=namespace, faults=self.faults
         )
 
     def calibrate(self, sample_rows: int = 4096) -> float | None:

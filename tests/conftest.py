@@ -1,0 +1,36 @@
+"""Shared test harness: a per-test hang watchdog.
+
+The resilience suite exercises worker crashes, wedged threads, and
+shutdown races — exactly the kind of code where a regression shows up
+as a *hang*, not a failure. ``pytest-timeout`` is not available in the
+toolchain image, so this conftest arms the stdlib
+:mod:`faulthandler` instead: every test gets ``REPRO_TEST_TIMEOUT``
+seconds (default 300); past that, faulthandler dumps every thread's
+traceback to stderr and hard-exits the process, so CI fails in minutes
+with a stack instead of wedging the job until the runner's global
+timeout.
+
+Set ``REPRO_TEST_TIMEOUT=0`` to disable (e.g. when stepping through a
+test under a debugger).
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import os
+
+import pytest
+
+_LIMIT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    if _LIMIT > 0:
+        faulthandler.dump_traceback_later(_LIMIT, exit=True)
+        try:
+            yield
+        finally:
+            faulthandler.cancel_dump_traceback_later()
+    else:
+        yield
