@@ -7,15 +7,15 @@
 #                      fails with thread tracebacks instead of wedging
 #                      the job — see tests/conftest.py
 #   make bench       — the current PR's perf micro-benchmarks; writes
-#                      BENCH_PR6.json at the repo root (fault-tolerant
-#                      serving: clean vs chaos vs deadline arms over the
-#                      chain-7 Zipf mix; the chaos arm kills a worker
-#                      mid-run and poisons every 20th request, asserting
-#                      zero hangs, exact blast radius, results matching
-#                      the fault-free run, and graceful throughput
-#                      degradation) and refreshes BENCH_LATEST.json
-#   make bench-quick — CI smoke: chain-5 chaos replay only, writes
-#                      BENCH_PR6.quick.json, same assertions
+#                      BENCH_PR7.json at the repo root (per-table epoch
+#                      vectors: partitioned-write replay over disjoint
+#                      chain-7 subjoins, epoch-vector caches vs the
+#                      PR-5 global version token simulated via touch();
+#                      asserts answers match a cold engine and a >= 2x
+#                      speedup) and refreshes BENCH_LATEST.json
+#   make bench-quick — CI smoke: memory backend only, writes
+#                      BENCH_PR7.quick.json, same assertions with a
+#                      >= 1x gate (small op counts are noisy)
 #   make examples    — run every example under the new connect() API
 #                      (the CI smoke job)
 #   make bench-pr1   — re-run the PR 1 benchmarks (BENCH_PR1.json: seed
@@ -29,21 +29,23 @@
 #                      dissociation query service traffic replay)
 #   make bench-pr5   — re-run the PR 5 benchmarks (BENCH_PR5.json:
 #                      unified session API + epoch-keyed result cache)
-#   make bench-pr6   — alias of the current `make bench`
+#   make bench-pr6   — re-run the PR 6 benchmarks (BENCH_PR6.json:
+#                      fault-tolerant serving under injected chaos)
+#   make bench-pr7   — alias of the current `make bench`
 
 PYTHON ?= python
 
 .PHONY: test bench bench-quick examples \
-	bench-pr1 bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6
+	bench-pr1 bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7.py
 
 bench-quick:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6.py --quick
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7.py --quick
 
 examples:
 	@set -e; for example in examples/*.py; do \
@@ -68,3 +70,6 @@ bench-pr5:
 
 bench-pr6:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6.py
+
+bench-pr7:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7.py

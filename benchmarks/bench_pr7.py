@@ -1,0 +1,247 @@
+"""PR 7 benchmarks: per-table epoch vectors vs the PR-5 global epoch.
+
+Partitioned-write replay: Zipf-skewed traffic over *disjoint* chain-7
+subjoins while a mutator keeps inserting into one table (``R7``) that
+only the cold-tail query touches. Two arms replay the identical op
+sequence through a serial session:
+
+* **epoch** — the current stack: every cache keys on the per-table
+  epoch vector of exactly the relations a query touches, so the
+  writes invalidate only the ``R7`` query's entries and the hot
+  disjoint joins stay served from cache across every mutation.
+* **global** — the PR-5 baseline, reproduced faithfully by calling
+  ``db.touch()`` after each write: ``touch`` advances *every* table's
+  epoch, which is exactly what one database-wide version token did —
+  each write invalidates every cached result, view, statistic and
+  encoding in the stack.
+
+Both arms are *asserted* correct, not just timed: after the replay,
+every distinct query's answer must match a cold engine built on the
+final database state to within ``MAX_ABS_DIVERGENCE`` (a cold engine
+interns value codes in its own order, so the independent-or sums may
+differ in the last ulps; staleness shows up orders of magnitude
+larger). The throughput gate requires the epoch arm to beat the
+global-epoch arm by ``FULL_SPEEDUP``x in the full run (``QUICK_SPEEDUP``x
+in ``--quick`` mode, where tiny op counts make the ratio noisy).
+
+Writes ``BENCH_PR7.json`` + ``BENCH_LATEST.json`` (``make bench``).
+``--quick`` / ``BENCH_QUICK=1`` replays the memory backend only and
+writes ``BENCH_PR7.quick.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import connect, parse_query  # noqa: E402
+from repro.api import EngineConfig  # noqa: E402
+from repro.engine import DissociationEngine, Optimizations  # noqa: E402
+from repro.workloads import chain_database  # noqa: E402
+
+OUTPUT = ROOT / "BENCH_PR7.json"
+QUICK_OUTPUT = ROOT / "BENCH_PR7.quick.json"
+LATEST = ROOT / "BENCH_LATEST.json"
+
+OPTS = Optimizations(single_plan=False, reuse_views=True)
+
+#: Throughput gates: epoch arm over global-epoch arm, same op sequence.
+FULL_SPEEDUP = 2.0
+QUICK_SPEEDUP = 1.0
+
+#: Ceiling on |replayed score - cold engine score| (see module docstring).
+MAX_ABS_DIVERGENCE = 1e-12
+
+#: Every WRITE_EVERY-th op is an insert into the write partition (R7).
+WRITE_EVERY = 10
+
+CHAIN_K = 7
+WRITE_TABLE = f"R{CHAIN_K}"
+
+
+# ----------------------------------------------------------------------
+# workload: disjoint subjoins + a cold tail over the write partition
+# ----------------------------------------------------------------------
+def disjoint_mix() -> list:
+    """Zipf-ranked queries over pairwise-disjoint chain-7 subjoins.
+
+    The hot queries partition ``R1..R6`` into disjoint 2-chains; the
+    cold tail scans ``R7`` — the only query the writes can touch.
+    """
+    return [
+        parse_query("q(x0, x2) :- R1(x0, x1), R2(x1, x2)"),
+        parse_query("q(x2, x4) :- R3(x2, x3), R4(x3, x4)"),
+        parse_query("q(x4, x6) :- R5(x4, x5), R6(x5, x6)"),
+        parse_query(f"q(x6, x7) :- {WRITE_TABLE}(x6, x7)"),
+    ]
+
+
+def op_sequence(count: int, seed: int) -> list:
+    """``count`` ops: Zipf-skewed queries with a write every 10th slot."""
+    queries = disjoint_mix()
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(len(queries))]
+    ops = [("query", q) for q in rng.choices(queries, weights=weights, k=count)]
+    for i in range(0, count, WRITE_EVERY):
+        ops[i] = ("write", (700_000 + i, 700_001 + i))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def replay(
+    db_factory, ops: list, backend: str, global_epoch: bool
+) -> tuple[dict, dict]:
+    """Replay ``ops`` serially; returns ``(summary, final scores)``."""
+    db = db_factory()
+    config = EngineConfig(backend=backend)
+    evaluated = 0
+    with connect(db, config, optimizations=OPTS) as session:
+
+        def write(row: tuple) -> None:
+            def apply(d) -> None:
+                d.table(WRITE_TABLE).insert(row, 0.25)
+                if global_epoch:
+                    # the PR-5 baseline: one db-wide version token ==
+                    # every write taints every table's epoch
+                    d.touch()
+
+            session.mutate(apply)
+
+        started = time.perf_counter()
+        for kind, payload in ops:
+            if kind == "query":
+                result = session.evaluate(payload)
+                evaluated += 0 if result.cached else 1
+            else:
+                write(payload)
+        wall = time.perf_counter() - started
+
+        # correctness: the surviving cache entries must match a cold
+        # engine (empty caches) built on the final database state
+        worst = 0.0
+        for query in disjoint_mix():
+            warm = session.evaluate(query).scores
+            cold = DissociationEngine(db, config).evaluate(query, OPTS).scores
+            assert set(warm) == set(cold), f"answer-set drift: {query}"
+            worst = max(
+                worst, max((abs(warm[k] - cold[k]) for k in cold), default=0.0)
+            )
+        assert worst <= MAX_ABS_DIVERGENCE, (
+            f"replayed results diverged from cold engine ({worst:.2e})"
+        )
+
+        cache = session.results.stats()
+        summary = {
+            "ops": len(ops),
+            "writes": sum(1 for kind, _ in ops if kind == "write"),
+            "wall_seconds": wall,
+            "throughput_ops_per_s": len(ops) / wall if wall else 0.0,
+            "engine_evaluations": session.engine.evaluation_count,
+            "uncached_queries": evaluated,
+            "result_cache": {
+                "hits": cache["hits"],
+                "misses": cache["misses"],
+                "evictions": cache["evictions"],
+            },
+            "worst_abs_divergence": worst,
+        }
+    return summary, {}
+
+
+def run_backend(backend: str, count: int, seed: int) -> dict:
+    db_factory = lambda: chain_database(  # noqa: E731
+        CHAIN_K, 60, seed=11, p_max=0.5
+    )
+    ops = op_sequence(count, seed)
+    epoch, _ = replay(db_factory, ops, backend, global_epoch=False)
+    global_arm, _ = replay(db_factory, ops, backend, global_epoch=True)
+    speedup = (
+        epoch["throughput_ops_per_s"] / global_arm["throughput_ops_per_s"]
+        if global_arm["throughput_ops_per_s"]
+        else 0.0
+    )
+    entry = {
+        "backend": backend,
+        "epoch": epoch,
+        "global": global_arm,
+        "speedup": speedup,
+    }
+    print(
+        f"{backend:<7} epoch={epoch['throughput_ops_per_s']:8.1f} ops/s "
+        f"(evals {epoch['engine_evaluations']:4d}, "
+        f"evictions {epoch['result_cache']['evictions']:4d})  "
+        f"global={global_arm['throughput_ops_per_s']:8.1f} ops/s "
+        f"(evals {global_arm['engine_evaluations']:4d}, "
+        f"evictions {global_arm['result_cache']['evictions']:4d})  "
+        f"speedup={speedup:5.2f}x"
+    )
+    return entry
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:] or os.environ.get("BENCH_QUICK") == "1"
+    required = QUICK_SPEEDUP if quick else FULL_SPEEDUP
+    print(
+        "PR 7 benchmark — per-table epoch vectors: partitioned-write "
+        "replay, epoch-vector caches vs the PR-5 global version token\n"
+    )
+    count = 400 if quick else 1500
+    backends = ["memory"] if quick else ["memory", "sqlite"]
+    arms = {
+        backend: run_backend(backend, count, seed=7) for backend in backends
+    }
+
+    report = {
+        "pr": 7,
+        "description": (
+            "Serial replay of Zipf-skewed traffic over disjoint chain-7 "
+            "subjoins with every 10th op an insert into R7 (the write "
+            "partition, touched only by the cold-tail query). The "
+            "epoch arm keys every cache on per-table epoch vectors; "
+            "the global arm reproduces the PR-5 database-wide version "
+            "token by touch()-ing every table epoch after each write. "
+            "Asserted: both arms' answers match a cold engine on the "
+            "final state within 1e-12, and the epoch arm beats the "
+            f"global arm by >= {required}x."
+        ),
+        "optimizations": "all plans + reuse_views",
+        "quick": quick,
+        "write_every": WRITE_EVERY,
+        "required_speedup": required,
+        "arms": arms,
+    }
+    if quick:
+        QUICK_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nquick mode: wrote {QUICK_OUTPUT}")
+    else:
+        OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+        shutil.copyfile(OUTPUT, LATEST)
+        print(f"\nwrote {OUTPUT} (+ {LATEST.name})")
+    failed = {
+        backend: entry["speedup"]
+        for backend, entry in arms.items()
+        if entry["speedup"] < required
+    }
+    if failed:
+        raise SystemExit(
+            f"epoch-vector speedup gate (>= {required}x) failed: "
+            f"{ {k: round(v, 2) for k, v in failed.items()} }"
+        )
+    print(
+        f"speedup gate OK (>= {required}x): "
+        f"{ {k: round(v['speedup'], 2) for k, v in arms.items()} }"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -11,10 +11,13 @@ engine*: a full :class:`~repro.engine.EvaluationResult` is stored under
   :class:`~repro.engine.Optimizations` and
   :class:`~repro.api.EngineConfig` values the result was computed
   under, and
-* ``epoch`` is the database version token stamped on every result —
-  the invalidation key. A mutation bumps the token, so stale entries
-  can simply never be *looked up* again; :meth:`evict_stale` reclaims
-  their memory eagerly after a mutation.
+* ``epoch`` is the per-table epoch vector stamped on every result —
+  sorted ``(relation, (creation_stamp, mutation_counter))`` pairs over
+  exactly the query's relations — the invalidation key. A mutation
+  moves the epochs of the tables it touches, so entries over those
+  tables can simply never be *looked up* again, while entries over
+  untouched relations keep hitting; :meth:`evict_stale` reclaims the
+  stale entries' memory eagerly after a mutation.
 
 Results are snapshotted on the way in and copied on the way out (the
 ``scores`` dict is shallow-copied; the floats inside are immutable), so
@@ -28,9 +31,28 @@ from __future__ import annotations
 import dataclasses
 import threading
 from collections import OrderedDict
-from typing import Hashable
+from typing import Hashable, Mapping
 
 __all__ = ["ResultCache"]
+
+
+def _vector_is_stale(key: Hashable, table_epochs: Mapping) -> bool:
+    """Whether ``key`` ends in an epoch vector disagreeing with now."""
+    if not (isinstance(key, tuple) and key):
+        return False
+    vector = key[-1]
+    if not isinstance(vector, tuple):
+        return False
+    for pair in vector:
+        if not (
+            isinstance(pair, tuple)
+            and len(pair) == 2
+            and isinstance(pair[0], str)
+        ):
+            return False
+    return any(
+        table_epochs.get(relation) != epoch for relation, epoch in vector
+    )
 
 
 class ResultCache:
@@ -106,20 +128,25 @@ class ResultCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
 
-    def evict_stale(self, epoch: Hashable) -> int:
-        """Drop every entry whose key's epoch differs from ``epoch``.
+    def evict_stale(self, table_epochs: Mapping[str, Hashable]) -> int:
+        """Drop entries whose epoch vector disagrees with the present.
 
-        Keys are ``(query_key, optimizations, config, epoch)`` tuples;
-        after a mutation nothing will ever look up the old epoch again,
-        so this merely reclaims memory early. Non-tuple keys (legal for
-        direct ``put`` users) carry no recognizable epoch and are left
-        alone. Returns the eviction count.
+        ``table_epochs`` is the database's current per-table epoch map
+        (:meth:`~repro.db.database.ProbabilisticDatabase.table_epochs`).
+        An entry is stale iff its key's epoch vector — the sorted
+        ``(relation, epoch)`` pairs in the key's last position — names
+        any relation whose current epoch differs (including relations
+        that were dropped). Entries keyed purely on untouched relations
+        **survive**; after a mutation nothing will ever look up a stale
+        vector again, so this merely reclaims memory early. Keys
+        without a recognizable epoch vector (legal for direct ``put``
+        users) are left alone. Returns the eviction count.
         """
         with self._lock:
             stale = [
                 key
                 for key in self._entries
-                if isinstance(key, tuple) and key and key[-1] != epoch
+                if _vector_is_stale(key, table_epochs)
             ]
             for key in stale:
                 del self._entries[key]

@@ -25,10 +25,13 @@ def result_key(
     """The :class:`~repro.api.cache.ResultCache` key of one evaluation.
 
     ``(canonical query key, optimizations, config, epoch)`` — all four
-    components are frozen/hashable values, and the epoch (the database
-    version token stamped on every result) is the invalidation axis:
-    a mutation moves the token and every stale entry becomes
-    unreachable. The epoch is deliberately **last**, which is what
+    components are frozen/hashable values, and the epoch (the
+    per-table epoch vector stamped on every result: sorted
+    ``(relation, (creation_stamp, mutation_counter))`` pairs over the
+    query's relations) is the invalidation axis: a mutation moves the
+    epochs of the tables it touches, so entries over those tables
+    become unreachable while entries over untouched relations keep
+    hitting. The epoch is deliberately **last**, which is what
     :meth:`ResultCache.evict_stale` relies on.
     """
     return (query_key(query), optimizations, config, epoch)

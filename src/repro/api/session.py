@@ -169,17 +169,34 @@ class Session:
         if self._closed:
             raise RuntimeError("session is closed")
 
-    def _current_epoch(self):
-        # Reading db.version iterates the table dict; a *structural*
-        # mutation (add_table) racing a concurrent client thread can
-        # raise mid-iteration — retry until a stable snapshot is read.
-        # A torn-but-successful read can only produce a token matching
-        # no stored epoch (a miss), never a wrong hit: results are
-        # filed under the epoch stamped by the engine, which runs
-        # inside the service's mutation-quiescence gate.
+    def _query_epoch(self, query: ConjunctiveQuery):
+        # The per-table epoch vector of the query's relations — the
+        # lookup key axis. Reading it can race a concurrent structural
+        # mutation (add_table) and raise mid-read — retry until a
+        # stable snapshot is read. A torn-but-successful read can only
+        # produce a vector matching no stored epoch (a miss), never a
+        # wrong hit: epochs are monotonic, and results are filed under
+        # the vector stamped by the engine, which runs inside the
+        # service's mutation-quiescence gate.
+        vector = getattr(self.db, "epoch_vector", None)
         while True:
             try:
+                if vector is not None:
+                    return vector(query.relations)
                 return self.db.version
+            except RuntimeError:
+                continue
+
+    def _current_table_epochs(self) -> Mapping:
+        # Same retry discipline as _query_epoch; epoch-less databases
+        # yield an empty map, which makes every vector-keyed entry
+        # read as stale — the conservative direction.
+        getter = getattr(self.db, "table_epochs", None)
+        if getter is None:
+            return {}
+        while True:
+            try:
+                return getter()
             except RuntimeError:
                 continue
 
@@ -234,7 +251,7 @@ class Session:
         """
         resolved = self._resolve(query)
         opts = optimizations or self.default_optimizations
-        key = result_key(resolved, opts, self.config, self._current_epoch())
+        key = result_key(resolved, opts, self.config, self._query_epoch(resolved))
         hit = self.results.get(key)
         if hit is not None:
             return hit
@@ -263,7 +280,7 @@ class Session:
         """
         resolved = self._resolve(query)
         opts = optimizations or self.default_optimizations
-        key = result_key(resolved, opts, self.config, self._current_epoch())
+        key = result_key(resolved, opts, self.config, self._query_epoch(resolved))
         hit = self.results.get(key)
         if hit is not None:
             done: "Future[EvaluationResult]" = Future()
@@ -339,14 +356,17 @@ class Session:
 
         Concurrent sessions quiesce in-flight batches first
         (:meth:`~repro.service.DissociationService.mutate`); serial
-        sessions apply directly. Either way the database version token
-        moves, so stale result-cache entries become unreachable — they
-        are additionally evicted eagerly to reclaim memory.
+        sessions apply directly. Either way the epochs of the touched
+        tables move, so result-cache entries over those tables become
+        unreachable — they are additionally evicted eagerly to reclaim
+        memory. Entries keyed purely on untouched relations stay
+        cached and keep serving hits.
 
-        If ``fn`` raises, the version token is bumped regardless
+        If ``fn`` raises, every table's epoch is tainted regardless
         (:meth:`~repro.db.database.ProbabilisticDatabase.touch`):
         half-applied writes must read as a new epoch, never as the
-        pre-mutation state.
+        pre-mutation state — and a failed mutation may have written
+        anywhere, so no per-table precision is attempted.
         """
         self._check_open()
         try:
@@ -358,7 +378,7 @@ class Session:
                 self.db.touch()
                 raise
         finally:
-            self.results.evict_stale(self._current_epoch())
+            self.results.evict_stale(self._current_table_epochs())
 
     # ------------------------------------------------------------------
     # observability

@@ -55,6 +55,15 @@ class Plan:
         for child in self.children():
             child._collect_atoms(out)
 
+    def relations(self) -> frozenset[str]:
+        """The relation names the plan scans.
+
+        The plan's epoch-vector footprint: a memoized result of this
+        plan stays valid exactly while none of these relations' table
+        epochs move.
+        """
+        return frozenset(a.relation for a in self.atoms())
+
     def query(self, name: str = "q") -> ConjunctiveQuery:
         """The query ``q_P`` this plan represents (Def. 4)."""
         return ConjunctiveQuery(self.atoms(), self.head_variables, name=name)

@@ -84,6 +84,16 @@ class ConjunctiveQuery:
         """``EVar(q)``: variables not in the head."""
         return self.variables - self.head
 
+    @property
+    def relations(self) -> frozenset[str]:
+        """The relation names the query touches.
+
+        The footprint used for per-table epoch vectors: a cached
+        result for this query stays valid exactly while none of these
+        relations' epochs move.
+        """
+        return frozenset(self._atom_by_relation)
+
     def atom(self, relation: str) -> Atom:
         """The unique atom over ``relation`` (KeyError if absent)."""
         return self._atom_by_relation[relation]

@@ -24,16 +24,18 @@ TupleRef = tuple[str, tuple]
 class Table:
     """One relation: distinct tuples with probabilities."""
 
-    __slots__ = ("schema", "rows", "_version")
+    __slots__ = ("schema", "rows", "_version", "_creation_stamp")
 
     def __init__(
         self,
         schema: TableSchema,
         rows: Mapping[tuple, float] | None = None,
+        creation_stamp: int = 0,
     ) -> None:
         self.schema = schema
         self.rows: dict[tuple, float] = {}
         self._version = 0
+        self._creation_stamp = creation_stamp
         if rows:
             for row, p in rows.items():
                 self.insert(row, p)
@@ -69,6 +71,28 @@ class Table:
         """Mutation counter, bumped on every :meth:`insert`."""
         return self._version
 
+    @property
+    def creation_stamp(self) -> int:
+        """Monotonic id assigned when the table joined its database.
+
+        Two tables that ever coexisted in (or were successively added
+        to) the same database never share a stamp, so a dropped and
+        re-added relation cannot alias its predecessor's cache entries
+        even when their mutation counters happen to agree.
+        """
+        return self._creation_stamp
+
+    @property
+    def epoch(self) -> tuple[int, int]:
+        """``(creation_stamp, mutation_counter)`` — the cache key unit.
+
+        Moves on every insert, and differs between same-named tables
+        from different ``add_table`` calls. Every cache in the system
+        keys per-relation state by this pair, never by the mutation
+        counter alone.
+        """
+        return (self._creation_stamp, self._version)
+
     def probability(self, row: Sequence) -> float:
         return self.rows.get(tuple(row), 0.0)
 
@@ -95,6 +119,11 @@ class ProbabilisticDatabase:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._version = 0
+        self._next_stamp = 0
+
+    def _new_stamp(self) -> int:
+        self._next_stamp += 1
+        return self._next_stamp
 
     # ------------------------------------------------------------------
     # construction
@@ -113,21 +142,61 @@ class ProbabilisticDatabase:
         ``rows`` accepts either ``(tuple, probability)`` pairs or bare
         tuples (probability 1, the deterministic convention). ``arity``
         is inferred from the first row when omitted.
+
+        An arity-2 data row shaped like ``(tuple, number)`` is
+        indistinguishable from a ``(row, probability)`` pair. When the
+        batch shows evidence of that ambiguity — a pair-shaped entry
+        whose number lies outside [0, 1], a pair-shaped entry that
+        only fits the declared arity when read as a data row, or
+        pair-shaped entries mixed with bare ``(tuple, ...)`` arity-2
+        rows — a :class:`ValueError` is raised instead of guessing;
+        pass every entry as an explicit ``(row, probability)`` pair to
+        disambiguate.
         """
         if name in self._tables:
             raise ValueError(f"table {name} already exists")
         rows = list(rows)
+        _AMBIGUOUS = (
+            f"table {name}: entry {{entry!r}} is ambiguous — an arity-2 "
+            f"data row (tuple, number) is indistinguishable from a "
+            f"(row, probability) pair. Pass every entry as an explicit "
+            f"(row, probability) pair to disambiguate."
+        )
         normalized: list[tuple[tuple, float]] = []
+        pair_entries: list[tuple] = []
+        tuple_headed_bare = False
         for entry in rows:
             if (
                 isinstance(entry, tuple)
                 and len(entry) == 2
                 and isinstance(entry[0], tuple)
                 and isinstance(entry[1], (int, float))
+                and not isinstance(entry[1], bool)
             ):
+                if not 0.0 <= entry[1] <= 1.0:
+                    # A "probability" outside [0, 1] means this was a
+                    # genuine data row all along; say so instead of
+                    # failing later with a confusing probability error.
+                    raise ValueError(_AMBIGUOUS.format(entry=entry))
+                pair_entries.append(entry)
                 normalized.append((entry[0], float(entry[1])))
             else:
-                normalized.append((tuple(entry), 1.0))
+                row = tuple(entry)
+                if len(row) == 2 and isinstance(row[0], tuple):
+                    tuple_headed_bare = True
+                normalized.append((row, 1.0))
+        if pair_entries and tuple_headed_bare:
+            # The batch provably contains arity-2 data rows whose first
+            # column is a tuple; the pair-shaped entries are almost
+            # certainly more of the same, misread as (row, p) pairs.
+            raise ValueError(_AMBIGUOUS.format(entry=pair_entries[0]))
+        if arity is not None:
+            for entry in pair_entries:
+                if len(entry[0]) != arity and len(entry) == arity:
+                    # Read as a pair the row has the wrong arity, read
+                    # as a data row it fits the declared arity — the
+                    # caller meant a data row.
+                    raise ValueError(_AMBIGUOUS.format(entry=entry))
         if arity is None:
             if not normalized:
                 raise ValueError(
@@ -137,7 +206,7 @@ class ProbabilisticDatabase:
         schema = TableSchema(
             name, arity, tuple(columns), deterministic, tuple(fds)
         )
-        table = Table(schema)
+        table = Table(schema, creation_stamp=self._new_stamp())
         for row, p in normalized:
             table.insert(row, p)
         self._tables[name] = table
@@ -149,30 +218,64 @@ class ProbabilisticDatabase:
         self._version += 1
 
     def touch(self) -> None:
-        """Advance the version token without changing any data.
+        """Taint every epoch without changing any data.
 
         The poison pill for epoch-keyed caches: after a mutation
         function raises partway through, the database may hold
         half-applied state that is neither the old epoch nor a clean
-        new one. Bumping the token forces every cache keyed on
-        :attr:`version` to treat the current contents as a fresh epoch
+        new one — and the failed function may have written through
+        paths no counter tracks. Bumping the db token *and every
+        table's mutation counter* forces every cache — global or
+        per-table — to treat the current contents as a fresh epoch
         instead of serving them as the pre-mutation state.
         """
         self._version += 1
+        for table in self._tables.values():
+            table._version += 1
 
     @property
     def version(self) -> tuple:
         """A hashable token identifying the database's current state.
 
         Changes whenever a table is added, dropped, or mutated; the
-        evaluation caches snapshot it to detect staleness.
+        evaluation caches snapshot it to detect staleness. Includes
+        each table's creation stamp, so drop + re-add never yields a
+        token seen before.
         """
         return (
             self._version,
             tuple(
-                (name, table._version)
+                (name, table._creation_stamp, table._version)
                 for name, table in sorted(self._tables.items())
             ),
+        )
+
+    # ------------------------------------------------------------------
+    # per-table epochs
+    # ------------------------------------------------------------------
+    def table_epoch(self, name: str) -> tuple[int, int] | None:
+        """The ``(creation_stamp, mutation_counter)`` epoch of a table.
+
+        ``None`` when no such table exists — distinct from every real
+        epoch, so "relation missing" participates in staleness checks.
+        """
+        table = self._tables.get(name)
+        return None if table is None else table.epoch
+
+    def table_epochs(self) -> dict[str, tuple[int, int]]:
+        """Current epoch of every table, keyed by relation name."""
+        return {name: t.epoch for name, t in self._tables.items()}
+
+    def epoch_vector(self, relations: Iterable[str]) -> tuple:
+        """Sorted ``(relation, epoch)`` pairs for the given relations.
+
+        The cache key for anything derived from exactly those
+        relations: two vectors agree iff none of the named tables was
+        mutated, dropped, re-added, or touched in between. Relations
+        absent from the database appear with epoch ``None``.
+        """
+        return tuple(
+            (name, self.table_epoch(name)) for name in sorted(set(relations))
         )
 
     # ------------------------------------------------------------------
@@ -220,7 +323,9 @@ class ProbabilisticDatabase:
         for table in self._tables.values():
             schema = table.schema
             if schema.deterministic and not include_deterministic:
-                out._tables[schema.name] = Table(schema, dict(table.rows))
+                out._tables[schema.name] = Table(
+                    schema, dict(table.rows), creation_stamp=out._new_stamp()
+                )
                 continue
             new_schema = TableSchema(
                 schema.name,
@@ -229,7 +334,7 @@ class ProbabilisticDatabase:
                 deterministic=False,
                 fds=schema.fds,
             )
-            new_table = Table(new_schema)
+            new_table = Table(new_schema, creation_stamp=out._new_stamp())
             for row, p in table:
                 new_table.insert(row, p * factor)
             out._tables[schema.name] = new_table

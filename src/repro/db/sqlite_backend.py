@@ -31,6 +31,10 @@ __all__ = [
 #: Name of the probability column in materialized tables.
 PROB_COLUMN = "_p"
 
+#: Sentinel distinguishing "table absent" from any real epoch (including
+#: the ``None`` epoch of epoch-less stand-in tables) in snapshot diffs.
+_ABSENT = object()
+
 
 class IorAggregate:
     """SQLite aggregate: independent-or of probabilities, ``1 − ∏(1 − p)``."""
@@ -61,6 +65,30 @@ def sql_literal(value: object) -> str:
 
 def _quote_ident(name: str) -> str:
     return '"' + name.replace('"', '""') + '"'
+
+
+def _key_relations(key: Hashable) -> frozenset[str] | None:
+    """The relation footprint of a registry key, or ``None`` if unknown.
+
+    Keys are plan nodes, or ``(plan node, content token)`` tuples in
+    semi-join mode — unwrap tuples to their first element and ask the
+    plan for its relations.
+    """
+    while isinstance(key, tuple) and key:
+        key = key[0]
+    relations = getattr(key, "relations", None)
+    if callable(relations):
+        try:
+            return frozenset(relations())
+        except Exception:
+            return None
+    atoms = getattr(key, "atoms", None)
+    if callable(atoms):
+        try:
+            return frozenset(a.relation for a in atoms())
+        except Exception:
+            return None
+    return None
 
 
 class SQLiteViewRegistry:
@@ -124,6 +152,10 @@ class SQLiteViewRegistry:
         self._namespace = namespace
         self._views: OrderedDict[Hashable, str] = OrderedDict()
         self._names: set[str] = set()
+        #: view name -> relation names its subplan scans (``None`` when
+        #: the key's footprint could not be determined — such views are
+        #: invalidated on *every* relation change, conservatively).
+        self._relations: dict[str, frozenset[str] | None] = {}
         self._pinned: set[str] = set()
         self._pin_depth = 0
         self._max_views = max_views
@@ -131,6 +163,7 @@ class SQLiteViewRegistry:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._invalidations = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -215,6 +248,7 @@ class SQLiteViewRegistry:
                 )
             self._views[plan] = name
             self._names.add(name)
+            self._relations[name] = _key_relations(plan)
             if self._namespace is not None:
                 self._namespace.note_materialized(plan, name)
             self._pin(name)
@@ -227,9 +261,31 @@ class SQLiteViewRegistry:
                 "hits": self._hits,
                 "misses": self._misses,
                 "evictions": self._evictions,
+                "invalidations": self._invalidations,
                 "size": len(self._views),
                 "max_size": self._max_views,
             }
+
+    def invalidate_relations(self, relations: Iterable[str]) -> int:
+        """Drop only the views whose subplans scan a changed relation.
+
+        The epoch-vector counterpart of :meth:`clear`: after an
+        incremental snapshot refresh, views over untouched relations
+        snapshot data that is still exact, so they stay. Views whose
+        relation footprint is unknown are dropped conservatively.
+        Returns the number of views dropped (counted separately from
+        LRU evictions, as ``invalidations`` in :meth:`cache_stats`).
+        """
+        changed = frozenset(relations)
+        dropped = 0
+        with self._lock:
+            for plan, name in list(self._views.items()):
+                deps = self._relations.get(name)
+                if deps is None or deps & changed:
+                    self._evict(plan, count_eviction=False)
+                    self._invalidations += 1
+                    dropped += 1
+        return dropped
 
     def clear(self) -> None:
         """Drop every registered view (the drops count as evictions)."""
@@ -253,6 +309,7 @@ class SQLiteViewRegistry:
                     self._namespace.note_evicted(plan, name)
             self._views.clear()
             self._names.clear()
+            self._relations.clear()
 
     # ------------------------------------------------------------------
     # internals (all called with the lock held)
@@ -277,13 +334,15 @@ class SQLiteViewRegistry:
             name = f"dissoc_{digest:016x}_{suffix}"
         return name
 
-    def _evict(self, plan: Hashable) -> None:
+    def _evict(self, plan: Hashable, count_eviction: bool = True) -> None:
         name = self._views.pop(plan)
         self._names.discard(name)
+        self._relations.pop(name, None)
         self._connection.execute(f"DROP TABLE IF EXISTS {name}")
         if self._namespace is not None:
             self._namespace.note_evicted(plan, name)
-        self._evictions += 1
+        if count_eviction:
+            self._evictions += 1
 
     def _enforce_cap(self) -> None:
         if self._max_views is None:
@@ -349,6 +408,9 @@ class SQLiteBackend:
         self._view_namespace = view_namespace
         self._has_math_functions: bool | None = None
         self._reduction_tokens: dict[str, str] = {}
+        self._index_columns = index_columns
+        self._table_epochs: dict[str, tuple | None] = {}
+        self._table_schemas: dict[str, tuple] = {}
         self._materialize(index_columns)
 
     @property
@@ -373,28 +435,110 @@ class SQLiteBackend:
     def _materialize(self, index_columns: bool) -> None:
         cur = self.connection.cursor()
         for table in self.source:
-            cols = list(table.schema.columns)
-            if PROB_COLUMN in cols:
-                raise ValueError(
-                    f"column name {PROB_COLUMN!r} is reserved "
-                    f"(table {table.name})"
-                )
-            decls = ", ".join(
-                [f"{_quote_ident(c)}" for c in cols] + [f"{PROB_COLUMN} REAL"]
-            )
-            cur.execute(f"CREATE TABLE {_quote_ident(table.name)} ({decls})")
-            placeholders = ", ".join("?" for _ in range(table.arity + 1))
-            cur.executemany(
-                f"INSERT INTO {_quote_ident(table.name)} VALUES ({placeholders})",
-                (row + (p,) for row, p in table),
-            )
-            if index_columns:
-                for c in cols:
-                    cur.execute(
-                        f"CREATE INDEX {_quote_ident(f'ix_{table.name}_{c}')} "
-                        f"ON {_quote_ident(table.name)} ({_quote_ident(c)})"
-                    )
+            self._create_table(cur, table)
         self.connection.commit()
+
+    @staticmethod
+    def _schema_signature(table) -> tuple:
+        return (table.arity, tuple(table.schema.columns))
+
+    def _create_table(self, cur: sqlite3.Cursor, table) -> None:
+        cols = list(table.schema.columns)
+        if PROB_COLUMN in cols:
+            raise ValueError(
+                f"column name {PROB_COLUMN!r} is reserved "
+                f"(table {table.name})"
+            )
+        decls = ", ".join(
+            [f"{_quote_ident(c)}" for c in cols] + [f"{PROB_COLUMN} REAL"]
+        )
+        cur.execute(f"CREATE TABLE {_quote_ident(table.name)} ({decls})")
+        self._insert_rows(cur, table)
+        if self._index_columns:
+            for c in cols:
+                cur.execute(
+                    f"CREATE INDEX {_quote_ident(f'ix_{table.name}_{c}')} "
+                    f"ON {_quote_ident(table.name)} ({_quote_ident(c)})"
+                )
+        self._table_epochs[table.name] = getattr(table, "epoch", None)
+        self._table_schemas[table.name] = self._schema_signature(table)
+
+    def _insert_rows(self, cur: sqlite3.Cursor, table) -> None:
+        placeholders = ", ".join("?" for _ in range(table.arity + 1))
+        cur.executemany(
+            f"INSERT INTO {_quote_ident(table.name)} VALUES ({placeholders})",
+            (row + (p,) for row, p in table),
+        )
+
+    def table_epoch(self, name: str) -> tuple | None:
+        """The source-table epoch this snapshot's copy of ``name`` holds.
+
+        The per-table staleness token for anything derived from the
+        snapshot's copy of one relation (e.g. the SQL statistics
+        catalog); ``None`` for epoch-less sources.
+        """
+        return self._table_epochs.get(name)
+
+    def refresh(self) -> frozenset[str]:
+        """Bring the snapshot up to date, rebuilding only changed tables.
+
+        Diffs the source's per-table epochs against the epochs captured
+        at materialization: dropped tables are dropped, new tables are
+        created, and mutated tables are reloaded in place (``DELETE`` +
+        re-insert when the schema is unchanged, so their indexes
+        survive; drop + recreate otherwise). Registered subplan views
+        whose relation footprint intersects the changed tables are
+        invalidated; all others stay warm. The per-recipe reduction
+        token memo is cleared whenever anything changed — same recipe
+        text no longer implies same contents.
+
+        Returns the set of relations whose snapshot copies were
+        rebuilt (empty when the source has not moved).
+        """
+        version = getattr(self.source, "version", None)
+        if version == self.source_version:
+            return frozenset()
+        epochs_of = getattr(self.source, "table_epochs", None)
+        old = dict(self._table_epochs)
+        if epochs_of is None:
+            # Epoch-less stand-in: no way to diff — rebuild everything.
+            current_names = {t.name for t in self.source}
+            changed = set(old) | current_names
+        else:
+            current = epochs_of()
+            current_names = set(current)
+            changed = {
+                name
+                for name in set(old) | current_names
+                if old.get(name, _ABSENT) != current.get(name, _ABSENT)
+            }
+        cur = self.connection.cursor()
+        for name in changed:
+            exists = name in old
+            live = name in current_names
+            if exists and live:
+                table = self.source.table(name)
+                if self._table_schemas.get(name) == self._schema_signature(
+                    table
+                ):
+                    cur.execute(f"DELETE FROM {_quote_ident(name)}")
+                    self._insert_rows(cur, table)
+                    self._table_epochs[name] = getattr(table, "epoch", None)
+                else:
+                    cur.execute(f"DROP TABLE IF EXISTS {_quote_ident(name)}")
+                    self._create_table(cur, table)
+            elif exists:
+                cur.execute(f"DROP TABLE IF EXISTS {_quote_ident(name)}")
+                self._table_epochs.pop(name, None)
+                self._table_schemas.pop(name, None)
+            else:
+                self._create_table(cur, self.source.table(name))
+        self.connection.commit()
+        self._reduction_tokens.clear()
+        if self._view_registry is not None and changed:
+            self._view_registry.invalidate_relations(changed)
+        self.source_version = version
+        return frozenset(changed)
 
     # ------------------------------------------------------------------
     # execution

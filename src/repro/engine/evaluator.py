@@ -101,9 +101,11 @@ class EvaluationResult:
     backend: str
     seconds: float
     sql: str | None = None
-    #: The database version token the evaluation ran under (set by the
-    #: batch entry point; the service layer uses it to prove results
-    #: were never served from a stale cache epoch).
+    #: The per-table epoch vector the evaluation ran under — sorted
+    #: ``(relation, (creation_stamp, mutation_counter))`` pairs covering
+    #: exactly the query's relations. The service layer uses it to prove
+    #: results were never served from a stale cache epoch; it changes
+    #: iff one of *this query's* tables changed.
     epoch: tuple | None = None
     #: True when this result was served from a session-level
     #: :class:`~repro.api.cache.ResultCache` instead of an engine
@@ -256,17 +258,20 @@ class DissociationEngine:
         """The lazily-materialized SQLite backend.
 
         The materialization is a snapshot of ``db``: whenever the
-        database's version token has moved since it was built, the stale
-        copy — tables, temp views and view registry alike — is dropped
-        and rebuilt, so mutating ``db`` between queries can never serve
-        stale SQLite results (mirroring the memory cache's
-        ``validate()``).
+        database's version token has moved since it was built, the
+        snapshot is *refreshed in place* — only the tables whose
+        per-table epochs moved are reloaded, and only the registered
+        subplan views scanning those tables are dropped
+        (:meth:`SQLiteBackend.refresh`), so mutating ``db`` between
+        queries can never serve stale SQLite results while views and
+        statistics over untouched relations stay warm (mirroring the
+        memory cache's per-table ``validate()``).
         """
         if (
             self._sqlite is not None
             and self._sqlite.source_version != self.db.version
         ):
-            self.invalidate_sqlite()
+            self._sqlite.refresh()
         if self._sqlite is None:
             self._sqlite = SQLiteBackend(
                 self.db,
@@ -473,7 +478,7 @@ class DissociationEngine:
         started = time.perf_counter()
         with self._count_lock:
             self.evaluation_count += 1
-        epoch = self.db.version
+        epoch = self.query_epoch(query)
         plans = self.minimal_plans(query)
         if self.backend == "memory":
             scores = self._evaluate_memory(query, plans, opts)
@@ -490,6 +495,20 @@ class DissociationEngine:
             sql=sql,
             epoch=epoch,
         )
+
+    def query_epoch(self, query: ConjunctiveQuery) -> tuple:
+        """The per-table epoch vector of ``query``'s relations, now.
+
+        The staleness token for anything derived from evaluating
+        ``query`` on the current database: it moves iff one of the
+        query's own tables is mutated, dropped, re-added, or tainted
+        by :meth:`ProbabilisticDatabase.touch`. Databases without the
+        epoch API fall back to their whole version token.
+        """
+        vector = getattr(self.db, "epoch_vector", None)
+        if vector is not None:
+            return vector(query.relations)
+        return getattr(self.db, "version", None)
 
     def evaluate_batch(
         self,
@@ -515,14 +534,13 @@ class DissociationEngine:
         below 1e-12).
 
         Scores, plan counts, and SQL are reported per query, in request
-        order; every result carries the database version token
-        (``epoch``) the batch ran under. Mutating the database while a
-        batch is in flight is not detected here — the service layer
-        quiesces batches around mutations.
+        order; every result carries the per-table epoch vector
+        (``epoch``) of its own relations as of this batch. Mutating the
+        database while a batch is in flight is not detected here — the
+        service layer quiesces batches around mutations.
         """
         opts = optimizations or Optimizations()
         started = time.perf_counter()
-        epoch = self.db.version
         queries = list(queries)
         with self._count_lock:
             self.evaluation_count += len(queries)
@@ -547,6 +565,7 @@ class DissociationEngine:
             for query in distinct:
                 self.faults.fire("evaluate", query)
         plans_per = [self.minimal_plans(q) for q in distinct]
+        epoch_per = [self.query_epoch(q) for q in distinct]
         if self.backend == "memory":
             scores_per = self._evaluate_memory_batch(distinct, plans_per, opts)
             sql_per: list[str | None] = [None] * len(distinct)
@@ -567,7 +586,7 @@ class DissociationEngine:
                 backend=self.backend,
                 seconds=share,
                 sql=sql_per[at],
-                epoch=epoch,
+                epoch=epoch_per[at],
             )
             for at in positions
         ]
@@ -746,11 +765,17 @@ class DissociationEngine:
             self._sqlite_stats = SQLiteStatisticsCatalog(backend)
         catalog = self._sqlite_stats
         names = dict(table_names or {})
-        base_token = backend.source_version
 
         def stats_for(relation: str):
             physical = names.get(relation, relation)
-            token = stats_token if relation in names else base_token
+            # Base tables are tokened by their snapshot epoch, not the
+            # whole source version: statistics of untouched tables
+            # survive an incremental refresh.
+            token = (
+                stats_token
+                if relation in names
+                else backend.table_epoch(relation)
+            )
             return catalog.table_stats(physical, token)
 
         memo: dict[Plan, object] = {}

@@ -197,7 +197,8 @@ class EvaluationCache:
         if _share_with is None:
             self._code_of: dict = {}
             self._values: list = []
-            self._tables: dict[str, tuple[tuple[np.ndarray, ...], np.ndarray]] = {}
+            # name -> (table epoch at encode time, (columns, scores))
+            self._tables: dict[str, tuple] = {}
             self._statistics = StatisticsCatalog(db)
             self._lock = threading.RLock()
         else:
@@ -214,7 +215,11 @@ class EvaluationCache:
             dp_threshold = _share_with.dp_threshold
         self.join_ordering = join_ordering
         self.dp_threshold = dp_threshold
-        self._plans: OrderedDict[Plan, _Columnar] = OrderedDict()
+        # plan -> (epoch vector of the plan's relations at store time,
+        #          result); the vector makes each entry self-describing,
+        #          so scopes sharing encoded tables can each validate
+        #          their own memo without clearing the other's.
+        self._plans: OrderedDict[Plan, tuple[tuple, _Columnar]] = OrderedDict()
         # A scope must inherit the parent's token, not re-snapshot: the
         # shared encoded tables may predate a mutation the parent has
         # not validated away yet, and a fresh token would hide it.
@@ -227,13 +232,31 @@ class EvaluationCache:
         self._evictions = 0
 
     def validate(self) -> None:
-        """Clear cached state if the database changed since it was built."""
+        """Drop cached state belonging to tables that changed.
+
+        Per-table, not all-or-nothing: when the database token moved,
+        only encoded tables whose epochs differ are re-encoded and only
+        plan results touching a changed relation are dropped — a write
+        to ``R`` leaves every ``S⋈T`` plan result warm. Databases
+        without the epoch API fall back to the old clear-everything
+        behaviour.
+        """
         with self._lock:
             token = _db_token(self.db)
-            if token != self._token:
+            if token == self._token:
+                return
+            epochs = _table_epochs(self.db)
+            if epochs is None:
                 self._tables.clear()
                 self._plans.clear()
-                self._token = token
+            else:
+                for name, entry in list(self._tables.items()):
+                    if entry[0] != epochs.get(name):
+                        del self._tables[name]
+                for plan, (vector, _) in list(self._plans.items()):
+                    if any(epochs.get(r) != ep for r, ep in vector):
+                        del self._plans[plan]
+            self._token = token
 
     @property
     def epoch(self):
@@ -277,13 +300,14 @@ class EvaluationCache:
                 return None
             self._hits += 1
             self._plans.move_to_end(plan)
-            return entry
+            return entry[1]
 
     def store_plan(self, plan: Plan, result: "_Columnar") -> None:
         with self._lock:
             if self._max_plans == 0:
                 return
-            self._plans[plan] = result
+            vector = _epoch_vector(self.db, plan.relations())
+            self._plans[plan] = (vector, result)
             self._plans.move_to_end(plan)
             if self._max_plans is not None:
                 while len(self._plans) > self._max_plans:
@@ -316,35 +340,51 @@ class EvaluationCache:
     def encoded_table(self, name: str) -> tuple[tuple[np.ndarray, ...], np.ndarray]:
         """The relation ``name`` as interned code columns + score column."""
         with self._lock:
+            table = self.db.table(name)
+            epoch = getattr(table, "epoch", None)
             entry = self._tables.get(name)
-            if entry is None:
-                table = self.db.table(name)
-                rows = table.rows
-                n = len(rows)
-                scores = np.fromiter(rows.values(), dtype=np.float64, count=n)
-                code_of = self._code_of
-                values = self._values
-                columns: list[np.ndarray] = []
-                for raw in zip(*rows) if n else ((),) * table.arity:
-                    codes = []
-                    append = codes.append
-                    for v in raw:
-                        code = code_of.get(v)
-                        if code is None:
-                            code = len(values)
-                            code_of[v] = code
-                            values.append(v)
-                        append(code)
-                    columns.append(np.fromiter(codes, dtype=np.int64, count=n))
-                entry = (tuple(columns), scores)
-                self._tables[name] = entry
-            return entry
+            if entry is not None and entry[0] == epoch:
+                return entry[1]
+            rows = table.rows
+            n = len(rows)
+            scores = np.fromiter(rows.values(), dtype=np.float64, count=n)
+            code_of = self._code_of
+            values = self._values
+            columns: list[np.ndarray] = []
+            for raw in zip(*rows) if n else ((),) * table.arity:
+                codes = []
+                append = codes.append
+                for v in raw:
+                    code = code_of.get(v)
+                    if code is None:
+                        code = len(values)
+                        code_of[v] = code
+                        values.append(v)
+                    append(code)
+                columns.append(np.fromiter(codes, dtype=np.int64, count=n))
+            encoded = (tuple(columns), scores)
+            self._tables[name] = (epoch, encoded)
+            return encoded
 
 
 def _db_token(db: ProbabilisticDatabase):
     # ``version`` distinguishes snapshots of a mutable database; fall back
     # to a constant for duck-typed stand-ins without version tracking.
     return getattr(db, "version", None)
+
+
+def _table_epochs(db: ProbabilisticDatabase):
+    """Current per-table epochs, or ``None`` for epoch-less stand-ins."""
+    getter = getattr(db, "table_epochs", None)
+    return None if getter is None else getter()
+
+
+def _epoch_vector(db: ProbabilisticDatabase, relations) -> tuple:
+    """Sorted ``(relation, epoch)`` pairs (``None`` epochs for stand-ins)."""
+    getter = getattr(db, "epoch_vector", None)
+    if getter is not None:
+        return getter(relations)
+    return tuple((name, None) for name in sorted(set(relations)))
 
 
 # ----------------------------------------------------------------------

@@ -142,10 +142,13 @@ def _column_stats(column: np.ndarray, mcv_size: int) -> ColumnStats:
 class StatisticsCatalog:
     """Per-table column statistics, incrementally maintained.
 
-    Each entry is keyed by the table's own mutation counter (a component
-    of the database-wide version token), so :meth:`table_stats` serves a
-    cached summary while the table is unchanged and transparently
-    recomputes it after a mutation — other tables' summaries survive.
+    Each entry is keyed by the table's epoch — its ``(creation_stamp,
+    mutation_counter)`` pair — so :meth:`table_stats` serves a cached
+    summary while the table is unchanged and transparently recomputes
+    it after a mutation — other tables' summaries survive. Keying by
+    the mutation counter alone would alias a dropped-and-re-added
+    table onto its predecessor whenever their insert counts agree; the
+    creation stamp makes that impossible.
     """
 
     __slots__ = ("db", "mcv_size", "_stats", "recomputations")
@@ -155,7 +158,7 @@ class StatisticsCatalog:
     ) -> None:
         self.db = db
         self.mcv_size = mcv_size
-        self._stats: dict[str, tuple[int, TableStats]] = {}
+        self._stats: dict[str, tuple[tuple[int, int], TableStats]] = {}
         #: How many times summaries were (re)built — observability for
         #: the incremental-maintenance tests.
         self.recomputations = 0
@@ -166,7 +169,7 @@ class StatisticsCatalog:
         """The summary of ``name``, built over its encoded ``columns``."""
         table = self.db.table(name)
         entry = self._stats.get(name)
-        if entry is not None and entry[0] == table.version:
+        if entry is not None and entry[0] == table.epoch:
             return entry[1]
         rows = len(table)
         stats = TableStats(
@@ -176,7 +179,7 @@ class StatisticsCatalog:
                 _column_stats(col, self.mcv_size) for col in columns
             ),
         )
-        self._stats[name] = (table.version, stats)
+        self._stats[name] = (table.epoch, stats)
         self.recomputations += 1
         return stats
 
@@ -186,7 +189,7 @@ class StatisticsCatalog:
             if name not in self.db:
                 del self._stats[name]
                 continue
-            if self._stats[name][0] != self.db.table(name).version:
+            if self._stats[name][0] != self.db.table(name).epoch:
                 del self._stats[name]
 
     def cached_tables(self) -> frozenset[str]:

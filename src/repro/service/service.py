@@ -14,8 +14,11 @@ plan tops.
 
 Mutations of the shared database go through :meth:`mutate`, which
 quiesces in-flight batches first — so every result is computed entirely
-under one database version token (its ``epoch``), and caches can never
-serve half-mutated state to a batch.
+under one consistent database state, stamped as the per-table epoch
+vector of its own relations (its ``epoch``), and caches can never serve
+half-mutated state to a batch. Because the vector covers only the
+relations a query touches, a mutation confined to one table leaves
+every cached result over disjoint relations valid.
 
 The service is *supervised*: worker loops are crash-wrapped, a dead
 worker's in-flight batch is requeued (innocent futures migrate to a
@@ -433,7 +436,8 @@ class DissociationService:
 
         New batches wait while the mutation runs; batches already
         executing finish first. Every result therefore reflects exactly
-        one database version (its ``epoch``) — the service-level
+        one consistent database state — its ``epoch``, the per-table
+        epoch vector of the query's own relations — the service-level
         guarantee the stress tests pin down. Concurrent mutators
         serialize: each holds the barrier for its own drain, so a
         second mutator can never be starved by batches admitted after
@@ -443,8 +447,9 @@ class DissociationService:
         barrier is released (readers and later mutators never
         deadlock), and the database's version token is bumped anyway
         (:meth:`~repro.db.database.ProbabilisticDatabase.touch`): a
-        failed mutation may have half-applied its writes, and
-        epoch-keyed caches must treat that state as a *new* epoch —
+        failed mutation may have half-applied its writes through any
+        table, so ``touch`` taints *every* table's epoch and all
+        epoch-keyed caches must treat that state as a new epoch —
         never serve results computed over it as if pre-mutation.
         """
         with self._state:

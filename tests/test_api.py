@@ -348,11 +348,18 @@ class TestResultCache:
     def test_evict_stale(self):
         cache = ResultCache()
         result = DissociationEngine(small_db()).evaluate(parse_query(CHAIN))
-        cache.put(("a", 1), result)
-        cache.put(("b", 1), result)
-        cache.put(("c", 2), result)
-        assert cache.evict_stale(2) == 2
-        assert len(cache) == 1 and cache.stats()["evictions"] == 2
+        # keys end in epoch vectors: only entries naming a relation
+        # whose epoch moved (or that was dropped) are evicted
+        cache.put(("a", (("R", (1, 3)),)), result)
+        cache.put(("b", (("R", (1, 3)), ("S", (2, 5)))), result)
+        cache.put(("c", (("S", (2, 5)),)), result)
+        cache.put(("d", "no-vector"), result)
+        evicted = cache.evict_stale({"R": (1, 9), "S": (2, 5)})
+        assert evicted == 2  # the two entries naming R
+        assert len(cache) == 2 and cache.stats()["evictions"] == 2
+        # a dropped relation is a disagreement too
+        assert cache.evict_stale({"R": (1, 9)}) == 1  # "c" names gone S
+        assert cache.get(("d", "no-vector")) is not None
 
 
 # ----------------------------------------------------------------------
@@ -591,13 +598,17 @@ class TestSessionConcurrent:
         opts = Optimizations()
 
         def expected_for_epoch():
+            # keyed by each query's own epoch vector: queries untouched
+            # by a mutation keep their pre-mutation key (and scores)
             engine = DissociationEngine(db)
             return {
-                (q, q.head_order): engine.propagation_score(q, opts)
+                (db.epoch_vector(q.relations), q, q.head_order): (
+                    engine.propagation_score(q, opts)
+                )
                 for q in queries
             }
 
-        expected = {db.version: expected_for_epoch()}
+        expected = expected_for_epoch()
         observed: list = []
         errors: list[BaseException] = []
         lock = threading.Lock()
@@ -626,9 +637,9 @@ class TestSessionConcurrent:
                 session.mutate(
                     lambda d: d.table("R").insert((100 + step,), 0.5)
                 )
-                # the epoch is stable until the next mutate(): compute
+                # epochs are stable until the next mutate(): compute
                 # this epoch's ground truth while clients keep running
-                expected[db.version] = expected_for_epoch()
+                expected.update(expected_for_epoch())
             for thread in threads:
                 thread.join()
             assert not errors, errors
@@ -636,18 +647,16 @@ class TestSessionConcurrent:
             for query, result in observed:
                 # bit-identity per epoch: a result served from a stale
                 # cache entry after a mutate() would fail here
-                assert result.epoch in expected, "result from unknown epoch"
-                baseline = expected[result.epoch][(query, query.head_order)]
-                assert result.scores == baseline
+                key = (result.epoch, query, query.head_order)
+                assert key in expected, "result from unknown epoch"
+                assert result.scores == expected[key]
             # post-traffic: the cache only holds current-epoch entries,
             # and a repeat is served from it
             final = session.query(CHAIN, opts).result()
-            assert (
-                final.scores
-                == expected[db.version][
-                    (queries[0], queries[0].head_order)
-                ]
-            )
+            chain = queries[0]
+            assert final.scores == expected[
+                (db.epoch_vector(chain.relations), chain, chain.head_order)
+            ]
             assert session.query(CHAIN, opts).result().cached
 
 

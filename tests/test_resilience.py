@@ -509,12 +509,19 @@ class TestMutationFailure:
         db, q = small_world()
         with DissociationService(db) as service:
             before = db.version
+            epochs_before = db.table_epochs()
             with pytest.raises(ValueError):
                 service.mutate(self._raise_without_writing)
             # the version token moved even though fn wrote nothing:
             # touch-on-failure, so half-applied state can never read as
             # the pre-mutation epoch
             assert db.version != before
+            # ...and *every* table epoch moved, not just the db-wide
+            # counter: a failed mutation may have written through any
+            # table, so per-table-keyed caches must all treat the
+            # current contents as fresh
+            for name, old in epochs_before.items():
+                assert db.table_epoch(name) != old, name
             # the barrier is released: queries and later mutations work
             assert service.evaluate(q).scores
             service.mutate(lambda d: None)
@@ -536,13 +543,32 @@ class TestMutationFailure:
             # pre-mutation cache entry
             assert again.epoch != first.epoch
 
+    def test_failed_mutation_taints_untouched_tables(self):
+        # _half_apply_then_raise writes only R1, but the failure must
+        # taint *all* tables: the caches cannot know what else the
+        # failed function touched through untracked paths
+        db, q = small_world()
+        with DissociationService(db) as service:
+            untouched = {
+                name: db.table_epoch(name)
+                for name in db.table_names
+                if name != "R1"
+            }
+            with pytest.raises(ValueError):
+                service.mutate(self._half_apply_then_raise)
+            for name, old in untouched.items():
+                assert db.table_epoch(name) != old, name
+            # evaluation over the half-applied state works and carries
+            # the tainted epochs
+            assert service.evaluate(q).epoch == db.epoch_vector(q.relations)
+
     def test_concurrent_mutators_do_not_deadlock_after_failure(self):
         db, q = small_world()
         with DissociationService(db) as service:
             with pytest.raises(ValueError):
                 service.mutate(self._half_apply_then_raise)
             # results over the half-applied state carry the new epoch
-            assert service.evaluate(q).epoch == db.version
+            assert service.evaluate(q).epoch == db.epoch_vector(q.relations)
             done = threading.Event()
 
             def second_mutator():
@@ -560,8 +586,13 @@ class TestTouch:
         db, _ = small_world()
         rows_before = {t.name: dict(t.rows) for t in db}
         before = db.version
+        epochs_before = db.table_epochs()
         db.touch()
         assert db.version != before
+        # touch taints every table's epoch, so per-table-keyed caches
+        # (stats, encodings, results) all see a fresh epoch
+        for name, old in epochs_before.items():
+            assert db.table_epoch(name) != old, name
         assert {t.name: dict(t.rows) for t in db} == rows_before
 
 

@@ -54,6 +54,7 @@ class TestRegistryUnit:
             "hits": 1,
             "misses": 1,
             "evictions": 0,
+            "invalidations": 0,
             "size": 1,
             "max_size": None,
         }
@@ -273,7 +274,7 @@ class TestSQLiteLifecycle:
         after = engine.cache_stats()
         assert after["misses"] > before["misses"]
 
-    def test_backend_object_replaced_on_mutation(self):
+    def test_backend_refreshed_in_place_on_mutation(self):
         db = ProbabilisticDatabase()
         db.add_table("R", [((1,), 0.5)])
         engine = DissociationEngine(db, EngineConfig(backend="sqlite"))
@@ -281,8 +282,12 @@ class TestSQLiteLifecycle:
         engine.propagation_score(q)
         first = engine._sqlite
         db.table("R").insert((2,), 0.25)
-        engine.propagation_score(q)
-        assert engine._sqlite is not first
+        # the snapshot is refreshed in place — same backend object and
+        # connection, with the mutated table reloaded
+        scores = engine.propagation_score(q)
+        assert engine._sqlite is first
+        assert engine._sqlite.source_version == db.version
+        assert set(scores) == {(1,), (2,)}
 
 
 class TestRandomizedTempViewPath:
