@@ -7,14 +7,15 @@
 #                      fails with thread tracebacks instead of wedging
 #                      the job — see tests/conftest.py
 #   make bench       — the current PR's perf micro-benchmarks; writes
-#                      BENCH_PR7.json at the repo root (per-table epoch
-#                      vectors: partitioned-write replay over disjoint
-#                      chain-7 subjoins, epoch-vector caches vs the
-#                      PR-5 global version token simulated via touch();
-#                      asserts answers match a cold engine and a >= 2x
+#                      BENCH_PR8.json at the repo root (transactional
+#                      mutations: fault-injected Zipf replay over
+#                      disjoint chain-7 subjoins, undo-log rollback vs
+#                      the pre-PR-8 touch()-taint baseline; asserts
+#                      answers match a cold engine, every failure
+#                      certifies a clean rollback, and a >= 1.5x
 #                      speedup) and refreshes BENCH_LATEST.json
 #   make bench-quick — CI smoke: memory backend only, writes
-#                      BENCH_PR7.quick.json, same assertions with a
+#                      BENCH_PR8.quick.json, same assertions with a
 #                      >= 1x gate (small op counts are noisy)
 #   make examples    — run every example under the new connect() API
 #                      (the CI smoke job)
@@ -31,21 +32,25 @@
 #                      unified session API + epoch-keyed result cache)
 #   make bench-pr6   — re-run the PR 6 benchmarks (BENCH_PR6.json:
 #                      fault-tolerant serving under injected chaos)
-#   make bench-pr7   — alias of the current `make bench`
+#   make bench-pr7   — re-run the PR 7 benchmarks (BENCH_PR7.json:
+#                      per-table epoch vectors vs the PR-5 global
+#                      version token)
+#   make bench-pr8   — alias of the current `make bench`
 
 PYTHON ?= python
 
 .PHONY: test bench bench-quick examples \
-	bench-pr1 bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 bench-pr7
+	bench-pr1 bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 \
+	bench-pr7 bench-pr8
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr8.py
 
 bench-quick:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7.py --quick
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr8.py --quick
 
 examples:
 	@set -e; for example in examples/*.py; do \
@@ -73,3 +78,6 @@ bench-pr6:
 
 bench-pr7:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7.py
+
+bench-pr8:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr8.py

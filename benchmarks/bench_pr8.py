@@ -1,0 +1,292 @@
+"""PR 8 benchmarks: undo-log rollback vs the touch()-taint baseline.
+
+Fault-injected mutation replay: the PR-7 Zipf-skewed traffic over
+disjoint chain-7 subjoins, with every ``WRITE_EVERY``-th op a mutation
+and every ``FAIL_EVERY``-th mutation *failing* mid-flight. Two arms
+replay the identical op sequence through a serial session:
+
+* **rollback** — the current stack: the failing mutation's writes go
+  through the tracked helpers, so the undo log restores the
+  bit-identical pre-mutation state. No epoch moves on a failure, so
+  every cached result — including the hot disjoint joins the failure
+  never touched — keeps serving hits.
+* **taint** — the pre-PR-8 baseline, reproduced faithfully: a failing
+  mutation calls ``db.touch()`` before raising, exactly what
+  ``Session.mutate``'s touch-on-failure did. Every failure taints
+  every table's epoch and cold-starts the whole cache stack.
+
+Both arms are *asserted* correct, not just timed: the successful
+mutations are identical, the failing ones leave no net content change
+in either arm, so after the replay every distinct query's answer must
+match a cold engine built on the final database state to within
+``MAX_ABS_DIVERGENCE``. The rollback arm must additionally certify
+every injected failure as a clean rollback (``rolled_back_mutations``
+== the injected count, zero taints). The throughput gate requires the
+rollback arm to beat the taint arm by ``FULL_SPEEDUP``x in the full
+run (``QUICK_SPEEDUP``x in ``--quick`` mode, where tiny op counts make
+the ratio noisy).
+
+Writes ``BENCH_PR8.json`` + ``BENCH_LATEST.json`` (``make bench``).
+``--quick`` / ``BENCH_QUICK=1`` replays the memory backend only and
+writes ``BENCH_PR8.quick.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import connect, parse_query  # noqa: E402
+from repro.api import EngineConfig  # noqa: E402
+from repro.engine import DissociationEngine, Optimizations  # noqa: E402
+from repro.workloads import chain_database  # noqa: E402
+
+OUTPUT = ROOT / "BENCH_PR8.json"
+QUICK_OUTPUT = ROOT / "BENCH_PR8.quick.json"
+LATEST = ROOT / "BENCH_LATEST.json"
+
+OPTS = Optimizations(single_plan=False, reuse_views=True)
+
+#: Throughput gates: rollback arm over taint arm, same op sequence.
+FULL_SPEEDUP = 1.5
+QUICK_SPEEDUP = 1.0
+
+#: Ceiling on |replayed score - cold engine score| (see module docstring).
+MAX_ABS_DIVERGENCE = 1e-12
+
+#: Every WRITE_EVERY-th op is a mutation; every FAIL_EVERY-th mutation
+#: fails mid-flight (the fault the two arms handle differently).
+WRITE_EVERY = 10
+FAIL_EVERY = 2
+
+CHAIN_K = 7
+WRITE_TABLE = f"R{CHAIN_K}"
+
+
+class InjectedFailure(RuntimeError):
+    """The scripted mid-mutation failure."""
+
+
+# ----------------------------------------------------------------------
+# workload: disjoint subjoins + a cold tail over the write partition
+# ----------------------------------------------------------------------
+def disjoint_mix() -> list:
+    """Zipf-ranked queries over pairwise-disjoint chain-7 subjoins."""
+    return [
+        parse_query("q(x0, x2) :- R1(x0, x1), R2(x1, x2)"),
+        parse_query("q(x2, x4) :- R3(x2, x3), R4(x3, x4)"),
+        parse_query("q(x4, x6) :- R5(x4, x5), R6(x5, x6)"),
+        parse_query(f"q(x6, x7) :- {WRITE_TABLE}(x6, x7)"),
+    ]
+
+
+def op_sequence(count: int, seed: int) -> list:
+    """Zipf queries; a mutation every 10th slot, every 2nd of them failing."""
+    queries = disjoint_mix()
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(len(queries))]
+    ops = [("query", q) for q in rng.choices(queries, weights=weights, k=count)]
+    for n, i in enumerate(range(0, count, WRITE_EVERY)):
+        kind = "fail" if n % FAIL_EVERY else "write"
+        ops[i] = (kind, (800_000 + i, 800_001 + i))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def replay(db_factory, ops: list, backend: str, taint_baseline: bool) -> dict:
+    """Replay ``ops`` serially; returns the arm summary."""
+    db = db_factory()
+    config = EngineConfig(backend=backend)
+    evaluated = 0
+    rolled_back = 0
+    tainted = 0
+    with connect(db, config, optimizations=OPTS) as session:
+
+        def write(row: tuple) -> None:
+            session.mutate(
+                lambda d: d.insert(WRITE_TABLE, row, 0.25)
+            )
+
+        def failing_mutation(row: tuple) -> None:
+            nonlocal rolled_back, tainted
+            if taint_baseline:
+                # the pre-PR-8 Session.mutate contract, reproduced
+                # verbatim: fn raises -> db.touch() taints every
+                # table's epoch -> stale cache entries are evicted
+                try:
+                    raise InjectedFailure(row)
+                except InjectedFailure:
+                    db.touch()
+                session.results.evict_stale(db.table_epochs())
+                tainted += 1
+                return
+
+            # the PR-8 contract: tracked writes roll back to the
+            # bit-identical pre-mutation state
+            def apply(d) -> None:
+                d.insert(WRITE_TABLE, row, 0.99)
+                raise InjectedFailure(row)
+
+            try:
+                session.mutate(apply)
+            except InjectedFailure:
+                pass
+            outcome = db.last_mutation
+            if outcome is not None and outcome.rolled_back:
+                rolled_back += 1
+            else:
+                tainted += 1
+
+        started = time.perf_counter()
+        for kind, payload in ops:
+            if kind == "query":
+                result = session.evaluate(payload)
+                evaluated += 0 if result.cached else 1
+            elif kind == "write":
+                write(payload)
+            else:
+                failing_mutation(payload)
+        wall = time.perf_counter() - started
+
+        # correctness: the surviving cache entries must match a cold
+        # engine (empty caches) built on the final database state
+        worst = 0.0
+        for query in disjoint_mix():
+            warm = session.evaluate(query).scores
+            cold = DissociationEngine(db, config).evaluate(query, OPTS).scores
+            assert set(warm) == set(cold), f"answer-set drift: {query}"
+            worst = max(
+                worst, max((abs(warm[k] - cold[k]) for k in cold), default=0.0)
+            )
+        assert worst <= MAX_ABS_DIVERGENCE, (
+            f"replayed results diverged from cold engine ({worst:.2e})"
+        )
+        failures = sum(1 for kind, _ in ops if kind == "fail")
+        if not taint_baseline:
+            # every injected failure must have certified a clean rollback
+            assert rolled_back == failures and tainted == 0, (
+                f"rollback arm: {rolled_back}/{failures} certified, "
+                f"{tainted} tainted"
+            )
+
+        cache = session.results.stats()
+        return {
+            "ops": len(ops),
+            "writes": sum(1 for kind, _ in ops if kind == "write"),
+            "failed_mutations": failures,
+            "rolled_back": rolled_back,
+            "tainted": tainted,
+            "wall_seconds": wall,
+            "throughput_ops_per_s": len(ops) / wall if wall else 0.0,
+            "engine_evaluations": session.engine.evaluation_count,
+            "uncached_queries": evaluated,
+            "result_cache": {
+                "hits": cache["hits"],
+                "misses": cache["misses"],
+                "evictions": cache["evictions"],
+            },
+            "worst_abs_divergence": worst,
+        }
+
+
+def run_backend(backend: str, count: int, seed: int) -> dict:
+    db_factory = lambda: chain_database(  # noqa: E731
+        CHAIN_K, 60, seed=11, p_max=0.5
+    )
+    ops = op_sequence(count, seed)
+    rollback = replay(db_factory, ops, backend, taint_baseline=False)
+    taint = replay(db_factory, ops, backend, taint_baseline=True)
+    speedup = (
+        rollback["throughput_ops_per_s"] / taint["throughput_ops_per_s"]
+        if taint["throughput_ops_per_s"]
+        else 0.0
+    )
+    entry = {
+        "backend": backend,
+        "rollback": rollback,
+        "taint": taint,
+        "speedup": speedup,
+    }
+    print(
+        f"{backend:<7} rollback={rollback['throughput_ops_per_s']:8.1f} ops/s "
+        f"(evals {rollback['engine_evaluations']:4d}, "
+        f"evictions {rollback['result_cache']['evictions']:4d})  "
+        f"taint={taint['throughput_ops_per_s']:8.1f} ops/s "
+        f"(evals {taint['engine_evaluations']:4d}, "
+        f"evictions {taint['result_cache']['evictions']:4d})  "
+        f"speedup={speedup:5.2f}x"
+    )
+    return entry
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:] or os.environ.get("BENCH_QUICK") == "1"
+    required = QUICK_SPEEDUP if quick else FULL_SPEEDUP
+    print(
+        "PR 8 benchmark — transactional mutations: undo-log rollback "
+        "vs the touch()-taint baseline on fault-injected mutation "
+        "traffic\n"
+    )
+    count = 400 if quick else 1500
+    backends = ["memory"] if quick else ["memory", "sqlite"]
+    arms = {
+        backend: run_backend(backend, count, seed=8) for backend in backends
+    }
+
+    report = {
+        "pr": 8,
+        "description": (
+            "Serial replay of Zipf-skewed traffic over disjoint chain-7 "
+            "subjoins with every 10th op a mutation into R7 and every "
+            "2nd mutation failing mid-flight. The rollback arm's "
+            "failures go through the tracked helpers and roll back "
+            "bit-identically (no epoch moves, caches stay warm); the "
+            "taint arm reproduces the pre-PR-8 touch-on-failure, "
+            "cold-starting every cache on each failure. Asserted: both "
+            "arms' answers match a cold engine on the final state "
+            "within 1e-12, every rollback-arm failure certifies as a "
+            "clean rollback, and the rollback arm beats the taint arm "
+            f"by >= {required}x."
+        ),
+        "optimizations": "all plans + reuse_views",
+        "quick": quick,
+        "write_every": WRITE_EVERY,
+        "fail_every": FAIL_EVERY,
+        "required_speedup": required,
+        "arms": arms,
+    }
+    if quick:
+        QUICK_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nquick mode: wrote {QUICK_OUTPUT}")
+    else:
+        OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+        shutil.copyfile(OUTPUT, LATEST)
+        print(f"\nwrote {OUTPUT} (+ {LATEST.name})")
+    failed = {
+        backend: entry["speedup"]
+        for backend, entry in arms.items()
+        if entry["speedup"] < required
+    }
+    if failed:
+        raise SystemExit(
+            f"rollback speedup gate (>= {required}x) failed: "
+            f"{ {k: round(v, 2) for k, v in failed.items()} }"
+        )
+    print(
+        f"speedup gate OK (>= {required}x): "
+        f"{ {k: round(v['speedup'], 2) for k, v in arms.items()} }"
+    )
+
+
+if __name__ == "__main__":
+    main()

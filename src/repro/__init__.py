@@ -61,7 +61,13 @@ from .core import (
     var,
     vars_,
 )
-from .db import ProbabilisticDatabase, Schema, TableSchema
+from .db import (
+    DurableStore,
+    MutationOutcome,
+    ProbabilisticDatabase,
+    Schema,
+    TableSchema,
+)
 from .engine import DissociationEngine, EvaluationResult, Optimizations
 from .service import (
     Deadline,
@@ -102,12 +108,14 @@ __all__ = [
     "Dissociation",
     "DissociationEngine",
     "DissociationService",
+    "DurableStore",
     "EngineConfig",
     "EvaluationResult",
     "FD",
     "FaultInjector",
     "Join",
     "MinPlan",
+    "MutationOutcome",
     "Optimizations",
     "Plan",
     "ProbabilisticDatabase",

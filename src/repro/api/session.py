@@ -40,23 +40,38 @@ __all__ = ["Session", "QueryHandle", "connect"]
 
 
 def connect(
-    db: ProbabilisticDatabase,
+    db: ProbabilisticDatabase | None = None,
     config: EngineConfig | None = None,
     *,
+    path: "str | None" = None,
+    fsync: str | None = None,
+    checkpoint_every: int | None = None,
     concurrent: bool = False,
     service: ServiceConfig | None = None,
     optimizations: Optimizations | None = None,
     result_cache_size: int | None = 1024,
 ) -> "Session":
-    """Open a :class:`Session` over ``db``.
+    """Open a :class:`Session` over ``db`` — or a durable one at ``path``.
 
     Parameters
     ----------
     db:
-        The tuple-independent probabilistic database.
+        The tuple-independent probabilistic database. Mutually
+        exclusive with ``path``.
     config:
         The frozen :class:`EngineConfig` (backend, caches, join
         ordering, ...); ``None`` uses the defaults.
+    path:
+        A durable store directory (see :mod:`repro.db.journal`). The
+        session recovers the database to its last committed mutation
+        — truncating any torn journal tail — keeps it durable while
+        open (every committed ``mutate()`` is journaled), and closes
+        it with the session.
+    fsync / checkpoint_every:
+        Durability knobs, only with ``path``: the journal fsync policy
+        (``"commit"``/``"off"``, default from ``REPRO_JOURNAL_FSYNC``)
+        and how many journaled operations trigger a snapshot
+        checkpoint.
     concurrent:
         ``False`` (default): queries run on one serial engine in the
         calling thread. ``True``: queries are submitted to a
@@ -73,8 +88,23 @@ def connect(
         unbounded, ``0`` disables result caching).
 
     Use the session as a context manager (or call :meth:`Session.close`)
-    to release service workers and SQLite connections.
+    to release service workers, SQLite connections, and the durable
+    store's journal handle.
     """
+    owns_db = False
+    if path is not None:
+        if db is not None:
+            raise ValueError("pass either db or path=, not both")
+        db = ProbabilisticDatabase.open(
+            path, fsync=fsync, checkpoint_every=checkpoint_every
+        )
+        owns_db = True
+    elif fsync is not None or checkpoint_every is not None:
+        raise ValueError(
+            "fsync/checkpoint_every only apply to connect(path=...)"
+        )
+    elif db is None:
+        raise ValueError("connect() needs a db or a path=")
     return Session(
         db,
         config,
@@ -82,6 +112,7 @@ def connect(
         service=service,
         optimizations=optimizations,
         result_cache_size=result_cache_size,
+        _owns_db=owns_db,
     )
 
 
@@ -97,6 +128,7 @@ class Session:
         service: ServiceConfig | None = None,
         optimizations: Optimizations | None = None,
         result_cache_size: int | None = 1024,
+        _owns_db: bool = False,
     ) -> None:
         if config is None:
             config = EngineConfig()
@@ -110,6 +142,7 @@ class Session:
         self.db = db
         self.config = config
         self.concurrent = concurrent
+        self._owns_db = _owns_db
         self.default_optimizations = optimizations or Optimizations()
         self.results = ResultCache(max_entries=result_cache_size)
         self._closed = False
@@ -134,6 +167,11 @@ class Session:
             self._service.close()
         if self._engine is not None and self._engine.backend == "sqlite":
             self._engine.invalidate_sqlite()
+        if self._owns_db:
+            # connect(path=...) opened the durable store; closing it
+            # releases the journal handle (committed state is already
+            # on disk — close() never writes)
+            self.db.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -352,30 +390,39 @@ class Session:
     # mutations
     # ------------------------------------------------------------------
     def mutate(self, fn: Callable[[ProbabilisticDatabase], object]):
-        """Apply ``fn(db)`` safely and invalidate cached results.
+        """Apply ``fn(db)`` transactionally and invalidate cached results.
 
         Concurrent sessions quiesce in-flight batches first
         (:meth:`~repro.service.DissociationService.mutate`); serial
-        sessions apply directly. Either way the epochs of the touched
-        tables move, so result-cache entries over those tables become
-        unreachable — they are additionally evicted eagerly to reclaim
-        memory. Entries keyed purely on untouched relations stay
-        cached and keep serving hits.
+        sessions run :meth:`~repro.db.database.ProbabilisticDatabase.mutate`
+        directly. On commit the epochs of the touched tables move, so
+        result-cache entries over those tables become unreachable —
+        they are additionally evicted eagerly to reclaim memory.
+        Entries keyed purely on untouched relations stay cached and
+        keep serving hits.
 
-        If ``fn`` raises, every table's epoch is tainted regardless
-        (:meth:`~repro.db.database.ProbabilisticDatabase.touch`):
-        half-applied writes must read as a new epoch, never as the
-        pre-mutation state — and a failed mutation may have written
-        anywhere, so no per-table precision is attempted.
+        If ``fn`` raises, the undo log rolls the database back to its
+        bit-identical pre-mutation state: no epoch moves and *nothing*
+        is evicted — every cached result stays warm and correct. Only
+        when ``fn`` bypassed the tracked mutation helpers (so the
+        rollback cannot be certified by the per-table fingerprints)
+        does the legacy ``touch()`` taint fire, evicting everything.
+        Inspect ``session.db.last_mutation`` for which path ran.
         """
         self._check_open()
         try:
             if self._service is not None:
                 return self._service.mutate(fn)
+            txn = getattr(self.db, "mutate", None)
+            if txn is not None:
+                return txn(fn)
+            # epoch-less stand-in databases: legacy non-transactional path
             try:
                 return fn(self.db)
             except BaseException:
-                self.db.touch()
+                taint = getattr(self.db, "touch", None)
+                if taint is not None:
+                    taint()
                 raise
         finally:
             self.results.evict_stale(self._current_table_epochs())

@@ -1,7 +1,8 @@
 """Tuple-independent probabilistic databases: schemas, storage, SQLite."""
 
-from .database import ProbabilisticDatabase, Table, TupleRef
+from .database import MutationOutcome, ProbabilisticDatabase, Table, TupleRef
 from .io import load_database, load_table_csv, save_database, save_table_csv
+from .journal import DurableStore, JournalError, load_snapshot, write_snapshot
 from .generators import (
     constant_probabilities,
     populate_random_table,
@@ -19,7 +20,10 @@ from .sqlite_backend import (
 
 __all__ = [
     "PROB_COLUMN",
+    "DurableStore",
     "IorAggregate",
+    "JournalError",
+    "MutationOutcome",
     "ProbabilisticDatabase",
     "SQLiteBackend",
     "SQLiteViewRegistry",
@@ -29,9 +33,11 @@ __all__ = [
     "TupleRef",
     "constant_probabilities",
     "load_database",
+    "load_snapshot",
     "load_table_csv",
     "save_database",
     "save_table_csv",
+    "write_snapshot",
     "populate_random_table",
     "random_table_rows",
     "sql_literal",

@@ -9,22 +9,40 @@ or approximates.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..core.fds import ColumnFD
 from .schema import Schema, TableSchema
 
-__all__ = ["Table", "ProbabilisticDatabase", "TupleRef"]
+__all__ = ["Table", "ProbabilisticDatabase", "TupleRef", "MutationOutcome"]
 
 #: A reference to one database tuple: ``(relation name, tuple value)``.
 #: Used as the Boolean-variable identity in lineage formulas.
 TupleRef = tuple[str, tuple]
 
 
+def _pair_hash(row: tuple, probability: float) -> int:
+    """The fingerprint contribution of one ``(row, probability)`` pair.
+
+    Table fingerprints are the XOR of these over the table's contents —
+    order-independent and incrementally maintainable (XOR is its own
+    inverse), so equality of fingerprints certifies content equality up
+    to hash collisions without ever scanning the rows.
+    """
+    return hash((row, probability))
+
+
 class Table:
     """One relation: distinct tuples with probabilities."""
 
-    __slots__ = ("schema", "rows", "_version", "_creation_stamp")
+    __slots__ = (
+        "schema",
+        "rows",
+        "_version",
+        "_creation_stamp",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -36,6 +54,7 @@ class Table:
         self.rows: dict[tuple, float] = {}
         self._version = 0
         self._creation_stamp = creation_stamp
+        self._fingerprint = 0
         if rows:
             for row, p in rows.items():
                 self.insert(row, p)
@@ -63,13 +82,53 @@ class Table:
             raise ValueError(
                 f"{self.name} is deterministic; tuple probability must be 1"
             )
-        self.rows[row] = probability
+        self._raw_set(row, probability)
         self._version += 1
+
+    def delete(self, row: Sequence) -> float:
+        """Remove ``row``; returns its probability.
+
+        Raises :class:`KeyError` when the row is absent — deleting
+        nothing is almost always a caller bug, and the undo log needs
+        the old probability to invert the operation anyway.
+        """
+        row = tuple(row)
+        if row not in self.rows:
+            raise KeyError(f"{self.name}: no row {row} to delete")
+        old = self._raw_unset(row)
+        self._version += 1
+        return old
+
+    # -- raw content edits (no version bump; undo replay + internals) --
+    def _raw_set(self, row: tuple, probability: float) -> None:
+        old = self.rows.get(row)
+        if old is not None:
+            self._fingerprint ^= _pair_hash(row, old)
+        self.rows[row] = probability
+        self._fingerprint ^= _pair_hash(row, probability)
+
+    def _raw_unset(self, row: tuple) -> float:
+        old = self.rows.pop(row)
+        self._fingerprint ^= _pair_hash(row, old)
+        return old
 
     @property
     def version(self) -> int:
-        """Mutation counter, bumped on every :meth:`insert`."""
+        """Mutation counter, bumped on every :meth:`insert`/:meth:`delete`."""
         return self._version
+
+    @property
+    def fingerprint(self) -> int:
+        """XOR content checksum over all ``(row, probability)`` pairs.
+
+        Maintained incrementally by :meth:`insert` and :meth:`delete`,
+        so it reflects any change made through the table's own API —
+        including writes that bypassed the database-level tracked
+        helpers. The rollback machinery compares fingerprints after an
+        undo replay to decide *rolled back cleanly* vs *must taint*.
+        (Direct pokes at the ``rows`` dict are invisible to it; don't.)
+        """
+        return self._fingerprint
 
     @property
     def creation_stamp(self) -> int:
@@ -113,13 +172,91 @@ class Table:
         return f"Table({self.name}, {len(self.rows)} rows)"
 
 
+@dataclass
+class MutationOutcome:
+    """What happened to the last :meth:`ProbabilisticDatabase.mutate`.
+
+    ``committed``: ``fn`` returned and (for durable databases) the
+    journal accepted the commit. ``rolled_back``: ``fn`` raised and the
+    undo-log replay restored the database bit-identically — contents,
+    probabilities, *and* per-table epochs — so every cache stays warm.
+    ``tainted``: ``fn`` raised and the rollback could not be certified
+    (untracked writes detected by the fingerprint check, or the replay
+    itself failed), so :meth:`~ProbabilisticDatabase.touch` moved every
+    table's epoch — the last-resort poison pill. ``journaled``: the
+    commit was made durable (op records or a checkpoint snapshot).
+    """
+
+    committed: bool
+    rolled_back: bool = False
+    tainted: bool = False
+    tracked_ops: int = 0
+    journaled: bool = False
+
+
+class _Transaction:
+    """The undo log + pre-state snapshot of one :meth:`mutate` call."""
+
+    __slots__ = (
+        "undo",
+        "redo",
+        "db_version",
+        "next_stamp",
+        "pre_state",
+        "expected_versions",
+    )
+
+    def __init__(self, db: "ProbabilisticDatabase") -> None:
+        #: Inverse operations, applied in reverse on rollback.
+        self.undo: list[tuple] = []
+        #: Journal payloads of the tracked operations, in order.
+        self.redo: list[dict] = []
+        self.db_version = db._version
+        self.next_stamp = db._next_stamp
+        #: Per-table ``(creation_stamp, mutation_counter, fingerprint)``
+        #: before the mutation — the rollback verification target.
+        self.pre_state = {
+            name: (t._creation_stamp, t._version, t._fingerprint)
+            for name, t in db._tables.items()
+        }
+        #: Mutation counters the *tracked* operations alone would
+        #: produce; a table whose actual counter disagrees at commit
+        #: time was written through untracked paths.
+        self.expected_versions = {
+            name: t._version for name, t in db._tables.items()
+        }
+
+
 class ProbabilisticDatabase:
-    """A tuple-independent probabilistic database."""
+    """A tuple-independent probabilistic database.
+
+    Mutations come in two disciplines:
+
+    * **Tracked** — the helpers :meth:`insert`, :meth:`delete`,
+      :meth:`update_probability`, :meth:`add_table` and
+      :meth:`drop_table` record an inverse operation in the active
+      undo log (inside :meth:`mutate`) and a redo record for the
+      mutation journal (when the database is durable, see
+      :mod:`repro.db.journal`).
+    * **Untracked** — anything else (``db.table(n).insert(...)``,
+      raw ``rows`` pokes). Legal, but a failing :meth:`mutate` can
+      then only fall back to :meth:`touch`, and a durable database
+      has to checkpoint a full snapshot instead of journaling ops.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._version = 0
         self._next_stamp = 0
+        self._txn: _Transaction | None = None
+        #: The durable store behind :meth:`save` / :meth:`mutate`
+        #: commits (attached by :meth:`open`; ``None`` = in-memory).
+        self._durability = None
+        #: Outcome of the most recent :meth:`mutate` (commit or abort).
+        #: Meaningful only under the caller's own mutation
+        #: serialization (the service's quiescence barrier provides
+        #: it); concurrent unserialized mutators race on it.
+        self.last_mutation: MutationOutcome | None = None
 
     def _new_stamp(self) -> int:
         self._next_stamp += 1
@@ -211,11 +348,336 @@ class ProbabilisticDatabase:
             table.insert(row, p)
         self._tables[name] = table
         self._version += 1
+        self._record(
+            redo={
+                "op": "add_table",
+                "name": name,
+                "rows": [[list(row), p] for row, p in normalized],
+                "deterministic": deterministic,
+                "columns": list(columns),
+                "fds": [[list(fd.lhs), list(fd.rhs)] for fd in schema.fds],
+                "arity": arity,
+            },
+            undo=("drop_new", name),
+            expected={name: table._version},
+        )
         return table
 
     def drop_table(self, name: str) -> None:
-        del self._tables[name]
+        table = self._tables.pop(name)
         self._version += 1
+        self._record(
+            redo={"op": "drop_table", "name": name},
+            undo=("restore_table", name, table),
+            expected={name: None},
+        )
+
+    # ------------------------------------------------------------------
+    # tracked row mutations
+    # ------------------------------------------------------------------
+    def insert(
+        self, relation: str, row: Sequence, probability: float = 1.0
+    ) -> None:
+        """Insert (or overwrite) one row — *tracked* (see class docs)."""
+        table = self.table(relation)
+        row = tuple(row)
+        old = table.rows.get(row)
+        table.insert(row, probability)
+        self._record(
+            redo={
+                "op": "insert",
+                "rel": relation,
+                "row": list(row),
+                "p": probability,
+            },
+            undo=(
+                ("unset", relation, row)
+                if old is None
+                else ("set", relation, row, old)
+            ),
+            expected={relation: +1},
+        )
+
+    def delete(self, relation: str, row: Sequence) -> float:
+        """Delete one row — *tracked*; returns its old probability.
+
+        Raises :class:`KeyError` when the row is absent.
+        """
+        table = self.table(relation)
+        row = tuple(row)
+        old = table.delete(row)
+        self._record(
+            redo={"op": "delete", "rel": relation, "row": list(row)},
+            undo=("set", relation, row, old),
+            expected={relation: +1},
+        )
+        return old
+
+    def update_probability(
+        self, relation: str, row: Sequence, probability: float
+    ) -> float:
+        """Change an *existing* row's probability — *tracked*.
+
+        Raises :class:`KeyError` when the row is absent (use
+        :meth:`insert` to upsert); returns the old probability.
+        """
+        table = self.table(relation)
+        row = tuple(row)
+        if row not in table.rows:
+            raise KeyError(f"{relation}: no row {row} to update")
+        old = table.rows[row]
+        table.insert(row, probability)
+        self._record(
+            redo={
+                "op": "insert",
+                "rel": relation,
+                "row": list(row),
+                "p": probability,
+            },
+            undo=("set", relation, row, old),
+            expected={relation: +1},
+        )
+        return old
+
+    # ------------------------------------------------------------------
+    # the undo log / journal plumbing
+    # ------------------------------------------------------------------
+    def _record(
+        self, redo: dict, undo: tuple, expected: Mapping[str, int | None]
+    ) -> None:
+        """File one tracked operation with the active transaction.
+
+        Outside a transaction, a durable database auto-commits the
+        single operation to its journal (each tracked call is then its
+        own atomic, recoverable mutation); an in-memory database
+        records nothing.
+        """
+        txn = self._txn
+        if txn is not None:
+            txn.undo.append(undo)
+            txn.redo.append(redo)
+            for name, delta in expected.items():
+                if delta is None:
+                    txn.expected_versions.pop(name, None)
+                elif name in txn.expected_versions:
+                    txn.expected_versions[name] += delta
+                else:
+                    # add_table passes the new table's absolute counter
+                    txn.expected_versions[name] = delta
+            return
+        if self._durability is not None:
+            self._durability.commit(self, [redo])
+
+    def _apply_undo(self, entry: tuple) -> None:
+        kind = entry[0]
+        if kind == "set":
+            self._tables[entry[1]]._raw_set(entry[2], entry[3])
+        elif kind == "unset":
+            self._tables[entry[1]]._raw_unset(entry[2])
+        elif kind == "drop_new":
+            del self._tables[entry[1]]
+        elif kind == "restore_table":
+            self._tables[entry[1]] = entry[2]
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown undo entry {entry!r}")
+
+    def _untracked_changes(self, txn: _Transaction) -> bool:
+        """Whether the database differs from what the tracked ops say.
+
+        Every tracked operation bumps its table's mutation counter by
+        exactly one (``add_table`` by the new table's row count), and
+        the transaction mirrors those increments — so any counter
+        disagreement at commit time means ``fn`` also wrote through
+        untracked paths (``db.table(n).insert`` and friends).
+        """
+        if set(self._tables) != set(txn.expected_versions):
+            return True
+        return any(
+            self._tables[name]._version != version
+            for name, version in txn.expected_versions.items()
+        )
+
+    def _abort(self, txn: _Transaction, faults=None) -> None:
+        """Roll the failed transaction back; taint when uncertifiable.
+
+        Replays the undo log in reverse, then *verifies* the result
+        against the pre-mutation per-table fingerprints: only when
+        every table's ``(creation_stamp, fingerprint)`` matches — and
+        no table appeared or vanished — are the epoch counters restored
+        to their pre-mutation values (bit-identical state, caches stay
+        warm). Any discrepancy (untracked writes, a failing undo
+        replay, an injected ``"rollback"`` fault) falls back to
+        :meth:`touch`, which moves every epoch *forward* from wherever
+        the failed mutation left it — never backward, so no cache entry
+        stamped meanwhile can alias a future epoch.
+        """
+        tainted = False
+        try:
+            if faults is not None:
+                faults.fire("rollback", len(txn.undo))
+            for entry in reversed(txn.undo):
+                self._apply_undo(entry)
+            if set(self._tables) != set(txn.pre_state):
+                raise RuntimeError("rollback left a table-set mismatch")
+            for name, (stamp, _version, fingerprint) in txn.pre_state.items():
+                table = self._tables[name]
+                if (
+                    table._creation_stamp != stamp
+                    or table._fingerprint != fingerprint
+                ):
+                    raise RuntimeError(
+                        f"rollback fingerprint mismatch on {name!r} "
+                        "(untracked writes during the failed mutation)"
+                    )
+        except BaseException:
+            tainted = True
+            self.touch()
+        else:
+            # certified bit-identical: restore the epoch counters so
+            # every cache keyed on the pre-mutation epochs stays valid
+            self._version = txn.db_version
+            self._next_stamp = txn.next_stamp
+            for name, (_stamp, version, _fp) in txn.pre_state.items():
+                self._tables[name]._version = version
+        self.last_mutation = MutationOutcome(
+            committed=False,
+            rolled_back=not tainted,
+            tainted=tainted,
+            tracked_ops=len(txn.redo),
+        )
+
+    # ------------------------------------------------------------------
+    # transactional mutation
+    # ------------------------------------------------------------------
+    def mutate(self, fn: Callable[["ProbabilisticDatabase"], object], *, faults=None):
+        """Apply ``fn(self)`` transactionally; returns its result.
+
+        While ``fn`` runs, the tracked helpers (:meth:`insert`,
+        :meth:`delete`, :meth:`update_probability`, :meth:`add_table`,
+        :meth:`drop_table`) record inverse operations in an undo log.
+        If ``fn`` raises, the log is replayed in reverse and — after
+        the per-table fingerprint check certifies the replay — the
+        database is bit-identical to its pre-mutation state, including
+        every per-table epoch: no cache anywhere needs to move. Writes
+        that bypassed the tracked helpers fail the certificate and
+        degrade to :meth:`touch` (every epoch tainted), exactly the
+        pre-transactional behaviour. :attr:`last_mutation` records
+        which of the two happened.
+
+        On success, a durable database (see :meth:`open`) appends the
+        tracked operations to its mutation journal and fsyncs per its
+        policy; if the journal write fails, the in-memory state is
+        rolled back too, so memory and disk can never diverge. A
+        successful ``fn`` that made untracked writes is persisted via
+        a full checkpoint snapshot instead (the journal cannot replay
+        what it never saw).
+
+        ``faults`` (a :class:`~repro.service.faults.FaultInjector`)
+        fires the ``"rollback"`` hook before an undo replay and is
+        passed through to the journal's ``"journal"`` hook.
+
+        Not reentrant: nested calls raise :class:`RuntimeError`. The
+        caller serializes mutations (the service's quiescence barrier
+        in concurrent settings).
+        """
+        if self._txn is not None:
+            raise RuntimeError(
+                "a mutation is already in progress on this database"
+            )
+        # cleared up front so observers reading last_mutation after an
+        # exception can never attribute a *previous* outcome to this call
+        self.last_mutation = None
+        txn = _Transaction(self)
+        self._txn = txn
+        try:
+            result = fn(self)
+        except BaseException:
+            self._txn = None
+            self._abort(txn, faults)
+            raise
+        self._txn = None
+        journaled = False
+        if self._durability is not None:
+            untracked = self._untracked_changes(txn)
+            if untracked or txn.redo:
+                try:
+                    if untracked:
+                        self._durability.checkpoint(self, faults=faults)
+                    else:
+                        self._durability.commit(self, txn.redo, faults=faults)
+                except BaseException:
+                    # the commit never became durable: take the memory
+                    # state back to the last durable one
+                    self._abort(txn, faults)
+                    raise
+                journaled = True
+        self.last_mutation = MutationOutcome(
+            committed=True, tracked_ops=len(txn.redo), journaled=journaled
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path,
+        *,
+        fsync: str | None = None,
+        checkpoint_every: int | None = None,
+    ) -> "ProbabilisticDatabase":
+        """Open (or create) a durable database at directory ``path``.
+
+        Recovers the last committed state: the versioned snapshot is
+        loaded, the committed suffix of the mutation journal is
+        replayed on top, and a torn journal tail (a crash mid-append)
+        is detected by record checksums and truncated. Subsequent
+        tracked mutations are journaled; see :mod:`repro.db.journal`
+        for the ``fsync`` policy and checkpointing knobs.
+        """
+        from .journal import DurableStore
+
+        return DurableStore(
+            path, fsync=fsync, checkpoint_every=checkpoint_every
+        ).open()
+
+    @property
+    def durable(self) -> bool:
+        """Whether mutations are journaled to a durable store."""
+        return self._durability is not None
+
+    def save(self, path=None):
+        """Checkpoint to durable storage; returns the directory.
+
+        With no argument, the database must already be durable
+        (:meth:`open`): the journal is folded into a fresh snapshot and
+        truncated. With ``path``, the database is snapshotted there and
+        *becomes* durable — subsequent tracked mutations append to the
+        new journal.
+        """
+        if path is None:
+            if self._durability is None:
+                raise ValueError(
+                    "in-memory database: pass save(path=...) to choose "
+                    "a durable location first"
+                )
+            self._durability.checkpoint(self)
+            return self._durability.directory
+        from .journal import DurableStore
+
+        store = DurableStore(path)
+        store.checkpoint(self)
+        if self._durability is not None and self._durability is not store:
+            self._durability.close()
+        self._durability = store
+        return store.directory
+
+    def close(self) -> None:
+        """Release the durable store's file handles (if any)."""
+        if self._durability is not None:
+            self._durability.close()
+            self._durability = None
 
     def touch(self) -> None:
         """Taint every epoch without changing any data.

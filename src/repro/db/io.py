@@ -4,6 +4,11 @@ File format: standard CSV, one file per relation. The probability lives in
 a designated column (default: the last one, named ``p`` by convention);
 deterministic tables may omit it. Values are read as integers, then floats,
 then strings — matching how the synthetic generators produce data.
+
+CSV is the *interchange* format: lossy on epochs and schema details, handy
+for spreadsheets. The *durable* format — versioned JSON snapshots plus the
+append-only mutation journal — lives in :mod:`repro.db.journal`; its
+snapshot helpers are re-exported here for symmetry.
 """
 
 from __future__ import annotations
@@ -13,8 +18,16 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from .database import ProbabilisticDatabase
+from .journal import load_snapshot, write_snapshot
 
-__all__ = ["load_table_csv", "save_table_csv", "load_database", "save_database"]
+__all__ = [
+    "load_table_csv",
+    "save_table_csv",
+    "load_database",
+    "save_database",
+    "load_snapshot",
+    "write_snapshot",
+]
 
 
 def _coerce(text: str) -> object:

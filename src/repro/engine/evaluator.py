@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import threading
 import time
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Literal, Mapping, Sequence
@@ -53,7 +52,7 @@ from .stats import (
     SQLiteStatisticsCatalog,
     estimate_plan,
 )
-from ..api.config import UNSET, EngineConfig
+from ..api.config import EngineConfig
 
 __all__ = ["Optimizations", "EvaluationResult", "DissociationEngine"]
 
@@ -143,13 +142,6 @@ class DissociationEngine:
         SQLite backend's ``"statement"`` hook. ``None`` (the default)
         costs a single ``is not None`` check. Runtime wiring like
         ``view_namespace`` — not part of the hashable config.
-    backend, use_schema_knowledge, cache_size, join_ordering, \
-    join_dp_threshold, write_factor:
-        **Deprecated** keyword shims for the pre-``EngineConfig`` API;
-        they validate exactly like the matching config fields and emit
-        a :class:`DeprecationWarning`. Mixing them with ``config=``
-        raises ``TypeError``. See the migration table in
-        ``src/repro/engine/README.md``.
 
     The resolved configuration is exposed as :attr:`config`; the
     individual fields stay readable as instance attributes
@@ -166,41 +158,8 @@ class DissociationEngine:
         *,
         view_namespace=None,
         faults=None,
-        backend=UNSET,
-        use_schema_knowledge=UNSET,
-        cache_size=UNSET,
-        join_ordering=UNSET,
-        join_dp_threshold=UNSET,
-        write_factor=UNSET,
     ) -> None:
-        legacy = {
-            name: value
-            for name, value in (
-                ("backend", backend),
-                ("use_schema_knowledge", use_schema_knowledge),
-                ("cache_size", cache_size),
-                ("join_ordering", join_ordering),
-                ("join_dp_threshold", join_dp_threshold),
-                ("write_factor", write_factor),
-            )
-            if value is not UNSET
-        }
-        if legacy:
-            if config is not None:
-                raise TypeError(
-                    "pass either config=EngineConfig(...) or the legacy "
-                    f"keyword arguments, not both (got config= and "
-                    f"{sorted(legacy)})"
-                )
-            warnings.warn(
-                f"DissociationEngine({', '.join(sorted(legacy))}=...) is "
-                "deprecated; pass config=EngineConfig(...) instead (see "
-                "the migration table in src/repro/engine/README.md)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = EngineConfig(**legacy)
-        elif config is None:
+        if config is None:
             config = EngineConfig()
         elif not isinstance(config, EngineConfig):
             raise TypeError(

@@ -32,6 +32,18 @@ Hook points and where they fire
     :meth:`~repro.db.sqlite_backend.SQLiteBackend.execute` — backend
     statement execution, with the SQL text as context (the place to
     script transient ``database is locked`` contention).
+``"rollback"``
+    :meth:`~repro.db.database.ProbabilisticDatabase.mutate`'s abort
+    path, fired *before* the undo log replays (context: the number of
+    undo entries). An exception here means the rollback itself failed —
+    the database degrades to the ``touch()`` taint, which is exactly
+    the commit/abort distinction the recovery tests script.
+``"journal"``
+    :meth:`~repro.db.journal.DurableStore.commit` (context: the op
+    list) and :meth:`~repro.db.journal.DurableStore.checkpoint`
+    (context: ``"checkpoint"``), fired *before* any byte is written.
+    An exception fails the durable commit, which rolls the in-memory
+    transaction back too — memory and disk never diverge.
 
 Rules may also carry an ``action`` callable (run with the context)
 instead of — or before — an exception: a blocking action wedges the hook

@@ -36,7 +36,6 @@ failure-modes table in ``src/repro/service/README.md``.
 from __future__ import annotations
 
 import threading
-import warnings
 from concurrent.futures import Future, InvalidStateError
 from typing import Callable, Iterable, Sequence
 
@@ -82,21 +81,10 @@ class DissociationService:
         does not pass its own.
     faults:
         Optional :class:`~repro.service.faults.FaultInjector` threaded
-        through the session pool, the worker engines, and the SQLite
-        backend — the deterministic chaos-testing hook. ``None`` (the
-        default) is a no-op.
-    backend, workers, max_batch_size, max_batch_delay, max_pending, \
-    calibrate, collect_dag_stats:
-        **Deprecated** keyword shims for the pre-config API; they emit
-        a :class:`DeprecationWarning` and resolve into the two config
-        objects. Mixing a shim with the config object that covers it
-        raises ``TypeError``.
-    engine_kwargs:
-        **Deprecated** engine options passed through to every worker's
-        engine (e.g. ``cache_size=``). Names are validated against
-        :class:`~repro.api.EngineConfig`'s fields — an unknown name
-        (``cache_sise=``...) raises ``TypeError`` immediately instead
-        of stranding the first batch in a dead worker thread.
+        through the session pool, the worker engines, the SQLite
+        backend, and the transactional mutation path — the
+        deterministic chaos-testing hook. ``None`` (the default) is a
+        no-op.
     """
 
     def __init__(
@@ -107,37 +95,19 @@ class DissociationService:
         *,
         default_optimizations: Optimizations | None = None,
         faults=None,
-        backend=UNSET,
-        workers=UNSET,
-        max_batch_size=UNSET,
-        max_batch_delay=UNSET,
-        max_pending=UNSET,
-        calibrate=UNSET,
-        collect_dag_stats=UNSET,
-        **engine_kwargs,
     ) -> None:
-        config, service = self._resolve_configs(
-            config,
-            service,
-            engine_legacy={
-                name: value
-                for name, value in [("backend", backend)]
-                if value is not UNSET
-            },
-            engine_kwargs=engine_kwargs,
-            service_legacy={
-                name: value
-                for name, value in (
-                    ("workers", workers),
-                    ("max_batch_size", max_batch_size),
-                    ("max_batch_delay", max_batch_delay),
-                    ("max_pending", max_pending),
-                    ("calibrate", calibrate),
-                    ("collect_dag_stats", collect_dag_stats),
-                )
-                if value is not UNSET
-            },
-        )
+        if config is None:
+            config = EngineConfig()
+        elif not isinstance(config, EngineConfig):
+            raise TypeError(
+                f"config must be an EngineConfig, got {config!r}"
+            )
+        if service is None:
+            service = ServiceConfig()
+        elif not isinstance(service, ServiceConfig):
+            raise TypeError(
+                f"service must be a ServiceConfig, got {service!r}"
+            )
         self.db = db
         self.config = config
         self.service_config = service
@@ -168,7 +138,8 @@ class DissociationService:
         self._batches = 0
         self._queries = 0
         self._mutations = 0
-        self._failed_mutations = 0
+        self._rolled_back_mutations = 0
+        self._tainted_mutations = 0
         self._batch_occupancy: dict[int, int] = {}
         self._dag_occurrences = 0
         self._dag_distinct = 0
@@ -195,70 +166,6 @@ class DissociationService:
         with self._supervisor:
             for _ in range(service.workers):
                 self._start_worker()
-
-    @staticmethod
-    def _resolve_configs(
-        config: EngineConfig | None,
-        service: ServiceConfig | None,
-        engine_legacy: dict,
-        engine_kwargs: dict,
-        service_legacy: dict,
-    ) -> tuple[EngineConfig, ServiceConfig]:
-        """Fold the deprecated kwargs into the two frozen configs.
-
-        ``engine_kwargs`` names are validated (by
-        :meth:`EngineConfig.from_kwargs`) *before* any worker starts,
-        so a typo raises ``TypeError`` at construction instead of
-        killing the first worker thread.
-        """
-        engine_legacy = {**engine_legacy, **engine_kwargs}
-        if engine_legacy:
-            # raises TypeError listing any unknown option names
-            candidate = EngineConfig.from_kwargs(**engine_legacy)
-            if config is not None:
-                raise TypeError(
-                    "pass either config=EngineConfig(...) or the legacy "
-                    "engine keyword arguments, not both (got config= and "
-                    f"{sorted(engine_legacy)})"
-                )
-            warnings.warn(
-                "DissociationService("
-                f"{', '.join(sorted(engine_legacy))}=...) is deprecated; "
-                "pass config=EngineConfig(...) instead (see the migration "
-                "table in src/repro/engine/README.md)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            config = candidate
-        elif config is None:
-            config = EngineConfig()
-        elif not isinstance(config, EngineConfig):
-            raise TypeError(
-                f"config must be an EngineConfig, got {config!r}"
-            )
-        if service_legacy:
-            if service is not None:
-                raise TypeError(
-                    "pass either service=ServiceConfig(...) or the legacy "
-                    "service keyword arguments, not both (got service= "
-                    f"and {sorted(service_legacy)})"
-                )
-            warnings.warn(
-                "DissociationService("
-                f"{', '.join(sorted(service_legacy))}=...) is deprecated; "
-                "pass service=ServiceConfig(...) instead (see the "
-                "migration table in src/repro/engine/README.md)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            service = ServiceConfig(**service_legacy)
-        elif service is None:
-            service = ServiceConfig()
-        elif not isinstance(service, ServiceConfig):
-            raise TypeError(
-                f"service must be a ServiceConfig, got {service!r}"
-            )
-        return config, service
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -443,14 +350,17 @@ class DissociationService:
         second mutator can never be starved by batches admitted after
         the first one finished.
 
-        If ``fn`` raises, the exception propagates, the quiescence
+        If ``fn`` raises, the exception propagates and the quiescence
         barrier is released (readers and later mutators never
-        deadlock), and the database's version token is bumped anyway
-        (:meth:`~repro.db.database.ProbabilisticDatabase.touch`): a
-        failed mutation may have half-applied its writes through any
-        table, so ``touch`` taints *every* table's epoch and all
-        epoch-keyed caches must treat that state as a new epoch —
-        never serve results computed over it as if pre-mutation.
+        deadlock). The database rolls itself back
+        (:meth:`~repro.db.database.ProbabilisticDatabase.mutate`): when
+        ``fn`` went through the tracked mutation helpers, the undo log
+        restores the bit-identical pre-mutation state — no epoch moves,
+        every warm cache stays valid — and ``rolled_back_mutations``
+        counts it. Only when the rollback cannot be certified (``fn``
+        wrote around the tracked API) does the ``touch()`` taint fire,
+        bumping every table's epoch so no cache can serve the
+        half-applied state; ``tainted_mutations`` counts those.
         """
         with self._state:
             while self._mutating:
@@ -459,10 +369,25 @@ class DissociationService:
             while self._active_batches:
                 self._state.wait()
             try:
-                return fn(self.db)
+                txn = getattr(self.db, "mutate", None)
+                if txn is not None:
+                    return txn(fn, faults=self.faults)
+                try:  # epoch-less stand-in databases: legacy taint path
+                    return fn(self.db)
+                except BaseException:
+                    self._tainted_mutations += 1
+                    taint = getattr(self.db, "touch", None)
+                    if taint is not None:
+                        taint()
+                    raise
             except BaseException:
-                self._failed_mutations += 1
-                self.db.touch()
+                # mutation serialization makes last_mutation ours
+                outcome = getattr(self.db, "last_mutation", None)
+                if outcome is not None:
+                    if outcome.tainted:
+                        self._tainted_mutations += 1
+                    elif outcome.rolled_back:
+                        self._rolled_back_mutations += 1
                 raise
             finally:
                 self._mutating = False
@@ -818,7 +743,8 @@ class DissociationService:
             "batches": batches,
             "queries": queries,
             "mutations": mutations,
-            "failed_mutations": self._failed_mutations,
+            "rolled_back_mutations": self._rolled_back_mutations,
+            "tainted_mutations": self._tainted_mutations,
             "mean_batch_size": (queries / batches) if batches else 0.0,
             "batch_occupancy": occupancy,
             "poison_queries": poison_queries,

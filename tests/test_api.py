@@ -365,58 +365,44 @@ class TestResultCache:
 # ----------------------------------------------------------------------
 # deprecation shims and kwarg validation
 # ----------------------------------------------------------------------
-class TestLegacyShims:
-    def test_engine_legacy_kwargs_warn(self):
-        with pytest.warns(DeprecationWarning, match="EngineConfig"):
-            engine = DissociationEngine(small_db(), backend="sqlite")
-        assert engine.config == EngineConfig(backend="sqlite")
+class TestRemovedLegacyKwargs:
+    """The PR-5 deprecation shims are gone: config objects only."""
 
-    def test_engine_config_plus_legacy_is_error(self):
-        with pytest.raises(TypeError, match="not both"):
-            DissociationEngine(
-                small_db(), EngineConfig(), backend="sqlite"
-            )
+    def test_engine_legacy_kwargs_are_gone(self):
+        with pytest.raises(TypeError, match="backend"):
+            DissociationEngine(small_db(), backend="sqlite")
 
     def test_engine_rejects_non_config_positional(self):
         with pytest.raises(TypeError, match="EngineConfig"):
             DissociationEngine(small_db(), "sqlite")
 
-    def test_engine_legacy_validation_still_valueerror(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="unknown backend"):
-                DissociationEngine(small_db(), backend="pg")
+    def test_engine_config_spelling_works(self):
+        engine = DissociationEngine(
+            small_db(), EngineConfig(backend="sqlite")
+        )
+        assert engine.config == EngineConfig(backend="sqlite")
 
-    def test_service_legacy_kwargs_warn(self):
-        with pytest.warns(DeprecationWarning, match="ServiceConfig"):
-            service = DissociationService(small_db(), workers=1)
-        try:
-            assert service.service_config.workers == 1
-        finally:
-            service.close()
-
-    def test_service_engine_typo_raises_typeerror(self):
-        with pytest.raises(TypeError, match=r"cache_sise"):
-            DissociationService(small_db(), cache_sise=8)
-
-    def test_service_engine_typo_lists_valid_fields(self):
+    def test_service_legacy_kwargs_are_gone(self):
+        with pytest.raises(TypeError, match="workers"):
+            DissociationService(small_db(), workers=1)
         with pytest.raises(TypeError, match="cache_size"):
-            DissociationService(small_db(), cache_sise=8)
+            DissociationService(small_db(), cache_size=16)
 
-    def test_service_config_plus_legacy_is_error(self):
-        with pytest.raises(TypeError, match="not both"):
-            DissociationService(
-                small_db(), service=ServiceConfig(), workers=4
-            )
-        with pytest.raises(TypeError, match="not both"):
-            DissociationService(
-                small_db(), config=EngineConfig(), backend="sqlite"
-            )
+    def test_service_rejects_non_config_positional(self):
+        with pytest.raises(TypeError, match="EngineConfig"):
+            DissociationService(small_db(), "sqlite")
+        with pytest.raises(TypeError, match="ServiceConfig"):
+            DissociationService(small_db(), EngineConfig(), "nope")
 
-    def test_service_valid_engine_kwargs_still_work(self):
-        with pytest.warns(DeprecationWarning):
-            service = DissociationService(small_db(), cache_size=16)
+    def test_service_config_spelling_works(self):
+        service = DissociationService(
+            small_db(),
+            EngineConfig(cache_size=16),
+            ServiceConfig(workers=1),
+        )
         try:
             assert service.config.cache_size == 16
+            assert service.service_config.workers == 1
         finally:
             service.close()
 

@@ -14,8 +14,10 @@ The guarantees pinned down here:
 * transient SQLite contention retries deterministically, permanent
   errors never retry;
 * a mutation function that raises releases the quiescence barrier and
-  bumps the epoch token, so caches can never serve half-applied state
-  as the pre-mutation epoch.
+  either rolls back bit-identically (tracked writes — epochs untouched,
+  caches warm) or taints every epoch (untracked writes), so caches can
+  never serve half-applied state as the pre-mutation epoch. The deeper
+  transactional/durability guarantees live in ``test_txn_recovery.py``.
 """
 
 from __future__ import annotations
@@ -505,48 +507,64 @@ class TestMutationFailure:
         db.table("R1").insert((999_991, 999_992), 0.5)
         raise ValueError("mutation failed midway")
 
-    def test_failed_mutation_releases_barrier_and_bumps_epoch(self):
+    def test_failed_mutation_releases_barrier_and_rolls_back(self):
         db, q = small_world()
         with DissociationService(db) as service:
             before = db.version
             epochs_before = db.table_epochs()
             with pytest.raises(ValueError):
                 service.mutate(self._raise_without_writing)
-            # the version token moved even though fn wrote nothing:
-            # touch-on-failure, so half-applied state can never read as
-            # the pre-mutation epoch
-            assert db.version != before
-            # ...and *every* table epoch moved, not just the db-wide
-            # counter: a failed mutation may have written through any
-            # table, so per-table-keyed caches must all treat the
-            # current contents as fresh
-            for name, old in epochs_before.items():
-                assert db.table_epoch(name) != old, name
+            # fn wrote nothing through the tracked API, so the undo
+            # log certifies a clean rollback: *no* epoch moves — the
+            # pre-mutation state is exactly what readers still see
+            assert db.version == before
+            assert db.table_epochs() == epochs_before
+            assert db.last_mutation.rolled_back
             # the barrier is released: queries and later mutations work
             assert service.evaluate(q).scores
             service.mutate(lambda d: None)
             stats = service.stats()
-            assert stats["failed_mutations"] == 1
+            assert stats["rolled_back_mutations"] == 1
+            assert stats["tainted_mutations"] == 0
             assert stats["mutations"] == 2
 
-    def test_serial_session_failed_mutation_bumps_epoch(self):
+    def test_serial_session_failed_mutation_keeps_cache_warm(self):
         db, q = small_world()
         with connect(db) as session:
             first = session.evaluate(q)
             before = db.version
             with pytest.raises(ValueError):
                 session.mutate(self._raise_without_writing)
-            assert db.version != before
+            assert db.version == before
             again = session.evaluate(q)
-            # the epoch moved, so this is a fresh evaluation over
-            # whatever state the failed mutation left — never the
-            # pre-mutation cache entry
-            assert again.epoch != first.epoch
+            # the rollback restored the pre-mutation epoch, so the
+            # cached result is still valid and still served
+            assert again.cached and again.epoch == first.epoch
+            assert session.results.stats()["evictions"] == 0
+
+    def test_tracked_failed_mutation_rolls_back_writes(self):
+        db, q = small_world()
+        with DissociationService(db) as service:
+            rows_before = {t.name: dict(t.rows) for t in db}
+            epochs_before = db.table_epochs()
+
+            def tracked_half_apply(d):
+                d.insert("R1", (999_991, 999_992), 0.5)
+                raise ValueError("mutation failed midway")
+
+            with pytest.raises(ValueError):
+                service.mutate(tracked_half_apply)
+            # bit-identical restore: rows AND epochs
+            assert {t.name: dict(t.rows) for t in db} == rows_before
+            assert db.table_epochs() == epochs_before
+            assert service.stats()["rolled_back_mutations"] == 1
 
     def test_failed_mutation_taints_untouched_tables(self):
-        # _half_apply_then_raise writes only R1, but the failure must
-        # taint *all* tables: the caches cannot know what else the
-        # failed function touched through untracked paths
+        # _half_apply_then_raise writes R1 *around* the tracked API
+        # (straight into the Table), so the rollback cannot be
+        # certified and the failure must taint *all* tables: the
+        # caches cannot know what else the failed function touched
+        # through untracked paths
         db, q = small_world()
         with DissociationService(db) as service:
             untouched = {
@@ -558,6 +576,8 @@ class TestMutationFailure:
                 service.mutate(self._half_apply_then_raise)
             for name, old in untouched.items():
                 assert db.table_epoch(name) != old, name
+            assert db.last_mutation.tainted
+            assert service.stats()["tainted_mutations"] == 1
             # evaluation over the half-applied state works and carries
             # the tainted epochs
             assert service.evaluate(q).epoch == db.epoch_vector(q.relations)
