@@ -7,16 +7,15 @@
 #                      fails with thread tracebacks instead of wedging
 #                      the job — see tests/conftest.py
 #   make bench       — the current PR's perf micro-benchmarks; writes
-#                      BENCH_PR8.json at the repo root (transactional
-#                      mutations: fault-injected Zipf replay over
-#                      disjoint chain-7 subjoins, undo-log rollback vs
-#                      the pre-PR-8 touch()-taint baseline; asserts
-#                      answers match a cold engine, every failure
-#                      certifies a clean rollback, and a >= 1.5x
-#                      speedup) and refreshes BENCH_LATEST.json
+#                      BENCH_PR9.json at the repo root (observability:
+#                      the no-op Observer arm gated < 2% overhead vs
+#                      the PR-8-equivalent warm path on the chain-7
+#                      Zipf mix, plus a fully-traced arm with the
+#                      per-layer latency breakdown from the registry
+#                      histograms) and refreshes BENCH_LATEST.json
 #   make bench-quick — CI smoke: memory backend only, writes
-#                      BENCH_PR8.quick.json, same assertions with a
-#                      >= 1x gate (small op counts are noisy)
+#                      BENCH_PR9.quick.json, same assertions with a
+#                      <= 5% gate (small op counts are noisy)
 #   make examples    — run every example under the new connect() API
 #                      (the CI smoke job)
 #   make bench-pr1   — re-run the PR 1 benchmarks (BENCH_PR1.json: seed
@@ -35,22 +34,25 @@
 #   make bench-pr7   — re-run the PR 7 benchmarks (BENCH_PR7.json:
 #                      per-table epoch vectors vs the PR-5 global
 #                      version token)
-#   make bench-pr8   — alias of the current `make bench`
+#   make bench-pr8   — re-run the PR 8 benchmarks (BENCH_PR8.json:
+#                      undo-log rollback vs the touch()-taint baseline
+#                      on fault-injected mutation traffic)
+#   make bench-pr9   — alias of the current `make bench`
 
 PYTHON ?= python
 
 .PHONY: test bench bench-quick examples \
 	bench-pr1 bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 \
-	bench-pr7 bench-pr8
+	bench-pr7 bench-pr8 bench-pr9
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr8.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr9.py
 
 bench-quick:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr8.py --quick
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr9.py --quick
 
 examples:
 	@set -e; for example in examples/*.py; do \
@@ -81,3 +83,6 @@ bench-pr7:
 
 bench-pr8:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr8.py
+
+bench-pr9:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr9.py

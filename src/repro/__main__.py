@@ -13,6 +13,12 @@ Commands
     Load a CSV directory (one ``<relation>.csv`` per atom, probability in
     column ``p``) and print the propagation score per answer next to the
     exact probability when the lineage is small enough.
+``metrics``
+    Run a small instrumented workload through an observed concurrent
+    session and dump the observability snapshot — JSON to stdout (or
+    ``--json PATH``) plus the Prometheus text exposition (``--prom
+    PATH``), including per-layer counters, latency quantiles, cache
+    statistics, and the slow-query log.
 """
 
 from __future__ import annotations
@@ -90,6 +96,62 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import connect
+    from .api.config import ServiceConfig
+    from .db import ProbabilisticDatabase
+    from .obs import Observer
+
+    observer = Observer(slow_query_seconds=args.slow_ms / 1000.0)
+    half = 0.5
+    db = ProbabilisticDatabase()
+    db.add_table("R", [((1,), half), ((2,), half)])
+    db.add_table("S", [((1,), half), ((2,), half)])
+    db.add_table("T", [((1, 1), half), ((1, 2), half), ((2, 2), half)])
+    db.add_table("U", [((1,), half), ((2,), half)])
+    workload = [
+        "q() :- R(x), S(x), T(x,y), U(y)",
+        "q(x) :- S(x), T(x,y)",
+        "q(y) :- T(x,y), U(y)",
+    ]
+    config = EngineConfig(
+        backend="sqlite" if args.sqlite else "memory", observer=observer
+    )
+    with connect(
+        db,
+        config,
+        concurrent=True,
+        service=ServiceConfig(workers=2),
+    ) as session:
+        last = None
+        for _ in range(max(args.repeat, 1)):
+            for text in workload:
+                last = session.evaluate(text)
+        session.mutate(lambda d: d.table("R").insert((3,), half))
+        session.evaluate(workload[0])
+        trace = session.trace(last)
+        snapshot = observer.snapshot()
+    if trace is not None:
+        snapshot["last_trace"] = trace
+    rendered = json.dumps(snapshot, indent=2, sort_keys=True, default=str)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.json}")
+    else:
+        print(rendered)
+    prom = observer.render_prometheus()
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(prom)
+        print(f"wrote {args.prom}")
+    else:
+        print(prom, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -125,6 +187,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute exact probabilities when max lineage ≤ limit",
     )
     evaluate.set_defaults(run=_cmd_evaluate)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented workload and dump the snapshot",
+    )
+    metrics.add_argument("--sqlite", action="store_true")
+    metrics.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="workload repetitions (repeats hit the result cache)",
+    )
+    metrics.add_argument(
+        "--slow-ms",
+        type=float,
+        default=0.0,
+        help="slow-query-log threshold in milliseconds (0 logs all)",
+    )
+    metrics.add_argument(
+        "--json", help="write the JSON snapshot here instead of stdout"
+    )
+    metrics.add_argument(
+        "--prom",
+        help="write the Prometheus text exposition here instead of stdout",
+    )
+    metrics.set_defaults(run=_cmd_metrics)
     return parser
 
 

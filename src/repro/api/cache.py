@@ -24,14 +24,18 @@ Results are snapshotted on the way in and copied on the way out (the
 no caller can corrupt a cached entry — cache hits are bit-identical to
 the evaluation that populated them by construction. Served copies carry
 ``cached=True``.
+
+Storage and counters live in the shared :class:`~repro.obs.StatsLRU`
+(the unified cache core); this class adds the epoch semantics and the
+snapshot-copy discipline.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import threading
-from collections import OrderedDict
 from typing import Hashable, Mapping
+
+from ..obs import StatsLRU
 
 __all__ = ["ResultCache"]
 
@@ -66,24 +70,17 @@ class ResultCache:
     """
 
     def __init__(self, max_entries: int | None = 1024) -> None:
-        if max_entries is not None and max_entries < 0:
-            raise ValueError(
-                f"max_entries must be None or >= 0, got {max_entries!r}"
-            )
-        self.max_entries = max_entries
-        self._lock = threading.Lock()
-        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._entries = StatsLRU(max_entries)
+
+    @property
+    def max_entries(self) -> int | None:
+        return self._entries.max_entries
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        with self._lock:
-            return key in self._entries
+        return key in self._entries
 
     @staticmethod
     def _snapshot(result, cached: bool):
@@ -94,13 +91,9 @@ class ResultCache:
     def get(self, key: Hashable):
         """The cached result for ``key`` (marked ``cached=True``), or
         ``None`` — counting a hit or a miss either way."""
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
         # snapshot outside the lock: stored entries are never mutated in
         # place, and copying a large scores dict under the lock would
         # convoy concurrent clients on the hot hit path
@@ -116,17 +109,7 @@ class ResultCache:
         """
         if self.max_entries == 0:
             return
-        snapshot = self._snapshot(result, cached=False)
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-            self._entries[key] = snapshot
-            while (
-                self.max_entries is not None
-                and len(self._entries) > self.max_entries
-            ):
-                self._entries.popitem(last=False)
-                self._evictions += 1
+        self._entries.put(key, self._snapshot(result, cached=False))
 
     def evict_stale(self, table_epochs: Mapping[str, Hashable]) -> int:
         """Drop entries whose epoch vector disagrees with the present.
@@ -142,28 +125,20 @@ class ResultCache:
         without a recognizable epoch vector (legal for direct ``put``
         users) are left alone. Returns the eviction count.
         """
-        with self._lock:
-            stale = [
-                key
-                for key in self._entries
-                if _vector_is_stale(key, table_epochs)
-            ]
-            for key in stale:
-                del self._entries[key]
-            self._evictions += len(stale)
-            return len(stale)
+        return self._entries.remove_where(
+            lambda key, _value: _vector_is_stale(key, table_epochs),
+            count="eviction",
+        )
 
     def clear(self) -> None:
-        with self._lock:
-            self._evictions += len(self._entries)
-            self._entries.clear()
+        self._entries.clear(count="eviction")
 
     def stats(self) -> dict:
-        with self._lock:
-            return {
-                "hits": self._hits,
-                "misses": self._misses,
-                "evictions": self._evictions,
-                "size": len(self._entries),
-                "max_entries": self.max_entries,
-            }
+        stats = self._entries.stats()
+        return {
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "evictions": stats["evictions"],
+            "size": stats["size"],
+            "max_entries": stats["max_entries"],
+        }

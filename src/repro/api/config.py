@@ -75,6 +75,11 @@ class EngineConfig:
         LRU cap of the engine's ``minimal_plans``/``single_plan`` memo
         (keyed by canonical query key + schema flags). ``0`` disables
         memoization; ``None`` is unbounded.
+    observer:
+        A :class:`repro.obs.Observer` receiving metrics and request
+        traces from every layer built over this config (``None``, the
+        default, injects the benchmarked no-op). Excluded from
+        equality/hash — instrumentation must never change cache keys.
 
     The dataclass is frozen: equality and ``hash()`` are structural, so
     configs can key dictionaries, sets, and the session result cache.
@@ -87,6 +92,9 @@ class EngineConfig:
     join_dp_threshold: int | None = None
     write_factor: float | None = None
     plan_memo_size: int | None = 256
+    observer: object | None = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.backend not in ("memory", "sqlite"):
@@ -181,6 +189,10 @@ class ServiceConfig:
         will replace over its lifetime before declaring the pool dead
         (pending futures then fail with
         :class:`~repro.service.WorkerCrashed`).
+    observer:
+        A :class:`repro.obs.Observer` for service-layer spans and
+        counters; when ``None`` the service falls back to the engine
+        config's observer. Excluded from equality/hash.
     """
 
     workers: int = 2
@@ -193,6 +205,9 @@ class ServiceConfig:
     max_retries: int = 2
     retry_backoff: float = 0.01
     max_worker_restarts: int = 3
+    observer: object | None = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.workers < 1:

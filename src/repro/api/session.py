@@ -23,6 +23,8 @@ the engine's ``evaluation_count`` — prove it).
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from concurrent.futures import Future
 from typing import Callable, Mapping, Sequence
 
@@ -31,6 +33,7 @@ from ..core.plans import Plan
 from ..core.query import ConjunctiveQuery
 from ..db.database import ProbabilisticDatabase
 from ..engine import DissociationEngine, EvaluationResult, Optimizations
+from ..obs import resolve_observer
 from ..service import DissociationService
 from .cache import ResultCache
 from .config import UNSET, EngineConfig, ServiceConfig
@@ -148,12 +151,31 @@ class Session:
         self._closed = False
         self._service: DissociationService | None = None
         self._engine: DissociationEngine | None = None
+        # one observer for the whole stack: the engine config names it
+        # for every layer; a service-only observer is honoured too
+        observer = config.observer
+        if observer is None and service is not None:
+            observer = service.observer
+        self.observer = resolve_observer(observer)
         if concurrent:
             self._service = DissociationService(
                 db, config, service or ServiceConfig()
             )
         else:
             self._engine = DissociationEngine(db, config)
+        if self.observer.enabled:
+            # mutation counters and journal/rollback spans hang off the
+            # database; cache and engine statistics are pulled at
+            # snapshot time (collectors), never pushed on the hot path
+            try:
+                self.db.observer = self.observer
+            except AttributeError:
+                pass  # read-only stand-in databases: skip db spans
+            self.observer.register_collector(
+                "result_cache", self.results.stats
+            )
+            self.observer.register_collector("engine", self._collect_engine)
+            self.observer.register_collector("db", self._collect_db)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -289,6 +311,8 @@ class Session:
         """
         resolved = self._resolve(query)
         opts = optimizations or self.default_optimizations
+        if self.observer.enabled:
+            return self._evaluate_traced(resolved, opts, timeout)
         key = result_key(resolved, opts, self.config, self._query_epoch(resolved))
         hit = self.results.get(key)
         if hit is not None:
@@ -300,6 +324,52 @@ class Session:
         else:
             result = self.engine.evaluate(resolved, opts)
         self._store(resolved, opts, result)
+        return result
+
+    def _evaluate_traced(
+        self,
+        resolved: ConjunctiveQuery,
+        opts: Optimizations,
+        timeout,
+    ) -> EvaluationResult:
+        """:meth:`evaluate` under an observer: one trace per request.
+
+        The root ``session.evaluate`` span covers canonicalization, the
+        result-cache lookup, and — on a miss — the evaluation itself;
+        in concurrent mode the service records the queue wait and batch
+        spans into this same trace across the worker hop (the request
+        carries the span frames captured here).
+        """
+        obs = self.observer
+        trace_id = obs.new_trace()
+        started = time.perf_counter()
+        with obs.activate([(trace_id, None)]):
+            with obs.span(
+                "session.evaluate", backend=self.config.backend
+            ) as root:
+                with obs.span("session.canonicalize"):
+                    key = result_key(
+                        resolved,
+                        opts,
+                        self.config,
+                        self._query_epoch(resolved),
+                    )
+                with obs.span("result_cache.lookup") as lookup:
+                    result = self.results.get(key)
+                    lookup.note(hit=result is not None)
+                root.note(cached=result is not None)
+                if result is None:
+                    if self._service is not None:
+                        result = self._service.submit(
+                            resolved, opts, timeout=timeout
+                        ).result()
+                    else:
+                        result = self.engine.evaluate(resolved, opts)
+                    self._store(resolved, opts, result)
+        result.trace_id = trace_id
+        obs.record_request(
+            trace_id, resolved, time.perf_counter() - started
+        )
         return result
 
     def submit(
@@ -318,6 +388,8 @@ class Session:
         """
         resolved = self._resolve(query)
         opts = optimizations or self.default_optimizations
+        if self.observer.enabled:
+            return self._submit_traced(resolved, opts, timeout)
         key = result_key(resolved, opts, self.config, self._query_epoch(resolved))
         hit = self.results.get(key)
         if hit is not None:
@@ -345,6 +417,78 @@ class Session:
                 else None
             )
         )
+        return future
+
+    def _submit_traced(
+        self,
+        resolved: ConjunctiveQuery,
+        opts: Optimizations,
+        timeout,
+    ) -> "Future[EvaluationResult]":
+        """:meth:`submit` under an observer.
+
+        Serial sessions evaluate inline, so the trace closes before the
+        future is returned; concurrent submissions hand their span
+        frames to the service request and the request is closed (slow
+        log, latency histogram) from the future's done callback.
+        """
+        obs = self.observer
+        trace_id = obs.new_trace()
+        started = time.perf_counter()
+        with obs.activate([(trace_id, None)]):
+            with obs.span(
+                "session.submit", backend=self.config.backend
+            ) as root:
+                with obs.span("session.canonicalize"):
+                    key = result_key(
+                        resolved,
+                        opts,
+                        self.config,
+                        self._query_epoch(resolved),
+                    )
+                with obs.span("result_cache.lookup") as lookup:
+                    hit = self.results.get(key)
+                    lookup.note(hit=hit is not None)
+                root.note(cached=hit is not None)
+                if hit is not None:
+                    hit.trace_id = trace_id
+                    obs.record_request(
+                        trace_id, resolved, time.perf_counter() - started
+                    )
+                    done: "Future[EvaluationResult]" = Future()
+                    done.set_result(hit)
+                    return done
+                if self._service is None:
+                    done = Future()
+                    try:
+                        result = self.engine.evaluate(resolved, opts)
+                        result.trace_id = trace_id
+                        self._store(resolved, opts, result)
+                        obs.record_request(
+                            trace_id,
+                            resolved,
+                            time.perf_counter() - started,
+                        )
+                        done.set_result(result)
+                    except Exception as exc:  # noqa: BLE001 - future protocol
+                        done.set_exception(exc)
+                    return done
+                # inside the spans on purpose: submit() captures the
+                # active frames into the request, which the worker
+                # re-activates across the queue hop
+                future = self._service.submit(resolved, opts, timeout=timeout)
+
+        def _finish(f: "Future[EvaluationResult]") -> None:
+            if f.cancelled() or f.exception() is not None:
+                return
+            result = f.result()
+            result.trace_id = trace_id
+            self._store(resolved, opts, result)
+            obs.record_request(
+                trace_id, resolved, time.perf_counter() - started
+            )
+
+        future.add_done_callback(_finish)
         return future
 
     def _store(
@@ -455,6 +599,49 @@ class Session:
             out["service"] = self._service.stats()
         return out
 
+    def trace(self, target) -> dict | None:
+        """The span tree of one request.
+
+        ``target`` is a trace id string, an
+        :class:`~repro.engine.EvaluationResult` (its ``trace_id``
+        stamp), or a :class:`QueryHandle` (the trace of its most recent
+        ``result()``). Returns the
+        :meth:`~repro.obs.Tracer.tree` structure — ``{"trace_id",
+        "dropped_spans", "roots": [...]}`` — or ``None`` when no
+        observer is configured, the target carries no trace id, or the
+        trace has been evicted from the bounded store.
+        """
+        if isinstance(target, str):
+            trace_id = target
+        elif isinstance(target, QueryHandle):
+            trace_id = target.last_trace_id
+        else:
+            trace_id = getattr(target, "trace_id", None)
+        if trace_id is None:
+            return None
+        return self.observer.trace_tree(trace_id)
+
+    def _collect_engine(self) -> dict:
+        engine = self._engine
+        if engine is None:
+            return {}
+        return {
+            "role": "side_engine" if self.concurrent else "engine",
+            "evaluations": engine.evaluation_count,
+            "cache": engine.cache_stats(),
+            "plan_memo": engine.plan_memo_stats(),
+        }
+
+    def _collect_db(self) -> dict:
+        out: dict = {"durable": getattr(self.db, "durable", False)}
+        last = getattr(self.db, "last_mutation", None)
+        if last is not None:
+            out["last_mutation"] = dataclasses.asdict(last)
+        store = getattr(self.db, "_durability", None)
+        if store is not None:
+            out["journal"] = store.stats()
+        return out
+
 
 class QueryHandle:
     """One query bound to a session — every surface in one place.
@@ -472,6 +659,10 @@ class QueryHandle:
         self.session = session
         self.query = query
         self.optimizations = optimizations
+        #: Trace id of the most recent :meth:`result` call (``None``
+        #: until then, or without an observer) — what
+        #: ``session.trace(handle)`` resolves.
+        self.last_trace_id: str | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"QueryHandle({self.query!s})"
@@ -479,7 +670,9 @@ class QueryHandle:
     # -- evaluation ----------------------------------------------------
     def result(self) -> EvaluationResult:
         """The full :class:`~repro.engine.EvaluationResult` (cached)."""
-        return self.session.evaluate(self.query, self.optimizations)
+        result = self.session.evaluate(self.query, self.optimizations)
+        self.last_trace_id = result.trace_id
+        return result
 
     def scores(self) -> dict[tuple, float]:
         """``ρ(q)`` per answer tuple."""

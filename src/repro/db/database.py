@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..core.fds import ColumnFD
+from ..obs import NULL_OBSERVER
 from .schema import Schema, TableSchema
 
 __all__ = ["Table", "ProbabilisticDatabase", "TupleRef", "MutationOutcome"]
@@ -257,6 +258,10 @@ class ProbabilisticDatabase:
         #: serialization (the service's quiescence barrier provides
         #: it); concurrent unserialized mutators race on it.
         self.last_mutation: MutationOutcome | None = None
+        #: The :class:`repro.obs.Observer` receiving mutation counters
+        #: and rollback/journal spans (installed by the session facade;
+        #: the default no-op costs one attribute check).
+        self.observer = NULL_OBSERVER
 
     def _new_stamp(self) -> int:
         self._next_stamp += 1
@@ -513,22 +518,29 @@ class ProbabilisticDatabase:
         """
         tainted = False
         try:
-            if faults is not None:
-                faults.fire("rollback", len(txn.undo))
-            for entry in reversed(txn.undo):
-                self._apply_undo(entry)
-            if set(self._tables) != set(txn.pre_state):
-                raise RuntimeError("rollback left a table-set mismatch")
-            for name, (stamp, _version, fingerprint) in txn.pre_state.items():
-                table = self._tables[name]
-                if (
-                    table._creation_stamp != stamp
-                    or table._fingerprint != fingerprint
-                ):
+            with self.observer.span("db.rollback", ops=len(txn.undo)):
+                if faults is not None:
+                    faults.fire("rollback", len(txn.undo))
+                for entry in reversed(txn.undo):
+                    self._apply_undo(entry)
+                if set(self._tables) != set(txn.pre_state):
                     raise RuntimeError(
-                        f"rollback fingerprint mismatch on {name!r} "
-                        "(untracked writes during the failed mutation)"
+                        "rollback left a table-set mismatch"
                     )
+                for name, (
+                    stamp,
+                    _version,
+                    fingerprint,
+                ) in txn.pre_state.items():
+                    table = self._tables[name]
+                    if (
+                        table._creation_stamp != stamp
+                        or table._fingerprint != fingerprint
+                    ):
+                        raise RuntimeError(
+                            f"rollback fingerprint mismatch on {name!r} "
+                            "(untracked writes during the failed mutation)"
+                        )
         except BaseException:
             tainted = True
             self.touch()
@@ -545,6 +557,12 @@ class ProbabilisticDatabase:
             tainted=tainted,
             tracked_ops=len(txn.redo),
         )
+        if self.observer.enabled:
+            self.observer.inc(
+                "db.mutations.tainted"
+                if tainted
+                else "db.mutations.rolled_back"
+            )
 
     # ------------------------------------------------------------------
     # transactional mutation
@@ -589,31 +607,37 @@ class ProbabilisticDatabase:
         self.last_mutation = None
         txn = _Transaction(self)
         self._txn = txn
-        try:
-            result = fn(self)
-        except BaseException:
+        with self.observer.span("db.mutate") as span:
+            try:
+                result = fn(self)
+            except BaseException:
+                self._txn = None
+                self._abort(txn, faults)
+                raise
             self._txn = None
-            self._abort(txn, faults)
-            raise
-        self._txn = None
-        journaled = False
-        if self._durability is not None:
-            untracked = self._untracked_changes(txn)
-            if untracked or txn.redo:
-                try:
-                    if untracked:
-                        self._durability.checkpoint(self, faults=faults)
-                    else:
-                        self._durability.commit(self, txn.redo, faults=faults)
-                except BaseException:
-                    # the commit never became durable: take the memory
-                    # state back to the last durable one
-                    self._abort(txn, faults)
-                    raise
-                journaled = True
+            journaled = False
+            if self._durability is not None:
+                untracked = self._untracked_changes(txn)
+                if untracked or txn.redo:
+                    try:
+                        if untracked:
+                            self._durability.checkpoint(self, faults=faults)
+                        else:
+                            self._durability.commit(
+                                self, txn.redo, faults=faults
+                            )
+                    except BaseException:
+                        # the commit never became durable: take the
+                        # memory state back to the last durable one
+                        self._abort(txn, faults)
+                        raise
+                    journaled = True
+            span.note(tracked_ops=len(txn.redo), journaled=journaled)
         self.last_mutation = MutationOutcome(
             committed=True, tracked_ops=len(txn.redo), journaled=journaled
         )
+        if self.observer.enabled:
+            self.observer.inc("db.mutations.committed")
         return result
 
     # ------------------------------------------------------------------

@@ -60,6 +60,7 @@ import zlib
 from pathlib import Path
 
 from ..core.fds import ColumnFD
+from ..obs import NULL_OBSERVER
 from .database import ProbabilisticDatabase, Table
 from .schema import TableSchema
 
@@ -408,6 +409,7 @@ class DurableStore:
         the trailing ``commit`` record plus the fsync policy make the
         group atomic and durable. Auto-checkpoints when due.
         """
+        observer = getattr(db, "observer", NULL_OBSERVER)
         if faults is not None:
             faults.fire("journal", ops)
         records = []
@@ -418,16 +420,20 @@ class DurableStore:
             records.append(_encode_record(record))
         records.append(_encode_record({"op": "commit"}))
         try:
-            fh = self._handle()
-            fh.write(b"".join(records))
-            fh.flush()
-            if self.fsync == "commit":
-                os.fsync(fh.fileno())
+            with observer.span("journal.commit", ops=len(ops)):
+                fh = self._handle()
+                fh.write(b"".join(records))
+                fh.flush()
+                if self.fsync == "commit":
+                    os.fsync(fh.fileno())
         except BaseException:
             # the group may be half-written; recovery truncates it, and
             # the in-memory rollback keeps memory == last durable state
             self._committed_ops -= len(ops)
             raise
+        if observer.enabled:
+            observer.inc("journal.commits")
+            observer.inc("journal.ops", len(ops))
         self._ops_since_checkpoint += len(ops)
         if (
             self.checkpoint_every
@@ -443,19 +449,25 @@ class DurableStore:
         journal truncated. A crash in between double-writes nothing —
         replay skips ops whose ``seq`` the snapshot already covers.
         """
+        observer = getattr(db, "observer", NULL_OBSERVER)
         if faults is not None:
             faults.fire("journal", "checkpoint")
-        write_snapshot(
-            db,
-            self.snapshot_path,
-            committed_ops=self._committed_ops,
-            fsync=self.fsync == "commit",
-        )
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
-        with self.journal_path.open("wb"):
-            pass  # truncate
+        with observer.span(
+            "journal.checkpoint", folded_ops=self._ops_since_checkpoint
+        ):
+            write_snapshot(
+                db,
+                self.snapshot_path,
+                committed_ops=self._committed_ops,
+                fsync=self.fsync == "commit",
+            )
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            with self.journal_path.open("wb"):
+                pass  # truncate
+        if observer.enabled:
+            observer.inc("journal.checkpoints")
         self._ops_since_checkpoint = 0
 
     def stats(self) -> dict:

@@ -18,6 +18,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Hashable, Iterable, Iterator, Sequence
 
+from ..obs import NULL_OBSERVER, StatsLRU
 from .database import ProbabilisticDatabase
 
 __all__ = [
@@ -144,13 +145,24 @@ class SQLiteViewRegistry:
         connection: sqlite3.Connection,
         max_views: int | None = None,
         namespace=None,
+        observer=None,
     ) -> None:
         if max_views is not None and max_views < 0:
             raise ValueError("max_views must be None or >= 0")
         self._connection = connection
         self._lock = threading.RLock()
         self._namespace = namespace
-        self._views: OrderedDict[Hashable, str] = OrderedDict()
+        self._observer = observer if observer is not None else NULL_OBSERVER
+        # storage + counters in the shared StatsLRU core: dropping an
+        # entry (cap eviction, invalidation, clear) tears the temp table
+        # down through the on_evict callback; pinned views are shielded
+        # from cap enforcement by the evictable predicate.
+        self._views = StatsLRU(
+            max_views,
+            lock=self._lock,
+            on_evict=self._drop_view,
+            evictable=lambda _plan, name: name not in self._pinned,
+        )
         self._names: set[str] = set()
         #: view name -> relation names its subplan scans (``None`` when
         #: the key's footprint could not be determined — such views are
@@ -158,21 +170,14 @@ class SQLiteViewRegistry:
         self._relations: dict[str, frozenset[str] | None] = {}
         self._pinned: set[str] = set()
         self._pin_depth = 0
-        self._max_views = max_views
         self._requests: OrderedDict[Hashable, int] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidations = 0
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._views)
+        return len(self._views)
 
     def __contains__(self, plan: Hashable) -> bool:
         """Whether ``plan`` has a live view (no hit counted, no pin)."""
-        with self._lock:
-            return plan in self._views
+        return plan in self._views
 
     # ------------------------------------------------------------------
     # request history (the Algorithm-3 cross-call reuse signal)
@@ -192,7 +197,7 @@ class SQLiteViewRegistry:
 
     @property
     def max_views(self) -> int | None:
-        return self._max_views
+        return self._views.max_entries
 
     @contextmanager
     def pin_scope(self) -> Iterator["SQLiteViewRegistry"]:
@@ -206,18 +211,16 @@ class SQLiteViewRegistry:
                 self._pin_depth -= 1
                 if self._pin_depth == 0:
                     self._pinned.clear()
-                    self._enforce_cap()
+                    self._views.enforce_cap()
 
     def lookup(self, plan: Hashable) -> str | None:
         """The view name of ``plan`` if registered (counts a hit), else
         ``None`` (the miss is counted by the :meth:`register` that must
         follow)."""
         with self._lock:
-            name = self._views.get(plan)
+            name = self._views.get(plan, count_miss=False)
             if name is None:
                 return None
-            self._hits += 1
-            self._views.move_to_end(plan)
             self._pin(name)
             return name
 
@@ -233,38 +236,40 @@ class SQLiteViewRegistry:
         Returns ``(view name, executed DDL)``.
         """
         with self._lock:
-            self._misses += 1
+            self._views.add_miss()
             name = self._name_for(plan)
             ddl = f"CREATE TEMP TABLE {name} AS\n{sql}"
-            self._connection.execute(ddl)
-            for (column,) in self._connection.execute(
-                f"SELECT name FROM pragma_table_info('{name}')"
-            ).fetchall():
-                if column == PROB_COLUMN:
-                    continue
-                self._connection.execute(
-                    f"CREATE INDEX {_quote_ident(f'ix_{name}_{column}')} "
-                    f"ON {name} ({_quote_ident(column)})"
-                )
-            self._views[plan] = name
+            with self._observer.span("sqlite.materialize_view", view=name):
+                self._connection.execute(ddl)
+                for (column,) in self._connection.execute(
+                    f"SELECT name FROM pragma_table_info('{name}')"
+                ).fetchall():
+                    if column == PROB_COLUMN:
+                        continue
+                    self._connection.execute(
+                        f"CREATE INDEX {_quote_ident(f'ix_{name}_{column}')} "
+                        f"ON {name} ({_quote_ident(column)})"
+                    )
+            if self._observer.enabled:
+                self._observer.inc("sqlite.views_materialized")
             self._names.add(name)
             self._relations[name] = _key_relations(plan)
             if self._namespace is not None:
                 self._namespace.note_materialized(plan, name)
             self._pin(name)
-            self._enforce_cap()
+            self._views.put(plan, name)
             return name, ddl
 
     def cache_stats(self) -> dict:
-        with self._lock:
-            return {
-                "hits": self._hits,
-                "misses": self._misses,
-                "evictions": self._evictions,
-                "invalidations": self._invalidations,
-                "size": len(self._views),
-                "max_size": self._max_views,
-            }
+        stats = self._views.stats()
+        return {
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "evictions": stats["evictions"],
+            "invalidations": stats["invalidations"],
+            "size": stats["size"],
+            "max_size": stats["max_entries"],
+        }
 
     def invalidate_relations(self, relations: Iterable[str]) -> int:
         """Drop only the views whose subplans scan a changed relation.
@@ -277,21 +282,16 @@ class SQLiteViewRegistry:
         LRU evictions, as ``invalidations`` in :meth:`cache_stats`).
         """
         changed = frozenset(relations)
-        dropped = 0
-        with self._lock:
-            for plan, name in list(self._views.items()):
-                deps = self._relations.get(name)
-                if deps is None or deps & changed:
-                    self._evict(plan, count_eviction=False)
-                    self._invalidations += 1
-                    dropped += 1
-        return dropped
+
+        def stale(_plan: Hashable, name: str) -> bool:
+            deps = self._relations.get(name)
+            return deps is None or bool(deps & changed)
+
+        return self._views.remove_where(stale, count="invalidation")
 
     def clear(self) -> None:
         """Drop every registered view (the drops count as evictions)."""
-        with self._lock:
-            for plan in list(self._views):
-                self._evict(plan)
+        self._views.clear(count="eviction")
 
     def detach(self) -> None:
         """Forget all views without touching the connection.
@@ -307,7 +307,7 @@ class SQLiteViewRegistry:
             if self._namespace is not None:
                 for plan, name in self._views.items():
                     self._namespace.note_evicted(plan, name)
-            self._views.clear()
+            self._views.clear(count=None, callback=False)
             self._names.clear()
             self._relations.clear()
 
@@ -334,25 +334,13 @@ class SQLiteViewRegistry:
             name = f"dissoc_{digest:016x}_{suffix}"
         return name
 
-    def _evict(self, plan: Hashable, count_eviction: bool = True) -> None:
-        name = self._views.pop(plan)
+    def _drop_view(self, plan: Hashable, name: str) -> None:
+        """StatsLRU eviction callback: tear the temp table down."""
         self._names.discard(name)
         self._relations.pop(name, None)
         self._connection.execute(f"DROP TABLE IF EXISTS {name}")
         if self._namespace is not None:
             self._namespace.note_evicted(plan, name)
-        if count_eviction:
-            self._evictions += 1
-
-    def _enforce_cap(self) -> None:
-        if self._max_views is None:
-            return
-        for plan, name in list(self._views.items()):
-            if len(self._views) <= self._max_views:
-                break
-            if name in self._pinned:
-                continue
-            self._evict(plan)
 
 
 class SQLiteBackend:
@@ -397,6 +385,10 @@ class SQLiteBackend:
         #: set, :meth:`execute` fires the ``"statement"`` hook with the
         #: SQL text — the place to script transient lock contention.
         self.fault_injector = fault_injector
+        #: Instrumentation sink (``repro.obs``): :meth:`execute` records
+        #: one ``sqlite.statement`` span per statement when enabled; the
+        #: engine installs its observer here after construction.
+        self.observer = NULL_OBSERVER
         self.connection = sqlite3.connect(path)
         # Temp objects (semi-join reductions, materialized subplan views)
         # otherwise spill to a file-backed temp database even for
@@ -555,6 +547,7 @@ class SQLiteBackend:
                 self.connection,
                 self._view_cache_size,
                 namespace=self._view_namespace,
+                observer=self.observer,
             )
         return self._view_registry
 
@@ -562,6 +555,13 @@ class SQLiteBackend:
         """Run a query and fetch all rows."""
         if self.fault_injector is not None:
             self.fault_injector.fire("statement", sql)
+        obs = self.observer
+        if obs.enabled:
+            with obs.span("sqlite.statement", sql=sql[:200]) as span:
+                rows = self.connection.execute(sql, parameters).fetchall()
+                span.note(rows=len(rows))
+            obs.inc("sqlite.statements")
+            return rows
         cur = self.connection.execute(sql, parameters)
         return cur.fetchall()
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Literal, Mapping, Sequence
 
@@ -31,6 +30,7 @@ from ..db.sqlite_backend import SQLiteBackend
 from ..lineage.build import Lineage, lineage_of
 from ..lineage.exact import ExactEvaluator
 from ..lineage.mc import monte_carlo_many
+from ..obs import StatsLRU, resolve_observer
 from .extensional import (
     EvaluationCache,
     deterministic_answers,
@@ -110,6 +110,10 @@ class EvaluationResult:
     #: :class:`~repro.api.cache.ResultCache` instead of an engine
     #: evaluation (the scores are a snapshot of the original run).
     cached: bool = False
+    #: The request trace id this result was produced (or served) under,
+    #: stamped by the session when an :class:`repro.obs.Observer` is
+    #: configured — feed it to ``session.trace()`` for the span tree.
+    trace_id: str | None = None
 
     def ranking(self) -> list[tuple]:
         """Answers ordered by decreasing score (ties by value order)."""
@@ -180,6 +184,11 @@ class DissociationEngine:
         self.write_factor = config.write_factor
         self.view_namespace = view_namespace
         self.faults = faults
+        #: The instrumentation sink (``repro.obs``): spans for
+        #: evaluation stages and per-subplan work, counters for
+        #: evaluations. Defaults to the no-op observer; hot paths guard
+        #: on ``observer.enabled``.
+        self.observer = resolve_observer(config.observer)
         #: Queries actually evaluated by this engine (``evaluate`` adds
         #: one, ``evaluate_batch`` adds the batch size). The session
         #: result cache's acceptance tests assert this stays flat on a
@@ -196,12 +205,13 @@ class DissociationEngine:
         # minimal_plans/single_plan memo keyed by (flavor, canonical
         # query key, schema flags) — plans depend on query structure and
         # schema knowledge only, so the memo survives data mutations.
-        self._plan_memo: "OrderedDict[tuple, tuple]" = OrderedDict()
+        # Storage + hit/miss/eviction counters live in the shared
+        # StatsLRU core; renamed hits are a memo-specific refinement.
         self._plan_memo_lock = threading.RLock()
-        self._plan_memo_hits = 0
-        self._plan_memo_misses = 0
+        self._plan_memo = StatsLRU(
+            config.plan_memo_size, lock=self._plan_memo_lock
+        )
         self._plan_memo_renamed = 0
-        self._plan_memo_evictions = 0
 
     # ------------------------------------------------------------------
     # schema plumbing
@@ -238,6 +248,7 @@ class DissociationEngine:
                 view_namespace=self.view_namespace,
                 fault_injector=self.faults,
             )
+            self._sqlite.observer = self.observer
         return self._sqlite
 
     def invalidate_sqlite(self) -> None:
@@ -270,12 +281,14 @@ class DissociationEngine:
         automatically when the database's version token moves.
         """
         if db is not self.db:
-            return EvaluationCache(
+            cache = EvaluationCache(
                 db,
                 max_plans=self.cache_size,
                 join_ordering=self.join_ordering,
                 dp_threshold=self.join_dp_threshold,
             )
+            cache.observer = self.observer
+            return cache
         if self._memory_cache is None or self._memory_cache.db is not db:
             self._memory_cache = EvaluationCache(
                 db,
@@ -283,6 +296,7 @@ class DissociationEngine:
                 join_ordering=self.join_ordering,
                 dp_threshold=self.join_dp_threshold,
             )
+            self._memory_cache.observer = self.observer
         else:
             self._memory_cache.validate()
         return self._memory_cache
@@ -348,11 +362,7 @@ class DissociationEngine:
             return self._enumerate(query, flavor, deterministic, fds)
         key0, numbering = canonical_form(query)
         key = (flavor, key0, schema_flags(query, deterministic, fds))
-        with self._plan_memo_lock:
-            entry = self._plan_memo.get(key)
-            if entry is not None:
-                self._plan_memo.move_to_end(key)
-                self._plan_memo_hits += 1
+        entry = self._plan_memo.get(key)
         if entry is not None:
             stored_query, stored_numbering, plans = entry
             if stored_query == query:
@@ -368,13 +378,7 @@ class DissociationEngine:
             }
             return [rename_plan(plan, mapping) for plan in plans]
         plans = self._enumerate(query, flavor, deterministic, fds)
-        with self._plan_memo_lock:
-            self._plan_memo_misses += 1
-            self._plan_memo[key] = (query, numbering, tuple(plans))
-            self._plan_memo.move_to_end(key)
-            while memo_size is not None and len(self._plan_memo) > memo_size:
-                self._plan_memo.popitem(last=False)
-                self._plan_memo_evictions += 1
+        self._plan_memo.put(key, (query, numbering, tuple(plans)))
         return plans
 
     @staticmethod
@@ -392,15 +396,17 @@ class DissociationEngine:
         plans of a structurally identical query with different variable
         names (a subset of ``hits``).
         """
+        stats = self._plan_memo.stats()
         with self._plan_memo_lock:
-            return {
-                "hits": self._plan_memo_hits,
-                "misses": self._plan_memo_misses,
-                "renamed_hits": self._plan_memo_renamed,
-                "evictions": self._plan_memo_evictions,
-                "size": len(self._plan_memo),
-                "max_size": self.config.plan_memo_size,
-            }
+            renamed = self._plan_memo_renamed
+        return {
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "renamed_hits": renamed,
+            "evictions": stats["evictions"],
+            "size": stats["size"],
+            "max_size": self.config.plan_memo_size,
+        }
 
     def minimal_plans(self, query: ConjunctiveQuery) -> list[Plan]:
         """All minimal plans of ``query`` under the schema knowledge."""
@@ -434,17 +440,24 @@ class DissociationEngine:
         opts = optimizations or Optimizations()
         if self.faults is not None:
             self.faults.fire("evaluate", query)
+        obs = self.observer
         started = time.perf_counter()
         with self._count_lock:
             self.evaluation_count += 1
-        epoch = self.query_epoch(query)
-        plans = self.minimal_plans(query)
-        if self.backend == "memory":
-            scores = self._evaluate_memory(query, plans, opts)
-            sql = None
-        else:
-            scores, sql = self._evaluate_sqlite(query, plans, opts)
+        with obs.span("engine.evaluate", backend=self.backend) as span:
+            epoch = self.query_epoch(query)
+            with obs.span("plan.enumerate"):
+                plans = self.minimal_plans(query)
+            if self.backend == "memory":
+                scores = self._evaluate_memory(query, plans, opts)
+                sql = None
+            else:
+                scores, sql = self._evaluate_sqlite(query, plans, opts)
+            span.note(plan_count=len(plans), answers=len(scores))
         elapsed = time.perf_counter() - started
+        if obs.enabled:
+            obs.inc("engine.evaluations")
+            obs.observe("engine.evaluate.seconds", elapsed)
         return EvaluationResult(
             scores=scores,
             plan_count=len(plans),
@@ -523,16 +536,29 @@ class DissociationEngine:
             self.faults.fire("batch", tuple(distinct))
             for query in distinct:
                 self.faults.fire("evaluate", query)
-        plans_per = [self.minimal_plans(q) for q in distinct]
-        epoch_per = [self.query_epoch(q) for q in distinct]
-        if self.backend == "memory":
-            scores_per = self._evaluate_memory_batch(distinct, plans_per, opts)
-            sql_per: list[str | None] = [None] * len(distinct)
-        else:
-            scores_per, sql_per = self._evaluate_sqlite_batch(
-                distinct, plans_per, opts
-            )
+        obs = self.observer
+        with obs.span(
+            "engine.evaluate_batch",
+            backend=self.backend,
+            size=len(queries),
+            distinct=len(distinct),
+        ):
+            with obs.span("plan.enumerate"):
+                plans_per = [self.minimal_plans(q) for q in distinct]
+            epoch_per = [self.query_epoch(q) for q in distinct]
+            if self.backend == "memory":
+                scores_per = self._evaluate_memory_batch(
+                    distinct, plans_per, opts
+                )
+                sql_per: list[str | None] = [None] * len(distinct)
+            else:
+                scores_per, sql_per = self._evaluate_sqlite_batch(
+                    distinct, plans_per, opts
+                )
         elapsed = time.perf_counter() - started
+        if obs.enabled:
+            obs.inc("engine.evaluations", len(queries))
+            obs.observe("engine.evaluate_batch.seconds", elapsed)
         # per-result seconds carry the batch's amortized wall time (the
         # batch is the unit of execution, so exact per-query attribution
         # does not exist); summing over the results recovers the batch
@@ -620,10 +646,17 @@ class DissociationEngine:
             # fresh memo scope per plan: every join of the plan executes
             # (cached results would skip scheduling and leave gaps)
             recorder: list[dict] = []
+            plan_started = time.perf_counter()
             plan_scores(
                 plan, query, db, cache=base.plan_scope(), recorder=recorder
             )
-            entries.append({"plan": plan.pretty(), "joins": recorder})
+            entries.append(
+                {
+                    "plan": plan.pretty(),
+                    "joins": recorder,
+                    "seconds": time.perf_counter() - plan_started,
+                }
+            )
         report = {
             "query": str(query),
             "backend": self.backend,
@@ -680,7 +713,8 @@ class DissociationEngine:
             if opts.reuse_views
             else [base.plan_scope() for _ in plans]
         )
-        return plan_scores_min_combined(plans, query, db, caches)
+        with self.observer.span("combine.min", plans=len(plans)):
+            return plan_scores_min_combined(plans, query, db, caches)
 
     def _evaluate_memory_batch(
         self,
@@ -748,7 +782,11 @@ class DissociationEngine:
             if self.write_factor is not None
             else DEFAULT_WRITE_FACTOR
         )
-        return MaterializationPolicy(estimator=estimator, write_factor=factor)
+        return MaterializationPolicy(
+            estimator=estimator,
+            write_factor=factor,
+            observer=self.observer,
+        )
 
     def _evaluate_sqlite(
         self,
@@ -919,6 +957,10 @@ class DissociationEngine:
                             compiled, query, scope=scope
                         )
                     executed.append(sql)
+                    if self.observer.enabled and scope.cte_count:
+                        self.observer.inc(
+                            "sql.ctes_shared", scope.cte_count
+                        )
                     self._merge_min(
                         scores, self._collect(backend.execute(sql), query)
                     )

@@ -34,7 +34,7 @@ database mutates.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
+import time
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -43,6 +43,7 @@ from ..core.plans import Join, MinPlan, Plan, Project, Scan
 from ..core.query import ConjunctiveQuery
 from ..core.symbols import Constant, Variable
 from ..db.database import ProbabilisticDatabase
+from ..obs import NULL_OBSERVER, StatsLRU
 from .stats import (
     DEFAULT_DP_THRESHOLD,
     JoinProfile,
@@ -171,12 +172,9 @@ class EvaluationCache:
         "_tables",
         "_plans",
         "_token",
-        "_max_plans",
         "_statistics",
         "_lock",
-        "_hits",
-        "_misses",
-        "_evictions",
+        "observer",
     )
 
     def __init__(
@@ -201,6 +199,11 @@ class EvaluationCache:
             self._tables: dict[str, tuple] = {}
             self._statistics = StatisticsCatalog(db)
             self._lock = threading.RLock()
+            #: Per-subplan tracing hook (``repro.obs``); the engine
+            #: installs its observer here so ``_evaluate`` can record
+            #: cache-hit-vs-compute spans without threading a parameter
+            #: through every operator.
+            self.observer = NULL_OBSERVER
         else:
             self._code_of = _share_with._code_of
             self._values = _share_with._values
@@ -209,8 +212,9 @@ class EvaluationCache:
             # one lock per shared state: scopes mutate the parent's
             # dictionaries, so they must serialize against it
             self._lock = _share_with._lock
+            self.observer = _share_with.observer
             if max_plans is None:
-                max_plans = _share_with._max_plans
+                max_plans = _share_with.max_plans
             join_ordering = _share_with.join_ordering
             dp_threshold = _share_with.dp_threshold
         self.join_ordering = join_ordering
@@ -218,18 +222,16 @@ class EvaluationCache:
         # plan -> (epoch vector of the plan's relations at store time,
         #          result); the vector makes each entry self-describing,
         #          so scopes sharing encoded tables can each validate
-        #          their own memo without clearing the other's.
-        self._plans: OrderedDict[Plan, tuple[tuple, _Columnar]] = OrderedDict()
+        #          their own memo without clearing the other's. Storage
+        #          and counters live in the shared StatsLRU core; scopes
+        #          get their own memo (and counters) on the shared lock.
+        self._plans = StatsLRU(max_plans, lock=self._lock)
         # A scope must inherit the parent's token, not re-snapshot: the
         # shared encoded tables may predate a mutation the parent has
         # not validated away yet, and a fresh token would hide it.
         self._token = (
             _db_token(db) if _share_with is None else _share_with._token
         )
-        self._max_plans = max_plans
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
 
     def validate(self) -> None:
         """Drop cached state belonging to tables that changed.
@@ -253,9 +255,12 @@ class EvaluationCache:
                 for name, entry in list(self._tables.items()):
                     if entry[0] != epochs.get(name):
                         del self._tables[name]
-                for plan, (vector, _) in list(self._plans.items()):
-                    if any(epochs.get(r) != ep for r, ep in vector):
-                        del self._plans[plan]
+                self._plans.remove_where(
+                    lambda _plan, entry: any(
+                        epochs.get(r) != ep for r, ep in entry[0]
+                    ),
+                    count=None,
+                )
             self._token = token
 
     @property
@@ -289,41 +294,29 @@ class EvaluationCache:
     # ------------------------------------------------------------------
     @property
     def max_plans(self) -> int | None:
-        return self._max_plans
+        return self._plans.max_entries
 
     def lookup_plan(self, plan: Plan) -> "_Columnar | None":
         """The memoized result of ``plan``, marking it most recently used."""
-        with self._lock:
-            entry = self._plans.get(plan)
-            if entry is None:
-                self._misses += 1
-                return None
-            self._hits += 1
-            self._plans.move_to_end(plan)
-            return entry[1]
+        entry = self._plans.get(plan)
+        return None if entry is None else entry[1]
 
     def store_plan(self, plan: Plan, result: "_Columnar") -> None:
-        with self._lock:
-            if self._max_plans == 0:
-                return
-            vector = _epoch_vector(self.db, plan.relations())
-            self._plans[plan] = (vector, result)
-            self._plans.move_to_end(plan)
-            if self._max_plans is not None:
-                while len(self._plans) > self._max_plans:
-                    self._plans.popitem(last=False)
-                    self._evictions += 1
+        if self.max_plans == 0:
+            return
+        vector = _epoch_vector(self.db, plan.relations())
+        self._plans.put(plan, (vector, result))
 
     def cache_stats(self) -> dict:
         """Cumulative counters (they survive :meth:`validate` clears)."""
-        with self._lock:
-            return {
-                "hits": self._hits,
-                "misses": self._misses,
-                "evictions": self._evictions,
-                "size": len(self._plans),
-                "max_size": self._max_plans,
-            }
+        stats = self._plans.stats()
+        return {
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "evictions": stats["evictions"],
+            "size": stats["size"],
+            "max_size": stats["max_entries"],
+        }
 
     # ------------------------------------------------------------------
     # value interning
@@ -531,20 +524,46 @@ def _evaluate(
     cached = local.get(plan)
     if cached is not None:
         return cached
+    obs = cache.observer
     cached = cache.lookup_plan(plan)
     if cached is not None:
+        if obs.enabled:
+            with obs.span("subplan") as span:
+                span.note(
+                    kind=type(plan).__name__.lower(),
+                    cached=True,
+                    rows=len(cached),
+                )
         local[plan] = cached
         return cached
-    if isinstance(plan, Scan):
-        result = _scan(plan, cache)
-    elif isinstance(plan, Project):
-        result = _project(plan, cache, local, recorder)
-    elif isinstance(plan, Join):
-        result = _join(plan, cache, local, recorder)
-    elif isinstance(plan, MinPlan):
-        result = _min(plan, cache, local, recorder)
-    else:  # pragma: no cover - sealed hierarchy
-        raise TypeError(f"unknown plan node {plan!r}")
+    if not obs.enabled:
+        if isinstance(plan, Scan):
+            result = _scan(plan, cache)
+        elif isinstance(plan, Project):
+            result = _project(plan, cache, local, recorder)
+        elif isinstance(plan, Join):
+            result = _join(plan, cache, local, recorder)
+        elif isinstance(plan, MinPlan):
+            result = _min(plan, cache, local, recorder)
+        else:  # pragma: no cover - sealed hierarchy
+            raise TypeError(f"unknown plan node {plan!r}")
+    else:
+        with obs.span("subplan") as span:
+            if isinstance(plan, Scan):
+                result = _scan(plan, cache)
+            elif isinstance(plan, Project):
+                result = _project(plan, cache, local, recorder)
+            elif isinstance(plan, Join):
+                result = _join(plan, cache, local, recorder)
+            elif isinstance(plan, MinPlan):
+                result = _min(plan, cache, local, recorder)
+            else:  # pragma: no cover - sealed hierarchy
+                raise TypeError(f"unknown plan node {plan!r}")
+            span.note(
+                kind=type(plan).__name__.lower(),
+                cached=False,
+                rows=len(result),
+            )
     local[plan] = result
     cache.store_plan(plan, result)
     return result
@@ -659,6 +678,7 @@ def _join(
             else "greedy-fallback"
         )
     record: dict | None = None
+    fold_started = 0.0
     if recorder is not None:
         profiles = profiles or [r.profile() for r in results]
         record = {
@@ -668,8 +688,12 @@ def _join(
             "parts": [str(p) for p in plan.parts],
             "input_rows": [len(r) for r in results],
             "steps": [],
+            # wall-clock seconds of this join's own fold (children are
+            # recorded by their own entries), filled in below
+            "seconds": 0.0,
         }
         recorder.append(record)
+        fold_started = time.perf_counter()
     # Fold in the chosen order, tracking per-part gather indices instead
     # of multiplying scores pairwise: the final score column multiplies
     # the parts in canonical (plan) order, so every schedule — greedy or
@@ -682,21 +706,27 @@ def _join(
     }
     rows = len(results[first])
     estimate = profiles[first] if profiles is not None else None
+    step_started = fold_started
     for j in order[1:]:
         state_order, state_columns, indices, rows = _fold_join(
             state_order, state_columns, indices, rows,
             results[j], j, cache,
         )
         if record is not None:
+            now = time.perf_counter()
             estimate = join_profile(estimate, profiles[j])
             record["steps"].append(
                 {
                     "joined": str(plan.parts[j]),
                     "estimated_rows": estimate.rows,
                     "actual_rows": rows,
+                    "seconds": now - step_started,
                 }
             )
+            step_started = now
     if rows == 0:
+        if record is not None:
+            record["seconds"] = time.perf_counter() - fold_started
         return _empty(tuple(sorted(state_order)))
     scores: np.ndarray | None = None
     for part, idx in sorted(indices.items()):
@@ -705,6 +735,8 @@ def _join(
     # canonical output column order, independent of the schedule
     final_order = tuple(sorted(state_order))
     positions = [state_order.index(v) for v in final_order]
+    if record is not None:
+        record["seconds"] = time.perf_counter() - fold_started
     return _Columnar(
         final_order,
         tuple(state_columns[i] for i in positions),

@@ -91,6 +91,11 @@ class StatementScope:
         #: the nodes that were factored into CTEs (observability/tests)
         self.cte_nodes: list[Plan] = []
 
+    @property
+    def cte_count(self) -> int:
+        """How many shared subplans this statement factored into CTEs."""
+        return len(self.defs)
+
     def wants_cte(self, node: Plan) -> bool:
         return self.references.get(node, 1) >= 2
 

@@ -550,19 +550,36 @@ class MaterializationPolicy:
 
     Without an estimator the rule degrades to pure reference counting
     (materialize iff effectively referenced at least twice).
+
+    ``observer``, when given, counts every decision
+    (``materialize.decisions`` / ``materialize.approved``) so the cost
+    gate's selectivity is visible in the metrics snapshot.
     """
 
-    __slots__ = ("estimator", "write_factor")
+    __slots__ = ("estimator", "write_factor", "observer")
 
     def __init__(
         self,
         estimator: "Callable[[Plan], PlanEstimate] | None" = None,
         write_factor: float = DEFAULT_WRITE_FACTOR,
+        observer=None,
     ) -> None:
         self.estimator = estimator
         self.write_factor = write_factor
+        self.observer = observer
 
     def should_materialize(
+        self, node: Plan, references: int, prior_requests: int
+    ) -> bool:
+        verdict = self._decide(node, references, prior_requests)
+        obs = self.observer
+        if obs is not None and obs.enabled:
+            obs.inc("materialize.decisions")
+            if verdict:
+                obs.inc("materialize.approved")
+        return verdict
+
+    def _decide(
         self, node: Plan, references: int, prior_requests: int
     ) -> bool:
         effective = references + (1 if prior_requests > 0 else 0)

@@ -1,0 +1,32 @@
+"""Observability: metrics registry, request tracing, unified cache LRU.
+
+See README.md in this directory for the metric catalog, the span
+taxonomy, and scraper wiring. Entry points:
+
+* :class:`Observer` — inject via ``EngineConfig(observer=...)`` /
+  ``ServiceConfig(observer=...)``; the default :data:`NULL_OBSERVER`
+  is a benchmarked no-op.
+* :class:`MetricsRegistry` / :class:`Histogram` — counters, gauges,
+  bounded p50/p95/p99 histograms, pull collectors.
+* :class:`Tracer` / :class:`SpanHandle` — per-request span trees that
+  survive the session → batcher → worker thread hops.
+* :class:`StatsLRU` — the one bounded-LRU-with-counters all four cache
+  layers are built on.
+"""
+
+from .lru import StatsLRU
+from .metrics import Histogram, MetricsRegistry
+from .observer import NULL_OBSERVER, NullObserver, Observer, resolve_observer
+from .trace import SpanHandle, Tracer
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "SpanHandle",
+    "StatsLRU",
+    "Tracer",
+    "resolve_observer",
+]

@@ -1,0 +1,244 @@
+"""Thread-safe metrics: counters, gauges, bounded histograms, collectors.
+
+One :class:`MetricsRegistry` instance aggregates the whole stack. Hot
+paths push *events* (``inc`` / ``observe``); cache layers do **not**
+push — the registry pulls their cumulative ``stats()`` dicts through
+registered *collectors* at snapshot time, so a disabled or unscraped
+registry costs the caches nothing.
+
+Histograms are bounded ring buffers (default 512 samples): ``observe``
+is O(1), and quantiles (p50/p95/p99) are computed lazily at snapshot
+time from the retained window, while ``count``/``sum``/``min``/``max``
+stay exact over the full lifetime.
+
+:meth:`MetricsRegistry.snapshot` returns one JSON-serializable dict;
+:meth:`MetricsRegistry.render_prometheus` renders the same data in the
+Prometheus text exposition format (histograms as summaries with
+``quantile`` labels, collector dicts flattened to gauges).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable
+
+__all__ = ["Histogram", "MetricsRegistry"]
+
+#: Quantiles reported for every histogram.
+QUANTILES = (0.5, 0.95, 0.99)
+
+#: Default ring-buffer size per histogram.
+DEFAULT_WINDOW = 512
+
+
+class Histogram:
+    """A bounded reservoir of the most recent observations.
+
+    Keeps the last ``window`` samples in a ring buffer plus exact
+    lifetime ``count`` / ``sum`` / ``min`` / ``max``. Quantiles are
+    computed from the retained window on demand — recent-biased by
+    construction, which is what a live latency dashboard wants.
+    """
+
+    __slots__ = ("window", "count", "total", "min", "max", "_ring", "_at")
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        self.window = window
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._ring: list[float] = []
+        self._at = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._ring) < self.window:
+            self._ring.append(value)
+        else:
+            self._ring[self._at] = value
+            self._at = (self._at + 1) % self.window
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile of the retained window (nearest-rank with
+        linear interpolation); ``None`` when empty."""
+        if not self._ring:
+            return None
+        ordered = sorted(self._ring)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def snapshot(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        data = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+            "window": len(self._ring),
+        }
+        for q in QUANTILES:
+            data[f"p{int(q * 100)}"] = self.quantile(q)
+        return data
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms behind one lock, plus pull-based
+    collectors for layers that already keep their own cumulative stats."""
+
+    def __init__(self, histogram_window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._histogram_window = histogram_window
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: dict[str, Callable[[], object]] = {}
+
+    # ------------------------------------------------------------------
+    # push side (hot paths)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(
+                    self._histogram_window
+                )
+            histogram.observe(value)
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # pull side (snapshot time)
+    # ------------------------------------------------------------------
+    def register_collector(
+        self, name: str, collect: Callable[[], object]
+    ) -> None:
+        """Register ``collect`` to contribute a JSON-serializable value
+        under ``name`` in every snapshot. Re-registering replaces —
+        layers that restart (service workers, reopened sessions) simply
+        overwrite their slot."""
+        with self._lock:
+            self._collectors[name] = collect
+
+    def unregister_collector(self, name: str) -> None:
+        with self._lock:
+            self._collectors.pop(name, None)
+
+    def snapshot(self) -> dict:
+        """One JSON-serializable view: counters, gauges, histogram
+        summaries, and every collector's current value. A collector
+        that raises contributes ``{"error": ...}`` instead of failing
+        the whole snapshot."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = {
+                name: h.snapshot() for name, h in self._histograms.items()
+            }
+            collectors = list(self._collectors.items())
+        collected = {}
+        for name, collect in collectors:
+            try:
+                collected[name] = collect()
+            except Exception as exc:  # snapshot must never fail the app
+                collected[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "collected": collected,
+        }
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """The snapshot in Prometheus text exposition format.
+
+        Counters render as ``counter``, gauges as ``gauge``, histograms
+        as summaries (``quantile`` labels plus ``_count``/``_sum``),
+        and numeric leaves of collector dicts flatten to gauges named
+        ``<prefix>_<collector>_<path>``.
+        """
+        snap = self.snapshot()
+        lines: list[str] = []
+
+        def emit(name: str, kind: str, value: float) -> None:
+            metric = _metric_name(prefix, name)
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {_format_value(value)}")
+
+        for name, value in sorted(snap["counters"].items()):
+            emit(name, "counter", value)
+        for name, value in sorted(snap["gauges"].items()):
+            emit(name, "gauge", value)
+        for name, data in sorted(snap["histograms"].items()):
+            metric = _metric_name(prefix, name)
+            lines.append(f"# TYPE {metric} summary")
+            for q in QUANTILES:
+                value = data.get(f"p{int(q * 100)}")
+                if value is not None:
+                    lines.append(
+                        f'{metric}{{quantile="{q}"}} {_format_value(value)}'
+                    )
+            lines.append(f"{metric}_count {_format_value(data['count'])}")
+            lines.append(f"{metric}_sum {_format_value(data['sum'])}")
+        for name, value in sorted(
+            _flatten_numeric(snap["collected"]).items()
+        ):
+            emit(name, "gauge", value)
+        return "\n".join(lines) + "\n"
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    return _SANITIZE.sub("_", f"{prefix}_{name}")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _flatten_numeric(tree: dict, path: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested dict as ``path_to_leaf`` gauges;
+    booleans count as 0/1, everything non-numeric is skipped."""
+    flat: dict[str, float] = {}
+    for key, value in tree.items():
+        where = f"{path}_{key}" if path else str(key)
+        if isinstance(value, dict):
+            flat.update(_flatten_numeric(value, where))
+        elif isinstance(value, bool):
+            flat[where] = 1 if value else 0
+        elif isinstance(value, (int, float)):
+            flat[where] = value
+    return flat
+
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")

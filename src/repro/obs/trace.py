@@ -1,0 +1,282 @@
+"""Request tracing: trace ids, span scopes, and bounded trace storage.
+
+A *trace* is one request's tree of timed spans. The :class:`Tracer`
+keeps a thread-local stack of active scopes, so instrumented layers
+open spans with a plain context manager and parenting falls out of
+lexical nesting — no ids are threaded through call signatures on the
+same thread.
+
+Crossing threads (session → micro-batcher → worker) *does* thread ids
+explicitly: the submitting side captures :meth:`Tracer.current`, ships
+the ``(trace_id, parent_span_id)`` members with the request, and the
+worker re-activates them with :meth:`Tracer.activate`. Because a worker
+batch coalesces requests from *several* traces, a scope holds a list of
+members and every span records into each member's trace with that
+trace's own parent — one ``engine.evaluate_batch`` span shows up in
+every participating request's tree, correctly parented, and trace ids
+never cross-contaminate.
+
+Storage is bounded twice: the tracer retains the most recent
+``max_traces`` traces (LRU), and each trace keeps at most ``max_spans``
+spans (further spans increment a ``dropped`` count instead of growing
+without bound).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["SpanHandle", "Tracer", "NULL_SPAN"]
+
+
+class SpanHandle:
+    """The live span yielded by :meth:`Tracer.span`.
+
+    ``members`` lists ``(trace_id, span_id)`` per participating trace —
+    the submitting side reads ``span_id`` (first member's id) to parent
+    cross-thread children. :meth:`note` attaches metadata that is only
+    known mid-span (cache hit vs miss, row counts).
+    """
+
+    __slots__ = ("name", "meta", "members")
+
+    def __init__(self, name: str, meta: dict, members: list) -> None:
+        self.name = name
+        self.meta = meta
+        self.members = members
+
+    @property
+    def span_id(self) -> int | None:
+        return self.members[0][2] if self.members else None
+
+    def note(self, **meta) -> None:
+        self.meta.update(meta)
+
+
+class _NullSpan:
+    """Inert stand-in when no trace is active; reusable singleton."""
+
+    __slots__ = ()
+    name = None
+    meta: dict = {}
+    members: list = []
+    span_id = None
+
+    def note(self, **meta) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _TraceRecord:
+    __slots__ = ("spans", "dropped", "created")
+
+    def __init__(self) -> None:
+        self.spans: list[dict] = []
+        self.dropped = 0
+        self.created = time.time()
+
+
+class Tracer:
+    """Bounded, thread-safe span recorder with thread-local scoping."""
+
+    def __init__(self, max_traces: int = 256, max_spans: int = 512) -> None:
+        if max_traces <= 0 or max_spans <= 0:
+            raise ValueError("max_traces and max_spans must be positive")
+        self.max_traces = max_traces
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._traces: dict[str, _TraceRecord] = {}
+        self._order: list[str] = []  # insertion order for LRU trimming
+        self._trace_seq = itertools.count(1)
+        self._span_seq = itertools.count(1)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # scope management
+    # ------------------------------------------------------------------
+    def new_trace(self) -> str:
+        """Mint a trace id and allocate its (bounded) record."""
+        trace_id = f"t-{next(self._trace_seq):08d}"
+        with self._lock:
+            self._traces[trace_id] = _TraceRecord()
+            self._order.append(trace_id)
+            while len(self._order) > self.max_traces:
+                self._traces.pop(self._order.pop(0), None)
+        return trace_id
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> list[tuple[str, int | None]]:
+        """The active scope's ``(trace_id, parent_span_id)`` members —
+        what a request must carry to continue its trace on a worker
+        thread. Empty when no trace is active."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return []
+        return list(stack[-1])
+
+    @contextmanager
+    def activate(self, members: list[tuple[str, int | None]]):
+        """Make ``members`` the active scope on this thread.
+
+        Used at trace roots (``[(trace_id, None)]``) and when a worker
+        resumes the traces a batch carried across the queue.
+        """
+        stack = self._stack()
+        stack.append(list(members))
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    # ------------------------------------------------------------------
+    # span recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **meta):
+        """Record a timed span under the active scope.
+
+        Yields a :class:`SpanHandle` (or the inert :data:`NULL_SPAN`
+        when no trace is active). Nested spans parent to this one; the
+        span records into *every* trace of the active scope with that
+        trace's own parent id.
+        """
+        stack = self._stack()
+        if not stack or not stack[-1]:
+            yield NULL_SPAN
+            return
+        members = [
+            (trace_id, parent, next(self._span_seq))
+            for trace_id, parent in stack[-1]
+        ]
+        handle = SpanHandle(name, dict(meta), members)
+        stack.append([(trace_id, sid) for trace_id, _parent, sid in members])
+        started = time.perf_counter()
+        try:
+            yield handle
+        finally:
+            seconds = time.perf_counter() - started
+            stack.pop()
+            self._commit(handle, started, seconds)
+
+    def record_span(
+        self,
+        trace_id: str,
+        parent_span_id: int | None,
+        name: str,
+        *,
+        started: float,
+        seconds: float,
+        **meta,
+    ) -> int:
+        """Record an already-timed span into one trace explicitly.
+
+        For durations measured across threads — e.g. queue wait, where
+        the clock started on the submitting thread and stops at worker
+        dequeue. Returns the new span id.
+        """
+        span_id = next(self._span_seq)
+        self._store(
+            trace_id,
+            {
+                "id": span_id,
+                "parent": parent_span_id,
+                "name": name,
+                "start": started,
+                "seconds": seconds,
+                "meta": dict(meta),
+            },
+        )
+        return span_id
+
+    def _commit(
+        self, handle: SpanHandle, started: float, seconds: float
+    ) -> None:
+        for trace_id, parent, span_id in handle.members:
+            self._store(
+                trace_id,
+                {
+                    "id": span_id,
+                    "parent": parent,
+                    "name": handle.name,
+                    "start": started,
+                    "seconds": seconds,
+                    "meta": dict(handle.meta),
+                },
+            )
+
+    def _store(self, trace_id: str, span: dict) -> None:
+        with self._lock:
+            record = self._traces.get(trace_id)
+            if record is None:
+                return  # trace evicted (or foreign id) — drop silently
+            if len(record.spans) >= self.max_spans:
+                record.dropped += 1
+                return
+            record.spans.append(span)
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def spans(self, trace_id: str) -> list[dict]:
+        """The recorded spans of ``trace_id``, flat, in commit order."""
+        with self._lock:
+            record = self._traces.get(trace_id)
+            return [dict(span) for span in record.spans] if record else []
+
+    def tree(self, trace_id: str) -> dict | None:
+        """The structured span tree of ``trace_id``.
+
+        Returns ``{"trace_id", "dropped_spans", "roots": [...]}`` where
+        each node is ``{"name", "span_id", "seconds", "start", "meta",
+        "children"}`` and children are ordered by start time. ``None``
+        for an unknown (or evicted) trace.
+        """
+        with self._lock:
+            record = self._traces.get(trace_id)
+            if record is None:
+                return None
+            spans = [dict(span) for span in record.spans]
+            dropped = record.dropped
+        nodes = {
+            span["id"]: {
+                "name": span["name"],
+                "span_id": span["id"],
+                "parent_id": span["parent"],
+                "start": span["start"],
+                "seconds": span["seconds"],
+                "meta": span["meta"],
+                "children": [],
+            }
+            for span in spans
+        }
+        roots = []
+        for node in nodes.values():
+            parent = nodes.get(node["parent_id"])
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        for node in nodes.values():
+            node["children"].sort(key=lambda child: child["start"])
+            del node["parent_id"]
+        roots.sort(key=lambda node: node["start"])
+        return {"trace_id": trace_id, "dropped_spans": dropped, "roots": roots}
+
+    def breakdown(self, trace_id: str) -> dict[str, float]:
+        """Total seconds per span name — the slow-query-log summary."""
+        totals: dict[str, float] = {}
+        for span in self.spans(trace_id):
+            totals[span["name"]] = totals.get(span["name"], 0.0) + span[
+                "seconds"
+            ]
+        return totals

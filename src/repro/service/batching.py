@@ -43,6 +43,10 @@ class QueryRequest:
     submitted_at: float = field(default_factory=time.perf_counter)
     #: Optional latency budget; expired requests fail fast at dequeue.
     deadline: Deadline | None = None
+    #: Trace frames ``(trace_id, parent_span_id)`` captured at submit;
+    #: the dequeuing worker re-activates them so batch/evaluate spans
+    #: land in the submitting request's trace across the thread hop.
+    trace: tuple = ()
 
     @property
     def group_key(self) -> tuple[bool, bool, bool]:

@@ -51,6 +51,16 @@ class BatchDAGStats:
             return 1.0
         return self.node_occurrences / self.distinct_nodes
 
+    def as_metrics(self, prefix: str = "service.dag") -> dict[str, int]:
+        """Counter-ready ``{name: increment}`` pairs for a metrics
+        registry — the sharing profile as monotonic totals (the derived
+        ``dedup_ratio`` is recomputed at read time, never summed)."""
+        return {
+            f"{prefix}.node_occurrences": self.node_occurrences,
+            f"{prefix}.distinct_nodes": self.distinct_nodes,
+            f"{prefix}.cross_query_nodes": self.cross_query_nodes,
+        }
+
 
 class BatchPlanDAG:
     """Merged plan DAG of one batch, keyed by structural plan identity."""

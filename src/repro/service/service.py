@@ -36,10 +36,12 @@ failure-modes table in ``src/repro/service/README.md``.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, InvalidStateError
 from typing import Callable, Iterable, Sequence
 
 from ..api.config import UNSET, EngineConfig, ServiceConfig
+from ..obs import MetricsRegistry, resolve_observer
 from ..core.query import ConjunctiveQuery
 from ..db.database import ProbabilisticDatabase
 from ..engine import DissociationEngine, EvaluationResult, Optimizations
@@ -108,6 +110,29 @@ class DissociationService:
             raise TypeError(
                 f"service must be a ServiceConfig, got {service!r}"
             )
+        # One observer serves the whole stack: the service-level one
+        # wins, else the engine one; when only the service config names
+        # it, thread it into the engine config so worker-engine spans
+        # nest under the service's batch spans. (``observer`` is
+        # excluded from config equality/hash, so this changes no cache
+        # keys.)
+        observer = (
+            service.observer
+            if service.observer is not None
+            else config.observer
+        )
+        if config.observer is None and observer is not None:
+            config = config.replace(observer=observer)
+        self.observer = resolve_observer(observer)
+        #: Scheduling counters live in a metrics registry — the
+        #: observer's when one is installed (so ``snapshot()`` sees
+        #: them), a private one otherwise; :meth:`stats` reads them
+        #: back instead of assembling a bespoke counter dict.
+        self.metrics = (
+            self.observer.metrics
+            if self.observer.enabled
+            else MetricsRegistry()
+        )
         self.db = db
         self.config = config
         self.service_config = service
@@ -133,20 +158,6 @@ class DissociationService:
         self._state = threading.Condition()
         self._active_batches = 0
         self._mutating = False
-        # aggregate scheduling statistics
-        self._stats_lock = threading.Lock()
-        self._batches = 0
-        self._queries = 0
-        self._mutations = 0
-        self._rolled_back_mutations = 0
-        self._tainted_mutations = 0
-        self._batch_occupancy: dict[int, int] = {}
-        self._dag_occurrences = 0
-        self._dag_distinct = 0
-        self._dag_cross_query = 0
-        self._poison_queries = 0
-        self._batch_retries = 0
-        self._timeouts = 0
         self._closed = False
         # resilience: the per-query retry policy and the supervisor's
         # bookkeeping (live workers, restart budget, in-flight batches)
@@ -166,6 +177,25 @@ class DissociationService:
         with self._supervisor:
             for _ in range(service.workers):
                 self._start_worker()
+        if self.observer.enabled:
+            # pull-model collectors: nothing on the hot path; the
+            # snapshot folds pool health, queue depth, and the shared
+            # view namespace into the one observability view
+            self.observer.register_collector("service.health", self.health)
+            self.observer.register_collector(
+                "service.queue",
+                lambda: {
+                    "pending": len(self._batcher),
+                    "submitted": self._batcher.submitted,
+                    "rejected": self._batcher.rejected,
+                },
+            )
+            self.observer.register_collector(
+                "service.namespace", self.namespace.stats
+            )
+            self.observer.register_collector(
+                "service.sessions", self._collect_sessions
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -258,6 +288,9 @@ class DissociationService:
             optimizations=optimizations or self.default_optimizations,
             future=future,
             deadline=Deadline.after(timeout) if timeout is not None else None,
+            # carry the submitting thread's trace frames across the
+            # queue so the dequeuing worker can resume them
+            trace=tuple(self.observer.current()),
         )
         self._batcher.submit(request, block=block)
         if self._failed:
@@ -375,7 +408,7 @@ class DissociationService:
                 try:  # epoch-less stand-in databases: legacy taint path
                     return fn(self.db)
                 except BaseException:
-                    self._tainted_mutations += 1
+                    self.metrics.inc("service.mutations.tainted")
                     taint = getattr(self.db, "touch", None)
                     if taint is not None:
                         taint()
@@ -385,13 +418,13 @@ class DissociationService:
                 outcome = getattr(self.db, "last_mutation", None)
                 if outcome is not None:
                     if outcome.tainted:
-                        self._tainted_mutations += 1
+                        self.metrics.inc("service.mutations.tainted")
                     elif outcome.rolled_back:
-                        self._rolled_back_mutations += 1
+                        self.metrics.inc("service.mutations.rolled_back")
                 raise
             finally:
                 self._mutating = False
-                self._mutations += 1
+                self.metrics.inc("service.mutations")
                 self._state.notify_all()
 
     # ------------------------------------------------------------------
@@ -569,26 +602,77 @@ class DissociationService:
             return
         queries = [request.query for request in live]
         opts = live[0].optimizations
+        members = (
+            self._resume_traces(live) if self.observer.enabled else []
+        )
         try:
-            if self.collect_dag_stats:
-                self._record_dag(session.engine, queries, opts)
-            results = session.engine.evaluate_batch(queries, opts)
+            if members:
+                # re-activate every trace the batch carried across the
+                # queue: the batch span (and the dag/engine spans nested
+                # in it) records into each member trace, parented to
+                # that trace's own submit-side span
+                with self.observer.activate(members):
+                    results = self._run_batch(session, queries, opts, live)
+            else:
+                results = self._run_batch(session, queries, opts, live)
         except BaseException as exc:  # noqa: BLE001 - delivered to callers
             self._isolate(session, live, opts, exc)
             return
         session.record(len(live))
-        with self._stats_lock:
-            self._batches += 1
-            self._queries += len(live)
-            self._batch_occupancy[len(live)] = (
-                self._batch_occupancy.get(len(live), 0) + 1
-            )
+        self.metrics.inc("service.batches")
+        self.metrics.inc("service.queries", len(live))
+        self.metrics.inc(f"service.batch_occupancy.{len(live)}")
+        self.metrics.observe("service.batch.size", len(live))
         for request, result in zip(live, results):
             self._deliver(request.future, result=result)
 
+    def _run_batch(
+        self,
+        session: EngineSession,
+        queries: Sequence[ConjunctiveQuery],
+        opts: Optimizations,
+        live: list[QueryRequest],
+    ) -> Sequence[EvaluationResult]:
+        """One batch evaluation under its (optional) service span."""
+        with self.observer.span(
+            "service.batch",
+            size=len(live),
+            worker=threading.current_thread().name,
+        ):
+            if self.collect_dag_stats:
+                self._record_dag(session.engine, queries, opts)
+            return session.engine.evaluate_batch(queries, opts)
+
+    def _resume_traces(
+        self, live: list[QueryRequest]
+    ) -> list[tuple[str, int | None]]:
+        """Close each request's queue-wait span; return its trace frames.
+
+        The wait clock started on the submitting thread
+        (``submitted_at``) and stops here at dequeue — a cross-thread
+        duration, recorded explicitly rather than via a scope.
+        """
+        obs = self.observer
+        now = time.perf_counter()
+        members: list[tuple[str, int | None]] = []
+        for request in live:
+            if not request.trace:
+                continue
+            wait = now - request.submitted_at
+            obs.observe("service.queue.wait_seconds", wait)
+            for trace_id, parent in request.trace:
+                obs.record_span(
+                    trace_id,
+                    parent,
+                    "queue.wait",
+                    started=request.submitted_at,
+                    seconds=wait,
+                )
+                members.append((trace_id, parent))
+        return members
+
     def _fail_expired(self, request: QueryRequest) -> None:
-        with self._stats_lock:
-            self._timeouts += 1
+        self.metrics.inc("service.timeouts")
         self._deliver(
             request.future,
             exception=RequestTimeout(
@@ -616,13 +700,11 @@ class DissociationService:
         if len(live) == 1 and not self._retry_policy.classify(batch_exc):
             # the lone member IS the poison and the error is permanent:
             # re-evaluating it would just fail identically again
-            with self._stats_lock:
-                self._batch_retries += 1
-                self._poison_queries += 1
+            self.metrics.inc("service.batch_retries")
+            self.metrics.inc("service.poison_queries")
             self._deliver(live[0].future, exception=batch_exc)
             return
-        with self._stats_lock:
-            self._batch_retries += 1
+        self.metrics.inc("service.batch_retries")
         served = 0
         for request in live:
             if request.future.done():
@@ -636,16 +718,14 @@ class DissociationService:
                     deadline=request.deadline,
                 )
             except BaseException as exc:  # noqa: BLE001 - delivered
-                with self._stats_lock:
-                    self._poison_queries += 1
+                self.metrics.inc("service.poison_queries")
                 self._deliver(request.future, exception=exc)
             else:
                 served += 1
                 self._deliver(request.future, result=result)
         if served:
             session.record(served)
-            with self._stats_lock:
-                self._queries += served
+            self.metrics.inc("service.queries", served)
 
     def _record_dag(
         self,
@@ -666,11 +746,10 @@ class DissociationService:
             else engine.minimal_plans(q)
             for q in distinct
         ]
-        stats = BatchPlanDAG(distinct, roots).stats()
-        with self._stats_lock:
-            self._dag_occurrences += stats.node_occurrences
-            self._dag_distinct += stats.distinct_nodes
-            self._dag_cross_query += stats.cross_query_nodes
+        with self.observer.span("dag.build", queries=len(distinct)):
+            stats = BatchPlanDAG(distinct, roots).stats()
+        for name, value in stats.as_metrics().items():
+            self.metrics.inc(name, value)
 
     # ------------------------------------------------------------------
     # observability
@@ -703,26 +782,61 @@ class DissociationService:
                 "wedged": list(self._wedged),
             }
 
-    def stats(self) -> dict:
-        """Scheduling, sharing, and cache statistics of the service."""
-        with self._stats_lock:
-            batches = self._batches
-            queries = self._queries
-            occupancy = dict(sorted(self._batch_occupancy.items()))
-            poison_queries = self._poison_queries
-            batch_retries = self._batch_retries
-            timeouts = self._timeouts
-            dag = {
-                "node_occurrences": self._dag_occurrences,
-                "distinct_nodes": self._dag_distinct,
-                "cross_query_nodes": self._dag_cross_query,
-                "dedup_ratio": (
-                    self._dag_occurrences / self._dag_distinct
-                    if self._dag_distinct
-                    else 1.0
-                ),
+    def _collect_sessions(self) -> list[dict]:
+        """Worker-engine cache statistics for the observer snapshot.
+
+        Deliberately *not* :meth:`stats` itself — that reads the
+        metrics registry back, and a collector that snapshots the
+        registry it is registered on would recurse.
+        """
+        return [
+            {
+                "name": session.name,
+                "batches": session.batches,
+                "queries": session.queries,
+                "cache": session.engine.cache_stats(),
+                "plan_memo": session.engine.plan_memo_stats(),
             }
-            mutations = self._mutations
+            for session in self._pool.sessions()
+        ]
+
+    def stats(self) -> dict:
+        """Scheduling, sharing, and cache statistics of the service.
+
+        The scheduling counters are read back from the metrics registry
+        (``service.*`` names) rather than a bespoke counter dict — the
+        registry is the single source of truth, so this report and
+        ``Observer.snapshot()`` can never disagree.
+        """
+        counters = self.metrics.snapshot()["counters"]
+
+        def count(name: str):
+            return counters.get(name, 0)
+
+        prefix = "service.batch_occupancy."
+        occupancy = dict(
+            sorted(
+                (int(name[len(prefix):]), value)
+                for name, value in counters.items()
+                if name.startswith(prefix)
+            )
+        )
+        batches = count("service.batches")
+        queries = count("service.queries")
+        occurrences = count("service.dag.node_occurrences")
+        distinct = count("service.dag.distinct_nodes")
+        dag = {
+            "node_occurrences": occurrences,
+            "distinct_nodes": distinct,
+            "cross_query_nodes": count("service.dag.cross_query_nodes"),
+            "dedup_ratio": (
+                occurrences / distinct if distinct else 1.0
+            ),
+        }
+        poison_queries = count("service.poison_queries")
+        batch_retries = count("service.batch_retries")
+        timeouts = count("service.timeouts")
+        mutations = count("service.mutations")
         sessions = [
             {
                 "name": session.name,
@@ -743,8 +857,8 @@ class DissociationService:
             "batches": batches,
             "queries": queries,
             "mutations": mutations,
-            "rolled_back_mutations": self._rolled_back_mutations,
-            "tainted_mutations": self._tainted_mutations,
+            "rolled_back_mutations": count("service.mutations.rolled_back"),
+            "tainted_mutations": count("service.mutations.tainted"),
             "mean_batch_size": (queries / batches) if batches else 0.0,
             "batch_occupancy": occupancy,
             "poison_queries": poison_queries,
