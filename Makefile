@@ -7,15 +7,16 @@
 #                      fails with thread tracebacks instead of wedging
 #                      the job — see tests/conftest.py
 #   make bench       — the current PR's perf micro-benchmarks; writes
-#                      BENCH_PR9.json at the repo root (observability:
-#                      the no-op Observer arm gated < 2% overhead vs
-#                      the PR-8-equivalent warm path on the chain-7
-#                      Zipf mix, plus a fully-traced arm with the
-#                      per-layer latency breakdown from the registry
-#                      histograms) and refreshes BENCH_LATEST.json
-#   make bench-quick — CI smoke: memory backend only, writes
-#                      BENCH_PR9.quick.json, same assertions with a
-#                      <= 5% gate (small op counts are noisy)
+#                      BENCH_PR10.json at the repo root (network
+#                      serving tier: repeat traffic over the socket
+#                      wire protocol gated on the server's counters —
+#                      net.parses == distinct queries, every repeat a
+#                      wire-cache hit without re-parsing — plus the
+#                      forked shared-memory process-pool throughput
+#                      arm vs the GIL-bound in-process service) and
+#                      refreshes BENCH_LATEST.json
+#   make bench-quick — CI smoke: smaller op counts, writes
+#                      BENCH_PR10.quick.json, same gates
 #   make examples    — run every example under the new connect() API
 #                      (the CI smoke job)
 #   make bench-pr1   — re-run the PR 1 benchmarks (BENCH_PR1.json: seed
@@ -37,22 +38,30 @@
 #   make bench-pr8   — re-run the PR 8 benchmarks (BENCH_PR8.json:
 #                      undo-log rollback vs the touch()-taint baseline
 #                      on fault-injected mutation traffic)
-#   make bench-pr9   — alias of the current `make bench`
+#   make bench-pr9   — re-run the PR 9 benchmarks (BENCH_PR9.json:
+#                      observability overhead gate + traced-arm
+#                      per-layer latency breakdown)
+#   make bench-pr10  — alias of the current `make bench`
+#   make serve       — boot the demo server on repro://127.0.0.1:7432
+#                      with /metrics on :9090
 
 PYTHON ?= python
 
-.PHONY: test bench bench-quick examples \
+.PHONY: test bench bench-quick examples serve \
 	bench-pr1 bench-pr2 bench-pr3 bench-pr4 bench-pr5 bench-pr6 \
-	bench-pr7 bench-pr8 bench-pr9
+	bench-pr7 bench-pr8 bench-pr9 bench-pr10
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr9.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr10.py
 
 bench-quick:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr9.py --quick
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr10.py --quick
+
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro serve --port 7432 --metrics-port 9090
 
 examples:
 	@set -e; for example in examples/*.py; do \
@@ -86,3 +95,6 @@ bench-pr8:
 
 bench-pr9:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr9.py
+
+bench-pr10:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr10.py

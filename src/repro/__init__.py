@@ -94,6 +94,7 @@ from .lineage import (
     lineage_of,
     monte_carlo_probability,
 )
+from .net import RemoteError, RemoteSession, ReproServer, serve
 from .ranking import average_precision_at_k, mean_average_precision
 
 __version__ = "1.0.0"
@@ -121,6 +122,9 @@ __all__ = [
     "ProbabilisticDatabase",
     "Project",
     "QueryHandle",
+    "RemoteError",
+    "RemoteSession",
+    "ReproServer",
     "RequestTimeout",
     "ResultCache",
     "RetryPolicy",
@@ -154,6 +158,7 @@ __all__ = [
     "query_key",
     "safe_plan",
     "safe_plan_with_schema",
+    "serve",
     "var",
     "vars_",
     "__version__",

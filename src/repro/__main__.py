@@ -19,6 +19,18 @@ Commands
     ``--json PATH``) plus the Prometheus text exposition (``--prom
     PATH``), including per-layer counters, latency quantiles, cache
     statistics, and the slow-query log.
+``serve``
+    Boot the network serving tier (``repro.net``) over a CSV directory,
+    a durable store, or the built-in demo database: ``--host/--port``,
+    ``--metrics-port`` for the Prometheus endpoint, ``--workers`` for
+    service threads, ``--processes`` for forked shared-memory
+    evaluators, ``--fsync`` for the durable journal policy.
+``client``
+    Drive a running server over ``repro://host:port``: evaluate
+    queries (``--query``, repeatable; ``--repeat`` for cache-hit
+    traffic), then optionally print server stats (``--stats``), the
+    merged Prometheus exposition (``--metrics``), or the last
+    request's trace tree (``--trace``).
 """
 
 from __future__ import annotations
@@ -152,6 +164,95 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_database():
+    from .db import ProbabilisticDatabase
+
+    half = 0.5
+    db = ProbabilisticDatabase()
+    db.add_table("R", [((1,), half), ((2,), half)])
+    db.add_table("S", [((1,), half), ((2,), half)])
+    db.add_table("T", [((1, 1), half), ((1, 2), half), ((2, 2), half)])
+    db.add_table("U", [((1,), half), ((2,), half)])
+    return db
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .net import serve
+
+    if args.data:
+        deterministic = frozenset(
+            name for name in (args.deterministic or "").split(",") if name
+        )
+        db = load_database(args.data, deterministic=deterministic)
+    elif args.path:
+        from .db import ProbabilisticDatabase
+
+        db = ProbabilisticDatabase.open(args.path, fsync=args.fsync)
+    else:
+        db = _demo_database()
+    config = EngineConfig(backend="sqlite" if args.sqlite else "memory")
+    server = serve(
+        db,
+        config,
+        host=args.host,
+        port=args.port,
+        metrics_port=args.metrics_port,
+        workers=args.workers,
+        processes=args.processes,
+        result_cache_size=args.result_cache_size,
+    )
+    print(f"serving {server.url}  (backend={config.backend}, "
+          f"pool={server.pool.stats()})", flush=True)
+    if server.metrics_port is not None:
+        print(
+            f"metrics http://{server.host}:{server.metrics_port}/metrics",
+            flush=True,
+        )
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .net import RemoteSession
+
+    queries = args.query or ["q() :- R(x), S(x), T(x,y), U(y)"]
+    with RemoteSession(args.url) as session:
+        hello = session.hello()
+        print(
+            f"connected to {args.url} (backend={hello['backend']}, "
+            f"tables={','.join(hello['tables'])})"
+        )
+        last = None
+        for round_index in range(max(args.repeat, 1)):
+            for text in queries:
+                last = session.evaluate(text)
+                if round_index == 0 or args.verbose:
+                    ranked = sorted(
+                        last.scores.items(), key=lambda kv: -kv[1]
+                    )
+                    shown = ", ".join(
+                        f"{answer}={score:.6f}" for answer, score in ranked[:5]
+                    )
+                    print(
+                        f"  {text}  →  {len(last.scores)} answers "
+                        f"[{shown}]{' (cached)' if last.cached else ''}"
+                    )
+        if args.stats:
+            print(json.dumps(session.stats(), indent=2, default=str))
+        if args.trace and last is not None:
+            print(
+                json.dumps(session.trace(last), indent=2, default=str)
+            )
+        if args.metrics:
+            print(session.metrics_text(), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -213,6 +314,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the Prometheus text exposition here instead of stdout",
     )
     metrics.set_defaults(run=_cmd_metrics)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="boot the network serving tier (repro.net)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=7432, help="0 binds an ephemeral port"
+    )
+    serve_cmd.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also serve HTTP GET /metrics here (0 for ephemeral)",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=2, help="service worker threads"
+    )
+    serve_cmd.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="forked shared-memory evaluator processes (memory backend)",
+    )
+    serve_cmd.add_argument(
+        "--data", help="directory of <relation>.csv files to serve"
+    )
+    serve_cmd.add_argument("--deterministic")
+    serve_cmd.add_argument(
+        "--path", help="durable store directory (repro.db.journal)"
+    )
+    serve_cmd.add_argument(
+        "--fsync",
+        default=None,
+        choices=("commit", "off"),
+        help="journal fsync policy for --path stores",
+    )
+    serve_cmd.add_argument("--sqlite", action="store_true")
+    serve_cmd.add_argument("--result-cache-size", type=int, default=1024)
+    serve_cmd.set_defaults(run=_cmd_serve)
+
+    client_cmd = sub.add_parser(
+        "client", help="drive a running repro server"
+    )
+    client_cmd.add_argument("url", help="repro://host:port")
+    client_cmd.add_argument(
+        "--query",
+        action="append",
+        help="Datalog query to evaluate (repeatable)",
+    )
+    client_cmd.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="workload repetitions (repeats hit the server wire cache)",
+    )
+    client_cmd.add_argument("--verbose", action="store_true")
+    client_cmd.add_argument(
+        "--stats", action="store_true", help="print server stats JSON"
+    )
+    client_cmd.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the last request's trace tree",
+    )
+    client_cmd.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the merged Prometheus exposition",
+    )
+    client_cmd.set_defaults(run=_cmd_client)
     return parser
 
 

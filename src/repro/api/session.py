@@ -47,20 +47,29 @@ def connect(
     config: EngineConfig | None = None,
     *,
     path: "str | None" = None,
+    url: "str | None" = None,
     fsync: str | None = None,
     checkpoint_every: int | None = None,
     concurrent: bool = False,
     service: ServiceConfig | None = None,
     optimizations: Optimizations | None = None,
     result_cache_size: int | None = 1024,
-) -> "Session":
-    """Open a :class:`Session` over ``db`` — or a durable one at ``path``.
+):
+    """Open a :class:`Session` over ``db`` — or a durable one at ``path``,
+    or a :class:`~repro.net.RemoteSession` at a ``repro://`` ``url``.
 
     Parameters
     ----------
     db:
         The tuple-independent probabilistic database. Mutually
-        exclusive with ``path``.
+        exclusive with ``path`` and ``url``. A ``"repro://host:port"``
+        string here is treated as ``url=`` (URL dispatch).
+    url:
+        ``"repro://host:port"`` — connect to a running
+        ``python -m repro serve`` instance instead of opening a local
+        database; returns a :class:`~repro.net.RemoteSession` with the
+        same ``evaluate``/``submit``/``mutate``/``stats``/``trace``
+        surface. Only ``config`` and ``optimizations`` apply.
     config:
         The frozen :class:`EngineConfig` (backend, caches, join
         ordering, ...); ``None`` uses the defaults.
@@ -94,6 +103,19 @@ def connect(
     to release service workers, SQLite connections, and the durable
     store's journal handle.
     """
+    if isinstance(db, str) and db.startswith("repro://"):
+        db, url = None, db
+    if url is not None:
+        if db is not None or path is not None:
+            raise ValueError("pass either db, path=, or url=, not several")
+        if fsync is not None or checkpoint_every is not None or concurrent:
+            raise ValueError(
+                "fsync/checkpoint_every/concurrent do not apply to "
+                "connect(url=...) — the server owns those knobs"
+            )
+        from ..net.client import RemoteSession
+
+        return RemoteSession(url, config, optimizations=optimizations)
     owns_db = False
     if path is not None:
         if db is not None:

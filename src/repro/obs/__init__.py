@@ -15,7 +15,12 @@ taxonomy, and scraper wiring. Entry points:
 """
 
 from .lru import StatsLRU
-from .metrics import Histogram, MetricsRegistry
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    render_prometheus_snapshot,
+)
 from .observer import NULL_OBSERVER, NullObserver, Observer, resolve_observer
 from .trace import SpanHandle, Tracer
 
@@ -28,5 +33,7 @@ __all__ = [
     "SpanHandle",
     "StatsLRU",
     "Tracer",
+    "merge_snapshots",
+    "render_prometheus_snapshot",
     "resolve_observer",
 ]

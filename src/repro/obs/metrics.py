@@ -15,6 +15,17 @@ stay exact over the full lifetime.
 :meth:`MetricsRegistry.render_prometheus` renders the same data in the
 Prometheus text exposition format (histograms as summaries with
 ``quantile`` labels, collector dicts flattened to gauges).
+
+Snapshots are also the **cross-process merge format**: the network
+serving tier's forked evaluator workers each keep their own registry
+and ship plain ``snapshot()`` dicts over their control pipes;
+:func:`merge_snapshots` folds any number of them into one (counters
+sum, gauges last-write-wins, histogram ``count``/``sum``/``min``/
+``max`` combine exactly — window quantiles cannot be merged and are
+dropped), and :func:`render_prometheus_snapshot` renders a merged
+snapshot without needing a live registry. The server's ``/metrics``
+endpoint is exactly ``render_prometheus_snapshot(merge_snapshots(
+server.snapshot(), *worker_snapshots))``.
 """
 
 from __future__ import annotations
@@ -24,7 +35,12 @@ import re
 import threading
 from typing import Callable
 
-__all__ = ["Histogram", "MetricsRegistry"]
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "render_prometheus_snapshot",
+]
 
 #: Quantiles reported for every histogram.
 QUANTILES = (0.5, 0.95, 0.99)
@@ -184,34 +200,111 @@ class MetricsRegistry:
         and numeric leaves of collector dicts flatten to gauges named
         ``<prefix>_<collector>_<path>``.
         """
-        snap = self.snapshot()
-        lines: list[str] = []
+        return render_prometheus_snapshot(self.snapshot(), prefix)
 
-        def emit(name: str, kind: str, value: float) -> None:
-            metric = _metric_name(prefix, name)
-            lines.append(f"# TYPE {metric} {kind}")
-            lines.append(f"{metric} {_format_value(value)}")
 
-        for name, value in sorted(snap["counters"].items()):
-            emit(name, "counter", value)
-        for name, value in sorted(snap["gauges"].items()):
-            emit(name, "gauge", value)
-        for name, data in sorted(snap["histograms"].items()):
-            metric = _metric_name(prefix, name)
-            lines.append(f"# TYPE {metric} summary")
-            for q in QUANTILES:
-                value = data.get(f"p{int(q * 100)}")
-                if value is not None:
-                    lines.append(
-                        f'{metric}{{quantile="{q}"}} {_format_value(value)}'
-                    )
-            lines.append(f"{metric}_count {_format_value(data['count'])}")
-            lines.append(f"{metric}_sum {_format_value(data['sum'])}")
-        for name, value in sorted(
-            _flatten_numeric(snap["collected"]).items()
-        ):
-            emit(name, "gauge", value)
-        return "\n".join(lines) + "\n"
+def render_prometheus_snapshot(snap: dict, prefix: str = "repro") -> str:
+    """Render any ``snapshot()``-shaped dict as Prometheus text.
+
+    Registry-free on purpose: the input may be one live registry's
+    snapshot *or* the output of :func:`merge_snapshots` over several
+    processes' snapshots. Missing quantile keys (merged histograms)
+    simply render no ``quantile`` samples.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, value: float) -> None:
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, value in sorted(snap.get("counters", {}).items()):
+        emit(name, "counter", value)
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        emit(name, "gauge", value)
+    for name, data in sorted(snap.get("histograms", {}).items()):
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} summary")
+        for q in QUANTILES:
+            value = data.get(f"p{int(q * 100)}")
+            if value is not None:
+                lines.append(
+                    f'{metric}{{quantile="{q}"}} {_format_value(value)}'
+                )
+        lines.append(f"{metric}_count {_format_value(data['count'])}")
+        lines.append(f"{metric}_sum {_format_value(data['sum'])}")
+    for name, value in sorted(
+        _flatten_numeric(snap.get("collected", {})).items()
+    ):
+        emit(name, "gauge", value)
+    return "\n".join(lines) + "\n"
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Fold several registry snapshots into one snapshot-shaped dict.
+
+    The cross-process aggregation the serving tier's ``/metrics``
+    endpoint uses (one snapshot per forked worker + the server's own):
+
+    * **counters** sum — they are monotone event counts in every
+      process;
+    * **gauges** last-write-wins in argument order (callers put the
+      authoritative process last);
+    * **histograms** merge exactly on the lifetime aggregates
+      (``count``/``sum``/``min``/``max``, ``mean`` recomputed) and drop
+      the window quantiles — quantiles of disjoint reservoirs cannot
+      be combined honestly, and Prometheus treats absent quantile
+      samples as just that;
+    * **collected** trees merge key-wise, later snapshots overriding
+      earlier ones on clashes (workers namespace their collector keys,
+      e.g. ``pool.worker-0``, so clashes only happen on purpose).
+
+    Non-snapshot keys (e.g. the observer's ``slow_queries``) are
+    carried from the *first* snapshot that has them.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    collected: dict[str, object] = {}
+    extras: dict[str, object] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        gauges.update(snap.get("gauges", {}))
+        for name, data in snap.get("histograms", {}).items():
+            if not data.get("count"):
+                continue
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "count": data["count"],
+                    "sum": data["sum"],
+                    "min": data.get("min", math.inf),
+                    "max": data.get("max", -math.inf),
+                }
+            else:
+                merged["count"] += data["count"]
+                merged["sum"] += data["sum"]
+                merged["min"] = min(merged["min"], data.get("min", math.inf))
+                merged["max"] = max(
+                    merged["max"], data.get("max", -math.inf)
+                )
+        collected.update(snap.get("collected", {}))
+        for key, value in snap.items():
+            if key not in ("counters", "gauges", "histograms", "collected"):
+                extras.setdefault(key, value)
+    for data in histograms.values():
+        data["mean"] = data["sum"] / data["count"]
+    out = {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "collected": collected,
+    }
+    out.update(extras)
+    return out
 
 
 def _metric_name(prefix: str, name: str) -> str:

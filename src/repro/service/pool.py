@@ -1,0 +1,91 @@
+"""Evaluator-pool backends for the network serving tier.
+
+The server (:mod:`repro.net.server`) evaluates cache-miss traffic
+through a *pool*: anything with this surface ::
+
+    submit(query, optimizations, timeout) -> concurrent.futures.Future
+    refresh()                 # after a mutation: re-sync snapshots
+    metrics_snapshots()       # registry snapshot()-dicts to merge
+    stats() / close()
+
+Two implementations exist:
+
+* :class:`ThreadEvaluatorPool` (here) — delegates to the in-process
+  :class:`~repro.api.Session` (serial or micro-batched service). One
+  GIL, zero setup; ``refresh`` is a no-op because the session reads
+  the live database. This is the universal fallback.
+* :class:`~repro.net.pool.ProcessWorkerPool` — forked evaluators over
+  :mod:`repro.db.shm` shared-memory snapshots, for true multi-core
+  evaluation; used when the platform supports ``fork`` and the server
+  was asked for processes.
+
+The server picks with :func:`repro.net.pool.choose_pool`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Protocol, runtime_checkable
+
+from ..core.query import ConjunctiveQuery
+from ..engine import EvaluationResult, Optimizations
+
+__all__ = ["EvaluatorPool", "ThreadEvaluatorPool"]
+
+
+@runtime_checkable
+class EvaluatorPool(Protocol):
+    """What the serving tier requires of an evaluation backend."""
+
+    def submit(
+        self,
+        query: ConjunctiveQuery,
+        optimizations: Optimizations,
+        timeout=None,
+    ) -> "Future[EvaluationResult]": ...
+
+    def refresh(self) -> None: ...
+
+    def metrics_snapshots(self) -> list[dict]: ...
+
+    def stats(self) -> dict: ...
+
+    def close(self) -> None: ...
+
+
+class ThreadEvaluatorPool:
+    """The in-process pool: evaluate on the server's own session.
+
+    ``refresh`` is a no-op — the session's engine/service reads the
+    live database and its caches are epoch-validated — and
+    ``metrics_snapshots`` is empty because the session's registry *is*
+    the server's registry (nothing separate to merge).
+    """
+
+    kind = "thread"
+
+    def __init__(self, session) -> None:
+        self._session = session
+
+    def submit(
+        self,
+        query: ConjunctiveQuery,
+        optimizations: Optimizations,
+        timeout=None,
+    ) -> "Future[EvaluationResult]":
+        if timeout is None:
+            return self._session.submit(query, optimizations)
+        return self._session.submit(query, optimizations, timeout=timeout)
+
+    def refresh(self) -> None:
+        return None
+
+    def metrics_snapshots(self) -> list[dict]:
+        return []
+
+    def stats(self) -> dict:
+        return {"kind": self.kind, "workers": None}
+
+    def close(self) -> None:
+        # The session is owned (and closed) by the server.
+        return None

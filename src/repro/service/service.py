@@ -218,6 +218,14 @@ class DissociationService:
             self._closed = True
             threads = list(self._threads)
         self._batcher.close()
+        # Release the mutation-quiescence barrier FIRST: a mutator
+        # blocked in mutate() waiting for a wedged worker's batch to
+        # drain would otherwise sleep forever on a condition nobody
+        # signals again — close() must wake it (it observes _closed and
+        # raises ServiceClosed) before joining workers and failing the
+        # queued futures.
+        with self._state:
+            self._state.notify_all()
         deadline = Deadline.after(timeout) if timeout is not None else None
         for thread in threads:
             thread.join(
@@ -385,7 +393,11 @@ class DissociationService:
 
         If ``fn`` raises, the exception propagates and the quiescence
         barrier is released (readers and later mutators never
-        deadlock). The database rolls itself back
+        deadlock). Likewise, a :meth:`close` racing the quiesce wait
+        releases the barrier: the blocked mutator raises
+        :class:`~repro.service.ServiceClosed` instead of sleeping on a
+        condition nobody will ever signal again. The database rolls
+        itself back
         (:meth:`~repro.db.database.ProbabilisticDatabase.mutate`): when
         ``fn`` went through the tracked mutation helpers, the undo log
         restores the bit-identical pre-mutation state — no epoch moves,
@@ -397,9 +409,24 @@ class DissociationService:
         """
         with self._state:
             while self._mutating:
+                if self._closed:
+                    raise ServiceClosed(
+                        "service closed while waiting for a prior mutation"
+                    )
                 self._state.wait()
+            if self._closed:
+                raise ServiceClosed("service is closed")
             self._mutating = True
             while self._active_batches:
+                if self._closed:
+                    # hand the writer slot back before bailing so later
+                    # mutators (and draining workers) never block on a
+                    # barrier the dead mutation still holds
+                    self._mutating = False
+                    self._state.notify_all()
+                    raise ServiceClosed(
+                        "service closed while quiescing in-flight batches"
+                    )
                 self._state.wait()
             try:
                 txn = getattr(self.db, "mutate", None)

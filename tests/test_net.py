@@ -1,0 +1,536 @@
+"""The network serving tier: framing, server/client differential,
+shared-memory snapshots, and the multi-process pool."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+import zlib
+
+import pytest
+
+import repro
+from repro import (
+    EngineConfig,
+    Optimizations,
+    ProbabilisticDatabase,
+    ServiceClosed,
+    Session,
+    parse_query,
+)
+from repro.db.shm import SharedSnapshotManager, attach_snapshot, seed_cache
+from repro.engine.extensional import EvaluationCache
+from repro.net import (
+    BadMagic,
+    ChecksumMismatch,
+    FrameDecoder,
+    FrameTooLarge,
+    RemoteSession,
+    TruncatedFrame,
+    decode_frame,
+    encode_frame,
+    fork_available,
+    serve,
+    wire_query_key,
+)
+from repro.net.protocol import (
+    _HEADER,
+    _MAGIC,
+    PROTOCOL_VERSION,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.obs import merge_snapshots
+
+from .helpers import ALL_OPTIMIZATION_COMBOS
+
+
+def sample_database() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_table(
+        "R", [((1,), 0.31), ((2,), 0.77), ((3,), 0.5)], columns=("a",)
+    )
+    db.add_table(
+        "S",
+        [((1, 1), 0.43), ((1, 2), 0.9), ((2, 2), 0.17), ((3, 1), 0.66)],
+        columns=("a", "b"),
+    )
+    db.add_table("T", [((1,), 0.25), ((2,), 0.84)], columns=("b",))
+    return db
+
+
+QUERIES = [
+    "q() :- R(x), S(x,y), T(y)",
+    "q(x) :- R(x), S(x,y)",
+    "q(y) :- S(x,y), T(y)",
+]
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"id": 7, "op": "ping", "nested": [1, [2, 3]]}
+        frame = encode_frame(payload)
+        decoded, consumed = decode_frame(frame + b"tail")
+        assert decoded == payload
+        assert consumed == len(frame)
+
+    def test_torn_length_prefix_waits_for_more_bytes(self):
+        frame = encode_frame({"id": 1})
+        decoder = FrameDecoder()
+        # feed the header one byte at a time: never an error, no output
+        for i in range(len(frame) - 1):
+            assert decoder.feed(frame[i : i + 1]) == []
+        assert decoder.feed(frame[-1:]) == [{"id": 1}]
+
+    def test_torn_frame_one_shot_decode_raises_truncated(self):
+        frame = encode_frame({"id": 1})
+        with pytest.raises(TruncatedFrame):
+            decode_frame(frame[: len(frame) - 2])
+
+    def test_bad_checksum_drops_frame_and_stream_survives(self):
+        good = encode_frame({"id": 2})
+        corrupt = bytearray(encode_frame({"id": 1}))
+        corrupt[-1] ^= 0xFF  # flip a payload byte, CRC now wrong
+        decoder = FrameDecoder()
+        with pytest.raises(ChecksumMismatch):
+            decoder.feed(bytes(corrupt))
+        # the stream stays aligned: the next frame decodes normally
+        assert decoder.feed(good) == [{"id": 2}]
+
+    def test_oversized_frame_skipped_and_stream_survives(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        big = encode_frame({"id": 1, "pad": "x" * 100})
+        with pytest.raises(FrameTooLarge):
+            decoder.feed(big)
+        assert decoder.feed(encode_frame({"id": 2})) == [{"id": 2}]
+
+    def test_oversized_frame_split_across_feeds(self):
+        decoder = FrameDecoder(max_frame_bytes=16)
+        big = encode_frame({"id": 1, "pad": "x" * 100})
+        with pytest.raises(FrameTooLarge):
+            decoder.feed(big[:20])
+        # the rest of the refused payload is skipped silently
+        assert decoder.feed(big[20:]) == []
+        assert decoder.feed(encode_frame({"id": 2})) == [{"id": 2}]
+
+    def test_bad_magic_is_fatal(self):
+        decoder = FrameDecoder()
+        with pytest.raises(BadMagic):
+            decoder.feed(b"GARBAGE!" * 4)
+        with pytest.raises(BadMagic):
+            decoder.feed(encode_frame({"id": 1}))
+
+    def test_error_carries_payloads_decoded_before_it(self):
+        good = encode_frame({"id": 1})
+        corrupt = bytearray(encode_frame({"id": 2}))
+        corrupt[-1] ^= 0xFF
+        decoder = FrameDecoder()
+        with pytest.raises(ChecksumMismatch) as info:
+            decoder.feed(good + bytes(corrupt))
+        assert info.value.decoded == [{"id": 1}]
+
+    def test_wire_query_key_stable_under_renaming(self):
+        a = parse_query("q(x) :- R(x), S(x,y)")
+        b = parse_query("q(u) :- S(u,v), R(u)")
+        assert wire_query_key(a) == wire_query_key(b)
+        c = parse_query("q(y) :- R(y), S(y,z)")
+        assert wire_query_key(a) == wire_query_key(c)
+
+    def test_result_round_trip_is_bit_identical(self):
+        db = sample_database()
+        result = repro.DissociationEngine(db).evaluate(
+            parse_query(QUERIES[1])
+        )
+        back = result_from_wire(
+            __import__("json").loads(
+                __import__("json").dumps(result_to_wire(result))
+            )
+        )
+        assert back.scores == result.scores  # == is bit-exact on floats
+        assert back.epoch == result.epoch
+        assert back.optimizations == result.optimizations
+        assert back.plan_count == result.plan_count
+
+
+# ----------------------------------------------------------------------
+# client <-> server differential
+# ----------------------------------------------------------------------
+class TestDifferential:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_remote_matches_local_all_opt_combos(self, backend):
+        db = sample_database()
+        config = EngineConfig(backend=backend)
+        with Session(db, config) as local, serve(
+            db, config, port=0
+        ) as server, RemoteSession(server.url, config) as remote:
+            for opts in ALL_OPTIMIZATION_COMBOS:
+                for text in QUERIES:
+                    mine = local.evaluate(text, opts)
+                    theirs = remote.evaluate(text, opts)
+                    assert theirs.scores.keys() == mine.scores.keys()
+                    for answer, score in mine.scores.items():
+                        assert abs(theirs.scores[answer] - score) <= 1e-12
+
+    def test_mid_stream_mutation_bumps_epochs_over_the_wire(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0) as server, RemoteSession(
+            server.url
+        ) as remote:
+            before = remote.evaluate(QUERIES[1])
+            repeat = remote.evaluate(QUERIES[1])
+            assert repeat.cached and repeat.scores == before.scores
+
+            epochs = remote.mutate(
+                lambda d: d.update_probability("R", (1,), 0.99)
+            )
+            moved = dict(epochs)
+            assert moved["R"] != dict(before.epoch)["R"]
+
+            after = remote.evaluate(QUERIES[1])
+            assert not after.cached
+            local = Session(db, EngineConfig()).evaluate(QUERIES[1])
+            assert after.scores == local.scores
+            assert after.scores != before.scores
+
+    def test_repeat_traffic_skips_the_parser(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0) as server, RemoteSession(
+            server.url
+        ) as remote:
+            repeats = 5
+            for _ in range(repeats):
+                remote.evaluate(QUERIES[0])
+            metrics = server.observer.metrics
+            assert metrics.counter("net.parses") == 1
+            assert metrics.counter("net.cache.hits") == repeats - 1
+            assert metrics.counter("net.cache.misses") == 1
+
+    def test_submit_gather_and_evaluate_many(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0) as server, RemoteSession(
+            server.url
+        ) as remote:
+            futures = [remote.submit(text) for text in QUERIES]
+            results = remote.gather(futures)
+            assert [r.scores for r in results] == [
+                remote.evaluate(t).scores for t in QUERIES
+            ]
+            many = remote.evaluate_many(QUERIES)
+            assert [r.scores for r in many] == [
+                r.scores for r in results
+            ]
+
+    def test_stats_trace_and_metrics_ops(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0) as server, RemoteSession(
+            server.url
+        ) as remote:
+            result = remote.evaluate(QUERIES[0])
+            stats = remote.stats()
+            assert stats["wire_cache"]["misses"] == 1
+            assert stats["pool"]["kind"] in ("thread", "process")
+            assert remote.last_server_trace
+            tree = remote.trace(result)
+            assert tree is not None and tree["roots"]
+            text = remote.metrics_text()
+            assert "repro_net_requests" in text
+
+    def test_error_mapping_and_connection_survives(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0) as server, RemoteSession(
+            server.url
+        ) as remote:
+            with pytest.raises(KeyError):
+                remote.evaluate("q() :- Missing(x)")
+            with pytest.raises(ValueError):
+                remote._request(
+                    {
+                        "op": "evaluate",
+                        "key": "k",
+                        "opts": [False, False, False],
+                        "relations": [],
+                        "query": "q() :- R(x)",
+                        "digest": "not-the-server-digest",
+                    }
+                )
+            # the connection survives typed failures
+            assert remote.evaluate(QUERIES[0]).scores
+
+    def test_url_dispatch_via_connect(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0) as server:
+            with repro.connect(url=server.url) as remote:
+                assert isinstance(remote, RemoteSession)
+                assert remote.evaluate(QUERIES[0]).scores
+            # a repro:// string in the db slot dispatches too
+            with repro.connect(server.url) as remote:
+                assert isinstance(remote, RemoteSession)
+
+
+# ----------------------------------------------------------------------
+# live-socket frame fuzzing
+# ----------------------------------------------------------------------
+class TestLiveProtocolErrors:
+    def _recv_frames(self, sock, count, timeout=10.0):
+        decoder = FrameDecoder()
+        frames = []
+        sock.settimeout(timeout)
+        while len(frames) < count:
+            data = sock.recv(65536)
+            if not data:
+                break
+            frames.extend(decoder.feed(data))
+        return frames
+
+    def test_corrupt_frame_gets_typed_error_and_connection_survives(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port)
+            ) as sock:
+                corrupt = bytearray(encode_frame({"id": 1, "op": "ping"}))
+                corrupt[-1] ^= 0xFF
+                sock.sendall(bytes(corrupt))
+                (error,) = self._recv_frames(sock, 1)
+                assert error["ok"] is False
+                assert error["error"]["kind"] == "ChecksumMismatch"
+                assert error["trace"].startswith("srv-")
+                # same connection, next frame is served normally
+                sock.sendall(encode_frame({"id": 2, "op": "ping"}))
+                (pong,) = self._recv_frames(sock, 1)
+                assert pong["ok"] and pong["pong"] and pong["id"] == 2
+
+    def test_oversized_frame_survives_on_the_wire(self):
+        db = sample_database()
+        with serve(
+            db, EngineConfig(), port=0, max_frame_bytes=1024
+        ) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port)
+            ) as sock:
+                sock.sendall(
+                    encode_frame({"id": 1, "op": "ping", "pad": "x" * 4096})
+                )
+                (error,) = self._recv_frames(sock, 1)
+                assert error["error"]["kind"] == "FrameTooLarge"
+                sock.sendall(encode_frame({"id": 2, "op": "ping"}))
+                (pong,) = self._recv_frames(sock, 1)
+                assert pong["ok"] and pong["id"] == 2
+
+    def test_bad_magic_closes_the_connection(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port)
+            ) as sock:
+                sock.sendall(b"NOTAFRAME" * 4)
+                (error,) = self._recv_frames(sock, 1)
+                assert error["error"]["kind"] == "BadMagic"
+                sock.settimeout(10.0)
+                rest = b"x"
+                try:
+                    while rest:
+                        rest = sock.recv(65536)
+                except OSError:
+                    rest = b""
+                assert rest == b""  # server hung up
+
+    def test_torn_frame_across_sends_is_reassembled(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port)
+            ) as sock:
+                frame = encode_frame({"id": 3, "op": "ping"})
+                sock.sendall(frame[:5])
+                time.sleep(0.05)
+                sock.sendall(frame[5:])
+                (pong,) = self._recv_frames(sock, 1)
+                assert pong["ok"] and pong["id"] == 3
+
+
+# ----------------------------------------------------------------------
+# shared-memory snapshots
+# ----------------------------------------------------------------------
+class TestSharedSnapshots:
+    def test_export_attach_round_trip(self):
+        db = sample_database()
+        with SharedSnapshotManager(db) as manager:
+            snap = attach_snapshot(manager.export())
+            try:
+                assert snap.table_names == db.table_names
+                for name in db.table_names:
+                    assert snap.table(name).rows == db.table(name).rows
+                    assert snap.table(name).epoch == db.table_epoch(name)
+                assert snap.epoch_vector(["R", "S"]) == db.epoch_vector(
+                    ["R", "S"]
+                )
+            finally:
+                snap.close()
+
+    def test_seeded_cache_evaluates_identically(self):
+        db = sample_database()
+        query = parse_query(QUERIES[0])
+        baseline = repro.DissociationEngine(db).evaluate(query).scores
+        with SharedSnapshotManager(db) as manager:
+            snap = attach_snapshot(manager.export())
+            try:
+                engine = repro.DissociationEngine(snap)
+                cache = EvaluationCache(snap)
+                seed_cache(cache, snap)
+                engine._memory_cache = cache
+                assert engine.evaluate(query).scores == baseline
+            finally:
+                snap.close()
+
+    def test_refresh_reexports_only_changed_tables(self):
+        db = sample_database()
+        with SharedSnapshotManager(db) as manager:
+            meta1 = manager.export()
+            db.insert("R", (9,), 0.1)
+            meta2 = manager.refresh()
+            assert meta2["generation"] == meta1["generation"] + 1
+            assert (
+                meta2["tables"]["R"]["segment"]
+                != meta1["tables"]["R"]["segment"]
+            )
+            assert (
+                meta2["tables"]["S"]["segment"]
+                == meta1["tables"]["S"]["segment"]
+            )
+            snap = attach_snapshot(meta2)
+            try:
+                assert snap.table("R").rows == db.table("R").rows
+            finally:
+                snap.close()
+            manager.release()
+
+    def test_reattach_swaps_generation_in_place(self):
+        db = sample_database()
+        with SharedSnapshotManager(db) as manager:
+            snap = attach_snapshot(manager.export())
+            try:
+                token = snap.version
+                db.insert("T", (7,), 0.2)
+                snap.reattach(manager.refresh())
+                manager.release()
+                assert snap.version != token
+                assert snap.table("T").rows == db.table("T").rows
+            finally:
+                snap.close()
+
+
+# ----------------------------------------------------------------------
+# the multi-process pool (fork platforms only)
+# ----------------------------------------------------------------------
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform cannot fork workers"
+)
+
+
+@needs_fork
+class TestProcessPool:
+    def test_process_pool_differential_and_mutation(self):
+        db = sample_database()
+        config = EngineConfig()
+        with Session(db, config) as local, serve(
+            db, config, port=0, processes=2
+        ) as server, RemoteSession(server.url) as remote:
+            assert server.pool.stats()["kind"] == "process"
+            for text in QUERIES:
+                assert (
+                    remote.evaluate(text).scores
+                    == local.evaluate(text).scores
+                )
+            remote.mutate(lambda d: d.insert("S", (3, 2), 0.41))
+            for text in QUERIES:
+                mine = local.evaluate(text)
+                theirs = remote.evaluate(text)
+                assert theirs.scores == mine.scores
+            assert server.pool.stats()["generation"] == 2
+
+    def test_worker_metrics_are_merged(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0, processes=2) as server:
+            with RemoteSession(server.url) as remote:
+                for text in QUERIES:
+                    remote.evaluate(text)
+                text = remote.metrics_text()
+        assert "repro_pool_worker_evaluations" in text
+
+    def test_fallback_to_thread_pool_for_sqlite(self):
+        db = sample_database()
+        with serve(
+            db, EngineConfig(backend="sqlite"), port=0, processes=2
+        ) as server:
+            assert server.pool.stats()["kind"] == "thread"
+            with RemoteSession(server.url) as remote:
+                assert remote.evaluate(QUERIES[0]).scores
+
+
+# ----------------------------------------------------------------------
+# cross-process metrics merge
+# ----------------------------------------------------------------------
+class TestMergeSnapshots:
+    def test_counters_sum_histograms_combine(self):
+        a = {
+            "counters": {"x": 2, "y": 1},
+            "gauges": {"g": 1.0},
+            "histograms": {
+                "h": {"count": 2, "sum": 3.0, "min": 1.0, "max": 2.0}
+            },
+            "collected": {"one": {"n": 1}},
+        }
+        b = {
+            "counters": {"x": 3},
+            "gauges": {"g": 5.0},
+            "histograms": {
+                "h": {"count": 1, "sum": 7.0, "min": 7.0, "max": 7.0},
+                "empty": {"count": 0, "sum": 0.0},
+            },
+            "collected": {"two": {"n": 2}},
+        }
+        merged = merge_snapshots(a, b)
+        assert merged["counters"] == {"x": 5, "y": 1}
+        assert merged["gauges"]["g"] == 5.0  # last write wins
+        h = merged["histograms"]["h"]
+        assert h["count"] == 3 and h["sum"] == 10.0
+        assert h["min"] == 1.0 and h["max"] == 7.0
+        assert h["mean"] == pytest.approx(10.0 / 3)
+        assert "empty" not in merged["histograms"]
+        assert merged["collected"] == {"one": {"n": 1}, "two": {"n": 2}}
+
+
+# ----------------------------------------------------------------------
+# client lifecycle
+# ----------------------------------------------------------------------
+class TestClientLifecycle:
+    def test_closed_session_raises_typed(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0) as server:
+            remote = RemoteSession(server.url)
+            remote.close()
+            with pytest.raises(ServiceClosed):
+                remote.evaluate(QUERIES[0])
+
+    def test_reconnect_after_server_side_drop(self):
+        db = sample_database()
+        with serve(db, EngineConfig(), port=0) as server:
+            remote = RemoteSession(server.url)
+            try:
+                assert remote.evaluate(QUERIES[0]).scores
+                # kill the transport under the client; the next
+                # idempotent request redials transparently
+                remote._sock.shutdown(socket.SHUT_RDWR)
+                deadline = time.time() + 5.0
+                while remote._sock is not None and time.time() < deadline:
+                    time.sleep(0.01)
+                assert remote.evaluate(QUERIES[0]).scores
+                assert remote.reconnects >= 1
+            finally:
+                remote.close()

@@ -352,6 +352,52 @@ class TestWorkerSupervision:
             release.set()  # let the wedged thread exit cleanly
             service.close(timeout=5.0)
 
+    def test_close_releases_mutation_quiesce_barrier(self):
+        """close() during an in-flight mutate() quiesce must wake the
+        mutator (with ServiceClosed) instead of leaving it blocked on a
+        condition nobody will ever signal again."""
+        db, q = small_world()
+        release = threading.Event()
+        faults = FaultInjector()
+        # the "evaluate" hook fires *inside* the batch — _active_batches
+        # is held, so a concurrent mutate() blocks in its quiesce wait
+        faults.on_call("evaluate", 1, action=lambda _q: release.wait(30.0))
+        service = DissociationService(
+            db, faults=faults, service=ServiceConfig(workers=1)
+        )
+        wedged_future = service.submit(q)
+        mutator_error: list[BaseException] = []
+
+        def mutator():
+            try:
+                service.mutate(lambda _db: None)
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                mutator_error.append(exc)
+
+        mutator_thread = threading.Thread(target=mutator)
+        try:
+            time.sleep(0.2)  # the worker is wedged inside the batch
+            mutator_thread.start()
+            time.sleep(0.2)  # the mutator is now waiting for quiescence
+            assert mutator_thread.is_alive()
+            started = time.monotonic()
+            service.close(timeout=0.5)
+            mutator_thread.join(timeout=5.0)
+            assert time.monotonic() - started < 5.0
+            assert not mutator_thread.is_alive(), (
+                "mutate() stayed blocked on the quiesce barrier after "
+                "close()"
+            )
+            assert mutator_error and isinstance(
+                mutator_error[0], ServiceClosed
+            )
+            with pytest.raises(ServiceClosed):
+                wedged_future.result(timeout=1.0)
+        finally:
+            release.set()
+            mutator_thread.join(timeout=5.0)
+            service.close(timeout=5.0)
+
 
 # ----------------------------------------------------------------------
 # poison-query isolation
